@@ -1,0 +1,158 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (§V) and runs Bechamel micro-benchmarks of the compiler
+   passes.
+
+     dune exec bench/main.exe                 - everything
+     dune exec bench/main.exe -- table1       - one artifact
+     dune exec bench/main.exe -- fig5 --quick - reduced benchmark subset
+
+   Artifacts: table1, fig5 (incl. Table II), fig6, table3, table4
+   (incl. Fig. 7), fig8, perf. *)
+
+module E = Phoenix_experiments
+
+let fmt = Format.std_formatter
+
+let labels ~quick =
+  if quick then Some E.Workloads.uccsd_quick_labels else None
+
+let run_table1 ~quick =
+  E.Table1.print fmt (E.Table1.run ?labels:(labels ~quick) ())
+
+let run_fig5 ~quick = E.Fig5.print fmt (E.Fig5.run ?labels:(labels ~quick) ())
+let run_fig6 ~quick = E.Fig6.print fmt (E.Fig6.run ?labels:(labels ~quick) ())
+
+let run_table3 ~quick =
+  E.Table3.print fmt (E.Table3.run ?labels:(labels ~quick) ())
+
+let run_table4 ~quick:_ = E.Table4.print fmt (E.Table4.run ())
+
+let run_fidelity ~quick =
+  E.Fidelity.print fmt (E.Fidelity.run ?labels:(labels ~quick) ())
+
+let run_ablations ~quick =
+  E.Ablations.print fmt
+    (E.Ablations.run_uccsd ?labels:(labels ~quick) ())
+    (E.Ablations.run_qaoa_router ())
+
+let run_fig8 ~quick =
+  let scales = if quick then [ 0.1; 0.8 ] else E.Fig8.default_scales in
+  let molecules =
+    if quick then [ "LiH_reduced" ] else [ "LiH_reduced"; "NH_reduced" ]
+  in
+  E.Fig8.print fmt (E.Fig8.run ~scales ~molecules ())
+
+(* --- Bechamel micro-benchmarks of the compiler passes --- *)
+
+let perf_tests () =
+  let case = List.hd (E.Workloads.uccsd_suite ~labels:[ "LiH_frz_JW" ] ()) in
+  let n = case.E.Workloads.n in
+  let blocks = case.E.Workloads.gadget_blocks in
+  let gadgets = E.Workloads.gadgets case in
+  let groups = Phoenix.Group.of_blocks n blocks in
+  let first_group = List.hd groups in
+  let topo = E.Workloads.heavy_hex () in
+  let open Bechamel in
+  Test.make_grouped ~name:"phoenix" ~fmt:"%s %s"
+    [
+      Test.make ~name:"grouping"
+        (Staged.stage (fun () -> ignore (Phoenix.Group.of_blocks n blocks)));
+      Test.make ~name:"bsf-simplify-one-group"
+        (Staged.stage (fun () ->
+             ignore (Phoenix.Simplify.run n first_group.Phoenix.Group.terms)));
+      Test.make ~name:"compile-logical-cnot"
+        (Staged.stage (fun () ->
+             ignore (Phoenix.Compiler.compile_blocks n blocks)));
+      Test.make ~name:"compile-logical-su4"
+        (Staged.stage (fun () ->
+             let options =
+               {
+                 Phoenix.Compiler.default_options with
+                 isa = Phoenix.Compiler.Su4_isa;
+               }
+             in
+             ignore (Phoenix.Compiler.compile_blocks ~options n blocks)));
+      Test.make ~name:"compile-heavy-hex"
+        (Staged.stage (fun () ->
+             let options =
+               {
+                 Phoenix.Compiler.default_options with
+                 target = Phoenix.Compiler.Hardware topo;
+               }
+             in
+             ignore (Phoenix.Compiler.compile_blocks ~options n blocks)));
+      Test.make ~name:"baseline-tket"
+        (Staged.stage (fun () ->
+             ignore (Phoenix_baselines.Tket_like.compile n gadgets)));
+    ]
+
+let run_perf ~quick =
+  let open Bechamel in
+  let quota = if quick then 0.5 else 2.0 in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) ()
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let raw = Benchmark.all cfg [ instance ] (perf_tests ()) in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+      instance raw
+  in
+  Format.fprintf fmt
+    "@[<v>== Compile-time micro-benchmarks (LiH_frz_JW, 144 Pauli strings) ==@,";
+  let lines = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let value =
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> Printf.sprintf "%12.3f ms/run" (est /. 1e6)
+        | Some _ | None -> "(no estimate)"
+      in
+      lines := (name, value) :: !lines)
+    results;
+  List.iter
+    (fun (name, value) -> Format.fprintf fmt "%-34s %s@," name value)
+    (List.sort compare !lines);
+  Format.fprintf fmt
+    "(paper: compiles thousands of Pauli strings in dozens of seconds on a laptop)@,";
+  Format.fprintf fmt "@]@."
+
+let artifacts =
+  [
+    "table1", run_table1;
+    "fig5", run_fig5;
+    "fig6", run_fig6;
+    "table3", run_table3;
+    "table4", run_table4;
+    "fig8", run_fig8;
+    "ablations", run_ablations;
+    "fidelity", run_fidelity;
+    "perf", run_perf;
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let wanted = List.filter (fun a -> a <> "--quick") args in
+  let to_run =
+    match wanted with
+    | [] -> artifacts
+    | names ->
+      List.map
+        (fun name ->
+          match List.assoc_opt name artifacts with
+          | Some f -> name, f
+          | None ->
+            Printf.eprintf "unknown artifact %S (available: %s)\n" name
+              (String.concat ", " (List.map fst artifacts));
+            exit 2)
+        names
+  in
+  List.iter
+    (fun (name, f) ->
+      Format.fprintf fmt "@.>>> %s@." name;
+      let t0 = Sys.time () in
+      f ~quick;
+      Format.fprintf fmt "<<< %s done in %.1fs (cpu)@." name (Sys.time () -. t0))
+    to_run

@@ -1,0 +1,316 @@
+(* phoenix — command-line front end.
+
+   Subcommands:
+     compile   compile a Hamiltonian file (or builtin workload) and report
+               metrics; optionally dump the gate list
+     info      describe a builtin workload
+     bench     run one of the paper's experiment artifacts *)
+
+module Hamiltonian = Phoenix_ham.Hamiltonian
+module Compiler = Phoenix.Compiler
+module Circuit = Phoenix_circuit.Circuit
+module Topology = Phoenix_topology.Topology
+
+let read_hamiltonian path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  Hamiltonian.of_lines (go [])
+
+(* Builtin workload specifiers: uccsd:<label>, qaoa:<label>,
+   heisenberg:<n>, tfim:<n>. *)
+let builtin_workload name =
+  match String.split_on_char ':' name with
+  | [ "uccsd"; label ] ->
+    let b = Phoenix_ham.Molecules.find label in
+    Some
+      (Phoenix_ham.Uccsd.ansatz b.Phoenix_ham.Molecules.encoding
+         b.Phoenix_ham.Molecules.spec)
+  | [ "qaoa"; label ] ->
+    let suite = Phoenix_ham.Qaoa.benchmark_suite () in
+    Option.map Phoenix_ham.Qaoa.maxcut_cost (List.assoc_opt label suite)
+  | [ "heisenberg"; n ] -> Some (Phoenix_ham.Spin_models.heisenberg_chain (int_of_string n))
+  | [ "tfim"; n ] -> Some (Phoenix_ham.Spin_models.tfim_chain (int_of_string n))
+  | _ -> None
+
+let load source =
+  if Sys.file_exists source then read_hamiltonian source
+  else begin
+    match builtin_workload source with
+    | Some h -> h
+    | None ->
+      Printf.eprintf
+        "no such file or builtin workload: %s\n\
+         builtins: uccsd:<Table-I label>, qaoa:<Table-IV label>, \
+         heisenberg:<n>, tfim:<n>\n"
+        source;
+      exit 2
+  end
+
+let topology_of_string n = function
+  | "all-to-all" -> None
+  | "heavy-hex" -> Some (Topology.ibm_manhattan ())
+  | "line" -> Some (Topology.line (max n 2))
+  | "ring" -> Some (Topology.ring (max n 3))
+  | "grid" ->
+    let side = int_of_float (ceil (sqrt (float_of_int n))) in
+    Some (Topology.grid ~rows:side ~cols:side)
+  | s ->
+    Printf.eprintf
+      "unknown topology %S (all-to-all, heavy-hex, line, ring, grid)\n" s;
+    exit 2
+
+open Cmdliner
+
+let source_arg =
+  let doc = "Hamiltonian file (coeff pauli-string lines) or builtin workload." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SOURCE" ~doc)
+
+let isa_arg =
+  let doc = "Target ISA: cnot or su4." in
+  Arg.(value & opt (enum [ "cnot", Compiler.Cnot_isa; "su4", Compiler.Su4_isa ]) Compiler.Cnot_isa & info [ "isa" ] ~doc)
+
+let topology_arg =
+  let doc = "Device topology: all-to-all, heavy-hex, line, ring or grid." in
+  Arg.(value & opt string "all-to-all" & info [ "topology" ] ~doc)
+
+let baseline_arg =
+  let doc = "Compiler: phoenix, tket, paulihedral, tetris or naive." in
+  Arg.(value & opt string "phoenix" & info [ "compiler" ] ~doc)
+
+let dump_arg =
+  let doc = "Print the full gate list." in
+  Arg.(value & flag & info [ "dump" ] ~doc)
+
+let draw_arg =
+  let doc = "Render an ASCII circuit diagram (small circuits only)." in
+  Arg.(value & flag & info [ "draw" ] ~doc)
+
+let qasm_arg =
+  let doc = "Write the compiled circuit to FILE as OpenQASM 2.0." in
+  Arg.(value & opt (some string) None & info [ "qasm" ] ~docv:"FILE" ~doc)
+
+let exact_arg =
+  let doc = "Restrict reordering to exact transformations." in
+  Arg.(value & flag & info [ "exact" ] ~doc)
+
+let compile_cmd =
+  let run source isa topology compiler dump exact qasm_out draw =
+    let h = load source in
+    let n = Hamiltonian.num_qubits h in
+    let topo = topology_of_string n topology in
+    let circuit, swaps =
+      match compiler with
+      | "phoenix" ->
+        let options =
+          {
+            Compiler.default_options with
+            isa;
+            exact;
+            target =
+              (match topo with
+              | None -> Compiler.Logical
+              | Some t -> Compiler.Hardware t);
+          }
+        in
+        let r = Compiler.compile ~options h in
+        r.Compiler.circuit, r.Compiler.num_swaps
+      | name ->
+        let gadgets = Hamiltonian.trotter_gadgets h in
+        let c =
+          match name with
+          | "tket" -> Phoenix_baselines.Tket_like.compile n gadgets
+          | "paulihedral" -> Phoenix_baselines.Paulihedral_like.compile n gadgets
+          | "tetris" -> Phoenix_baselines.Tetris_like.compile n gadgets
+          | "naive" -> Phoenix_baselines.Naive.compile n gadgets
+          | other ->
+            Printf.eprintf "unknown compiler %S\n" other;
+            exit 2
+        in
+        (match topo with
+        | None -> c, 0
+        | Some t ->
+          let routed = Phoenix_router.Sabre.route_with_refinement t c in
+          ( Phoenix_circuit.Peephole.optimize
+              (Phoenix_circuit.Rebase.to_cnot_basis routed.Phoenix_router.Sabre.circuit),
+            routed.Phoenix_router.Sabre.num_swaps ))
+    in
+    Printf.printf "qubits:    %d\n" (Circuit.num_qubits circuit);
+    Printf.printf "gates:     %d\n" (Circuit.length circuit);
+    Printf.printf "1q gates:  %d\n" (Circuit.count_1q circuit);
+    Printf.printf "2q gates:  %d\n" (Circuit.count_2q circuit);
+    Printf.printf "cnot cost: %d\n" (Circuit.count_cnot circuit);
+    Printf.printf "depth:     %d\n" (Circuit.depth circuit);
+    Printf.printf "depth-2q:  %d\n" (Circuit.depth_2q circuit);
+    Printf.printf "swaps:     %d\n" swaps;
+    if dump then
+      List.iter
+        (fun g -> print_endline (Phoenix_circuit.Gate.to_string g))
+        (Circuit.gates circuit);
+    if draw then print_string (Phoenix_circuit.Draw.to_string circuit);
+    match qasm_out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Phoenix_circuit.Qasm.to_string circuit);
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    | None -> ()
+  in
+  let doc = "Compile a Hamiltonian-simulation program." in
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(const run $ source_arg $ isa_arg $ topology_arg $ baseline_arg $ dump_arg $ exact_arg $ qasm_arg $ draw_arg)
+
+let info_cmd =
+  let run source =
+    let h = load source in
+    Printf.printf "qubits:   %d\n" (Hamiltonian.num_qubits h);
+    Printf.printf "terms:    %d\n" (Hamiltonian.num_terms h);
+    Printf.printf "max wt:   %d\n" (Hamiltonian.max_weight h);
+    Printf.printf "blocks:   %s\n"
+      (match Hamiltonian.term_blocks h with
+      | Some bs -> string_of_int (List.length bs)
+      | None -> "-")
+  in
+  let doc = "Describe a workload." in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const run $ source_arg)
+
+let bench_cmd =
+  let artifact =
+    let doc = "Artifact: table1, fig5, fig6, table3, table4 or fig8." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ARTIFACT" ~doc)
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Use a reduced benchmark subset.")
+  in
+  let run artifact quick =
+    let fmt = Format.std_formatter in
+    let labels = if quick then Some Phoenix_experiments.Workloads.uccsd_quick_labels else None in
+    match artifact with
+    | "table1" -> Phoenix_experiments.Table1.print fmt (Phoenix_experiments.Table1.run ?labels ())
+    | "fig5" -> Phoenix_experiments.Fig5.print fmt (Phoenix_experiments.Fig5.run ?labels ())
+    | "fig6" -> Phoenix_experiments.Fig6.print fmt (Phoenix_experiments.Fig6.run ?labels ())
+    | "table3" -> Phoenix_experiments.Table3.print fmt (Phoenix_experiments.Table3.run ?labels ())
+    | "table4" -> Phoenix_experiments.Table4.print fmt (Phoenix_experiments.Table4.run ())
+    | "fig8" ->
+      let scales = if quick then [ 0.1; 0.8 ] else Phoenix_experiments.Fig8.default_scales in
+      Phoenix_experiments.Fig8.print fmt (Phoenix_experiments.Fig8.run ~scales ())
+    | other ->
+      Printf.eprintf "unknown artifact %S\n" other;
+      exit 2
+  in
+  let doc = "Regenerate one of the paper's tables/figures." in
+  Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ artifact $ quick)
+
+let simulate_cmd =
+  let shots_arg =
+    Arg.(value & opt int 0 & info [ "shots" ] ~doc:"Sample N measurement outcomes.")
+  in
+  let run source shots =
+    let h = load source in
+    let n = Hamiltonian.num_qubits h in
+    if n > 14 then begin
+      Printf.eprintf "simulation limited to 14 qubits (got %d)\n" n;
+      exit 2
+    end;
+    let r = Compiler.compile h in
+    let v = Phoenix_linalg.Statevector.of_circuit r.Compiler.circuit in
+    Printf.printf "compiled: %d CNOTs, 2Q depth %d\n" r.Compiler.two_q_count
+      r.Compiler.depth_2q;
+    Printf.printf "<H> on the evolved |0...0> state: %+.6f\n"
+      (Phoenix_linalg.Statevector.expectation v h);
+    let probs = Phoenix_linalg.Statevector.probabilities v in
+    let indexed = Array.mapi (fun k p -> p, k) probs in
+    Array.sort (fun (a, _) (b, _) -> compare b a) indexed;
+    Printf.printf "top basis states:\n";
+    Array.iteri
+      (fun rank (p, k) ->
+        if rank < 8 && p > 1e-6 then begin
+          let bits = String.init n (fun q -> if (k lsr (n - 1 - q)) land 1 = 1 then '1' else '0') in
+          Printf.printf "  |%s>  %.4f\n" bits p
+        end)
+      indexed;
+    if shots > 0 then begin
+      let rng = Phoenix_util.Prng.create 1234 in
+      let counts = Hashtbl.create 16 in
+      for _ = 1 to shots do
+        let k = Phoenix_linalg.Statevector.sample rng v in
+        Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+      done;
+      Printf.printf "%d shots:\n" shots;
+      Hashtbl.iter
+        (fun k c ->
+          let bits = String.init n (fun q -> if (k lsr (n - 1 - q)) land 1 = 1 then '1' else '0') in
+          Printf.printf "  |%s>  %d\n" bits c)
+        counts
+    end
+  in
+  let doc = "Compile and state-vector-simulate a workload (<= 14 qubits)." in
+  Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ source_arg $ shots_arg)
+
+let analyze_cmd =
+  let run source =
+    let h = load source in
+    let n = Hamiltonian.num_qubits h in
+    let gadgets = Hamiltonian.trotter_gadgets h in
+    (* weight histogram of the raw IR *)
+    let hist = Array.make (n + 1) 0 in
+    List.iter
+      (fun (p, _) ->
+        let w = Phoenix_pauli.Pauli_string.weight p in
+        hist.(w) <- hist.(w) + 1)
+      gadgets;
+    Printf.printf "Pauli-weight histogram (raw IR):\n";
+    Array.iteri (fun w c -> if c > 0 then Printf.printf "  weight %2d: %d\n" w c) hist;
+    (* per-group simplification statistics *)
+    let groups =
+      match Hamiltonian.term_blocks h with
+      | Some blocks ->
+        Phoenix.Group.of_blocks n
+          (List.map
+             (List.map (fun (t : Phoenix_pauli.Pauli_term.t) ->
+                  t.Phoenix_pauli.Pauli_term.pauli,
+                  2.0 *. t.Phoenix_pauli.Pauli_term.coeff))
+             blocks)
+      | None -> Phoenix.Group.group_gadgets n gadgets
+    in
+    let cliff_hist = Hashtbl.create 8 in
+    let total_cliffs = ref 0 in
+    List.iter
+      (fun g ->
+        let cfg = Phoenix.Simplify.run n g.Phoenix.Group.terms in
+        List.iter
+          (function
+            | Phoenix.Simplify.Cliff c ->
+              incr total_cliffs;
+              let k = Phoenix_pauli.Clifford2q.kind_to_string c.Phoenix_pauli.Clifford2q.kind in
+              Hashtbl.replace cliff_hist k
+                (1 + Option.value ~default:0 (Hashtbl.find_opt cliff_hist k))
+            | _ -> ())
+          cfg)
+      groups;
+    Printf.printf "IR groups: %d (mean size %.1f terms)\n" (List.length groups)
+      (float_of_int (List.length gadgets) /. float_of_int (max 1 (List.length groups)));
+    Printf.printf "Clifford2Q conjugations: %d total\n" !total_cliffs;
+    Printf.printf "generator usage (Eq. 5 set):\n";
+    List.iter
+      (fun k ->
+        let name = Phoenix_pauli.Clifford2q.kind_to_string k in
+        Printf.printf "  %-7s %d\n" name
+          (Option.value ~default:0 (Hashtbl.find_opt cliff_hist name)))
+      Phoenix_pauli.Clifford2q.all_kinds
+  in
+  let doc = "Report IR statistics: weight histogram, group sizes, generator usage." in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ source_arg)
+
+let () =
+  let doc = "PHOENIX: Pauli-based high-level optimization engine (DAC 2025 reproduction)." in
+  let info = Cmd.info "phoenix" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ compile_cmd; info_cmd; bench_cmd; simulate_cmd; analyze_cmd ]))

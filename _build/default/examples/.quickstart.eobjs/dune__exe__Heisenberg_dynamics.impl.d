@@ -1,0 +1,1 @@
+examples/heisenberg_dynamics.ml: List Phoenix Phoenix_ham Phoenix_linalg Phoenix_pauli Printf

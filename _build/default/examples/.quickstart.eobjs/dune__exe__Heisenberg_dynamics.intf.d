@@ -1,0 +1,1 @@
+examples/heisenberg_dynamics.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Phoenix Phoenix_circuit Phoenix_ham Phoenix_linalg Phoenix_pauli Printf

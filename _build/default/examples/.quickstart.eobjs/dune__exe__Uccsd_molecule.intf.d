@@ -1,0 +1,1 @@
+examples/uccsd_molecule.mli:

@@ -1,0 +1,1 @@
+examples/vqe_energy.ml: Array Phoenix_circuit Phoenix_ham Phoenix_vqe Printf

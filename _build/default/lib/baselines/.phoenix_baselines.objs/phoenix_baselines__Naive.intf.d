@@ -1,0 +1,1 @@
+lib/baselines/naive.mli: Phoenix_circuit Phoenix_pauli

@@ -1,0 +1,1 @@
+lib/baselines/paulihedral_like.ml: List Phoenix Phoenix_circuit Phoenix_pauli Phoenix_util

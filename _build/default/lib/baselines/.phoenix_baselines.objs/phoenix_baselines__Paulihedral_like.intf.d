@@ -1,0 +1,1 @@
+lib/baselines/paulihedral_like.mli: Phoenix Phoenix_circuit Phoenix_pauli

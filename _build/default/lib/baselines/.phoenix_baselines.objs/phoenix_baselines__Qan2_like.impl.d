@@ -1,0 +1,1 @@
+lib/baselines/qan2_like.ml: Array Float List Phoenix_circuit Phoenix_pauli Phoenix_router Phoenix_topology

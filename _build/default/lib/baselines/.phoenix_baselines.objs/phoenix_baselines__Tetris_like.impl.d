@@ -1,0 +1,1 @@
+lib/baselines/tetris_like.ml: List Phoenix Phoenix_circuit Phoenix_pauli

@@ -1,0 +1,1 @@
+lib/baselines/tetris_like.mli: Phoenix_circuit Phoenix_pauli

@@ -1,0 +1,1 @@
+lib/baselines/tket_like.ml: List Phoenix_circuit Phoenix_pauli

@@ -1,0 +1,1 @@
+lib/baselines/tket_like.mli: Phoenix_circuit Phoenix_pauli

@@ -1,0 +1,1 @@
+let compile n gadgets = Phoenix.Synthesis.naive_gadget_circuit n gadgets

@@ -1,0 +1,74 @@
+module Bitvec = Phoenix_util.Bitvec
+module Pauli_string = Phoenix_pauli.Pauli_string
+module Circuit = Phoenix_circuit.Circuit
+module Peephole = Phoenix_circuit.Peephole
+module Group = Phoenix.Group
+module Synthesis = Phoenix.Synthesis
+
+let overlap a b =
+  Bitvec.and_popcount a.Group.support b.Group.support
+
+let order_blocks blocks =
+  match blocks with
+  | [] | [ _ ] -> blocks
+  | first :: rest ->
+    let rec chain acc last pool =
+      match pool with
+      | [] -> List.rev acc
+      | _ ->
+        let best =
+          List.fold_left
+            (fun best cand ->
+              match best with
+              | Some b when overlap last b >= overlap last cand -> best
+              | Some _ | None -> Some cand)
+            None pool
+        in
+        let chosen = match best with Some b -> b | None -> assert false in
+        chain (chosen :: acc) chosen (List.filter (fun b -> b != chosen) pool)
+    in
+    chain [ first ] first rest
+
+let sorted_terms (g : Group.t) =
+  List.sort (fun (p, _) (q, _) -> Pauli_string.compare p q) g.Group.terms
+
+(* Block-local synthesis: Paulihedral's CNOT-tree co-optimization shares
+   tree segments between the gadgets of one block; the equivalent saving
+   is obtained here by diagonalizing the block when its terms commute
+   (always true for UCCSD excitation blocks) and falling back to shared
+   Z-first ladders otherwise. *)
+let block_circuit n (g : Group.t) =
+  let ladder_version =
+    Synthesis.naive_gadget_circuit ~chain:`Z_first n (sorted_terms g)
+  in
+  if not (Group.all_commuting g) then ladder_version
+  else begin
+    let d = Phoenix_circuit.Diagonalize.run n g.Group.terms in
+    let sorted =
+      List.sort
+        (fun (p, _) (q, _) -> Pauli_string.compare p q)
+        d.Phoenix_circuit.Diagonalize.diagonal
+    in
+    let ladders = Circuit.gates (Synthesis.naive_gadget_circuit n sorted) in
+    let undo =
+      List.rev_map Phoenix_circuit.Gate.dagger
+        d.Phoenix_circuit.Diagonalize.clifford
+    in
+    let diag_version =
+      Circuit.create n (d.Phoenix_circuit.Diagonalize.clifford @ ladders @ undo)
+    in
+    let cost c = Circuit.count_cnot (Peephole.optimize c) in
+    if cost diag_version <= cost ladder_version then diag_version
+    else ladder_version
+  end
+
+let compile_groups ?(peephole = true) n groups =
+  let ordered = order_blocks groups in
+  let circuit = Circuit.concat_list n (List.map (block_circuit n) ordered) in
+  if peephole then Peephole.optimize circuit else circuit
+
+let compile ?peephole n gadgets =
+  compile_groups ?peephole n (Group.group_gadgets n gadgets)
+
+let compile_blocks ?peephole n blocks =
+  compile_groups ?peephole n (Group.of_blocks n blocks)

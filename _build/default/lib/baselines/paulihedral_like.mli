@@ -1,0 +1,26 @@
+(** Simplified reimplementation of Paulihedral (Li et al., ASPLOS 2022):
+    block-wise synthesis over the same support-keyed IR blocks PHOENIX
+    uses.
+
+    Blocks are chained greedily by support overlap; terms within a block
+    are ordered lexicographically and lowered through CNOT ladders with a
+    consistent root so that neighbouring gadgets expose tree-sharing
+    cancellations, which the peephole pass (standing in for the Qiskit O2
+    that Paulihedral pairs with) then harvests. *)
+
+val compile :
+  ?peephole:bool ->
+  int ->
+  (Phoenix_pauli.Pauli_string.t * float) list ->
+  Phoenix_circuit.Circuit.t
+
+val order_blocks : Phoenix.Group.t list -> Phoenix.Group.t list
+(** Greedy max-overlap chaining, exposed for testing. *)
+
+val compile_blocks :
+  ?peephole:bool ->
+  int ->
+  (Phoenix_pauli.Pauli_string.t * float) list list ->
+  Phoenix_circuit.Circuit.t
+(** Compile with algorithm-level blocks (one per Trotter term, as the
+    real Paulihedral frontend consumes) instead of support-derived groups. *)

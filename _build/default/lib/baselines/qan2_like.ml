@@ -1,0 +1,216 @@
+module Pauli_string = Phoenix_pauli.Pauli_string
+module Gate = Phoenix_circuit.Gate
+module Circuit = Phoenix_circuit.Circuit
+module Peephole = Phoenix_circuit.Peephole
+module Rebase = Phoenix_circuit.Rebase
+module Topology = Phoenix_topology.Topology
+module Layout = Phoenix_router.Layout
+
+type result = {
+  circuit : Circuit.t;
+  num_swaps : int;
+  initial_layout : Layout.t;
+}
+
+type interaction = { a : int; b : int; gate : Gate.t }
+
+let to_gate n (p, theta) =
+  ignore n;
+  match Pauli_string.support_list p with
+  | [] -> None
+  | [ q ] -> Some (`One (Gate.rotation_of_pauli (Pauli_string.get p q) q theta))
+  | [ a; b ] ->
+    Some
+      (`Two
+        {
+          a;
+          b;
+          gate =
+            Gate.Rpp
+              {
+                p0 = Pauli_string.get p a;
+                p1 = Pauli_string.get p b;
+                a;
+                b;
+                theta;
+              };
+        })
+  | _ :: _ :: _ :: _ -> invalid_arg "Qan2_like: gadget of weight > 2"
+
+(* Interaction-weighted greedy embedding: logical qubits in descending
+   interaction degree; each placed on the free physical qubit minimizing
+   distance to already-placed partners (highest-degree physical site
+   seeds the embedding). *)
+let place topo n gadgets =
+  let weight = Array.make_matrix n n 0 in
+  List.iter
+    (fun (p, _) ->
+      match Pauli_string.support_list p with
+      | [ a; b ] ->
+        weight.(a).(b) <- weight.(a).(b) + 1;
+        weight.(b).(a) <- weight.(b).(a) + 1
+      | _ -> ())
+    gadgets;
+  let degree l = Array.fold_left ( + ) 0 weight.(l) in
+  let logical_order =
+    List.sort
+      (fun a b -> compare (degree b) (degree a))
+      (List.init n (fun i -> i))
+  in
+  let n_phys = Topology.num_qubits topo in
+  let used = Array.make n_phys false in
+  let l2p = Array.make n (-1) in
+  let physical_degree p = List.length (Topology.neighbors topo p) in
+  let best_site l =
+    let placed_partners =
+      List.filter_map
+        (fun m -> if weight.(l).(m) > 0 && l2p.(m) >= 0 then Some m else None)
+        (List.init n (fun i -> i))
+    in
+    let score p =
+      if used.(p) then Float.infinity
+      else if placed_partners = [] then
+        (* seed: prefer central, well-connected sites *)
+        -.float_of_int (physical_degree p)
+      else
+        float_of_int
+          (List.fold_left
+             (fun acc m ->
+               acc + (weight.(l).(m) * Topology.distance topo p l2p.(m)))
+             0 placed_partners)
+    in
+    let best = ref (-1) and best_score = ref Float.infinity in
+    for p = 0 to n_phys - 1 do
+      let s = score p in
+      if s < !best_score then begin
+        best := p;
+        best_score := s
+      end
+    done;
+    !best
+  in
+  List.iter
+    (fun l ->
+      let p = best_site l in
+      l2p.(l) <- p;
+      used.(p) <- true)
+    logical_order;
+  Layout.of_l2p ~n_physical:n_phys l2p
+
+let compile ?(peephole = true) topo n gadgets =
+  let n_phys = Topology.num_qubits topo in
+  if n > n_phys then invalid_arg "Qan2_like.compile: device too small";
+  let ones, twos =
+    List.fold_left
+      (fun (ones, twos) gadget ->
+        match to_gate n gadget with
+        | None -> ones, twos
+        | Some (`One g) -> g :: ones, twos
+        | Some (`Two i) -> ones, i :: twos)
+      ([], []) gadgets
+  in
+  let initial_layout = place topo n gadgets in
+  let layout = ref initial_layout in
+  let emitted = ref (List.rev ones) (* 1Q gates are free: place them first *)
+  and swaps = ref 0 in
+  let emitted_phys g =
+    let f q = Layout.physical_of !layout q in
+    match g with
+    | Gate.Rpp r -> Gate.Rpp { r with a = f r.a; b = f r.b }
+    | Gate.G1 (k, q) -> Gate.G1 (k, f q)
+    | _ -> assert false
+  in
+  (* 1Q rotations are emitted at their logical qubit's initial site. *)
+  emitted := List.map emitted_phys !emitted |> List.rev;
+  let pending = ref twos in
+  let dist i =
+    Topology.distance topo
+      (Layout.physical_of !layout i.a)
+      (Layout.physical_of !layout i.b)
+  in
+  let emit_executable () =
+    let rec go progressed =
+      let exec, rest = List.partition (fun i -> dist i = 1) !pending in
+      if exec = [] then progressed
+      else begin
+        List.iter (fun i -> emitted := emitted_phys i.gate :: !emitted) exec;
+        pending := rest;
+        go true
+      end
+    in
+    go false
+  in
+  let total_distance () =
+    List.fold_left (fun acc i -> acc + dist i) 0 !pending
+  in
+  while !pending <> [] do
+    ignore (emit_executable ());
+    if !pending <> [] then begin
+      (* candidate swaps: edges touching any pending interaction qubit *)
+      let frontier =
+        List.concat_map
+          (fun i ->
+            [ Layout.physical_of !layout i.a; Layout.physical_of !layout i.b ])
+          !pending
+        |> List.sort_uniq compare
+      in
+      let candidates =
+        List.concat_map
+          (fun p ->
+            List.map (fun q -> min p q, max p q) (Topology.neighbors topo p))
+          frontier
+        |> List.sort_uniq compare
+      in
+      let baseline = total_distance () in
+      let score (p, q) =
+        let saved = !layout in
+        layout := Layout.swap_physical !layout p q;
+        let d = total_distance () in
+        let newly_exec =
+          List.fold_left (fun acc i -> if dist i = 1 then acc + 1 else acc) 0 !pending
+        in
+        layout := saved;
+        (float_of_int d, -.float_of_int newly_exec)
+      in
+      let best =
+        List.fold_left
+          (fun best cand ->
+            let s = score cand in
+            match best with
+            | Some (_, bs) when bs <= s -> best
+            | Some _ | None -> Some (cand, s))
+          None candidates
+      in
+      let (p, q), (best_d, _) =
+        match best with Some (c, s) -> c, s | None -> assert false
+      in
+      (* Guaranteed progress: if no candidate reduces total distance,
+         step the first pending interaction along a shortest path. *)
+      let p, q =
+        if best_d < float_of_int baseline then p, q
+        else begin
+          match !pending with
+          | i :: _ ->
+            let pa = Layout.physical_of !layout i.a
+            and pb = Layout.physical_of !layout i.b in
+            let closer =
+              List.find_opt
+                (fun nb ->
+                  Topology.distance topo nb pb < Topology.distance topo pa pb)
+                (Topology.neighbors topo pa)
+            in
+            (match closer with
+            | Some nb -> min pa nb, max pa nb
+            | None -> p, q)
+          | [] -> assert false
+        end
+      in
+      layout := Layout.swap_physical !layout p q;
+      emitted := Gate.Swap (p, q) :: !emitted;
+      incr swaps
+    end
+  done;
+  let circuit = Circuit.create n_phys (List.rev !emitted) in
+  let circuit = Rebase.to_cnot_basis circuit in
+  let circuit = if peephole then Peephole.optimize circuit else circuit in
+  { circuit; num_swaps = !swaps; initial_layout }

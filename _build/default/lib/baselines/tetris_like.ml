@@ -1,0 +1,71 @@
+module Pauli = Phoenix_pauli.Pauli
+module Pauli_string = Phoenix_pauli.Pauli_string
+module Circuit = Phoenix_circuit.Circuit
+module Peephole = Phoenix_circuit.Peephole
+module Group = Phoenix.Group
+module Synthesis = Phoenix.Synthesis
+
+(* A shared qubit with the same Pauli basis lets an entire ladder leg
+   cancel; a shared qubit with a different basis still shares the CNOT
+   but pays basis-change 1Q gates. *)
+let boundary_score p q =
+  let n = Pauli_string.num_qubits p in
+  let score = ref 0.0 in
+  for i = 0 to n - 1 do
+    match Pauli_string.get p i, Pauli_string.get q i with
+    | Pauli.I, _ | _, Pauli.I -> ()
+    | a, b when Pauli.equal a b -> score := !score +. 1.0
+    | _, _ -> score := !score +. 0.3
+  done;
+  !score
+
+let sorted_terms (g : Group.t) =
+  List.sort (fun (p, _) (q, _) -> Pauli_string.compare p q) g.Group.terms
+
+let last_term g =
+  match List.rev (sorted_terms g) with
+  | (p, _) :: _ -> p
+  | [] -> assert false
+
+let first_term g =
+  match sorted_terms g with
+  | (p, _) :: _ -> p
+  | [] -> assert false
+
+let order_blocks blocks =
+  match blocks with
+  | [] | [ _ ] -> blocks
+  | first :: rest ->
+    let rec chain acc last pool =
+      match pool with
+      | [] -> List.rev acc
+      | _ ->
+        let score cand = boundary_score (last_term last) (first_term cand) in
+        let best =
+          List.fold_left
+            (fun best cand ->
+              match best with
+              | Some b when score b >= score cand -> best
+              | Some _ | None -> Some cand)
+            None pool
+        in
+        let chosen = match best with Some b -> b | None -> assert false in
+        chain (chosen :: acc) chosen (List.filter (fun b -> b != chosen) pool)
+    in
+    chain [ first ] first rest
+
+let compile_groups ?(peephole = true) n groups =
+  let ordered = order_blocks groups in
+  let circuit =
+    Circuit.concat_list n
+      (List.map
+         (fun g -> Synthesis.naive_gadget_circuit ~chain:`Z_first n (sorted_terms g))
+         ordered)
+  in
+  if peephole then Peephole.optimize circuit else circuit
+
+let compile ?peephole n gadgets =
+  compile_groups ?peephole n (Group.group_gadgets n gadgets)
+
+let compile_blocks ?peephole n blocks =
+  compile_groups ?peephole n (Group.of_blocks n blocks)

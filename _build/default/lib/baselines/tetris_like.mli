@@ -1,0 +1,27 @@
+(** Simplified reimplementation of Tetris (Jin et al., ISCA 2024).
+
+    Tetris keeps Paulihedral's block structure but orders blocks to
+    maximize immediate gate cancellation at block boundaries — matching
+    Pauli bases on shared qubits — because its main lever is CNOT/SWAP
+    co-optimization during routing.  This reimplementation scores
+    boundary compatibility between the last gadget of the previous block
+    and the first gadget of the candidate, and hands routing to the
+    shared SABRE router. *)
+
+val compile :
+  ?peephole:bool ->
+  int ->
+  (Phoenix_pauli.Pauli_string.t * float) list ->
+  Phoenix_circuit.Circuit.t
+
+val boundary_score :
+  Phoenix_pauli.Pauli_string.t -> Phoenix_pauli.Pauli_string.t -> float
+(** Cancellation-compatibility estimate between two adjacent gadgets. *)
+
+val compile_blocks :
+  ?peephole:bool ->
+  int ->
+  (Phoenix_pauli.Pauli_string.t * float) list list ->
+  Phoenix_circuit.Circuit.t
+(** Compile with algorithm-level blocks (one per Trotter term, as the
+    real Tetris frontend consumes) instead of support-derived groups. *)

@@ -1,0 +1,34 @@
+module Pauli_string = Phoenix_pauli.Pauli_string
+module Gate = Phoenix_circuit.Gate
+module Circuit = Phoenix_circuit.Circuit
+module Peephole = Phoenix_circuit.Peephole
+
+(* Phase ladder for one Z-only string. *)
+let ladder_gates (p, theta) =
+  match Pauli_string.support_list p with
+  | [] -> []
+  | support ->
+    let rec chain = function
+      | a :: (b :: _ as rest) -> Gate.Cnot (a, b) :: chain rest
+      | [ _ ] | [] -> []
+    in
+    let target = List.nth support (List.length support - 1) in
+    let up = chain support in
+    up @ [ Gate.G1 (Gate.Rz theta, target) ] @ List.rev up
+
+let synth_commuting_set n set =
+  let d = Phoenix_circuit.Diagonalize.run n set in
+  (* Sorting the diagonal rotations lexicographically maximizes shared
+     ladder prefixes, which the peephole collapses. *)
+  let sorted =
+    List.sort
+      (fun (p, _) (q, _) -> Pauli_string.compare p q)
+      d.Phoenix_circuit.Diagonalize.diagonal
+  in
+  let undo = List.rev_map Gate.dagger d.Phoenix_circuit.Diagonalize.clifford in
+  d.Phoenix_circuit.Diagonalize.clifford @ List.concat_map ladder_gates sorted @ undo
+
+let compile ?(peephole = true) n gadgets =
+  let sets = Phoenix_circuit.Diagonalize.partition_commuting gadgets in
+  let circuit = Circuit.create n (List.concat_map (synth_commuting_set n) sets) in
+  if peephole then Peephole.optimize circuit else circuit

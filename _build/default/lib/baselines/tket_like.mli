@@ -1,0 +1,16 @@
+(** Simplified reimplementation of TKET's PauliSimp +
+    FullPeepholeOptimise pipeline (Cowtan et al., "Phase Gadget Synthesis
+    for Shallow Circuits").
+
+    The gadget program is partitioned into pairwise-commuting sets; each
+    set is simultaneously diagonalized by a Clifford conjugation and its
+    diagonal part synthesized as phase ladders (sorted to expose ladder
+    sharing); the peephole pass then plays the role of
+    FullPeepholeOptimise. *)
+
+val compile :
+  ?peephole:bool ->
+  int ->
+  (Phoenix_pauli.Pauli_string.t * float) list ->
+  Phoenix_circuit.Circuit.t
+(** Logical-level compilation to the {H, S, S†, Rz, CNOT} basis. *)

@@ -1,0 +1,1 @@
+lib/circuit/diagonalize.ml: Gate List Phoenix_pauli

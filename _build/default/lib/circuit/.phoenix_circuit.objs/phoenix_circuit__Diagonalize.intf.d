@@ -1,0 +1,1 @@
+lib/circuit/diagonalize.mli: Gate Phoenix_pauli

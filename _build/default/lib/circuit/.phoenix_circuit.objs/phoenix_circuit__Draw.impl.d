@@ -1,0 +1,1 @@
+lib/circuit/draw.ml: Array Buffer Char Circuit Format Gate Hashtbl List Phoenix_pauli Printf String

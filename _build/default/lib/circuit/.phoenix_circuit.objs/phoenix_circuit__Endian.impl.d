@@ -1,0 +1,1 @@
+lib/circuit/endian.ml: Array Circuit Gate List

@@ -1,0 +1,1 @@
+lib/circuit/endian.mli: Circuit

@@ -1,0 +1,1 @@
+lib/circuit/interaction.ml: Array Circuit Float Gate List Queue

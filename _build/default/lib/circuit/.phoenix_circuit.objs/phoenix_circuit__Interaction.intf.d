@@ -1,0 +1,1 @@
+lib/circuit/interaction.mli: Circuit Gate

@@ -1,0 +1,1 @@
+lib/circuit/noise.ml: Circuit List

@@ -1,0 +1,1 @@
+lib/circuit/peephole.ml: Array Circuit Float Gate List Phoenix_pauli

@@ -1,0 +1,1 @@
+lib/circuit/peephole.mli: Circuit

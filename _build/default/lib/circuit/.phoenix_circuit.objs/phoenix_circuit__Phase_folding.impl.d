@@ -1,0 +1,1 @@
+lib/circuit/phase_folding.ml: Array Circuit Float Gate Hashtbl List Peephole Printf String

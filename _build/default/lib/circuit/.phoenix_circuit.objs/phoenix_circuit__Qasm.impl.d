@@ -1,0 +1,1 @@
+lib/circuit/qasm.ml: Buffer Circuit Float Gate List Printf Rebase String

@@ -1,0 +1,1 @@
+lib/circuit/rebase.ml: Array Circuit Gate List Phoenix_pauli

@@ -1,0 +1,1 @@
+lib/circuit/stabilizer.ml: Array Circuit Float Gate List Phoenix_pauli Phoenix_util Printf

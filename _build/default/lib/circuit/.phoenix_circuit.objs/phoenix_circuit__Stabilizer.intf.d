@@ -1,0 +1,1 @@
+lib/circuit/stabilizer.mli: Circuit Gate Phoenix_pauli

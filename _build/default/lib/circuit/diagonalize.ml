@@ -1,0 +1,89 @@
+module Bsf = Phoenix_pauli.Bsf
+module Pauli = Phoenix_pauli.Pauli
+module Pauli_string = Phoenix_pauli.Pauli_string
+(* Gate is a sibling module in this library *)
+
+type result = {
+  clifford : Gate.t list;
+  diagonal : (Pauli_string.t * float) list;
+}
+
+(* Invariants making the reduction sound (proofs by the commutation of
+   the set, which Clifford conjugation preserves):
+   - once a row is a single-qubit Z, no later operation touches it;
+   - when H lands on the pivot, the current row is a single-qubit X, so
+     every other row has I or X there (z-bit clear) and survives. *)
+let run n gadgets =
+  List.iteri
+    (fun i (p, _) ->
+      List.iteri
+        (fun j (q, _) ->
+          if j > i && not (Pauli_string.commutes p q) then
+            invalid_arg "Diagonalize.run: inputs do not commute")
+        gadgets)
+    gadgets;
+  let bsf = Bsf.of_terms n gadgets in
+  let ops = ref [] in
+  let apply g =
+    ops := g :: !ops;
+    match g with
+    | Gate.G1 (Gate.Sdg, q) -> Bsf.apply_sdg bsf q
+    | Gate.G1 (Gate.H, q) -> Bsf.apply_h bsf q
+    | Gate.Cnot (a, b) -> Bsf.apply_cnot bsf a b
+    | _ -> assert false
+  in
+  let x_support i =
+    let p = Bsf.row_pauli bsf i in
+    List.filter
+      (fun q ->
+        match Pauli_string.get p q with
+        | Pauli.X | Pauli.Y -> true
+        | Pauli.I | Pauli.Z -> false)
+      (Pauli_string.support_list p)
+  in
+  let z_support i =
+    let p = Bsf.row_pauli bsf i in
+    List.filter
+      (fun q ->
+        match Pauli_string.get p q with
+        | Pauli.Z | Pauli.Y -> true
+        | Pauli.I | Pauli.X -> false)
+      (Pauli_string.support_list p)
+  in
+  let n_rows = Bsf.num_rows bsf in
+  for i = 0 to n_rows - 1 do
+    match x_support i with
+    | [] -> () (* already diagonal; stays diagonal *)
+    | pivot :: _ as xs ->
+      (* Make every X-carrying qubit a pure X. *)
+      List.iter
+        (fun r -> if List.mem r (z_support i) then apply (Gate.G1 (Gate.Sdg, r)))
+        xs;
+      (* Fold all X's onto the pivot. *)
+      List.iter (fun r -> if r <> pivot then apply (Gate.Cnot (pivot, r))) xs;
+      (* Clear residual Z's: give the pivot a Z (making it Y), then use
+         CNOTs into the pivot. *)
+      let zs = List.filter (fun r -> r <> pivot) (z_support i) in
+      if zs <> [] then begin
+        if not (List.mem pivot (z_support i)) then
+          apply (Gate.G1 (Gate.Sdg, pivot));
+        List.iter (fun r -> apply (Gate.Cnot (r, pivot))) zs
+      end;
+      (* Pivot back to pure X, then rotate into Z. *)
+      if List.mem pivot (z_support i) then apply (Gate.G1 (Gate.Sdg, pivot));
+      apply (Gate.G1 (Gate.H, pivot))
+  done;
+  { clifford = List.rev !ops; diagonal = Bsf.to_terms bsf }
+
+let partition_commuting gadgets =
+  let sets : (Pauli_string.t * float) list ref list ref = ref [] in
+  List.iter
+    (fun ((p, _) as gadget) ->
+      let fits cell =
+        List.for_all (fun (q, _) -> Pauli_string.commutes p q) !cell
+      in
+      match List.find_opt fits !sets with
+      | Some cell -> cell := gadget :: !cell
+      | None -> sets := !sets @ [ ref [ gadget ] ])
+    gadgets;
+  List.map (fun cell -> List.rev !cell) !sets

@@ -1,0 +1,31 @@
+(** Simultaneous diagonalization of pairwise-commuting Pauli sets.
+
+    A commuting set is conjugated by a Clifford circuit into Z-only
+    strings, which synthesize as plain phase ladders.  The procedure
+    reduces one row at a time to a single-qubit [Z]; commutation
+    guarantees every other row is transparent at the pivot when the
+    [H] lands, so finished rows are never disturbed (see the inline
+    invariants).  This is the algorithmic core of TKET-style Pauli
+    gadget ("PauliSimp") synthesis. *)
+
+module Pauli_string := Phoenix_pauli.Pauli_string
+
+type result = {
+  clifford : Gate.t list;
+      (** time-ordered conjugation circuit [C] *)
+  diagonal : (Pauli_string.t * float) list;
+      (** Z-only rotations [D] with signs folded into angles *)
+}
+(** Semantics: the input gadget product equals [C† · D · C] — as a
+    circuit, [C] then [D]'s gadgets then [C] reversed-daggered. *)
+
+val run :
+  int -> (Pauli_string.t * float) list -> result
+(** Diagonalize a commuting gadget list over [n] qubits.
+    Raises [Invalid_argument] if two inputs anticommute. *)
+
+val partition_commuting :
+  (Pauli_string.t * float) list ->
+  (Pauli_string.t * float) list list
+(** Greedy first-fit partition of a gadget program into
+    pairwise-commuting sets, preserving first-occurrence order of sets. *)

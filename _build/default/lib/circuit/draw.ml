@@ -1,0 +1,127 @@
+let one_q_label = function
+  | Gate.H -> "H"
+  | Gate.S -> "S"
+  | Gate.Sdg -> "S†"
+  | Gate.X -> "X"
+  | Gate.Y -> "Y"
+  | Gate.Z -> "Z"
+  | Gate.T -> "T"
+  | Gate.Tdg -> "T†"
+  | Gate.Rx t -> Printf.sprintf "Rx(%.2g)" t
+  | Gate.Ry t -> Printf.sprintf "Ry(%.2g)" t
+  | Gate.Rz t -> Printf.sprintf "Rz(%.2g)" t
+
+(* labels for the two endpoints of a 2Q gate *)
+let two_q_labels = function
+  | Gate.Cnot _ -> "●", "⊕"
+  | Gate.Swap _ -> "✕", "✕"
+  | Gate.Cliff2 { Phoenix_pauli.Clifford2q.kind; _ } ->
+    let s0, s1 = Phoenix_pauli.Clifford2q.kind_sigmas kind in
+    ( Printf.sprintf "C%c" (Phoenix_pauli.Pauli.to_char s0),
+      Printf.sprintf "%c" (Phoenix_pauli.Pauli.to_char s1) )
+  | Gate.Rpp { p0; p1; theta; _ } ->
+    ( Printf.sprintf "%c(%.2g)" (Phoenix_pauli.Pauli.to_char p0) theta,
+      Printf.sprintf "%c" (Phoenix_pauli.Pauli.to_char p1) )
+  | Gate.Su4 _ -> "SU4", "SU4"
+  | Gate.G1 _ -> assert false
+
+(* display width in characters: count unicode scalar values, treating the
+   multi-byte glyphs used above as width 1 *)
+let display_width s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then acc
+    else begin
+      let c = Char.code s.[i] in
+      let step =
+        if c < 0x80 then 1
+        else if c < 0xE0 then 2
+        else if c < 0xF0 then 3
+        else 4
+      in
+      go (i + step) (acc + 1)
+    end
+  in
+  go 0 0
+
+(* ASAP layering over all gates *)
+let layers circuit =
+  let n = Circuit.num_qubits circuit in
+  let busy = Array.make n 0 in
+  let table : (int, Gate.t list ref) Hashtbl.t = Hashtbl.create 16 in
+  let max_layer = ref 0 in
+  List.iter
+    (fun g ->
+      let qs = Gate.qubits g in
+      let layer = 1 + List.fold_left (fun acc q -> max acc busy.(q)) 0 qs in
+      List.iter (fun q -> busy.(q) <- layer) qs;
+      if layer > !max_layer then max_layer := layer;
+      match Hashtbl.find_opt table layer with
+      | Some cell -> cell := g :: !cell
+      | None -> Hashtbl.add table layer (ref [ g ]))
+    (Circuit.gates circuit);
+  List.init !max_layer (fun i ->
+      match Hashtbl.find_opt table (i + 1) with
+      | Some cell -> List.rev !cell
+      | None -> [])
+
+let to_string circuit =
+  let n = Circuit.num_qubits circuit in
+  let cols = layers circuit in
+  (* per column: cell text per qubit row, plus connector flags per gap *)
+  let render_column gates =
+    let cells = Array.make n "" in
+    let connect = Array.make (max 0 (n - 1)) false in
+    List.iter
+      (fun g ->
+        match g, Gate.qubits g with
+        | Gate.G1 (k, q), _ -> cells.(q) <- one_q_label k
+        | _, [ a; b ] ->
+          let la, lb = two_q_labels g in
+          cells.(a) <- la;
+          cells.(b) <- lb;
+          for gap = min a b to max a b - 1 do
+            connect.(gap) <- true
+          done
+        | _, _ -> assert false)
+      gates;
+    cells, connect
+  in
+  let rendered = List.map render_column cols in
+  let widths =
+    List.map
+      (fun (cells, _) ->
+        Array.fold_left (fun acc s -> max acc (display_width s)) 1 cells + 2)
+      rendered
+  in
+  let buf = Buffer.create 1024 in
+  let prefix q = Printf.sprintf "q%-2d: " q in
+  for q = 0 to n - 1 do
+    Buffer.add_string buf (prefix q);
+    List.iter2
+      (fun (cells, _) width ->
+        let s = cells.(q) in
+        let w = display_width s in
+        let left = (width - w) / 2 in
+        let right = width - w - left in
+        Buffer.add_string buf (String.concat "" (List.init left (fun _ -> "─")));
+        Buffer.add_string buf (if s = "" then String.concat "" (List.init w (fun _ -> "─")) else s);
+        Buffer.add_string buf (String.concat "" (List.init right (fun _ -> "─"))))
+      rendered widths;
+    Buffer.add_char buf '\n';
+    if q < n - 1 then begin
+      Buffer.add_string buf (String.make (String.length (prefix q)) ' ');
+      List.iter2
+        (fun (_, connect) width ->
+          let left = (width - 1) / 2 in
+          let right = width - 1 - left in
+          Buffer.add_string buf (String.make left ' ');
+          Buffer.add_string buf (if connect.(q) then "│" else " ");
+          Buffer.add_string buf (String.make right ' '))
+        rendered widths;
+      Buffer.add_char buf '\n'
+    end
+  done;
+  Buffer.contents buf
+
+let pp fmt circuit = Format.pp_print_string fmt (to_string circuit)

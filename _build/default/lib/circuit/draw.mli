@@ -1,0 +1,17 @@
+(** ASCII circuit diagrams.
+
+    One row per qubit, one column per ASAP layer; two-qubit gates draw a
+    vertical connector across the rows between their endpoints.  Meant
+    for terminals and documentation, e.g.:
+
+    {v
+    q0: ─H──●────────
+            │
+    q1: ────X──●─────
+               │
+    q2: ───────X──Rz─
+    v} *)
+
+val to_string : Circuit.t -> string
+
+val pp : Format.formatter -> Circuit.t -> unit

@@ -1,0 +1,33 @@
+let endian_of_layers n layers =
+  let total = List.length layers in
+  let e = Array.make n total in
+  List.iteri
+    (fun li layer ->
+      let mark q = if e.(q) = total then e.(q) <- li in
+      List.iter (fun g -> List.iter mark (Gate.qubits g)) layer)
+    layers;
+  e
+
+let left c = endian_of_layers (Circuit.num_qubits c) (Circuit.layers_2q c)
+
+let right c =
+  endian_of_layers (Circuit.num_qubits c) (List.rev (Circuit.layers_2q c))
+
+let num_layers c = List.length (Circuit.layers_2q c)
+
+(* Scenario I of Fig. 3(b): every qubit immediately available on the
+   succeeding side (e_l' = 0) is blocked on the preceding side (e_r > 0)
+   and vice versa, so the interface layers cannot interleave.  Otherwise
+   at least one layer is shared (Scenario II) and the elementwise sum is
+   discounted by one per qubit, NumPy-style: SUM(e_r + e_l' - 1). *)
+let depth_cost ~e_r ~e_l' =
+  if Array.length e_r <> Array.length e_l' then
+    invalid_arg "Endian.depth_cost: size mismatch";
+  let n = Array.length e_r in
+  let blocked = ref true in
+  let sum = ref 0 in
+  for i = 0 to n - 1 do
+    if e_l'.(i) = 0 && e_r.(i) = 0 then blocked := false;
+    sum := !sum + e_r.(i) + e_l'.(i)
+  done;
+  if !blocked then !sum else !sum - n

@@ -1,0 +1,19 @@
+(** Endian vectors of subcircuits (§IV-C.1 of the paper, Fig. 3).
+
+    For a subcircuit layered into 2Q layers, the left endian vector entry
+    [e_l.(i)] is the number of layers one must traverse from the left
+    before qubit [i] is acted upon; [e_r] is the mirror from the right.  A
+    qubit the subcircuit never touches traverses every layer. *)
+
+val left : Circuit.t -> int array
+val right : Circuit.t -> int array
+
+val num_layers : Circuit.t -> int
+(** Number of 2Q layers. *)
+
+val depth_cost : e_r:int array -> e_l':int array -> int
+(** The assembling depth overhead [cost_depth] between a preceding
+    subcircuit with right endian [e_r] and a succeeding one with left
+    endian [e_l']: [SUM (e_r + e_l')] when the interface is fully blocked
+    (every qubit free on one side is busy on the other), otherwise the
+    elementwise-discounted [SUM (e_r + e_l' - 1)]. *)

@@ -1,0 +1,122 @@
+module Pauli = Phoenix_pauli.Pauli
+module Clifford2q = Phoenix_pauli.Clifford2q
+
+type one_q =
+  | H
+  | S
+  | Sdg
+  | X
+  | Y
+  | Z
+  | T
+  | Tdg
+  | Rx of float
+  | Ry of float
+  | Rz of float
+
+type t =
+  | G1 of one_q * int
+  | Cnot of int * int
+  | Cliff2 of Clifford2q.t
+  | Rpp of { p0 : Pauli.t; p1 : Pauli.t; a : int; b : int; theta : float }
+  | Swap of int * int
+  | Su4 of { a : int; b : int; parts : t list }
+
+let qubits = function
+  | G1 (_, q) -> [ q ]
+  | Cnot (a, b) | Swap (a, b) -> [ a; b ]
+  | Cliff2 { Clifford2q.a; b; _ } -> [ a; b ]
+  | Rpp { a; b; _ } -> [ a; b ]
+  | Su4 { a; b; _ } -> [ a; b ]
+
+let is_two_qubit = function
+  | G1 _ -> false
+  | Cnot _ | Cliff2 _ | Rpp _ | Swap _ | Su4 _ -> true
+
+let pair g =
+  match qubits g with
+  | [ a; b ] -> Some (min a b, max a b)
+  | [ _ ] -> None
+  | _ -> assert false
+
+let dagger_one_q = function
+  | H -> H
+  | S -> Sdg
+  | Sdg -> S
+  | X -> X
+  | Y -> Y
+  | Z -> Z
+  | T -> Tdg
+  | Tdg -> T
+  | Rx t -> Rx (-.t)
+  | Ry t -> Ry (-.t)
+  | Rz t -> Rz (-.t)
+
+let rec dagger = function
+  | G1 (g, q) -> G1 (dagger_one_q g, q)
+  | Cnot _ as g -> g
+  | Cliff2 _ as g -> g (* the six generators are Hermitian *)
+  | Rpp r -> Rpp { r with theta = -.r.theta }
+  | Swap _ as g -> g
+  | Su4 { a; b; parts } ->
+    Su4 { a; b; parts = List.rev_map dagger parts }
+
+let rotation_of_pauli p q theta =
+  match p with
+  | Pauli.X -> G1 (Rx theta, q)
+  | Pauli.Y -> G1 (Ry theta, q)
+  | Pauli.Z -> G1 (Rz theta, q)
+  | Pauli.I -> invalid_arg "Gate.rotation_of_pauli: identity"
+
+let of_clifford_basis = function
+  | Clifford2q.H q -> G1 (H, q)
+  | Clifford2q.S q -> G1 (S, q)
+  | Clifford2q.Sdg q -> G1 (Sdg, q)
+  | Clifford2q.Cnot (a, b) -> Cnot (a, b)
+
+let one_q_equal a b =
+  match a, b with
+  | Rx t, Rx u | Ry t, Ry u | Rz t, Rz u -> Float.equal t u
+  | H, H | S, S | Sdg, Sdg | X, X | Y, Y | Z, Z | T, T | Tdg, Tdg -> true
+  | ( (H | S | Sdg | X | Y | Z | T | Tdg | Rx _ | Ry _ | Rz _),
+      (H | S | Sdg | X | Y | Z | T | Tdg | Rx _ | Ry _ | Rz _) ) ->
+    false
+
+let rec equal g h =
+  match g, h with
+  | G1 (a, q), G1 (b, r) -> q = r && one_q_equal a b
+  | Cnot (a, b), Cnot (c, d) | Swap (a, b), Swap (c, d) -> a = c && b = d
+  | Cliff2 a, Cliff2 b -> Clifford2q.equal_gate a b
+  | Rpp a, Rpp b ->
+    a.p0 = b.p0 && a.p1 = b.p1 && a.a = b.a && a.b = b.b
+    && Float.equal a.theta b.theta
+  | Su4 a, Su4 b ->
+    a.a = b.a && a.b = b.b
+    && List.length a.parts = List.length b.parts
+    && List.for_all2 equal a.parts b.parts
+  | (G1 _ | Cnot _ | Cliff2 _ | Rpp _ | Swap _ | Su4 _), _ -> false
+
+let one_q_to_string = function
+  | H -> "H"
+  | S -> "S"
+  | Sdg -> "Sdg"
+  | X -> "X"
+  | Y -> "Y"
+  | Z -> "Z"
+  | T -> "T"
+  | Tdg -> "Tdg"
+  | Rx t -> Printf.sprintf "Rx(%g)" t
+  | Ry t -> Printf.sprintf "Ry(%g)" t
+  | Rz t -> Printf.sprintf "Rz(%g)" t
+
+let to_string = function
+  | G1 (g, q) -> Printf.sprintf "%s q%d" (one_q_to_string g) q
+  | Cnot (a, b) -> Printf.sprintf "CNOT q%d,q%d" a b
+  | Cliff2 c -> Format.asprintf "%a" Clifford2q.pp c
+  | Rpp { p0; p1; a; b; theta } ->
+    Printf.sprintf "R%c%c(%g) q%d,q%d" (Pauli.to_char p0) (Pauli.to_char p1)
+      theta a b
+  | Swap (a, b) -> Printf.sprintf "SWAP q%d,q%d" a b
+  | Su4 { a; b; parts } -> Printf.sprintf "SU4[%d] q%d,q%d" (List.length parts) a b
+
+let pp fmt g = Format.pp_print_string fmt (to_string g)

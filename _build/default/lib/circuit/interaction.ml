@@ -1,0 +1,87 @@
+let adjacency n gates =
+  let adj = Array.make_matrix n n false in
+  let add g =
+    match Gate.pair g with
+    | Some (a, b) ->
+      adj.(a).(b) <- true;
+      adj.(b).(a) <- true
+    | None -> ()
+  in
+  List.iter add gates;
+  adj
+
+let distance_matrix adj =
+  let n = Array.length adj in
+  let dist = Array.make_matrix n n n in
+  let queue = Queue.create () in
+  for src = 0 to n - 1 do
+    dist.(src).(src) <- 0;
+    Queue.clear queue;
+    Queue.add src queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      for v = 0 to n - 1 do
+        if adj.(u).(v) && dist.(src).(v) = n && v <> src then begin
+          dist.(src).(v) <- dist.(src).(u) + 1;
+          Queue.add v queue
+        end
+      done
+    done
+  done;
+  dist
+
+let two_qubit_gates c = List.filter Gate.is_two_qubit (Circuit.gates c)
+
+let used_by_2q c =
+  let n = Circuit.num_qubits c in
+  let used = Array.make n false in
+  List.iter
+    (fun g -> List.iter (fun q -> used.(q) <- true) (Gate.qubits g))
+    (two_qubit_gates c);
+  used
+
+(* Accumulate gates until every 2Q-used qubit has appeared. *)
+let covering_prefix c gates =
+  let needed = used_by_2q c in
+  let remaining = ref (Array.fold_left (fun a u -> if u then a + 1 else a) 0 needed) in
+  let rec take acc = function
+    | [] -> List.rev acc
+    | g :: rest ->
+      if !remaining = 0 then List.rev acc
+      else begin
+        List.iter
+          (fun q ->
+            if needed.(q) then begin
+              needed.(q) <- false;
+              decr remaining
+            end)
+          (Gate.qubits g);
+        take (g :: acc) rest
+      end
+  in
+  take [] gates
+
+let head_part c = covering_prefix c (two_qubit_gates c)
+let tail_part c = covering_prefix c (List.rev (two_qubit_gates c))
+
+let row_dot a b =
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. (float_of_int x *. float_of_int b.(i))) a;
+  !acc
+
+let row_norm a = sqrt (row_dot a a)
+
+let min_similarity = 0.05
+
+let similarity ~pre ~suc =
+  let n = Circuit.num_qubits pre in
+  if Circuit.num_qubits suc <> n then
+    invalid_arg "Interaction.similarity: qubit-count mismatch";
+  let d = distance_matrix (adjacency n (tail_part pre)) in
+  let d' = distance_matrix (adjacency n (head_part suc)) in
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    let ni = row_norm d.(i) and ni' = row_norm d'.(i) in
+    if ni > 0.0 && ni' > 0.0 then s := !s +. (row_dot d.(i) d'.(i) /. (ni *. ni'))
+  done;
+  Float.max !s min_similarity

@@ -1,0 +1,18 @@
+type model = { e1 : float; e2 : float; t_gate_over_t2 : float }
+
+let ibm_like = { e1 = 3e-4; e2 = 8e-3; t_gate_over_t2 = 1.0 /. 3000.0 }
+let ion_trap_like = { e1 = 1e-5; e2 = 2e-3; t_gate_over_t2 = 1.0 /. 20000.0 }
+
+let success_probability ?(model = ibm_like) circuit =
+  let n1 = Circuit.count_1q circuit in
+  let n2 = Circuit.count_cnot circuit in
+  let depth2 = Circuit.depth_2q circuit in
+  let active = List.length (Circuit.used_qubits circuit) in
+  ((1.0 -. model.e1) ** float_of_int n1)
+  *. ((1.0 -. model.e2) ** float_of_int n2)
+  *. exp
+       (-.model.t_gate_over_t2
+       *. float_of_int depth2
+       *. float_of_int active)
+
+let log_infidelity ?model circuit = -.log (success_probability ?model circuit)

@@ -1,0 +1,32 @@
+(** First-order noise accounting.
+
+    The NISQ premise behind the paper's metrics: every gate succeeds
+    independently with probability [1 − ε], so a circuit's success
+    probability is the product over its gates — which is exactly why
+    2Q-gate count is the headline metric (2Q errors dominate by an order
+    of magnitude) and why decoherence makes 2Q depth the second one.
+    This model turns compiled-circuit metrics into estimated fidelities
+    for compiler comparisons. *)
+
+type model = {
+  e1 : float;  (** 1Q gate error rate *)
+  e2 : float;  (** 2Q (CNOT-equivalent) gate error rate *)
+  t_gate_over_t2 : float;
+      (** 2Q gate duration as a fraction of the coherence time; idle
+          decoherence is charged per 2Q layer per active qubit *)
+}
+
+val ibm_like : model
+(** [e1 = 3e-4], [e2 = 8e-3], gate/T2 ≈ 1/3000 — a contemporary
+    superconducting-device ballpark. *)
+
+val ion_trap_like : model
+(** [e1 = 1e-5], [e2 = 2e-3], slower gates relative to coherence. *)
+
+val success_probability : ?model:model -> Circuit.t -> float
+(** [Π (1−e1)^{#1Q} · (1−e2)^{#CNOT-equivalent} · exp(−depth2Q·active·t/T2)].
+    [Su4] blocks are charged by their CNOT-equivalent content. *)
+
+val log_infidelity : ?model:model -> Circuit.t -> float
+(** [−log(success_probability)] — additive, so compiler deltas read off
+    directly. *)

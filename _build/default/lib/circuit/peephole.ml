@@ -1,0 +1,224 @@
+module Pauli = Phoenix_pauli.Pauli
+module Clifford2q = Phoenix_pauli.Clifford2q
+
+let two_pi = 4.0 *. Float.atan 1.0 *. 2.0
+let four_pi = 2.0 *. two_pi
+let eps = 1e-10
+
+let normalize_angle t =
+  let r = Float.rem t four_pi in
+  let r = if r > two_pi then r -. four_pi else r in
+  if r <= -.two_pi then r +. four_pi else r
+
+let is_zero_angle t = Float.abs (normalize_angle t) < eps
+
+(* Axis decomposition of 1Q gates that are Pauli rotations up to global
+   phase: S = e^{iπ/4}·Rz(π/2), Z = i·Rz(π), X = i·Rx(π), … *)
+let as_rotation : Gate.one_q -> (Pauli.t * float) option = function
+  | Gate.Rz t -> Some (Pauli.Z, t)
+  | Gate.Rx t -> Some (Pauli.X, t)
+  | Gate.Ry t -> Some (Pauli.Y, t)
+  | Gate.S -> Some (Pauli.Z, two_pi /. 4.0)
+  | Gate.Sdg -> Some (Pauli.Z, -.two_pi /. 4.0)
+  | Gate.Z -> Some (Pauli.Z, two_pi /. 2.0)
+  | Gate.T -> Some (Pauli.Z, two_pi /. 8.0)
+  | Gate.Tdg -> Some (Pauli.Z, -.two_pi /. 8.0)
+  | Gate.X -> Some (Pauli.X, two_pi /. 2.0)
+  | Gate.Y -> Some (Pauli.Y, two_pi /. 2.0)
+  | Gate.H -> None
+
+(* The Pauli axis a gate exposes on qubit [q], used for commutation tests:
+   a CNOT commutes with Z-axis gates on its control and X-axis gates on
+   its target. *)
+let axis_on_qubit g q =
+  match g with
+  | Gate.G1 (k, q') when q' = q ->
+    (match as_rotation k with Some (p, _) -> Some p | None -> None)
+  | Gate.Cnot (a, b) ->
+    if q = a then Some Pauli.Z else if q = b then Some Pauli.X else None
+  | Gate.Cliff2 { Clifford2q.kind; a; b } ->
+    let s0, s1 = Clifford2q.kind_sigmas kind in
+    if q = a then Some s0 else if q = b then Some s1 else None
+  | Gate.Rpp { p0; p1; a; b; _ } ->
+    if q = a then Some p0 else if q = b then Some p1 else None
+  | Gate.G1 _ | Gate.Swap _ | Gate.Su4 _ -> None
+
+let commutes_on g q axis =
+  match axis_on_qubit g q with
+  | Some p -> Pauli.equal p axis
+  | None -> false
+
+type state = {
+  out : Gate.t option array;
+  (* hist.(q): indices of emitted gates touching q, most recent first;
+     deleted entries are skipped lazily. *)
+  hist : int list array;
+  mutable next : int;
+  mutable changed : bool;
+}
+
+let emit st g =
+  let i = st.next in
+  st.out.(i) <- Some g;
+  st.next <- i + 1;
+  List.iter (fun q -> st.hist.(q) <- i :: st.hist.(q)) (Gate.qubits g)
+
+let live st i = st.out.(i) <> None
+
+let delete st i =
+  st.out.(i) <- None;
+  st.changed <- true
+
+(* Scan qubit [q]'s history (most recent first): skip deleted gates and
+   gates satisfying [commute]; return the first blocking live gate. *)
+let rec scan_back st q ~commute = function
+  | [] -> None
+  | i :: rest ->
+    if not (live st i) then scan_back st q ~commute rest
+    else begin
+      match st.out.(i) with
+      | None -> assert false
+      | Some g ->
+        if commute g then scan_back st q ~commute rest else Some (i, g)
+    end
+
+let last_live st q =
+  scan_back st q ~commute:(fun _ -> false) st.hist.(q)
+
+let try_merge_rotation st q p theta =
+  (* 1Q gates on [q] are potential merge targets, so they always stop the
+     scan; other gates are skipped when they commute with the rotation. *)
+  let commute g =
+    match g with
+    | Gate.G1 (_, q') when q' = q -> false
+    | Gate.G1 _ | Gate.Cnot _ | Gate.Cliff2 _ | Gate.Rpp _ | Gate.Swap _
+    | Gate.Su4 _ ->
+      commutes_on g q p
+  in
+  match scan_back st q ~commute st.hist.(q) with
+  | Some (i, Gate.G1 (k, q')) when q' = q ->
+    (match as_rotation k with
+    | Some (p', t') when Pauli.equal p' p ->
+      let merged = normalize_angle (theta +. t') in
+      delete st i;
+      if not (is_zero_angle merged) then
+        emit st (Gate.rotation_of_pauli p q merged);
+      true
+    | Some _ | None -> false)
+  | Some _ | None -> false
+
+let try_cancel_h st q =
+  match last_live st q with
+  | Some (i, Gate.G1 (Gate.H, q')) when q' = q ->
+    delete st i;
+    true
+  | Some _ | None -> false
+
+let try_cancel_cnot st a b =
+  let target = Gate.Cnot (a, b) in
+  let commute_a g = (not (Gate.equal g target)) && commutes_on g a Pauli.Z in
+  let commute_b g = (not (Gate.equal g target)) && commutes_on g b Pauli.X in
+  match scan_back st a ~commute:commute_a st.hist.(a) with
+  | Some (i, g) when Gate.equal g target ->
+    (match scan_back st b ~commute:commute_b st.hist.(b) with
+    | Some (j, _) when j = i ->
+      delete st i;
+      true
+    | Some _ | None -> false)
+  | Some _ | None -> false
+
+let both_last_equal st a b pred =
+  match last_live st a, last_live st b with
+  | Some (i, g), Some (j, _) when i = j && pred g -> Some i
+  | _, _ -> None
+
+let try_cancel_cliff2 st c =
+  let pred = function
+    | Gate.Cliff2 c' -> Clifford2q.equal_gate c c'
+    | Gate.G1 _ | Gate.Cnot _ | Gate.Rpp _ | Gate.Swap _ | Gate.Su4 _ -> false
+  in
+  match both_last_equal st c.Clifford2q.a c.Clifford2q.b pred with
+  | Some i ->
+    delete st i;
+    true
+  | None -> false
+
+let try_cancel_swap st a b =
+  let pred = function
+    | Gate.Swap (x, y) -> (x = a && y = b) || (x = b && y = a)
+    | Gate.G1 _ | Gate.Cnot _ | Gate.Cliff2 _ | Gate.Rpp _ | Gate.Su4 _ ->
+      false
+  in
+  match both_last_equal st a b pred with
+  | Some i ->
+    delete st i;
+    true
+  | None -> false
+
+let try_merge_rpp st (r : Gate.t) =
+  match r with
+  | Gate.Rpp { p0; p1; a; b; theta } ->
+    let pred = function
+      | Gate.Rpp r' -> r'.p0 = p0 && r'.p1 = p1 && r'.a = a && r'.b = b
+      | Gate.G1 _ | Gate.Cnot _ | Gate.Cliff2 _ | Gate.Swap _ | Gate.Su4 _
+        ->
+        false
+    in
+    (match both_last_equal st a b pred with
+    | Some i ->
+      (match st.out.(i) with
+      | Some (Gate.Rpp r') ->
+        let merged = normalize_angle (theta +. r'.theta) in
+        delete st i;
+        if not (is_zero_angle merged) then
+          emit st (Gate.Rpp { p0; p1; a; b; theta = merged });
+        true
+      | Some _ | None -> assert false)
+    | None -> false)
+  | Gate.G1 _ | Gate.Cnot _ | Gate.Cliff2 _ | Gate.Swap _ | Gate.Su4 _ ->
+    false
+
+let handle st g =
+  let handled =
+    match g with
+    | Gate.G1 (Gate.H, q) -> try_cancel_h st q
+    | Gate.G1 (k, q) ->
+      (match as_rotation k with
+      | Some (p, t) ->
+        if is_zero_angle t then true else try_merge_rotation st q p t
+      | None -> false)
+    | Gate.Cnot (a, b) -> try_cancel_cnot st a b
+    | Gate.Cliff2 c -> try_cancel_cliff2 st c
+    | Gate.Swap (a, b) -> try_cancel_swap st a b
+    | Gate.Rpp { theta; _ } ->
+      if is_zero_angle theta then true else try_merge_rpp st g
+    | Gate.Su4 _ -> false
+  in
+  if handled then st.changed <- true else emit st g
+
+let pass c =
+  let gs = Circuit.gates c in
+  let n = Circuit.num_qubits c in
+  (* Each source gate emits at most one output gate (merges replace). *)
+  let st =
+    {
+      out = Array.make (max 1 (List.length gs)) None;
+      hist = Array.make n [];
+      next = 0;
+      changed = false;
+    }
+  in
+  List.iter (handle st) gs;
+  let kept = Array.to_list st.out |> List.filter_map (fun g -> g) in
+  Circuit.create n kept
+
+let optimize ?(max_passes = 20) c =
+  let rec go i c =
+    if i >= max_passes then c
+    else begin
+      let c' = pass c in
+      if Circuit.length c' = Circuit.length c && Circuit.equal c' c then c
+      else go (i + 1) c'
+    end
+  in
+  go 0 c

@@ -1,0 +1,28 @@
+(** Peephole circuit optimizer (the repository's stand-in for Qiskit O3).
+
+    Rewrites applied until fixpoint:
+    - inverse-pair cancellation of adjacent self-inverse gates
+      (H·H, X·X, CNOT·CNOT, SWAP·SWAP, identical Clifford2Q pairs, S·S†);
+    - merging of same-axis 1Q rotations, with diagonal Cliffords
+      (S, S†, Z, T, T†) absorbed into Rz and X into Rx — exact up to global
+      phase, which none of the reported metrics observe;
+    - merging of identical-axis 2Q Pauli rotations ([Rpp]);
+    - commutation-aware CNOT cancellation: a CNOT commutes backwards past
+      Z-diagonal gates on its control and X-type gates on its target
+      (including CNOTs sharing that control/target) to meet and annihilate
+      an identical CNOT;
+    - removal of rotations with angle ≡ 0 (mod 4π).
+
+    The optimizer never changes the observable semantics of the circuit
+    (up to global phase). *)
+
+val optimize : ?max_passes:int -> Circuit.t -> Circuit.t
+(** Run rewrite passes until fixpoint or [max_passes] (default 20). *)
+
+val pass : Circuit.t -> Circuit.t
+(** A single forward pass. *)
+
+val normalize_angle : float -> float
+(** Reduce into [(-2π, 2π]] modulo the 4π period of [exp(-iθ/2 P)]. *)
+
+val is_zero_angle : float -> bool

@@ -1,0 +1,101 @@
+(* Parity = sorted list of wire-variable indices; a per-qubit negation
+   bit accounts for X gates.  Each folded phase class keeps one mutable
+   output slot accumulating the angle. *)
+
+type item = Fixed of Gate.t | Phase of int * float ref (* qubit, angle *)
+
+let quarter angle_of =
+  match angle_of with
+  | Gate.Z -> Some (2.0 *. Float.atan 1.0 *. 2.0 /. 2.0) (* π *)
+  | Gate.S -> Some (2.0 *. Float.atan 1.0) (* π/2 *)
+  | Gate.Sdg -> Some (-2.0 *. Float.atan 1.0)
+  | Gate.T -> Some (Float.atan 1.0) (* π/4 *)
+  | Gate.Tdg -> Some (-.Float.atan 1.0)
+  | Gate.Rz t -> Some t
+  | Gate.H | Gate.X | Gate.Y | Gate.Rx _ | Gate.Ry _ -> None
+
+let fold circuit =
+  let n = Circuit.num_qubits circuit in
+  let fresh = ref n in
+  let parity = Array.init n (fun q -> [ q ]) in
+  let negated = Array.make n false in
+  let rec xor a b =
+    match a, b with
+    | [], ys -> ys
+    | xs, [] -> xs
+    | x :: xs, y :: ys ->
+      if x < y then x :: xor xs (y :: ys)
+      else if y < x then y :: xor (x :: xs) ys
+      else xor xs ys
+  in
+  let barrier q =
+    parity.(q) <- [ !fresh ];
+    negated.(q) <- false;
+    incr fresh
+  in
+  let slots : (string, float ref) Hashtbl.t = Hashtbl.create 64 in
+  let out = ref [] in
+  let key q =
+    Printf.sprintf "%s|%b"
+      (String.concat "," (List.map string_of_int parity.(q)))
+      negated.(q)
+  in
+  let add_phase q theta =
+    let k = key q in
+    match Hashtbl.find_opt slots k with
+    | Some cell -> cell := !cell +. theta
+    | None ->
+      let cell = ref theta in
+      Hashtbl.add slots k cell;
+      out := Phase (q, cell) :: !out
+  in
+  let handle g =
+    match g with
+    | Gate.G1 (kind, q) ->
+      (match quarter kind with
+      | Some theta -> add_phase q theta
+      | None ->
+        (match kind with
+        | Gate.X ->
+          negated.(q) <- not negated.(q);
+          out := Fixed g :: !out
+        | Gate.Y ->
+          (* Y = (global i) · X·Z: a π phase at the current parity, then
+             a negation *)
+          add_phase q (4.0 *. Float.atan 1.0);
+          negated.(q) <- not negated.(q);
+          out := Fixed (Gate.G1 (Gate.X, q)) :: !out
+        | Gate.H | Gate.Rx _ | Gate.Ry _ ->
+          barrier q;
+          out := Fixed g :: !out
+        | Gate.Z | Gate.S | Gate.Sdg | Gate.T | Gate.Tdg | Gate.Rz _ ->
+          assert false))
+    | Gate.Cnot (a, b) ->
+      parity.(b) <- xor parity.(a) parity.(b);
+      negated.(b) <- negated.(b) <> negated.(a);
+      out := Fixed g :: !out
+    | Gate.Swap (a, b) ->
+      let pa = parity.(a) and na = negated.(a) in
+      parity.(a) <- parity.(b);
+      negated.(a) <- negated.(b);
+      parity.(b) <- pa;
+      negated.(b) <- na;
+      out := Fixed g :: !out
+    | Gate.Cliff2 _ | Gate.Rpp _ | Gate.Su4 _ ->
+      List.iter barrier (Gate.qubits g);
+      out := Fixed g :: !out
+  in
+  List.iter handle (Circuit.gates circuit);
+  let gates =
+    List.rev_map
+      (fun item ->
+        match item with
+        | Fixed g -> Some g
+        | Phase (q, cell) ->
+          let theta = Peephole.normalize_angle !cell in
+          if Peephole.is_zero_angle theta then None
+          else Some (Gate.G1 (Gate.Rz theta, q)))
+      !out
+    |> List.filter_map (fun g -> g)
+  in
+  Circuit.create n gates

@@ -1,0 +1,19 @@
+(** Phase folding (Amy-style parity analysis).
+
+    In a {CNOT, X, SWAP, diagonal-1Q} region, every wire carries a parity
+    (an XOR of input wires), and every diagonal rotation contributes a
+    phase depending only on that parity — so rotations applied to equal
+    parities merge even when far apart and on different qubits:
+
+    {v  Rz(a) q1;  CNOT q0 q1;  Rz(b) q1;  CNOT q0 q1;  Rz(c) q1  v}
+
+    folds [a] and [c] into one rotation.  Non-linear gates (H, Y-type
+    rotations, non-CNOT 2Q gates) act as barriers: their qubits get fresh
+    parity variables.  Diagonal Cliffords (Z, S, S†, T, T†) participate
+    as Rz angles — exact up to global phase, which no metric here
+    observes.
+
+    The pass preserves the circuit unitary (up to global phase) and never
+    increases any gate count. *)
+
+val fold : Circuit.t -> Circuit.t

@@ -1,0 +1,15 @@
+(** OpenQASM 2.0 export and (a pragmatic subset of) import.
+
+    Export lowers the circuit to the CNOT basis first, so any abstract
+    gate round-trips through {H, S, S†, T, T†, X, Y, Z, Rx, Ry, Rz, CX}.
+    Import accepts that same gate alphabet plus [swap], [barrier]
+    (ignored) and comments — enough to exchange circuits with Qiskit and
+    friends. *)
+
+val to_string : Circuit.t -> string
+(** OpenQASM 2.0 program text, one gate per line. *)
+
+val of_string : string -> Circuit.t
+(** Parse an OpenQASM 2.0 program using a single quantum register.
+    Raises [Invalid_argument] with a line-numbered message on anything
+    outside the supported subset. *)

@@ -1,0 +1,328 @@
+module Bitvec = Phoenix_util.Bitvec
+module Prng = Phoenix_util.Prng
+module Pauli = Phoenix_pauli.Pauli
+module Pauli_string = Phoenix_pauli.Pauli_string
+module Clifford2q = Phoenix_pauli.Clifford2q
+
+(* Rows 0..n-1 are destabilizers, n..2n-1 stabilizers; [r] holds the sign
+   bit of each generator (true = −1). *)
+type t = {
+  n : int;
+  x : Bitvec.t array;
+  z : Bitvec.t array;
+  r : bool array;
+  rng : Prng.t;
+}
+
+let make ?(seed = 2029) n =
+  if n <= 0 then invalid_arg "Stabilizer.make: need at least one qubit";
+  let x = Array.init (2 * n) (fun _ -> Bitvec.create n) in
+  let z = Array.init (2 * n) (fun _ -> Bitvec.create n) in
+  for i = 0 to n - 1 do
+    Bitvec.set x.(i) i true;
+    (* destabilizer X_i *)
+    Bitvec.set z.(n + i) i true (* stabilizer Z_i *)
+  done;
+  { n; x; z; r = Array.make (2 * n) false; rng = Prng.create seed }
+
+let num_qubits t = t.n
+
+let copy t =
+  {
+    t with
+    x = Array.map Bitvec.copy t.x;
+    z = Array.map Bitvec.copy t.z;
+    r = Array.copy t.r;
+  }
+
+let apply_h t q =
+  for i = 0 to (2 * t.n) - 1 do
+    let xq = Bitvec.get t.x.(i) q and zq = Bitvec.get t.z.(i) q in
+    if xq && zq then t.r.(i) <- not t.r.(i);
+    Bitvec.set t.x.(i) q zq;
+    Bitvec.set t.z.(i) q xq
+  done
+
+let apply_s t q =
+  for i = 0 to (2 * t.n) - 1 do
+    let xq = Bitvec.get t.x.(i) q and zq = Bitvec.get t.z.(i) q in
+    if xq && zq then t.r.(i) <- not t.r.(i);
+    if xq then Bitvec.flip t.z.(i) q
+  done
+
+let apply_sdg t q =
+  apply_s t q;
+  (* S† = S·Z: conjugation by Z flips rows with x_q set *)
+  for i = 0 to (2 * t.n) - 1 do
+    if Bitvec.get t.x.(i) q then t.r.(i) <- not t.r.(i)
+  done
+
+let apply_x t q =
+  for i = 0 to (2 * t.n) - 1 do
+    if Bitvec.get t.z.(i) q then t.r.(i) <- not t.r.(i)
+  done
+
+let apply_z t q =
+  for i = 0 to (2 * t.n) - 1 do
+    if Bitvec.get t.x.(i) q then t.r.(i) <- not t.r.(i)
+  done
+
+let apply_y t q =
+  apply_z t q;
+  apply_x t q
+
+let apply_cnot t a b =
+  for i = 0 to (2 * t.n) - 1 do
+    let xa = Bitvec.get t.x.(i) a
+    and za = Bitvec.get t.z.(i) a
+    and xb = Bitvec.get t.x.(i) b
+    and zb = Bitvec.get t.z.(i) b in
+    if xa && zb && xb = za then t.r.(i) <- not t.r.(i);
+    Bitvec.set t.x.(i) b (xb <> xa);
+    Bitvec.set t.z.(i) a (za <> zb)
+  done
+
+(* row h <- row h * row i, with the Aaronson–Gottesman phase function *)
+let rowsum t h i =
+  let g x1 z1 x2 z2 =
+    match x1, z1 with
+    | false, false -> 0
+    | true, true -> (if z2 then 1 else 0) - if x2 then 1 else 0
+    | true, false -> if z2 && x2 then 1 else if z2 then -1 else 0
+    | false, true -> if x2 && not z2 then 1 else if x2 && z2 then -1 else 0
+  in
+  let phase = ref 0 in
+  for q = 0 to t.n - 1 do
+    phase :=
+      !phase
+      + g (Bitvec.get t.x.(i) q) (Bitvec.get t.z.(i) q) (Bitvec.get t.x.(h) q)
+          (Bitvec.get t.z.(h) q)
+  done;
+  let total =
+    (2 * ((if t.r.(h) then 1 else 0) + if t.r.(i) then 1 else 0)) + !phase
+  in
+  t.r.(h) <- ((total mod 4) + 4) mod 4 = 2;
+  Bitvec.xor_into t.x.(h) t.x.(i);
+  Bitvec.xor_into t.z.(h) t.z.(i)
+
+(* scratch-row variant used for deterministic outcomes *)
+let scratch_product t rows =
+  let sx = Bitvec.create t.n and sz = Bitvec.create t.n in
+  let sr = ref 0 in
+  let g x1 z1 x2 z2 =
+    match x1, z1 with
+    | false, false -> 0
+    | true, true -> (if z2 then 1 else 0) - if x2 then 1 else 0
+    | true, false -> if z2 && x2 then 1 else if z2 then -1 else 0
+    | false, true -> if x2 && not z2 then 1 else if x2 && z2 then -1 else 0
+  in
+  List.iter
+    (fun i ->
+      let phase = ref 0 in
+      for q = 0 to t.n - 1 do
+        phase :=
+          !phase
+          + g (Bitvec.get t.x.(i) q) (Bitvec.get t.z.(i) q) (Bitvec.get sx q)
+              (Bitvec.get sz q)
+      done;
+      sr := !sr + (2 * if t.r.(i) then 1 else 0) + !phase;
+      Bitvec.xor_into sx t.x.(i);
+      Bitvec.xor_into sz t.z.(i))
+    rows;
+  sx, sz, ((!sr mod 4) + 4) mod 4
+
+let expectation_z t q =
+  let random =
+    let rec any i = i < 2 * t.n && (Bitvec.get t.x.(i) q || any (i + 1)) in
+    any t.n
+  in
+  if random then 0
+  else begin
+    let rows =
+      List.filter_map
+        (fun i -> if Bitvec.get t.x.(i) q then Some (i + t.n) else None)
+        (List.init t.n (fun i -> i))
+    in
+    let _, _, phase = scratch_product t rows in
+    if phase = 2 then -1 else 1
+  end
+
+let measure t q =
+  let p =
+    let rec find i =
+      if i >= 2 * t.n then None
+      else if Bitvec.get t.x.(i) q then Some i
+      else find (i + 1)
+    in
+    find t.n
+  in
+  match p with
+  | Some p ->
+    (* random outcome *)
+    for i = 0 to (2 * t.n) - 1 do
+      if i <> p && Bitvec.get t.x.(i) q then rowsum t i p
+    done;
+    let d = p - t.n in
+    Bitvec.xor_into t.x.(d) t.x.(d);
+    Bitvec.or_into t.x.(d) t.x.(p);
+    Bitvec.xor_into t.z.(d) t.z.(d);
+    Bitvec.or_into t.z.(d) t.z.(p);
+    t.r.(d) <- t.r.(p);
+    (* replace stabilizer row p with ±Z_q *)
+    Bitvec.xor_into t.x.(p) t.x.(p);
+    Bitvec.xor_into t.z.(p) t.z.(p);
+    Bitvec.set t.z.(p) q true;
+    let outcome = Prng.bool t.rng in
+    t.r.(p) <- outcome;
+    if outcome then 1 else 0
+  | None ->
+    (* deterministic *)
+    let exp = expectation_z t q in
+    if exp = 1 then 0 else 1
+
+let quarter_turns theta =
+  let pi = 4.0 *. Float.atan 1.0 in
+  let k = theta /. (pi /. 2.0) in
+  let rounded = Float.round k in
+  if Float.abs (k -. rounded) > 1e-9 then None
+  else Some (((int_of_float rounded mod 4) + 4) mod 4)
+
+let non_clifford g =
+  invalid_arg
+    (Printf.sprintf "Stabilizer.apply_gate: non-Clifford gate %s"
+       (Gate.to_string g))
+
+let apply_one_q t g q kind =
+  match kind with
+  | Gate.H -> apply_h t q
+  | Gate.S -> apply_s t q
+  | Gate.Sdg -> apply_sdg t q
+  | Gate.X -> apply_x t q
+  | Gate.Y -> apply_y t q
+  | Gate.Z -> apply_z t q
+  | Gate.T | Gate.Tdg -> non_clifford g
+  | Gate.Rz theta ->
+    (match quarter_turns theta with
+    | Some 0 -> ()
+    | Some 1 -> apply_s t q
+    | Some 2 -> apply_z t q
+    | Some 3 -> apply_sdg t q
+    | Some _ | None -> non_clifford g)
+  | Gate.Rx theta ->
+    (match quarter_turns theta with
+    | Some 0 -> ()
+    | Some k ->
+      apply_h t q;
+      (match k with
+      | 1 -> apply_s t q
+      | 2 -> apply_z t q
+      | 3 -> apply_sdg t q
+      | _ -> assert false);
+      apply_h t q
+    | None -> non_clifford g)
+  | Gate.Ry theta ->
+    (match quarter_turns theta with
+    | Some 0 -> ()
+    | Some k ->
+      (* Ry = S · Rx · S†: apply S† first *)
+      apply_sdg t q;
+      (match k with
+      | 1 ->
+        apply_h t q;
+        apply_s t q;
+        apply_h t q
+      | 2 ->
+        apply_h t q;
+        apply_z t q;
+        apply_h t q
+      | 3 ->
+        apply_h t q;
+        apply_sdg t q;
+        apply_h t q
+      | _ -> assert false);
+      apply_s t q
+    | None -> non_clifford g)
+
+let rec apply_gate t g =
+  match g with
+  | Gate.G1 (kind, q) -> apply_one_q t g q kind
+  | Gate.Cnot (a, b) -> apply_cnot t a b
+  | Gate.Swap (a, b) ->
+    apply_cnot t a b;
+    apply_cnot t b a;
+    apply_cnot t a b
+  | Gate.Cliff2 c ->
+    List.iter
+      (fun basis ->
+        match basis with
+        | Clifford2q.H q -> apply_h t q
+        | Clifford2q.S q -> apply_s t q
+        | Clifford2q.Sdg q -> apply_sdg t q
+        | Clifford2q.Cnot (a, b) -> apply_cnot t a b)
+      (Clifford2q.decompose c)
+  | Gate.Rpp { p0; p1; a; b; theta } ->
+    (match quarter_turns theta with
+    | Some 0 -> ()
+    | Some _ ->
+      (* exp(-iθ/2 σ0σ1) for quarter turns: conjugate a ZZ rotation *)
+      let pre q p =
+        match p with
+        | Pauli.Z -> []
+        | Pauli.X -> [ `H q ]
+        | Pauli.Y -> [ `Sdg q; `H q ]
+        | Pauli.I -> assert false
+      in
+      let run = function
+        | `H q -> apply_h t q
+        | `S q -> apply_s t q
+        | `Sdg q -> apply_sdg t q
+      in
+      let post q p =
+        match p with
+        | Pauli.Z -> []
+        | Pauli.X -> [ `H q ]
+        | Pauli.Y -> [ `H q; `S q ]
+        | Pauli.I -> assert false
+      in
+      List.iter run (pre a p0 @ pre b p1);
+      (* ZZ quarter rotation = CNOT · Rz(θ) · CNOT *)
+      apply_cnot t a b;
+      apply_one_q t g b (Gate.Rz theta);
+      apply_cnot t a b;
+      List.iter run (post a p0 @ post b p1)
+    | None -> non_clifford g)
+  | Gate.Su4 { parts; _ } -> List.iter (apply_gate t) parts
+
+let run_circuit t circuit =
+  if Circuit.num_qubits circuit <> t.n then
+    invalid_arg "Stabilizer.run_circuit: qubit-count mismatch";
+  List.iter (apply_gate t) (Circuit.gates circuit)
+
+let stabilizers t =
+  List.init t.n (fun i ->
+      let row = i + t.n in
+      ( t.r.(row),
+        Pauli_string.of_bits ~x:t.x.(row) ~z:t.z.(row) ))
+
+let expectation_pauli t p =
+  if Pauli_string.num_qubits p <> t.n then
+    invalid_arg "Stabilizer.expectation_pauli: size mismatch";
+  let px = Pauli_string.x_bits p and pz = Pauli_string.z_bits p in
+  let anticommutes i =
+    (Bitvec.and_popcount t.x.(i) pz + Bitvec.and_popcount t.z.(i) px) mod 2 = 1
+  in
+  let rec any_stab i = i < 2 * t.n && (anticommutes i || any_stab (i + 1)) in
+  if any_stab t.n then 0
+  else begin
+    (* P = ± product of stabilizers whose destabilizer partners
+       anticommute with P *)
+    let rows =
+      List.filter_map
+        (fun i -> if anticommutes i then Some (i + t.n) else None)
+        (List.init t.n (fun i -> i))
+    in
+    let sx, sz, phase = scratch_product t rows in
+    if not (Bitvec.equal sx px && Bitvec.equal sz pz) then 0
+    else if phase = 2 then -1
+    else 1
+  end

@@ -1,0 +1,48 @@
+(** CHP-style stabilizer simulation (Aaronson–Gottesman).
+
+    Tracks an [n]-qubit stabilizer state as [2n] generators (destabilizers
+    and stabilizers) with sign bits.  Clifford circuits simulate in
+    [O(n²)] per measurement and [O(n)] per gate — this is how the
+    repository checks Clifford-only transformations at device scale
+    (64+ qubits), far beyond the dense simulator's reach.
+
+    Supported gates: H, S, S†, X, Y, Z, CNOT, SWAP and the six
+    Clifford2Q generators (via their decompositions). *)
+
+type t
+
+val make : ?seed:int -> int -> t
+(** The [|0…0⟩] stabilizer state; [seed] drives random measurement
+    outcomes. *)
+
+val num_qubits : t -> int
+val copy : t -> t
+
+val apply_h : t -> int -> unit
+val apply_s : t -> int -> unit
+val apply_sdg : t -> int -> unit
+val apply_x : t -> int -> unit
+val apply_z : t -> int -> unit
+val apply_cnot : t -> int -> int -> unit
+
+val apply_gate : t -> Gate.t -> unit
+(** Raises [Invalid_argument] on non-Clifford gates (rotations with
+    angles that are not multiples of π/2 are rejected; [Rz(±π/2)] etc.
+    are accepted as S/S†-class gates). *)
+
+val run_circuit : t -> Circuit.t -> unit
+
+val measure : t -> int -> int
+(** Measure qubit [q] in the computational basis, collapsing the state.
+    Deterministic outcomes return the forced bit; random ones use the
+    state's seeded coin. *)
+
+val expectation_z : t -> int -> int
+(** [⟨Z_q⟩ ∈ {−1, 0, +1}] without collapsing: ±1 when the outcome is
+    determined, 0 when it is uniformly random. *)
+
+val stabilizers : t -> (bool * Phoenix_pauli.Pauli_string.t) list
+(** The [n] stabilizer generators as [(negated, pauli)] pairs. *)
+
+val expectation_pauli : t -> Phoenix_pauli.Pauli_string.t -> int
+(** [⟨P⟩ ∈ {−1, 0, +1}] for a Pauli observable on a stabilizer state. *)

@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Group List Option Order Phoenix_circuit Phoenix_ham Phoenix_pauli Phoenix_router Phoenix_topology Synthesis Sys

@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Group Phoenix_circuit Phoenix_ham Phoenix_pauli Phoenix_topology

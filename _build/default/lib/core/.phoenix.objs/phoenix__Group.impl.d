@@ -1,0 +1,1 @@
+lib/core/group.ml: Hashtbl List Phoenix_pauli Phoenix_util

@@ -1,0 +1,1 @@
+lib/core/group.mli: Phoenix_pauli Phoenix_util

@@ -1,0 +1,1 @@
+lib/core/order.ml: Array Float Group Hashtbl List Option Phoenix_circuit Phoenix_pauli

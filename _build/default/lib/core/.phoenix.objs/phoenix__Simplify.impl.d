@@ -1,0 +1,1 @@
+lib/core/simplify.ml: List Phoenix_pauli

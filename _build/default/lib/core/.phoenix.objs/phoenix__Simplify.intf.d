@@ -1,0 +1,1 @@
+lib/core/simplify.mli: Phoenix_pauli

@@ -1,0 +1,1 @@
+lib/core/synthesis.ml: Group List Phoenix_circuit Phoenix_pauli Simplify

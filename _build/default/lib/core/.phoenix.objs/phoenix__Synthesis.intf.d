@@ -1,0 +1,1 @@
+lib/core/synthesis.mli: Group Phoenix_circuit Phoenix_pauli Simplify

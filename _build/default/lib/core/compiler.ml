@@ -1,0 +1,162 @@
+module Circuit = Phoenix_circuit.Circuit
+module Gate = Phoenix_circuit.Gate
+module Peephole = Phoenix_circuit.Peephole
+module Rebase = Phoenix_circuit.Rebase
+module Topology = Phoenix_topology.Topology
+module Sabre = Phoenix_router.Sabre
+module Hamiltonian = Phoenix_ham.Hamiltonian
+
+type isa = Cnot_isa | Su4_isa
+
+type target = Logical | Hardware of Topology.t
+
+type options = {
+  isa : isa;
+  target : target;
+  tau : float;
+  lookahead : int;
+  exact : bool;
+  peephole : bool;
+  sabre_iterations : int;
+  seed : int;
+}
+
+let default_options =
+  {
+    isa = Cnot_isa;
+    target = Logical;
+    tau = 1.0;
+    lookahead = 10;
+    exact = false;
+    peephole = true;
+    sabre_iterations = 1;
+    seed = 2025;
+  }
+
+type report = {
+  circuit : Circuit.t;
+  two_q_count : int;
+  depth_2q : int;
+  one_q_count : int;
+  num_swaps : int;
+  logical_two_q : int;
+  num_groups : int;
+  wall_time : float;
+}
+
+let maybe_peephole options c = if options.peephole then Peephole.optimize c else c
+
+let lower_cnot options c =
+  let lowered = Rebase.to_cnot_basis (maybe_peephole options c) in
+  if options.peephole then
+    Peephole.optimize (Phoenix_circuit.Phase_folding.fold lowered)
+  else lowered
+
+let compile_groups ?(options = default_options) n groups =
+  let t0 = Sys.time () in
+  let routing_aware = match options.target with Hardware _ -> true | Logical -> false in
+  let blocks =
+    List.map
+      (fun g ->
+        {
+          Order.group = g;
+          circuit = Synthesis.group_circuit ~exact:options.exact g;
+        })
+      groups
+  in
+  let ordered =
+    (* Reordering IR groups is a Trotter-level transformation; exact mode
+       keeps program order so the output is strictly equivalent. *)
+    if options.exact then blocks
+    else Order.order ~lookahead:options.lookahead ~routing_aware blocks
+  in
+  let abstract =
+    Circuit.concat_list n (List.map (fun b -> b.Order.circuit) ordered)
+  in
+  let abstract = maybe_peephole options abstract in
+  let logical_cnot = lower_cnot options abstract in
+  let logical_two_q =
+    match options.isa with
+    | Cnot_isa -> Circuit.count_2q logical_cnot
+    | Su4_isa -> Rebase.count_su4 abstract
+  in
+  let final_circuit, num_swaps =
+    match options.target with
+    | Logical ->
+      (match options.isa with
+      | Cnot_isa -> logical_cnot, 0
+      | Su4_isa -> Rebase.to_su4 abstract, 0)
+    | Hardware topo ->
+      (* A fully Z-diagonal program (e.g. a QAOA cost layer) commutes
+         gate-wise, so the router may reorder freely — 2QAN's lever. *)
+      let z_diagonal g =
+        match g with
+        | Gate.G1 ((Gate.Rz _ | Gate.Z | Gate.S | Gate.Sdg | Gate.T | Gate.Tdg), _)
+          ->
+          true
+        | Gate.Rpp { p0 = Phoenix_pauli.Pauli.Z; p1 = Phoenix_pauli.Pauli.Z; _ }
+          ->
+          true
+        | Gate.G1 _ | Gate.Cnot _ | Gate.Cliff2 _ | Gate.Rpp _ | Gate.Swap _
+        | Gate.Su4 _ ->
+          false
+      in
+      let routed =
+        if List.for_all z_diagonal (Circuit.gates abstract) then begin
+          (* multi-start over placement seed sites; keep the routing with
+             the fewest SWAPs, then lowest 2Q depth *)
+          let attempt seed_site =
+            let initial =
+              Phoenix_router.Placement.of_circuit ~seed_site topo abstract
+            in
+            Sabre.route_commuting ~initial topo abstract
+          in
+          let score (r : Sabre.result) =
+            r.Sabre.num_swaps, Circuit.depth_2q r.Sabre.circuit
+          in
+          List.fold_left
+            (fun best seed_site ->
+              let r = attempt seed_site in
+              if score r < score best then r else best)
+            (attempt 0)
+            [ 11; 23; 37; 53 ]
+        end
+        else
+          Sabre.route_with_refinement ~iterations:options.sabre_iterations
+            ~lookahead:20 ~seed:options.seed topo abstract
+      in
+      let physical =
+        match options.isa with
+        | Cnot_isa -> lower_cnot options routed.Sabre.circuit
+        | Su4_isa -> Rebase.to_su4 (maybe_peephole options routed.Sabre.circuit)
+      in
+      physical, routed.Sabre.num_swaps
+  in
+  {
+    circuit = final_circuit;
+    two_q_count = Circuit.count_2q final_circuit;
+    depth_2q = Circuit.depth_2q final_circuit;
+    one_q_count = Circuit.count_1q final_circuit;
+    num_swaps;
+    logical_two_q;
+    num_groups = List.length groups;
+    wall_time = Sys.time () -. t0;
+  }
+
+let compile_gadgets ?options n gadgets =
+  compile_groups ?options n (Group.group_gadgets n gadgets)
+
+let compile_blocks ?options n blocks =
+  compile_groups ?options n (Group.of_blocks n blocks)
+
+let compile ?options h =
+  let tau = (Option.value ~default:default_options options).tau in
+  let n = Hamiltonian.num_qubits h in
+  match Hamiltonian.term_blocks h with
+  | Some blocks ->
+    let to_gadget (t : Phoenix_pauli.Pauli_term.t) =
+      t.Phoenix_pauli.Pauli_term.pauli,
+      2.0 *. t.Phoenix_pauli.Pauli_term.coeff *. tau
+    in
+    compile_blocks ?options n (List.map (List.map to_gadget) blocks)
+  | None -> compile_gadgets ?options n (Hamiltonian.trotter_gadgets ~tau h)

@@ -1,0 +1,63 @@
+(** The PHOENIX compilation pipeline (§IV-A):
+
+    IR grouping → group-wise BSF simplification → Tetris-like IR group
+    ordering → ISA lowering (CNOT or SU(4)) → optional hardware-aware
+    routing → peephole cleanup. *)
+
+type isa = Cnot_isa | Su4_isa
+
+type target =
+  | Logical  (** all-to-all connectivity *)
+  | Hardware of Phoenix_topology.Topology.t
+
+type options = {
+  isa : isa;
+  target : target;
+  tau : float;  (** Trotter step duration *)
+  lookahead : int;  (** ordering look-ahead window *)
+  exact : bool;
+      (** strict unitary preservation: restrict local peeling to
+          commuting rows and keep IR groups in program order *)
+  peephole : bool;  (** run the O3-style cleanup passes *)
+  sabre_iterations : int;  (** SABRE layout-refinement round trips *)
+  seed : int;
+}
+
+val default_options : options
+(** CNOT ISA, logical target, [tau = 1], lookahead 10, peephole on. *)
+
+type report = {
+  circuit : Phoenix_circuit.Circuit.t;  (** final lowered circuit *)
+  two_q_count : int;
+      (** #CNOT under [Cnot_isa]; #SU(4) blocks under [Su4_isa] *)
+  depth_2q : int;
+  one_q_count : int;
+  num_swaps : int;  (** 0 for logical compilation *)
+  logical_two_q : int;
+      (** 2Q count of the logical-level result, for routing-overhead
+          ratios *)
+  num_groups : int;
+  wall_time : float;  (** seconds of CPU time spent compiling *)
+}
+
+val compile : ?options:options -> Phoenix_ham.Hamiltonian.t -> report
+
+val compile_gadgets :
+  ?options:options ->
+  int ->
+  (Phoenix_pauli.Pauli_string.t * float) list ->
+  report
+(** Compile an explicit gadget program over [n] qubits, grouping by
+    support. *)
+
+val compile_blocks :
+  ?options:options ->
+  int ->
+  (Phoenix_pauli.Pauli_string.t * float) list list ->
+  report
+(** Compile with caller-supplied algorithm-level blocks as IR groups.
+    [compile] uses this automatically when the Hamiltonian records block
+    structure (UCCSD ansatzes do). *)
+
+val compile_groups : ?options:options -> int -> Group.t list -> report
+(** Lowest-level entry point. *)

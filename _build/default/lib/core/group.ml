@@ -1,0 +1,63 @@
+module Bitvec = Phoenix_util.Bitvec
+module Pauli_string = Phoenix_pauli.Pauli_string
+
+type t = {
+  n : int;
+  terms : (Pauli_string.t * float) list;
+  support : Bitvec.t;
+}
+
+let weight g = Bitvec.popcount g.support
+
+let group_gadgets n gadgets =
+  let table : (string, (Pauli_string.t * float) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let order = ref [] in
+  List.iter
+    (fun ((p, _) as gadget) ->
+      if not (Pauli_string.is_identity p) then begin
+        let key = Bitvec.to_string (Pauli_string.support p) in
+        match Hashtbl.find_opt table key with
+        | Some cell -> cell := gadget :: !cell
+        | None ->
+          let cell = ref [ gadget ] in
+          Hashtbl.add table key cell;
+          order := key :: !order
+      end)
+    gadgets;
+  List.rev_map
+    (fun key ->
+      let cell = Hashtbl.find table key in
+      let terms = List.rev !cell in
+      let support =
+        match terms with
+        | (p, _) :: _ -> Pauli_string.support p
+        | [] -> assert false
+      in
+      { n; terms; support })
+    !order
+
+let of_blocks n blocks =
+  List.filter_map
+    (fun block ->
+      let terms =
+        List.filter (fun (p, _) -> not (Pauli_string.is_identity p)) block
+      in
+      match terms with
+      | [] -> None
+      | _ ->
+        let support = Bitvec.create n in
+        List.iter
+          (fun (p, _) -> Bitvec.or_into support (Pauli_string.support p))
+          terms;
+        Some { n; terms; support })
+    blocks
+
+let all_commuting g =
+  let rec ok = function
+    | [] -> true
+    | (p, _) :: rest ->
+      List.for_all (fun (q, _) -> Pauli_string.commutes p q) rest && ok rest
+  in
+  ok g.terms

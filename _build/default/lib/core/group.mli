@@ -1,0 +1,28 @@
+(** IR grouping (§IV-A): Pauli exponentiations are grouped by the exact
+    set of qubits they act on non-trivially — the same blocking used by
+    Paulihedral and Tetris.  Groups keep first-occurrence order and terms
+    keep program order within a group. *)
+
+type t = {
+  n : int;
+  terms : (Phoenix_pauli.Pauli_string.t * float) list;  (** program order *)
+  support : Phoenix_util.Bitvec.t;
+}
+
+val weight : t -> int
+(** Support size — the "width" used to pre-arrange groups. *)
+
+val group_gadgets :
+  int -> (Phoenix_pauli.Pauli_string.t * float) list -> t list
+(** Partition a gadget program into support-keyed groups.  Identity
+    strings are dropped (they are global phases). *)
+
+val of_blocks :
+  int -> (Phoenix_pauli.Pauli_string.t * float) list list -> t list
+(** Adopt algorithm-level blocks (e.g. one UCCSD excitation per block)
+    as IR groups directly; the support is the union support of the
+    block.  Empty blocks and identity strings are dropped. *)
+
+val all_commuting : t -> bool
+(** Whether the group's terms pairwise commute (then any reordering of
+    the group is exact, not merely Trotter-equivalent). *)

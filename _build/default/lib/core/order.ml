@@ -1,0 +1,135 @@
+module Gate = Phoenix_circuit.Gate
+module Circuit = Phoenix_circuit.Circuit
+module Endian = Phoenix_circuit.Endian
+module Interaction = Phoenix_circuit.Interaction
+module Clifford2q = Phoenix_pauli.Clifford2q
+
+type block = { group : Group.t; circuit : Circuit.t }
+
+let exposed_boundary_cliffords side circuit =
+  let gates =
+    match side with
+    | `Leading -> Circuit.gates circuit
+    | `Trailing -> List.rev (Circuit.gates circuit)
+  in
+  let n = Circuit.num_qubits circuit in
+  let blocked = Array.make n false in
+  let rec scan acc = function
+    | [] -> acc
+    | g :: rest ->
+      let qs = Gate.qubits g in
+      if List.exists (fun q -> blocked.(q)) qs then begin
+        List.iter (fun q -> blocked.(q) <- true) qs;
+        scan acc rest
+      end
+      else begin
+        List.iter (fun q -> blocked.(q) <- true) qs;
+        match g with
+        | Gate.Cliff2 c -> scan (c :: acc) rest
+        | Gate.G1 _ | Gate.Cnot _ | Gate.Rpp _ | Gate.Swap _ | Gate.Su4 _ ->
+          scan acc rest
+      end
+  in
+  List.rev (scan [] gates)
+
+(* Canonical key so that gates cancelling under [Clifford2q.equal_gate]
+   collide. *)
+let cliff_key (c : Clifford2q.t) =
+  if Clifford2q.is_symmetric c.Clifford2q.kind then
+    c.Clifford2q.kind, min c.a c.b, max c.a c.b
+  else c.Clifford2q.kind, c.a, c.b
+
+let key_counts cliffs =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      let k = cliff_key c in
+      Hashtbl.replace table k (1 + Option.value ~default:0 (Hashtbl.find_opt table k)))
+    cliffs;
+  table
+
+(* Number of Hermitian Clifford2Q pairs cancelling across the interface,
+   plus whether cancellation empties the boundary 2Q layer on each side. *)
+let cancellation prev next =
+  let trailing = exposed_boundary_cliffords `Trailing prev.circuit in
+  let leading = exposed_boundary_cliffords `Leading next.circuit in
+  let ct = key_counts trailing and cl = key_counts leading in
+  let matched_keys = ref [] in
+  let m =
+    Hashtbl.fold
+      (fun k count acc ->
+        match Hashtbl.find_opt cl k with
+        | Some count' ->
+          matched_keys := k :: !matched_keys;
+          acc + min count count'
+        | None -> acc)
+      ct 0
+  in
+  let layer_all_matched layers pick =
+    match pick layers with
+    | Some layer ->
+      layer <> []
+      && List.for_all
+           (fun g ->
+             match g with
+             | Gate.Cliff2 c -> List.mem (cliff_key c) !matched_keys
+             | Gate.G1 _ | Gate.Cnot _ | Gate.Rpp _ | Gate.Swap _
+             | Gate.Su4 _ ->
+               false)
+           layer
+    | None -> false
+  in
+  let last l = match List.rev l with x :: _ -> Some x | [] -> None in
+  let first l = match l with x :: _ -> Some x | [] -> None in
+  let prev_side = m > 0 && layer_all_matched (Circuit.layers_2q prev.circuit) last in
+  let next_side = m > 0 && layer_all_matched (Circuit.layers_2q next.circuit) first in
+  m, prev_side, next_side
+
+let support_size c = List.length (Circuit.used_qubits c)
+
+let assembly_cost ?(routing_aware = false) prev next =
+  let e_r = Endian.right prev.circuit and e_l' = Endian.left next.circuit in
+  let base = float_of_int (Endian.depth_cost ~e_r ~e_l') in
+  let m, prev_side, next_side = cancellation prev next in
+  let layer_saving side circ = if side then float_of_int (support_size circ) else 0.0 in
+  let cost =
+    base
+    -. (2.0 *. float_of_int m)
+    -. layer_saving prev_side prev.circuit
+    -. layer_saving next_side next.circuit
+  in
+  if routing_aware then
+    cost /. Interaction.similarity ~pre:prev.circuit ~suc:next.circuit
+  else cost
+
+let order ?(lookahead = 10) ?(routing_aware = false) blocks =
+  match blocks with
+  | [] | [ _ ] -> blocks
+  | _ ->
+    (* Pre-arrange in descending width; stable for equal widths. *)
+    let pool =
+      List.stable_sort
+        (fun a b -> compare (Group.weight b.group) (Group.weight a.group))
+        blocks
+    in
+    let rec assemble acc last pool =
+      match pool with
+      | [] -> List.rev acc
+      | _ ->
+        let window = List.filteri (fun i _ -> i < lookahead) pool in
+        let best, _ =
+          List.fold_left
+            (fun (best, best_cost) cand ->
+              let cost = assembly_cost ~routing_aware last cand in
+              match best with
+              | Some _ when best_cost <= cost -> best, best_cost
+              | Some _ | None -> Some cand, cost)
+            (None, Float.infinity) window
+        in
+        let chosen = match best with Some b -> b | None -> assert false in
+        let pool' = List.filter (fun b -> b != chosen) pool in
+        assemble (chosen :: acc) chosen pool'
+    in
+    (match pool with
+    | first :: rest -> assemble [ first ] first rest
+    | [] -> assert false)

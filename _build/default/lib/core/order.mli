@@ -1,0 +1,28 @@
+(** Tetris-like IR group ordering (§IV-C).
+
+    Simplified IR groups are pre-arranged by descending width, then
+    assembled greedily: a look-ahead window is scanned for the block whose
+    assembly cost against the last placed block is minimal.  The cost
+    combines the endian-vector depth overhead (Fig. 3), a discount for
+    Hermitian Clifford2Q pairs that cancel across the interface (Fig. 4a),
+    and — in routing-aware mode — the interaction-graph similarity factor
+    of Eq. 7 (Fig. 4b). *)
+
+type block = { group : Group.t; circuit : Phoenix_circuit.Circuit.t }
+
+val assembly_cost : ?routing_aware:bool -> block -> block -> float
+(** [assembly_cost prev next]: the uniform cost of placing [next] right
+    after [prev]. *)
+
+val order :
+  ?lookahead:int -> ?routing_aware:bool -> block list -> block list
+(** Order blocks ([lookahead] defaults to 10).  The relative order of
+    blocks only changes within the reordering freedom of Trotterization. *)
+
+val exposed_boundary_cliffords :
+  [ `Leading | `Trailing ] ->
+  Phoenix_circuit.Circuit.t ->
+  Phoenix_pauli.Clifford2q.t list
+(** Clifford2Q gates visible at a circuit boundary: not shadowed by any
+    other gate on their qubits (exposed for cross-interface
+    cancellation).  Exposed for testing. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Format List Metrics Phoenix Phoenix_baselines Phoenix_circuit Phoenix_router Workloads

@@ -1,0 +1,1 @@
+lib/experiments/drivers.ml: List Metrics Phoenix Phoenix_baselines Phoenix_circuit Phoenix_router Phoenix_topology Sys

@@ -1,0 +1,1 @@
+lib/experiments/drivers.mli: Metrics Phoenix_pauli Phoenix_topology

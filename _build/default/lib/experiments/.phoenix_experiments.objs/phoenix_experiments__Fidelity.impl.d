@@ -1,0 +1,1 @@
+lib/experiments/fidelity.ml: Drivers Format List Phoenix Phoenix_baselines Phoenix_circuit Workloads

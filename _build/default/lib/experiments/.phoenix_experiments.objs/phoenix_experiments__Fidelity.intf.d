@@ -1,0 +1,1 @@
+lib/experiments/fidelity.mli: Drivers Format

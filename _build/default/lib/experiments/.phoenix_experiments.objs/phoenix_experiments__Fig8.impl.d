@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Format List Metrics Phoenix Phoenix_baselines Phoenix_ham Phoenix_linalg Phoenix_pauli Printf

@@ -1,0 +1,1 @@
+lib/experiments/metrics.ml: List Phoenix_circuit Printf

@@ -1,0 +1,1 @@
+lib/experiments/metrics.mli: Phoenix_circuit

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Format List Phoenix_baselines Phoenix_circuit Phoenix_ham Phoenix_pauli Workloads

@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Drivers Format List Metrics Option Printf Workloads

@@ -1,0 +1,1 @@
+lib/experiments/table4.ml: Format List Metrics Phoenix Phoenix_baselines Phoenix_circuit Workloads

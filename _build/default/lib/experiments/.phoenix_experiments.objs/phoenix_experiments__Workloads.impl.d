@@ -1,0 +1,1 @@
+lib/experiments/workloads.ml: List Phoenix_ham Phoenix_pauli Phoenix_topology

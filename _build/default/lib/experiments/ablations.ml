@@ -1,0 +1,113 @@
+module Circuit = Phoenix_circuit.Circuit
+module Peephole = Phoenix_circuit.Peephole
+module Rebase = Phoenix_circuit.Rebase
+module Group = Phoenix.Group
+module Synthesis = Phoenix.Synthesis
+module Order = Phoenix.Order
+module Compiler = Phoenix.Compiler
+module Sabre = Phoenix_router.Sabre
+
+type variant =
+  | Full
+  | No_ordering
+  | No_lookahead
+  | No_compression
+  | No_peephole
+  | Exact
+
+let variant_name = function
+  | Full -> "full pipeline"
+  | No_ordering -> "no IR-group ordering"
+  | No_lookahead -> "ordering lookahead = 1"
+  | No_compression -> "no core compression"
+  | No_peephole -> "no peephole (O3)"
+  | Exact -> "exact mode"
+
+let all_variants =
+  [ Full; No_ordering; No_lookahead; No_compression; No_peephole; Exact ]
+
+(* Hand-assembled logical pipeline with per-variant knobs. *)
+let compile_variant variant n blocks =
+  let exact = variant = Exact in
+  let compress = variant <> No_compression in
+  let groups = Group.of_blocks n blocks in
+  let blocks' =
+    List.map
+      (fun g -> { Order.group = g; circuit = Synthesis.group_circuit ~exact ~compress g })
+      groups
+  in
+  let ordered =
+    match variant with
+    | No_ordering | Exact -> blocks'
+    | No_lookahead -> Order.order ~lookahead:1 blocks'
+    | Full | No_compression | No_peephole -> Order.order blocks'
+  in
+  let abstract =
+    Circuit.concat_list n (List.map (fun b -> b.Order.circuit) ordered)
+  in
+  let maybe_peephole c = if variant = No_peephole then c else Peephole.optimize c in
+  maybe_peephole (Rebase.to_cnot_basis (maybe_peephole abstract))
+
+let run_uccsd ?labels () =
+  let cases = Workloads.uccsd_suite ?labels () in
+  List.map
+    (fun variant ->
+      let cnots, depths =
+        List.fold_left
+          (fun (cs, ds) (case : Workloads.uccsd_case) ->
+            let original =
+              Phoenix_baselines.Naive.compile case.Workloads.n
+                (Workloads.gadgets case)
+            in
+            let c =
+              compile_variant variant case.Workloads.n case.Workloads.gadget_blocks
+            in
+            ( Metrics.ratio (Circuit.count_2q c) (Circuit.count_2q original) :: cs,
+              Metrics.ratio (Circuit.depth_2q c) (Circuit.depth_2q original) :: ds
+            ))
+          ([], []) cases
+      in
+      variant, (Metrics.geomean cnots, Metrics.geomean depths))
+    all_variants
+
+let run_qaoa_router () =
+  let topo = Workloads.heavy_hex () in
+  List.map
+    (fun (case : Workloads.qaoa_case) ->
+      let options =
+        { Compiler.default_options with target = Compiler.Hardware topo }
+      in
+      let with_commuting =
+        Compiler.compile_gadgets ~options case.Workloads.qn case.Workloads.qgadgets
+      in
+      (* plain SABRE: bypass the commuting-aware path by compiling the
+         logical circuit first, then routing it order-respectingly *)
+      let logical =
+        Compiler.compile_gadgets case.Workloads.qn case.Workloads.qgadgets
+      in
+      let routed = Sabre.route_with_refinement topo logical.Compiler.circuit in
+      let lowered =
+        Peephole.optimize (Rebase.to_cnot_basis routed.Sabre.circuit)
+      in
+      ( case.Workloads.qlabel,
+        (with_commuting.Compiler.num_swaps, with_commuting.Compiler.depth_2q),
+        (routed.Sabre.num_swaps, Circuit.depth_2q lowered) ))
+    (Workloads.qaoa_suite ())
+
+let print fmt uccsd qaoa =
+  Format.fprintf fmt "@[<v>== Ablations: UCCSD suite, logical CNOT ISA ==@,";
+  Format.fprintf fmt "%-26s %-12s %-12s@," "variant" "#CNOT rate" "Depth rate";
+  List.iter
+    (fun (v, (c, d)) ->
+      Format.fprintf fmt "%-26s %-12s %-12s@," (variant_name v)
+        (Metrics.pct c) (Metrics.pct d))
+    uccsd;
+  Format.fprintf fmt
+    "@,== Ablation: commuting-aware router vs plain SABRE (QAOA, heavy-hex) ==@,";
+  Format.fprintf fmt "%-10s %-22s %-22s@," "Bench."
+    "commuting (SWAP/depth)" "plain SABRE (SWAP/depth)";
+  List.iter
+    (fun (label, (s1, d1), (s2, d2)) ->
+      Format.fprintf fmt "%-10s %6d/%-12d %6d/%-12d@," label s1 d1 s2 d2)
+    qaoa;
+  Format.fprintf fmt "@]@."

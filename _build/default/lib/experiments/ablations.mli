@@ -1,0 +1,37 @@
+(** Ablation study of PHOENIX's design choices (beyond the paper's own
+    tables): each variant disables one ingredient of the pipeline and is
+    measured on the UCCSD suite (logical, CNOT ISA) and on QAOA
+    (heavy-hex).
+
+    Variants:
+    - [Full]           the complete pipeline
+    - [No_ordering]    IR groups kept in program order
+    - [No_lookahead]   Tetris ordering with a window of 1
+    - [No_compression] no core diagonalization
+    - [No_peephole]    no O3-style cleanup
+    - [Exact]          strictly unitary-preserving mode *)
+
+type variant =
+  | Full
+  | No_ordering
+  | No_lookahead
+  | No_compression
+  | No_peephole
+  | Exact
+
+val variant_name : variant -> string
+val all_variants : variant list
+
+val run_uccsd :
+  ?labels:string list -> unit -> (variant * (float * float)) list
+(** Geomean (#CNOT rate, Depth-2Q rate) vs the original circuits. *)
+
+val run_qaoa_router : unit -> (string * (int * int) * (int * int)) list
+(** Per QAOA benchmark: (label, (swaps, depth) with the commuting-aware
+    router, (swaps, depth) with plain SABRE). *)
+
+val print :
+  Format.formatter ->
+  (variant * (float * float)) list ->
+  (string * (int * int) * (int * int)) list ->
+  unit

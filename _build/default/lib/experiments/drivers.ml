@@ -1,0 +1,116 @@
+module Circuit = Phoenix_circuit.Circuit
+module Peephole = Phoenix_circuit.Peephole
+module Rebase = Phoenix_circuit.Rebase
+module Topology = Phoenix_topology.Topology
+module Sabre = Phoenix_router.Sabre
+module Compiler = Phoenix.Compiler
+module B = Phoenix_baselines
+
+type compiler = Naive | Tket | Paulihedral | Tetris | Phoenix_c
+
+let compiler_name = function
+  | Naive -> "original"
+  | Tket -> "TKET-like"
+  | Paulihedral -> "Paulihedral-like"
+  | Tetris -> "Tetris-like"
+  | Phoenix_c -> "PHOENIX"
+
+type isa = Cnot | Su4
+
+type outcome = {
+  counts : Metrics.counts;
+  swaps : int;
+  logical_two_q : int;
+  seconds : float;
+}
+
+let baseline_logical ?(o3 = true) compiler n blocks =
+  let gadgets = List.concat blocks in
+  match compiler with
+  | Naive -> B.Naive.compile n gadgets
+  | Tket -> B.Tket_like.compile ~peephole:o3 n gadgets
+  | Paulihedral -> B.Paulihedral_like.compile_blocks ~peephole:o3 n blocks
+  | Tetris -> B.Tetris_like.compile_blocks ~peephole:o3 n blocks
+  | Phoenix_c -> assert false
+
+let isa_counts isa c =
+  match isa with
+  | Cnot -> Metrics.of_circuit c
+  | Su4 -> Metrics.of_su4_circuit c
+
+let phoenix_options ?(o3 = true) ~isa ~target () =
+  {
+    Compiler.default_options with
+    isa = (match isa with Cnot -> Compiler.Cnot_isa | Su4 -> Compiler.Su4_isa);
+    target;
+    peephole = o3;
+  }
+
+let run_logical ?(o3 = true) ~isa compiler n blocks =
+  let t0 = Sys.time () in
+  match compiler with
+  | Phoenix_c ->
+    let options = phoenix_options ~o3 ~isa ~target:Compiler.Logical () in
+    let r = Compiler.compile_blocks ~options n blocks in
+    {
+      counts =
+        {
+          gates = Circuit.length r.Compiler.circuit;
+          two_q = r.Compiler.two_q_count;
+          depth = Circuit.depth r.Compiler.circuit;
+          depth_2q = r.Compiler.depth_2q;
+        };
+      swaps = 0;
+      logical_two_q = r.Compiler.two_q_count;
+      seconds = Sys.time () -. t0;
+    }
+  | Naive | Tket | Paulihedral | Tetris ->
+    let c = baseline_logical ~o3 compiler n blocks in
+    let counts = isa_counts isa c in
+    {
+      counts;
+      swaps = 0;
+      logical_two_q = counts.Metrics.two_q;
+      seconds = Sys.time () -. t0;
+    }
+
+let run_hardware ?(o3 = true) ~isa topo compiler n blocks =
+  let t0 = Sys.time () in
+  match compiler with
+  | Phoenix_c ->
+    let options =
+      phoenix_options ~o3 ~isa ~target:(Compiler.Hardware topo) ()
+    in
+    let r = Compiler.compile_blocks ~options n blocks in
+    {
+      counts =
+        {
+          gates = Circuit.length r.Compiler.circuit;
+          two_q = r.Compiler.two_q_count;
+          depth = Circuit.depth r.Compiler.circuit;
+          depth_2q = r.Compiler.depth_2q;
+        };
+      swaps = r.Compiler.num_swaps;
+      logical_two_q = r.Compiler.logical_two_q;
+      seconds = Sys.time () -. t0;
+    }
+  | Naive | Tket | Paulihedral | Tetris ->
+    let logical = baseline_logical ~o3 compiler n blocks in
+    let logical_two_q = (isa_counts isa logical).Metrics.two_q in
+    let routed = Sabre.route_with_refinement ~iterations:1 topo logical in
+    let final =
+      match isa with
+      | Cnot ->
+        let c = Rebase.to_cnot_basis routed.Sabre.circuit in
+        if o3 then Peephole.optimize c else c
+      | Su4 ->
+        Rebase.to_su4
+          (if o3 then Peephole.optimize routed.Sabre.circuit
+           else routed.Sabre.circuit)
+    in
+    {
+      counts = Metrics.of_circuit final;
+      swaps = routed.Sabre.num_swaps;
+      logical_two_q;
+      seconds = Sys.time () -. t0;
+    }

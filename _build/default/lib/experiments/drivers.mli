@@ -1,0 +1,34 @@
+(** Uniform drivers running each compiler on a workload at a given
+    target/ISA, mirroring the paper's experimental settings: baselines
+    compile logically (optionally with the O3-style peephole), get routed
+    by SABRE, and are rebased to SU(4) when that ISA is selected; PHOENIX
+    runs its integrated pipeline. *)
+
+type compiler = Naive | Tket | Paulihedral | Tetris | Phoenix_c
+
+val compiler_name : compiler -> string
+
+type isa = Cnot | Su4
+
+type outcome = {
+  counts : Metrics.counts;
+  swaps : int;  (** 0 for logical compilation *)
+  logical_two_q : int;  (** pre-routing 2Q count under the same ISA *)
+  seconds : float;
+}
+
+val run_logical :
+  ?o3:bool -> isa:isa -> compiler ->
+  int -> (Phoenix_pauli.Pauli_string.t * float) list list ->
+  outcome
+(** [run_logical ~isa compiler n blocks] — all-to-all compilation.
+    [o3] (default true) toggles the peephole stage where the paper
+    evaluates ±O3 variants. *)
+
+val run_hardware :
+  ?o3:bool -> isa:isa -> Phoenix_topology.Topology.t -> compiler ->
+  int -> (Phoenix_pauli.Pauli_string.t * float) list list ->
+  outcome
+(** Hardware-aware compilation: baselines are followed by SABRE routing
+    and a post-routing peephole; PHOENIX uses its routing-aware
+    ordering. *)

@@ -1,0 +1,62 @@
+module Noise = Phoenix_circuit.Noise
+module B = Phoenix_baselines
+
+type row = {
+  label : string;
+  per_compiler : (Drivers.compiler * float) list;
+}
+
+let compilers =
+  [
+    Drivers.Naive;
+    Drivers.Tket;
+    Drivers.Paulihedral;
+    Drivers.Tetris;
+    Drivers.Phoenix_c;
+  ]
+
+let circuit_for compiler n blocks =
+  match compiler with
+  | Drivers.Phoenix_c ->
+    let r = Phoenix.Compiler.compile_blocks n blocks in
+    r.Phoenix.Compiler.circuit
+  | Drivers.Naive -> B.Naive.compile n (List.concat blocks)
+  | Drivers.Tket -> B.Tket_like.compile n (List.concat blocks)
+  | Drivers.Paulihedral -> B.Paulihedral_like.compile_blocks n blocks
+  | Drivers.Tetris -> B.Tetris_like.compile_blocks n blocks
+
+let run ?labels () =
+  List.map
+    (fun (case : Workloads.uccsd_case) ->
+      {
+        label = case.Workloads.label;
+        per_compiler =
+          List.map
+            (fun c ->
+              ( c,
+                Noise.success_probability
+                  (circuit_for c case.Workloads.n case.Workloads.gadget_blocks)
+              ))
+            compilers;
+      })
+    (Workloads.uccsd_suite ?labels ())
+
+let print fmt rows =
+  Format.fprintf fmt
+    "@[<v>== Projected circuit success probability (IBM-like noise model) ==@,";
+  Format.fprintf fmt "%-14s" "Benchmark";
+  List.iter
+    (fun c -> Format.fprintf fmt " %17s" (Drivers.compiler_name c))
+    compilers;
+  Format.fprintf fmt "@,";
+  List.iter
+    (fun row ->
+      Format.fprintf fmt "%-14s" row.label;
+      List.iter
+        (fun c -> Format.fprintf fmt " %17.4g" (List.assoc c row.per_compiler))
+        compilers;
+      Format.fprintf fmt "@,")
+    rows;
+  Format.fprintf fmt
+    "(the compiler with the fewest 2Q gates dominates — the premise of the paper's metrics)@,";
+  Format.fprintf fmt "@]@."

@@ -1,0 +1,15 @@
+(** Estimated end-to-end circuit fidelity per compiler (beyond the
+    paper's tables, but the premise behind them): under a first-order
+    device noise model, fewer 2Q gates and shallower circuits translate
+    directly into higher success probability.  This runner projects each
+    compiler's logical circuit onto {!Phoenix_circuit.Noise.ibm_like}
+    and reports the success probabilities side by side. *)
+
+type row = {
+  label : string;
+  per_compiler : (Drivers.compiler * float) list;
+      (** estimated success probability *)
+}
+
+val run : ?labels:string list -> unit -> row list
+val print : Format.formatter -> row list -> unit

@@ -1,0 +1,104 @@
+type row = {
+  label : string;
+  original : Metrics.counts;
+  per_compiler : (Drivers.compiler * Metrics.counts) list;
+  no_o3 : (Drivers.compiler * Metrics.counts) list;
+}
+
+let compilers =
+  [ Drivers.Tket; Drivers.Paulihedral; Drivers.Tetris; Drivers.Phoenix_c ]
+
+let o3_compilers = [ Drivers.Paulihedral; Drivers.Tetris; Drivers.Phoenix_c ]
+
+let run ?labels () =
+  List.map
+    (fun (case : Workloads.uccsd_case) ->
+      let n = case.Workloads.n and blocks = case.Workloads.gadget_blocks in
+      let outcome ?o3 c = (Drivers.run_logical ?o3 ~isa:Drivers.Cnot c n blocks).Drivers.counts in
+      {
+        label = case.Workloads.label;
+        original = outcome Drivers.Naive;
+        per_compiler = List.map (fun c -> c, outcome c) compilers;
+        no_o3 = List.map (fun c -> c, outcome ~o3:false c) o3_compilers;
+      })
+    (Workloads.uccsd_suite ?labels ())
+
+type summary_line = { name : string; cnot_rate : float; depth_rate : float }
+
+let rate_of rows pick =
+  let cnots, depths =
+    List.fold_left
+      (fun (cs, ds) row ->
+        let counts = pick row in
+        ( Metrics.ratio counts.Metrics.two_q row.original.Metrics.two_q :: cs,
+          Metrics.ratio counts.Metrics.depth_2q row.original.Metrics.depth_2q
+          :: ds ))
+      ([], []) rows
+  in
+  Metrics.geomean cnots, Metrics.geomean depths
+
+let summarize rows =
+  let line name pick =
+    let cnot_rate, depth_rate = rate_of rows pick in
+    { name; cnot_rate; depth_rate }
+  in
+  List.map
+    (fun c ->
+      line (Drivers.compiler_name c) (fun row -> List.assoc c row.per_compiler))
+    compilers
+  @ List.map
+      (fun c ->
+        line
+          (Drivers.compiler_name c ^ " (no O3)")
+          (fun row -> List.assoc c row.no_o3))
+      o3_compilers
+
+let paper_table2 =
+  [
+    "TKET-like", (0.3307, 0.3014);
+    "Paulihedral-like", (0.2841, 0.2907);
+    "Tetris-like", (0.5366, 0.5326);
+    "PHOENIX", (0.2112, 0.1929);
+  ]
+
+let print fmt rows =
+  Format.fprintf fmt
+    "@[<v>== Fig. 5: logical-level compilation (all-to-all), CNOT ISA ==@,";
+  Format.fprintf fmt "%-14s %10s" "Benchmark" "original";
+  List.iter
+    (fun c -> Format.fprintf fmt " %16s" (Drivers.compiler_name c))
+    compilers;
+  Format.fprintf fmt "   (#CNOT / Depth-2Q)@,";
+  List.iter
+    (fun row ->
+      Format.fprintf fmt "%-14s %5d/%-5d" row.label row.original.Metrics.two_q
+        row.original.Metrics.depth_2q;
+      List.iter
+        (fun c ->
+          let m = List.assoc c row.per_compiler in
+          Format.fprintf fmt " %8d/%-7d" m.Metrics.two_q m.Metrics.depth_2q)
+        compilers;
+      Format.fprintf fmt "@,")
+    rows;
+  Format.fprintf fmt
+    "@,== Table II: geomean optimization rates vs original (measured | paper) ==@,";
+  List.iter
+    (fun line ->
+      let paper_c, paper_d =
+        match
+          List.assoc_opt
+            (match line.name with
+            | s when s = Drivers.compiler_name Drivers.Tket -> "TKET-like"
+            | s -> s)
+            paper_table2
+        with
+        | Some (c, d) -> Metrics.pct c, Metrics.pct d
+        | None -> "-", "-"
+      in
+      Format.fprintf fmt "%-24s #CNOT %s | %s    Depth-2Q %s | %s@," line.name
+        (Metrics.pct line.cnot_rate)
+        paper_c
+        (Metrics.pct line.depth_rate)
+        paper_d)
+    (summarize rows);
+  Format.fprintf fmt "@]@."

@@ -1,0 +1,31 @@
+(** Fig. 5 + Table II — logical-level compilation on all-to-all
+    connectivity.
+
+    For every UCCSD benchmark and compiler: #CNOT and 2Q depth; then the
+    Table-II aggregation — geometric-mean optimization rates relative to
+    the original circuits, with and without the O3-style peephole for the
+    block-based compilers and PHOENIX. *)
+
+type row = {
+  label : string;
+  original : Metrics.counts;
+  per_compiler : (Drivers.compiler * Metrics.counts) list;
+  no_o3 : (Drivers.compiler * Metrics.counts) list;
+      (** Paulihedral/Tetris/PHOENIX without the peephole stage *)
+}
+
+val run : ?labels:string list -> unit -> row list
+
+type summary_line = {
+  name : string;
+  cnot_rate : float;  (** geomean(#CNOT / original #CNOT) *)
+  depth_rate : float;
+}
+
+val summarize : row list -> summary_line list
+(** Table II: one line per compiler (+ the no-O3 variants). *)
+
+val paper_table2 : (string * (float * float)) list
+(** Paper values: compiler ↦ (#CNOT opt rate, Depth-2Q opt rate). *)
+
+val print : Format.formatter -> row list -> unit

@@ -1,0 +1,89 @@
+type row = {
+  label : string;
+  per_compiler : (Drivers.compiler * Drivers.outcome) list;
+}
+
+let compilers = [ Drivers.Paulihedral; Drivers.Tetris; Drivers.Phoenix_c ]
+
+let run ?labels () =
+  let topo = Workloads.heavy_hex () in
+  List.map
+    (fun (case : Workloads.uccsd_case) ->
+      {
+        label = case.Workloads.label;
+        per_compiler =
+          List.map
+            (fun c ->
+              ( c,
+                Drivers.run_hardware ~isa:Drivers.Cnot topo c case.Workloads.n
+                  case.Workloads.gadget_blocks ))
+            compilers;
+      })
+    (Workloads.uccsd_suite ?labels ())
+
+let average_multiple rows compiler =
+  let ratios =
+    List.map
+      (fun row ->
+        let o = List.assoc compiler row.per_compiler in
+        Metrics.ratio o.Drivers.counts.Metrics.two_q o.Drivers.logical_two_q)
+      rows
+  in
+  List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios)
+
+let summarize_reduction rows ~vs =
+  let ratios pick =
+    Metrics.geomean
+      (List.map
+         (fun row ->
+           let phx = List.assoc Drivers.Phoenix_c row.per_compiler in
+           let base = List.assoc vs row.per_compiler in
+           Metrics.ratio (pick phx) (pick base))
+         rows)
+  in
+  ( ratios (fun o -> o.Drivers.counts.Metrics.two_q),
+    ratios (fun o -> o.Drivers.counts.Metrics.depth_2q) )
+
+let print fmt rows =
+  Format.fprintf fmt
+    "@[<v>== Fig. 6: hardware-aware compilation (heavy-hex 64q), CNOT ISA ==@,";
+  Format.fprintf fmt "%-14s" "Benchmark";
+  List.iter
+    (fun c -> Format.fprintf fmt " %24s" (Drivers.compiler_name c))
+    compilers;
+  Format.fprintf fmt "   (#CNOT / Depth-2Q / #SWAP)@,";
+  List.iter
+    (fun row ->
+      Format.fprintf fmt "%-14s" row.label;
+      List.iter
+        (fun c ->
+          let o = List.assoc c row.per_compiler in
+          Format.fprintf fmt " %10d/%-7d/%-5d" o.Drivers.counts.Metrics.two_q
+            o.Drivers.counts.Metrics.depth_2q o.Drivers.swaps)
+        compilers;
+      Format.fprintf fmt "@,")
+    rows;
+  Format.fprintf fmt "@,-- post-mapping #CNOT multiples (measured | paper) --@,";
+  let paper_mult = [ Drivers.Paulihedral, "> 2.8x"; Drivers.Tetris, "< 2.8x"; Drivers.Phoenix_c, "2.8x" ] in
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "%-20s %.2fx | %s@," (Drivers.compiler_name c)
+        (average_multiple rows c)
+        (List.assoc c paper_mult))
+    compilers;
+  Format.fprintf fmt
+    "@,-- PHOENIX reduction vs baselines (measured | paper) --@,";
+  let paper_red = [ Drivers.Paulihedral, (0.3617, 0.4385); Drivers.Tetris, (0.2262, 0.2812) ] in
+  List.iter
+    (fun vs ->
+      let c, d = summarize_reduction rows ~vs in
+      let pc, pd = List.assoc vs paper_red in
+      Format.fprintf fmt
+        "vs %-18s #CNOT -%s | -%s    Depth-2Q -%s | -%s@,"
+        (Drivers.compiler_name vs)
+        (Metrics.pct (1.0 -. c))
+        (Metrics.pct pc)
+        (Metrics.pct (1.0 -. d))
+        (Metrics.pct pd))
+    [ Drivers.Paulihedral; Drivers.Tetris ];
+  Format.fprintf fmt "@]@."

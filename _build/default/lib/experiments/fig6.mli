@@ -1,0 +1,22 @@
+(** Fig. 6 — hardware-aware compilation on the 64-qubit heavy-hex
+    device.
+
+    For Paulihedral-like, Tetris-like and PHOENIX: routed #CNOT, routed
+    2Q depth, and the post-mapping CNOT multiple (routed / logical) whose
+    averages the paper draws as dashed lines. *)
+
+type row = {
+  label : string;
+  per_compiler : (Drivers.compiler * Drivers.outcome) list;
+}
+
+val run : ?labels:string list -> unit -> row list
+
+val average_multiple : row list -> Drivers.compiler -> float
+(** Mean of routed-CNOT / logical-CNOT over the suite. *)
+
+val summarize_reduction :
+  row list -> vs:Drivers.compiler -> float * float
+(** PHOENIX's geomean (CNOT ratio, depth ratio) against a baseline. *)
+
+val print : Format.formatter -> row list -> unit

@@ -1,0 +1,27 @@
+(** Fig. 8 — algorithmic error analysis.
+
+    Substitution (DESIGN.md): the paper simulates 10-qubit LiH/NH; exact
+    dense evolution in pure OCaml is kept tractable by using reduced
+    molecules (6-qubit LiH, 8-qubit NH) with the same UCCSD machinery.
+    Coefficients are rescaled to sweep the algorithmic-error regime; for
+    each scale the infidelity
+    [1 − |Tr(U†V)|/N] between the ideal evolution [exp(-i·H)] and the
+    compiled circuit is reported for the TKET-like baseline and PHOENIX.
+    The compilers produce different Trotter orderings, which is exactly
+    the effect the paper attributes the error differences to. *)
+
+type point = { scale : float; tket : float; phoenix : float }
+
+type series = {
+  molecule : string;
+  encoding : Phoenix_ham.Fermion.encoding;
+  points : point list;
+}
+
+val default_scales : float list
+(** Chosen so infidelities land in the paper's 5·10⁻⁵ … 10⁻² window. *)
+
+val run : ?scales:float list -> ?molecules:string list -> unit -> series list
+(** [molecules] defaults to [["LiH_reduced"; "NH_reduced"]]. *)
+
+val print : Format.formatter -> series list -> unit

@@ -1,0 +1,23 @@
+(** Table I — UCCSD benchmark suite characteristics.
+
+    For every benchmark: qubit count, #Pauli, maximum weight, and the
+    naive ("original") circuit's gate count, CNOT count, depth and 2Q
+    depth, printed next to the values the paper reports. *)
+
+type row = {
+  label : string;
+  qubits : int;
+  pauli : int;
+  w_max : int;
+  gates : int;
+  cnots : int;
+  depth : int;
+  depth_2q : int;
+}
+
+val paper : (string * (int * int * int * int * int * int * int)) list
+(** Paper values: label ↦ (qubits, #Pauli, w_max, #Gate, #CNOT, Depth,
+    Depth-2Q). *)
+
+val run : ?labels:string list -> unit -> row list
+val print : Format.formatter -> row list -> unit

@@ -1,0 +1,109 @@
+type setting = { isa : Drivers.isa; hardware : bool }
+
+type cell = { two_q_rate : float; depth_rate : float }
+
+type result = (setting * (Drivers.compiler * cell) list) list
+
+let settings =
+  [
+    { isa = Drivers.Cnot; hardware = false };
+    { isa = Drivers.Su4; hardware = false };
+    { isa = Drivers.Cnot; hardware = true };
+    { isa = Drivers.Su4; hardware = true };
+  ]
+
+let setting_name s =
+  Printf.sprintf "%s ISA (%s)"
+    (match s.isa with Drivers.Cnot -> "CNOT" | Drivers.Su4 -> "SU(4)")
+    (if s.hardware then "heavy-hex" else "all-to-all")
+
+let baselines = [ Drivers.Tket; Drivers.Paulihedral; Drivers.Tetris ]
+
+let run ?labels () =
+  let cases = Workloads.uccsd_suite ?labels () in
+  let topo = Workloads.heavy_hex () in
+  let outcome setting compiler (case : Workloads.uccsd_case) =
+    if setting.hardware then
+      Drivers.run_hardware ~isa:setting.isa topo compiler case.Workloads.n
+        case.Workloads.gadget_blocks
+    else
+      Drivers.run_logical ~isa:setting.isa compiler case.Workloads.n
+        case.Workloads.gadget_blocks
+  in
+  List.map
+    (fun setting ->
+      let phoenix = List.map (outcome setting Drivers.Phoenix_c) cases in
+      let cells =
+        List.map
+          (fun baseline ->
+            let base = List.map (outcome setting baseline) cases in
+            let rate pick =
+              Metrics.geomean
+                (List.map2
+                   (fun p b -> Metrics.ratio (pick p) (pick b))
+                   phoenix base)
+            in
+            ( baseline,
+              {
+                two_q_rate = rate (fun o -> o.Drivers.counts.Metrics.two_q);
+                depth_rate = rate (fun o -> o.Drivers.counts.Metrics.depth_2q);
+              } ))
+          baselines
+      in
+      setting, cells)
+    settings
+
+let paper =
+  [
+    ( "CNOT ISA (all-to-all)",
+      [
+        "TKET-like", (0.6387, 0.64);
+        "Paulihedral-like", (0.8212, 0.7333);
+        "Tetris-like", (0.5752, 0.5304);
+      ] );
+    ( "SU(4) ISA (all-to-all)",
+      [
+        "TKET-like", (0.5604, 0.5422);
+        "Paulihedral-like", (0.7557, 0.652);
+        "Tetris-like", (0.5654, 0.5055);
+      ] );
+    ( "CNOT ISA (heavy-hex)",
+      [
+        "TKET-like", (0.4063, 0.4832);
+        "Paulihedral-like", (0.6238, 0.547);
+        "Tetris-like", (0.7597, 0.7118);
+      ] );
+    ( "SU(4) ISA (heavy-hex)",
+      [
+        "TKET-like", (0.4429, 0.5071);
+        "Paulihedral-like", (0.3984, 0.3507);
+        "Tetris-like", (0.6223, 0.5874);
+      ] );
+  ]
+
+let print fmt result =
+  Format.fprintf fmt
+    "@[<v>== Table III: PHOENIX relative rates across ISAs/topologies (measured | paper) ==@,";
+  List.iter
+    (fun (setting, cells) ->
+      Format.fprintf fmt "-- %s --@," (setting_name setting);
+      let paper_cells =
+        Option.value ~default:[] (List.assoc_opt (setting_name setting) paper)
+      in
+      List.iter
+        (fun (baseline, cell) ->
+          let name = Drivers.compiler_name baseline in
+          let p2, pd =
+            match List.assoc_opt name paper_cells with
+            | Some (a, b) -> Metrics.pct a, Metrics.pct b
+            | None -> "-", "-"
+          in
+          Format.fprintf fmt
+            "  PHOENIX vs %-18s 2Q %s | %s    Depth-2Q %s | %s@," name
+            (Metrics.pct cell.two_q_rate)
+            p2
+            (Metrics.pct cell.depth_rate)
+            pd)
+        cells)
+    result;
+  Format.fprintf fmt "@]@."

@@ -1,0 +1,22 @@
+(** Table III — comparison across ISAs (CNOT vs SU(4)) and topologies
+    (all-to-all vs heavy-hex).
+
+    Reports PHOENIX's geomean relative rates (PHOENIX metric / baseline
+    metric) for 2Q gate count and 2Q depth in the four setting
+    combinations, next to the paper's numbers. *)
+
+type setting = { isa : Drivers.isa; hardware : bool }
+
+type cell = { two_q_rate : float; depth_rate : float }
+
+type result = (setting * (Drivers.compiler * cell) list) list
+
+val settings : setting list
+val setting_name : setting -> string
+
+val run : ?labels:string list -> unit -> result
+
+val paper : (string * (string * (float * float)) list) list
+(** setting name ↦ baseline ↦ (2Q rate, depth rate). *)
+
+val print : Format.formatter -> result -> unit

@@ -1,0 +1,28 @@
+(** Table IV + Fig. 7 — QAOA benchmarking against 2QAN on heavy-hex.
+
+    For the six QAOA programs: #CNOT, 2Q depth, #SWAP and routing
+    overhead (routed CNOTs / logical CNOTs) for the 2QAN-like baseline
+    and PHOENIX. *)
+
+type side = {
+  cnots : int;
+  depth_2q : int;
+  swaps : int;
+  overhead : float;
+}
+
+type row = {
+  label : string;
+  pauli : int;
+  qan2 : side;
+  phoenix : side;
+}
+
+val run : unit -> row list
+
+val paper : (string * (int * int * int * int * float) * (int * int * int * float)) list
+(** label ↦ #Pauli, (2QAN: #CNOT, Depth-2Q, #SWAP, overhead) is folded
+    into the first tuple as (pauli, cnot, depth, swap, overhead); second
+    tuple is PHOENIX (cnot, depth, swap, overhead). *)
+
+val print : Format.formatter -> row list -> unit

@@ -1,0 +1,30 @@
+(** Benchmark workloads shared by the experiment runners. *)
+
+type uccsd_case = {
+  label : string;
+  n : int;
+  gadget_blocks : (Phoenix_pauli.Pauli_string.t * float) list list;
+      (** one block per excitation, Trotter angles folded in *)
+}
+
+val gadgets : uccsd_case -> (Phoenix_pauli.Pauli_string.t * float) list
+(** Flattened program. *)
+
+val uccsd_suite : ?labels:string list -> unit -> uccsd_case list
+(** The paper's 16 UCCSD benchmarks (Table I), or a subset by label. *)
+
+val uccsd_quick_labels : string list
+(** The four smallest benchmarks, for smoke runs. *)
+
+type qaoa_case = {
+  qlabel : string;
+  qn : int;
+  graph : Phoenix_ham.Graphs.t;
+  qgadgets : (Phoenix_pauli.Pauli_string.t * float) list;
+}
+
+val qaoa_suite : unit -> qaoa_case list
+(** The six Table-IV QAOA benchmarks. *)
+
+val heavy_hex : unit -> Phoenix_topology.Topology.t
+(** The 64-qubit Manhattan-class device used for hardware-aware runs. *)

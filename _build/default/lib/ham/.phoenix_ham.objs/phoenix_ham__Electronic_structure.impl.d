@@ -1,0 +1,1 @@
+lib/ham/electronic_structure.ml: Array Complex Fermion Float Hamiltonian List Pauli_sum Phoenix_pauli Phoenix_util Printf

@@ -1,0 +1,1 @@
+lib/ham/electronic_structure.mli: Fermion Hamiltonian

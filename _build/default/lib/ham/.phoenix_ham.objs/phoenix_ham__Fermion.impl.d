@@ -1,0 +1,1 @@
+lib/ham/fermion.ml: Array Complex Hashtbl List Pauli_sum Phoenix_pauli Printf String

@@ -1,0 +1,1 @@
+lib/ham/fermion.mli: Pauli_sum

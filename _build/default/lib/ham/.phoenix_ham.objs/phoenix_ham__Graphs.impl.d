@@ -1,0 +1,1 @@
+lib/ham/graphs.ml: Array Hashtbl List Phoenix_util

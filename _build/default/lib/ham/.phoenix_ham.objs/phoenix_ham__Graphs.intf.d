@@ -1,0 +1,1 @@
+lib/ham/graphs.mli:

@@ -1,0 +1,1 @@
+lib/ham/hamiltonian.ml: Format List Phoenix_pauli Printf String

@@ -1,0 +1,1 @@
+lib/ham/hamiltonian.mli: Format Phoenix_pauli

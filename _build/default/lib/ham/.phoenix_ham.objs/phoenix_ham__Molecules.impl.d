@@ -1,0 +1,1 @@
+lib/ham/molecules.ml: Fermion List Printf Uccsd

@@ -1,0 +1,1 @@
+lib/ham/molecules.mli: Fermion Uccsd

@@ -1,0 +1,1 @@
+lib/ham/pauli_sum.ml: Complex Float Format Hashtbl List Phoenix_pauli

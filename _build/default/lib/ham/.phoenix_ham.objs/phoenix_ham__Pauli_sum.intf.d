@@ -1,0 +1,1 @@
+lib/ham/pauli_sum.mli: Complex Format Phoenix_pauli

@@ -1,0 +1,1 @@
+lib/ham/qaoa.ml: Graphs Hamiltonian List Phoenix_pauli Phoenix_util

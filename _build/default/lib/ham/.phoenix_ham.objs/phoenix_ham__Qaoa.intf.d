@@ -1,0 +1,1 @@
+lib/ham/qaoa.mli: Graphs Hamiltonian

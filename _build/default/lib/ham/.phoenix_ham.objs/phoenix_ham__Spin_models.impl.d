@@ -1,0 +1,1 @@
+lib/ham/spin_models.ml: Hamiltonian List Phoenix_pauli Phoenix_util

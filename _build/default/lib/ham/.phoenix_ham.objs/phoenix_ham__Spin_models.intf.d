@@ -1,0 +1,1 @@
+lib/ham/spin_models.mli: Hamiltonian

@@ -1,0 +1,1 @@
+lib/ham/trotter.ml: Array Float Hamiltonian List Phoenix_pauli Phoenix_util

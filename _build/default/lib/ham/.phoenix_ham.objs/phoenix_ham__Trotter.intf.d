@@ -1,0 +1,1 @@
+lib/ham/trotter.mli: Hamiltonian Phoenix_pauli

@@ -1,0 +1,1 @@
+lib/ham/uccsd.ml: Fermion Hamiltonian Hashtbl List Pauli_sum Phoenix_pauli Phoenix_util

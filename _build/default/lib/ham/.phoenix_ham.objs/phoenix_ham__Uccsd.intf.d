@@ -1,0 +1,1 @@
+lib/ham/uccsd.mli: Fermion Hamiltonian

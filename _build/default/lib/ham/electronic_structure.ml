@@ -1,0 +1,92 @@
+module Prng = Phoenix_util.Prng
+module Pauli_term = Phoenix_pauli.Pauli_term
+
+let check_symmetric name m =
+  let n = Array.length m in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> n then
+        invalid_arg (Printf.sprintf "Electronic_structure: %s not square" name);
+      Array.iteri
+        (fun j v ->
+          if Float.abs (v -. m.(j).(i)) > 1e-12 then
+            invalid_arg
+              (Printf.sprintf "Electronic_structure: %s not symmetric" name))
+        row)
+    m
+
+(* spin-orbital index, interleaved layout *)
+let so p spin = (2 * p) + spin
+
+let of_integrals enc ~one_body ~two_body_density =
+  check_symmetric "one_body" one_body;
+  check_symmetric "two_body_density" two_body_density;
+  let m = Array.length one_body in
+  if m = 0 then invalid_arg "Electronic_structure: empty integrals";
+  let n = 2 * m in
+  if Array.length two_body_density <> n then
+    invalid_arg "Electronic_structure: two-body matrix must be 2m × 2m";
+  let cre = Fermion.creation enc n and ann = Fermion.annihilation enc n in
+  let num = Fermion.number_operator enc n in
+  let acc = ref (Pauli_sum.zero n) in
+  let add c op =
+    acc := Pauli_sum.add !acc (Pauli_sum.scale { Complex.re = c; im = 0.0 } op)
+  in
+  for p = 0 to m - 1 do
+    for q = 0 to m - 1 do
+      if one_body.(p).(q) <> 0.0 then
+        List.iter
+          (fun spin ->
+            add one_body.(p).(q)
+              (Pauli_sum.mul (cre (so p spin)) (ann (so q spin))))
+          [ 0; 1 ]
+    done
+  done;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if two_body_density.(i).(j) <> 0.0 then
+        add two_body_density.(i).(j) (Pauli_sum.mul (num i) (num j))
+    done
+  done;
+  Hamiltonian.make n
+    (List.map
+       (fun (p, c) -> Pauli_term.make p c)
+       (Pauli_sum.to_hermitian_terms !acc))
+
+let synthetic ?(seed = 11) enc ~n_spatial =
+  if n_spatial <= 0 then invalid_arg "Electronic_structure.synthetic: size";
+  let rng = Prng.create seed in
+  let one_body = Array.make_matrix n_spatial n_spatial 0.0 in
+  for p = 0 to n_spatial - 1 do
+    one_body.(p).(p) <- Prng.uniform rng (-2.0) (-0.5) +. float_of_int p;
+    for q = p + 1 to n_spatial - 1 do
+      let hop = Prng.uniform rng 0.05 0.4 /. float_of_int (q - p) in
+      one_body.(p).(q) <- hop;
+      one_body.(q).(p) <- hop
+    done
+  done;
+  let n = 2 * n_spatial in
+  let two = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let v = Prng.uniform rng 0.1 0.5 in
+      two.(i).(j) <- v;
+      two.(j).(i) <- v
+    done
+  done;
+  of_integrals enc ~one_body ~two_body_density:two
+
+let hubbard_chain ?(t = 1.0) ?(u = 2.0) enc m =
+  if m <= 1 then invalid_arg "Electronic_structure.hubbard_chain: need ≥ 2 sites";
+  let one_body = Array.make_matrix m m 0.0 in
+  for i = 0 to m - 2 do
+    one_body.(i).(i + 1) <- -.t;
+    one_body.(i + 1).(i) <- -.t
+  done;
+  let n = 2 * m in
+  let two = Array.make_matrix n n 0.0 in
+  for i = 0 to m - 1 do
+    two.(so i 0).(so i 1) <- u;
+    two.(so i 1).(so i 0) <- u
+  done;
+  of_integrals enc ~one_body ~two_body_density:two

@@ -1,0 +1,33 @@
+(** Second-quantized electronic-structure Hamiltonians.
+
+    Substitution note (DESIGN.md): real molecular integrals require a
+    quantum-chemistry package; this module builds Hamiltonians from
+    caller-supplied or synthetic integrals with the correct operator
+    structure — spin-conserving one-body hopping plus density–density
+    two-body interactions — which exercises the same encoding and
+    compilation paths and yields non-trivial correlated ground states
+    for the VQE example. *)
+
+val of_integrals :
+  Fermion.encoding ->
+  one_body:float array array ->
+  two_body_density:float array array ->
+  Hamiltonian.t
+(** [of_integrals enc ~one_body ~two_body_density] over [m] spatial
+    orbitals ([2m] qubits, interleaved spins):
+    [Σ_{p,q,σ} h_pq a†_{pσ} a_{qσ} + Σ_{i<j} v_ij n_i n_j], where
+    [one_body] is a symmetric [m×m] matrix and [two_body_density] a
+    symmetric [2m×2m] matrix over spin-orbitals.  The constant (identity)
+    component is dropped.  Raises [Invalid_argument] on asymmetric or
+    mis-sized inputs. *)
+
+val synthetic :
+  ?seed:int -> Fermion.encoding -> n_spatial:int -> Hamiltonian.t
+(** Seeded random integrals: hopping decaying with orbital distance and
+    repulsive density–density interactions, loosely molecular in
+    shape. *)
+
+val hubbard_chain :
+  ?t:float -> ?u:float -> Fermion.encoding -> int -> Hamiltonian.t
+(** The Fermi–Hubbard chain on [m] sites ([2m] qubits):
+    [−t Σ_{⟨i,j⟩,σ} (a†_{iσ} a_{jσ} + h.c.) + U Σ_i n_{i↑} n_{i↓}]. *)

@@ -1,0 +1,88 @@
+module Prng = Phoenix_util.Prng
+module Union_find = Phoenix_util.Union_find
+
+type t = { n : int; edges : (int * int) list }
+
+let make n raw_edges =
+  if n <= 0 then invalid_arg "Graphs.make: need at least one vertex";
+  let normalize (a, b) =
+    if a = b then invalid_arg "Graphs.make: self-loop";
+    if a < 0 || b < 0 || a >= n || b >= n then
+      invalid_arg "Graphs.make: vertex out of range";
+    min a b, max a b
+  in
+  { n; edges = List.sort_uniq compare (List.map normalize raw_edges) }
+
+let num_vertices g = g.n
+let edges g = g.edges
+let num_edges g = List.length g.edges
+
+let degree g v =
+  List.fold_left
+    (fun acc (a, b) -> if a = v || b = v then acc + 1 else acc)
+    0 g.edges
+
+let neighbors g v =
+  List.filter_map
+    (fun (a, b) ->
+      if a = v then Some b else if b = v then Some a else None)
+    g.edges
+
+let is_regular d g = List.for_all (fun v -> degree g v = d) (List.init g.n (fun i -> i))
+
+let is_connected g =
+  let uf = Union_find.create g.n in
+  List.iter (fun (a, b) -> Union_find.union uf a b) g.edges;
+  Union_find.count uf = 1
+
+let path n = make n (List.init (n - 1) (fun i -> i, i + 1))
+let cycle n = make n ((n - 1, 0) :: List.init (n - 1) (fun i -> i, i + 1))
+
+let complete n =
+  make n
+    (List.concat_map
+       (fun i -> List.init (n - 1 - i) (fun d -> i, i + 1 + d))
+       (List.init n (fun i -> i)))
+
+let random_regular ~seed ~degree n =
+  if degree >= n then invalid_arg "Graphs.random_regular: degree >= n";
+  if n * degree mod 2 <> 0 then
+    invalid_arg "Graphs.random_regular: n·d must be even";
+  let rng = Prng.create seed in
+  let stubs = Array.init (n * degree) (fun i -> i / degree) in
+  let attempt () =
+    Prng.shuffle rng stubs;
+    let seen = Hashtbl.create (n * degree) in
+    let rec pair i acc =
+      if i >= Array.length stubs then Some acc
+      else begin
+        let a = stubs.(i) and b = stubs.(i + 1) in
+        let key = min a b, max a b in
+        if a = b || Hashtbl.mem seen key then None
+        else begin
+          Hashtbl.add seen key ();
+          pair (i + 2) (key :: acc)
+        end
+      end
+    in
+    pair 0 []
+  in
+  let rec retry k =
+    if k = 0 then failwith "Graphs.random_regular: no simple pairing found"
+    else begin
+      match attempt () with
+      | Some edge_list -> make n edge_list
+      | None -> retry (k - 1)
+    end
+  in
+  retry 10_000
+
+let erdos_renyi ~seed ~p n =
+  let rng = Prng.create seed in
+  let edge_list = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Prng.float rng 1.0 < p then edge_list := (i, j) :: !edge_list
+    done
+  done;
+  make n !edge_list

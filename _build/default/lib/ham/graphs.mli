@@ -1,0 +1,31 @@
+(** Simple undirected graphs and seeded generators for QAOA workloads. *)
+
+type t
+
+val make : int -> (int * int) list -> t
+(** [make n edges]: edges are normalized (smaller endpoint first) and
+    deduplicated; self-loops raise [Invalid_argument]. *)
+
+val num_vertices : t -> int
+val edges : t -> (int * int) list
+(** Normalized, sorted, unique. *)
+
+val num_edges : t -> int
+val degree : t -> int -> int
+val neighbors : t -> int -> int list
+val is_regular : int -> t -> bool
+val is_connected : t -> bool
+
+val path : int -> t
+val cycle : int -> t
+val complete : int -> t
+
+val random_regular : seed:int -> degree:int -> int -> t
+(** Seeded [d]-regular random graph by the pairing model with rejection
+    of loops/multi-edges.  Requires [n·d] even and [d < n].
+    Raises [Invalid_argument] otherwise; raises [Failure] if no simple
+    matching is found after many attempts (practically unreachable for
+    the sizes used here). *)
+
+val erdos_renyi : seed:int -> p:float -> int -> t
+(** Seeded G(n, p). *)

@@ -1,0 +1,41 @@
+let ch2 = { Uccsd.name = "CH2"; n_spatial = 7; n_electrons = 8; frozen = 0 }
+let h2o = { Uccsd.name = "H2O"; n_spatial = 7; n_electrons = 10; frozen = 0 }
+let lih = { Uccsd.name = "LiH"; n_spatial = 6; n_electrons = 4; frozen = 0 }
+let nh = { Uccsd.name = "NH"; n_spatial = 6; n_electrons = 8; frozen = 0 }
+
+let frozen spec =
+  { spec with Uccsd.name = spec.Uccsd.name ^ "_frz"; frozen = spec.Uccsd.frozen + 1 }
+
+type benchmark = {
+  label : string;
+  spec : Uccsd.spec;
+  encoding : Fermion.encoding;
+}
+
+let variants base =
+  let cmplt = base and frz = frozen base in
+  [
+    ( Printf.sprintf "%s_cmplt_BK" base.Uccsd.name, cmplt, Fermion.Bravyi_kitaev );
+    ( Printf.sprintf "%s_cmplt_JW" base.Uccsd.name, cmplt, Fermion.Jordan_wigner );
+    ( Printf.sprintf "%s_frz_BK" base.Uccsd.name, frz, Fermion.Bravyi_kitaev );
+    ( Printf.sprintf "%s_frz_JW" base.Uccsd.name, frz, Fermion.Jordan_wigner );
+  ]
+
+let table1_suite =
+  List.concat_map
+    (fun base ->
+      List.map
+        (fun (label, spec, encoding) -> { label; spec; encoding })
+        (variants base))
+    [ ch2; h2o; lih; nh ]
+
+let find label =
+  match List.find_opt (fun b -> b.label = label) table1_suite with
+  | Some b -> b
+  | None -> raise Not_found
+
+let lih_reduced =
+  { Uccsd.name = "LiH_reduced"; n_spatial = 3; n_electrons = 2; frozen = 0 }
+
+let nh_reduced =
+  { Uccsd.name = "NH_reduced"; n_spatial = 4; n_electrons = 4; frozen = 0 }

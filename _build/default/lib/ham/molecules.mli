@@ -1,0 +1,32 @@
+(** Molecule presets mirroring the paper's UCCSD benchmark suite (Table I).
+
+    Orbital/electron counts follow the STO-3G minimal basis: CH2 and H2O
+    have 7 spatial orbitals, LiH and NH have 6; frozen-core variants
+    freeze the heavy atom's 1s orbital.  These presets reproduce Table I's
+    qubit and Pauli-string counts exactly. *)
+
+val ch2 : Uccsd.spec
+val h2o : Uccsd.spec
+val lih : Uccsd.spec
+val nh : Uccsd.spec
+(** Complete-orbital specs (frozen = 0). *)
+
+val frozen : Uccsd.spec -> Uccsd.spec
+(** Frozen-core variant (freezes one spatial orbital). *)
+
+type benchmark = {
+  label : string;  (** e.g. ["LiH_frz_JW"], matching Table I *)
+  spec : Uccsd.spec;
+  encoding : Fermion.encoding;
+}
+
+val table1_suite : benchmark list
+(** The 16 UCCSD benchmarks in Table I order. *)
+
+val find : string -> benchmark
+(** Lookup by label.  Raises [Not_found]. *)
+
+val lih_reduced : Uccsd.spec
+val nh_reduced : Uccsd.spec
+(** Down-scaled molecules (6 and 8 qubits) used by the algorithmic-error
+    experiment, where exact dense simulation bounds the size. *)

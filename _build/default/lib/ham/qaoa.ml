@@ -1,0 +1,41 @@
+module Prng = Phoenix_util.Prng
+module Pauli = Phoenix_pauli.Pauli
+module Pauli_string = Phoenix_pauli.Pauli_string
+module Pauli_term = Phoenix_pauli.Pauli_term
+
+let zz_term n gamma (a, b) =
+  let p =
+    Pauli_string.set (Pauli_string.single n a Pauli.Z) b Pauli.Z
+  in
+  Pauli_term.make p (gamma /. 2.0)
+
+let maxcut_cost ?(gamma = 1.0) g =
+  let n = Graphs.num_vertices g in
+  Hamiltonian.make n (List.map (zz_term n gamma) (Graphs.edges g))
+
+let ansatz ?(seed = 1) ~layers g =
+  if layers <= 0 then invalid_arg "Qaoa.ansatz: need at least one layer";
+  let n = Graphs.num_vertices g in
+  let rng = Prng.create seed in
+  let layer _ =
+    let gamma = Prng.uniform rng 0.1 1.0 and beta = Prng.uniform rng 0.1 1.0 in
+    let cost = List.map (zz_term n gamma) (Graphs.edges g) in
+    let mixer =
+      List.init n (fun q ->
+          Pauli_term.make (Pauli_string.single n q Pauli.X) (beta /. 2.0))
+    in
+    cost @ mixer
+  in
+  Hamiltonian.make n (List.concat_map layer (List.init layers (fun l -> l)))
+
+let benchmark_suite () =
+  let rand n = Graphs.random_regular ~seed:(1000 + n) ~degree:4 n in
+  let reg3 n = Graphs.random_regular ~seed:(3000 + n) ~degree:3 n in
+  [
+    "Rand-16", rand 16;
+    "Rand-20", rand 20;
+    "Rand-24", rand 24;
+    "Reg3-16", reg3 16;
+    "Reg3-20", reg3 20;
+    "Reg3-24", reg3 24;
+  ]

@@ -1,0 +1,79 @@
+module Pauli = Phoenix_pauli.Pauli
+module Pauli_string = Phoenix_pauli.Pauli_string
+module Pauli_term = Phoenix_pauli.Pauli_term
+
+let bond_term n p coeff (a, b) =
+  Pauli_term.make
+    (Pauli_string.set (Pauli_string.single n a p) b p)
+    coeff
+
+let chain_bonds ~periodic n =
+  let open_bonds = List.init (n - 1) (fun i -> i, i + 1) in
+  if periodic && n > 2 then open_bonds @ [ n - 1, 0 ] else open_bonds
+
+let heisenberg_chain ?(jx = 1.0) ?(jy = 1.0) ?(jz = 1.0) ?(periodic = false) n =
+  let bonds = chain_bonds ~periodic n in
+  let per_bond bond =
+    List.filter_map
+      (fun (p, j) -> if j = 0.0 then None else Some (bond_term n p j bond))
+      [ Pauli.X, jx; Pauli.Y, jy; Pauli.Z, jz ]
+  in
+  Hamiltonian.make n (List.concat_map per_bond bonds)
+
+let tfim_chain ?(j = 1.0) ?(h = 1.0) ?(periodic = false) n =
+  let bonds = chain_bonds ~periodic n in
+  let zz = List.map (bond_term n Pauli.Z (-.j)) bonds in
+  let field =
+    List.init n (fun q ->
+        Pauli_term.make (Pauli_string.single n q Pauli.X) (-.h))
+  in
+  Hamiltonian.make n (zz @ field)
+
+let xy_chain ?(j = 1.0) ?(periodic = false) n =
+  heisenberg_chain ~jx:j ~jy:j ~jz:0.0 ~periodic n
+
+let grid_bonds ~rows ~cols =
+  let id r c = (r * cols) + c in
+  List.concat_map
+    (fun r ->
+      List.filter_map
+        (fun c -> if c < cols - 1 then Some (id r c, id r (c + 1)) else None)
+        (List.init cols (fun c -> c)))
+    (List.init rows (fun r -> r))
+  @ List.concat_map
+      (fun r ->
+        List.map (fun c -> (id r c, id (r + 1) c)) (List.init cols (fun c -> c)))
+      (List.init (rows - 1) (fun r -> r))
+
+let heisenberg_lattice ?(jx = 1.0) ?(jy = 1.0) ?(jz = 1.0) ~rows ~cols () =
+  if rows < 1 || cols < 1 then invalid_arg "Spin_models.heisenberg_lattice: size";
+  let n = rows * cols in
+  let per_bond bond =
+    List.filter_map
+      (fun (p, j) -> if j = 0.0 then None else Some (bond_term n p j bond))
+      [ Pauli.X, jx; Pauli.Y, jy; Pauli.Z, jz ]
+  in
+  Hamiltonian.make n (List.concat_map per_bond (grid_bonds ~rows ~cols))
+
+let tfim_lattice ?(j = 1.0) ?(h = 1.0) ~rows ~cols () =
+  if rows < 1 || cols < 1 then invalid_arg "Spin_models.tfim_lattice: size";
+  let n = rows * cols in
+  let zz = List.map (bond_term n Pauli.Z (-.j)) (grid_bonds ~rows ~cols) in
+  let field =
+    List.init n (fun q -> Pauli_term.make (Pauli_string.single n q Pauli.X) (-.h))
+  in
+  Hamiltonian.make n (zz @ field)
+
+let xxz_chain ?(j = 1.0) ?(delta = 0.5) ?periodic n =
+  heisenberg_chain ~jx:j ~jy:j ~jz:(j *. delta) ?periodic n
+
+let random_field_heisenberg ~seed ?(j = 1.0) ?(w = 2.0) n =
+  let rng = Phoenix_util.Prng.create seed in
+  let base = heisenberg_chain ~jx:j ~jy:j ~jz:j n in
+  let fields =
+    List.init n (fun q ->
+        Pauli_term.make
+          (Pauli_string.single n q Pauli.Z)
+          (Phoenix_util.Prng.uniform rng (-.w) w))
+  in
+  Hamiltonian.make n (Hamiltonian.terms base @ fields)

@@ -1,0 +1,29 @@
+(** Spin-lattice Hamiltonians for the example applications. *)
+
+val heisenberg_chain :
+  ?jx:float -> ?jy:float -> ?jz:float -> ?periodic:bool -> int ->
+  Hamiltonian.t
+(** Nearest-neighbour [Σ (jx·XX + jy·YY + jz·ZZ)] on a chain (couplings
+    default to 1). *)
+
+val tfim_chain : ?j:float -> ?h:float -> ?periodic:bool -> int -> Hamiltonian.t
+(** Transverse-field Ising: [−j·Σ Z_i Z_{i+1} − h·Σ X_i]. *)
+
+val xy_chain : ?j:float -> ?periodic:bool -> int -> Hamiltonian.t
+(** [j·Σ (XX + YY)]. *)
+
+val heisenberg_lattice :
+  ?jx:float -> ?jy:float -> ?jz:float -> rows:int -> cols:int -> unit ->
+  Hamiltonian.t
+(** Nearest-neighbour Heisenberg model on an open [rows × cols] grid. *)
+
+val tfim_lattice : ?j:float -> ?h:float -> rows:int -> cols:int -> unit -> Hamiltonian.t
+(** Transverse-field Ising on an open grid. *)
+
+val xxz_chain : ?j:float -> ?delta:float -> ?periodic:bool -> int -> Hamiltonian.t
+(** [j·Σ (XX + YY + Δ·ZZ)]. *)
+
+val random_field_heisenberg :
+  seed:int -> ?j:float -> ?w:float -> int -> Hamiltonian.t
+(** Heisenberg chain plus random longitudinal fields drawn uniformly from
+    [[−w, w]] — the standard many-body-localization workload. *)

@@ -1,0 +1,41 @@
+module Prng = Phoenix_util.Prng
+module Pauli_term = Phoenix_pauli.Pauli_term
+
+let first_order ?tau h = Hamiltonian.trotter_gadgets ?tau h
+let second_order ?tau h = Hamiltonian.trotter_gadgets_order2 ?tau h
+
+let lambda h =
+  List.fold_left
+    (fun acc (t : Pauli_term.t) -> acc +. Float.abs t.Pauli_term.coeff)
+    0.0 (Hamiltonian.terms h)
+
+let qdrift ~seed ~samples ?(time = 1.0) h =
+  if samples <= 0 then invalid_arg "Trotter.qdrift: samples must be positive";
+  let rng = Prng.create seed in
+  let terms = Array.of_list (Hamiltonian.terms h) in
+  let lam = lambda h in
+  if lam <= 0.0 then invalid_arg "Trotter.qdrift: zero Hamiltonian";
+  (* cumulative distribution over |h_j| *)
+  let cumulative = Array.make (Array.length terms) 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i (t : Pauli_term.t) ->
+      acc := !acc +. Float.abs t.Pauli_term.coeff;
+      cumulative.(i) <- !acc)
+    terms;
+  let draw () =
+    let target = Prng.float rng lam in
+    let rec search lo hi =
+      if lo >= hi then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if cumulative.(mid) < target then search (mid + 1) hi else search lo mid
+      end
+    in
+    terms.(search 0 (Array.length terms - 1))
+  in
+  let angle = 2.0 *. lam *. time /. float_of_int samples in
+  List.init samples (fun _ ->
+      let t = draw () in
+      let sign = if t.Pauli_term.coeff < 0.0 then -1.0 else 1.0 in
+      t.Pauli_term.pauli, sign *. angle)

@@ -1,0 +1,24 @@
+(** Product-formula and randomized compilers from a Hamiltonian to a
+    gadget program.
+
+    [first_order]/[second_order] re-export the deterministic formulas on
+    {!Hamiltonian}; [qdrift] implements Campbell's randomized protocol,
+    where terms are sampled with probability [|h_j|/λ] and every gadget
+    carries the same angle [2·λ·t/N] — the sampling, not the weights,
+    encodes the coefficients. *)
+
+val first_order :
+  ?tau:float -> Hamiltonian.t -> (Phoenix_pauli.Pauli_string.t * float) list
+
+val second_order :
+  ?tau:float -> Hamiltonian.t -> (Phoenix_pauli.Pauli_string.t * float) list
+
+val lambda : Hamiltonian.t -> float
+(** [Σ_j |h_j|], the 1-norm governing qDRIFT's cost. *)
+
+val qdrift :
+  seed:int -> samples:int -> ?time:float -> Hamiltonian.t ->
+  (Phoenix_pauli.Pauli_string.t * float) list
+(** [qdrift ~seed ~samples h]: [samples] gadgets drawn i.i.d. with
+    probability [|h_j|/λ], each [exp(−i·sign(h_j)·(λ·t/N)·P_j)].
+    Raises [Invalid_argument] for non-positive [samples]. *)

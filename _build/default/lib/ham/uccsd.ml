@@ -1,0 +1,107 @@
+module Prng = Phoenix_util.Prng
+module Pauli_term = Phoenix_pauli.Pauli_term
+
+type spec = {
+  name : string;
+  n_spatial : int;
+  n_electrons : int;
+  frozen : int;
+}
+
+type excitation =
+  | Single of { p : int; q : int }
+  | Double of { p : int; q : int; r : int; s : int }
+
+let active_spatial spec =
+  let m = spec.n_spatial - spec.frozen in
+  if m <= 0 then invalid_arg "Uccsd: no active orbitals";
+  m
+
+let num_qubits spec = 2 * active_spatial spec
+
+let num_active_electrons spec =
+  let e = spec.n_electrons - (2 * spec.frozen) in
+  if e < 0 then invalid_arg "Uccsd: negative active electron count";
+  if e mod 2 <> 0 then invalid_arg "Uccsd: open-shell molecules unsupported";
+  e
+
+(* Spin-orbital index of (spatial orbital, spin), interleaved layout. *)
+let so orbital spin = (2 * orbital) + spin
+
+let excitations spec =
+  let m = active_spatial spec in
+  let n_occ = num_active_electrons spec / 2 in
+  if n_occ > m then invalid_arg "Uccsd: more electrons than orbitals";
+  let occ = List.init n_occ (fun i -> i) in
+  let virt = List.init (m - n_occ) (fun a -> n_occ + a) in
+  let singles =
+    List.concat_map
+      (fun i ->
+        List.concat_map
+          (fun a ->
+            List.map (fun sp -> Single { p = so a sp; q = so i sp }) [ 0; 1 ])
+          virt)
+      occ
+  in
+  let ordered_pairs xs =
+    List.concat_map
+      (fun x -> List.filter_map (fun y -> if y > x then Some (x, y) else None) xs)
+      xs
+  in
+  let same_spin sp =
+    List.concat_map
+      (fun (i, j) ->
+        List.map
+          (fun (a, b) ->
+            Double { p = so a sp; q = so b sp; r = so j sp; s = so i sp })
+          (ordered_pairs virt))
+      (ordered_pairs occ)
+  in
+  let mixed =
+    List.concat_map
+      (fun i ->
+        List.concat_map
+          (fun j ->
+            List.concat_map
+              (fun a ->
+                List.map
+                  (fun b ->
+                    Double { p = so a 0; q = so b 1; r = so j 1; s = so i 0 })
+                  virt)
+              virt)
+          occ)
+      occ
+  in
+  singles @ same_spin 0 @ same_spin 1 @ mixed
+
+let num_pauli_terms _enc spec =
+  List.fold_left
+    (fun acc ex -> acc + (match ex with Single _ -> 2 | Double _ -> 8))
+    0 (excitations spec)
+
+let excitation_operator enc n = function
+  | Single { p; q } -> Fermion.excitation_single enc n ~p ~q
+  | Double { p; q; r; s } -> Fermion.excitation_double enc n ~p ~q ~r ~s
+
+let ansatz ?(seed = 1) ?(amplitude_scale = 1.0) enc spec =
+  let n = num_qubits spec in
+  let rng = Prng.create (seed + Hashtbl.hash spec.name) in
+  let blocks =
+    List.map
+      (fun ex ->
+        let magnitude =
+          match ex with
+          | Single _ -> Prng.uniform rng 0.01 0.05
+          | Double _ -> Prng.uniform rng 0.01 0.1
+        in
+        let sign = if Prng.bool rng then 1.0 else -1.0 in
+        let amplitude = amplitude_scale *. sign *. magnitude in
+        let op = excitation_operator enc n ex in
+        List.map
+          (fun (p, c) -> Pauli_term.make p (amplitude *. c))
+          (Pauli_sum.to_hermitian_terms op))
+      (excitations spec)
+  in
+  (* one block per excitation operator: the algorithm-level IR blocking
+     Paulihedral-family compilers consume *)
+  Hamiltonian.make_blocks n blocks

@@ -1,0 +1,48 @@
+(** UCCSD ansatz generation.
+
+    A molecule is abstracted as [(n_spatial, n_electrons, frozen)] — the
+    data that determines the full structure of the spin-conserving UCCSD
+    singles/doubles excitation list and hence of the compiled program.
+    Spin-orbitals are interleaved ([2·orbital + spin]); closed-shell
+    occupations are assumed (every molecule of the paper's Table I
+    qualifies).
+
+    Substitution note (see DESIGN.md): real CCSD/MP2 amplitudes require
+    electronic-structure integrals; amplitudes here are synthetic, seeded
+    and reproducible.  Gate counts, depths and program structure — the
+    quantities the paper evaluates — depend only on the excitation
+    structure, which is exact. *)
+
+type spec = {
+  name : string;
+  n_spatial : int;  (** spatial orbitals before freezing *)
+  n_electrons : int;
+  frozen : int;  (** frozen core spatial orbitals *)
+}
+
+type excitation =
+  | Single of { p : int; q : int }  (** [i(a†_p a_q − h.c.)], spin-orbital indices *)
+  | Double of { p : int; q : int; r : int; s : int }
+      (** [i(a†_p a†_q a_r a_s − h.c.)] *)
+
+val num_qubits : spec -> int
+(** [2·(n_spatial − frozen)]. *)
+
+val num_active_electrons : spec -> int
+(** [n_electrons − 2·frozen].  Raises [Invalid_argument] if negative or
+    odd (open shells are out of scope). *)
+
+val excitations : spec -> excitation list
+(** Spin-conserving singles then doubles, in a deterministic order. *)
+
+val num_pauli_terms : Fermion.encoding -> spec -> int
+(** Predicted term count: 2 per single + 8 per double (validated against
+    the paper's Table I in the test suite). *)
+
+val ansatz :
+  ?seed:int -> ?amplitude_scale:float -> Fermion.encoding -> spec ->
+  Hamiltonian.t
+(** The cluster operator as a weighted Pauli-term list, excitation by
+    excitation (preserving the block adjacency that Paulihedral-style
+    grouping exploits).  [amplitude_scale] (default 1) multiplies all
+    synthetic amplitudes — the rescaling knob of the paper's Fig. 8. *)

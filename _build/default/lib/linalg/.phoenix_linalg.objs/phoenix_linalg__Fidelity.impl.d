@@ -1,0 +1,1 @@
+lib/linalg/fidelity.ml: Cmat Complex

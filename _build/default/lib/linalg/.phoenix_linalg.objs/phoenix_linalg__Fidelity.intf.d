@@ -1,0 +1,1 @@
+lib/linalg/fidelity.mli: Cmat

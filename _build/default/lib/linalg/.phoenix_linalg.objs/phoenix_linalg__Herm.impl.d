@@ -1,0 +1,1 @@
+lib/linalg/herm.ml: Array Cmat Complex Float

@@ -1,0 +1,1 @@
+lib/linalg/herm.mli: Cmat

@@ -1,0 +1,1 @@
+lib/linalg/statevector.ml: Array Cmat Complex List Phoenix_circuit Phoenix_ham Phoenix_pauli Phoenix_util Unitary

@@ -1,0 +1,1 @@
+lib/linalg/statevector.mli: Complex Phoenix_circuit Phoenix_ham Phoenix_pauli Phoenix_util

@@ -1,0 +1,1 @@
+lib/linalg/unitary.ml: Array Cmat Complex List Phoenix_circuit Phoenix_pauli

@@ -1,0 +1,1 @@
+lib/linalg/unitary.mli: Cmat Phoenix_circuit Phoenix_pauli

@@ -1,0 +1,183 @@
+type t = { rows : int; cols : int; re : float array; im : float array }
+
+let create rows cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Cmat.create: bad dimensions";
+  { rows; cols; re = Array.make (rows * cols) 0.0; im = Array.make (rows * cols) 0.0 }
+
+let identity n =
+  let m = create n n in
+  for i = 0 to n - 1 do
+    m.re.((i * n) + i) <- 1.0
+  done;
+  m
+
+let dims m = m.rows, m.cols
+
+let idx m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Cmat: index out of range";
+  (i * m.cols) + j
+
+let get m i j =
+  let k = idx m i j in
+  { Complex.re = m.re.(k); im = m.im.(k) }
+
+let set m i j (c : Complex.t) =
+  let k = idx m i j in
+  m.re.(k) <- c.Complex.re;
+  m.im.(k) <- c.Complex.im
+
+let copy m = { m with re = Array.copy m.re; im = Array.copy m.im }
+
+let scale (c : Complex.t) m =
+  let r = create m.rows m.cols in
+  let cr = c.Complex.re and ci = c.Complex.im in
+  for k = 0 to (m.rows * m.cols) - 1 do
+    r.re.(k) <- (cr *. m.re.(k)) -. (ci *. m.im.(k));
+    r.im.(k) <- (cr *. m.im.(k)) +. (ci *. m.re.(k))
+  done;
+  r
+
+let map2 f g a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Cmat: dimension mismatch";
+  let r = create a.rows a.cols in
+  for k = 0 to (a.rows * a.cols) - 1 do
+    r.re.(k) <- f a.re.(k) b.re.(k);
+    r.im.(k) <- g a.im.(k) b.im.(k)
+  done;
+  r
+
+let add a b = map2 ( +. ) ( +. ) a b
+let sub a b = map2 ( -. ) ( -. ) a b
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Cmat.mul: dimension mismatch";
+  let r = create a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let are = a.re.((i * a.cols) + k) and aim = a.im.((i * a.cols) + k) in
+      if are <> 0.0 || aim <> 0.0 then begin
+        let arow = i * b.cols and brow = k * b.cols in
+        for j = 0 to b.cols - 1 do
+          let bre = b.re.(brow + j) and bim = b.im.(brow + j) in
+          r.re.(arow + j) <- r.re.(arow + j) +. (are *. bre) -. (aim *. bim);
+          r.im.(arow + j) <- r.im.(arow + j) +. (are *. bim) +. (aim *. bre)
+        done
+      end
+    done
+  done;
+  r
+
+let dagger m =
+  let r = create m.cols m.rows in
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      r.re.((j * m.rows) + i) <- m.re.((i * m.cols) + j);
+      r.im.((j * m.rows) + i) <- -.m.im.((i * m.cols) + j)
+    done
+  done;
+  r
+
+let kron a b =
+  let r = create (a.rows * b.rows) (a.cols * b.cols) in
+  for ia = 0 to a.rows - 1 do
+    for ja = 0 to a.cols - 1 do
+      let are = a.re.((ia * a.cols) + ja) and aim = a.im.((ia * a.cols) + ja) in
+      if are <> 0.0 || aim <> 0.0 then
+        for ib = 0 to b.rows - 1 do
+          for jb = 0 to b.cols - 1 do
+            let bre = b.re.((ib * b.cols) + jb)
+            and bim = b.im.((ib * b.cols) + jb) in
+            let i = (ia * b.rows) + ib and j = (ja * b.cols) + jb in
+            r.re.((i * r.cols) + j) <- (are *. bre) -. (aim *. bim);
+            r.im.((i * r.cols) + j) <- (are *. bim) +. (aim *. bre)
+          done
+        done
+    done
+  done;
+  r
+
+let trace m =
+  if m.rows <> m.cols then invalid_arg "Cmat.trace: not square";
+  let re = ref 0.0 and im = ref 0.0 in
+  for i = 0 to m.rows - 1 do
+    re := !re +. m.re.((i * m.cols) + i);
+    im := !im +. m.im.((i * m.cols) + i)
+  done;
+  { Complex.re = !re; im = !im }
+
+let frobenius_distance a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Cmat: dimension mismatch";
+  let acc = ref 0.0 in
+  for k = 0 to (a.rows * a.cols) - 1 do
+    let dr = a.re.(k) -. b.re.(k) and di = a.im.(k) -. b.im.(k) in
+    acc := !acc +. (dr *. dr) +. (di *. di)
+  done;
+  sqrt !acc
+
+let max_abs_diff a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Cmat: dimension mismatch";
+  let acc = ref 0.0 in
+  for k = 0 to (a.rows * a.cols) - 1 do
+    let dr = a.re.(k) -. b.re.(k) and di = a.im.(k) -. b.im.(k) in
+    let d = sqrt ((dr *. dr) +. (di *. di)) in
+    if d > !acc then acc := d
+  done;
+  !acc
+
+let is_close ?(tol = 1e-9) a b = max_abs_diff a b <= tol
+
+(* a = e^{iφ} b  ⇔  a·b† = e^{iφ}·I for unitaries; we instead find the
+   largest entry of b and read the phase off the matching entry of a. *)
+let equal_up_to_phase ?(tol = 1e-9) a b =
+  if a.rows <> b.rows || a.cols <> b.cols then false
+  else begin
+    let best = ref 0.0 and best_k = ref (-1) in
+    for k = 0 to (b.rows * b.cols) - 1 do
+      let m = (b.re.(k) *. b.re.(k)) +. (b.im.(k) *. b.im.(k)) in
+      if m > !best then begin
+        best := m;
+        best_k := k
+      end
+    done;
+    if !best_k < 0 then is_close ~tol a b
+    else begin
+      let k = !best_k in
+      let bz = { Complex.re = b.re.(k); im = b.im.(k) } in
+      let az = { Complex.re = a.re.(k); im = a.im.(k) } in
+      let phase = Complex.div az bz in
+      let norm = Complex.norm phase in
+      if Float.abs (norm -. 1.0) > Float.max 1e-6 tol then false
+      else is_close ~tol a (scale phase b)
+    end
+  end
+
+let of_complex_array rows_arr =
+  let rows = Array.length rows_arr in
+  if rows = 0 then invalid_arg "Cmat.of_complex_array: empty";
+  let cols = Array.length rows_arr.(0) in
+  let m = create rows cols in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> cols then
+        invalid_arg "Cmat.of_complex_array: ragged rows";
+      Array.iteri (fun j c -> set m i j c) row)
+    rows_arr;
+  m
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      let c = get m i j in
+      Format.fprintf fmt "%+.3f%+.3fi " c.Complex.re c.Complex.im
+    done;
+    Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"
+
+let raw_re m = m.re
+let raw_im m = m.im

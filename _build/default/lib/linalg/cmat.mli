@@ -1,0 +1,52 @@
+(** Dense complex matrices (row-major, split real/imaginary storage).
+
+    Sized for exact simulation of circuits up to ~10 qubits; operations
+    are straightforward O(n³)/O(n²) loops with no external dependencies. *)
+
+type t
+
+val create : int -> int -> t
+(** Zero matrix with given [rows cols]. *)
+
+val identity : int -> t
+val dims : t -> int * int
+val get : t -> int -> int -> Complex.t
+val set : t -> int -> int -> Complex.t -> unit
+val copy : t -> t
+
+val scale : Complex.t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+(** Matrix product.  Raises [Invalid_argument] on dimension mismatch. *)
+
+val dagger : t -> t
+(** Conjugate transpose. *)
+
+val kron : t -> t -> t
+(** Kronecker product. *)
+
+val trace : t -> Complex.t
+
+val frobenius_distance : t -> t -> float
+(** [‖a - b‖_F]. *)
+
+val max_abs_diff : t -> t -> float
+
+val is_close : ?tol:float -> t -> t -> bool
+(** Entry-wise closeness with default tolerance [1e-9]. *)
+
+val equal_up_to_phase : ?tol:float -> t -> t -> bool
+(** [true] when [a = e^{iφ}·b] for some global phase [φ]. *)
+
+val of_complex_array : Complex.t array array -> t
+val pp : Format.formatter -> t -> unit
+
+(** {1 Raw access}
+
+    Direct views of the underlying row-major storage, for performance-
+    critical in-place kernels (gate application).  Mutating these arrays
+    mutates the matrix. *)
+
+val raw_re : t -> float array
+val raw_im : t -> float array

@@ -1,0 +1,8 @@
+let infidelity u v =
+  let ru, cu = Cmat.dims u and rv, cv = Cmat.dims v in
+  if ru <> rv || cu <> cv || ru <> cu then
+    invalid_arg "Fidelity.infidelity: dimension mismatch";
+  let tr = Cmat.trace (Cmat.mul (Cmat.dagger u) v) in
+  1.0 -. (Complex.norm tr /. float_of_int ru)
+
+let equivalent ?(tol = 1e-9) u v = infidelity u v < tol

@@ -1,0 +1,12 @@
+(** Unitary-fidelity metrics.
+
+    The paper's algorithmic error is
+    [infid = 1 − |Tr(U† V)| / N]  (§V-A), insensitive to global phase. *)
+
+val infidelity : Cmat.t -> Cmat.t -> float
+(** [infidelity u v = 1 − |Tr(u† v)| / N].  Raises [Invalid_argument] on
+    dimension mismatch. *)
+
+val equivalent : ?tol:float -> Cmat.t -> Cmat.t -> bool
+(** [true] when the infidelity is below [tol] (default [1e-9]) — unitary
+    equality up to global phase. *)

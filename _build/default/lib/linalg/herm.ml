@@ -1,0 +1,103 @@
+type decomposition = { eigenvalues : float array; eigenvectors : Cmat.t }
+
+let off_diag_norm a n =
+  let re = Cmat.raw_re a and im = Cmat.raw_im a in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let r = re.((i * n) + j) and m = im.((i * n) + j) in
+        acc := !acc +. (r *. r) +. (m *. m)
+      end
+    done
+  done;
+  sqrt !acc
+
+(* One complex Jacobi rotation annihilating a_pq:
+   write a_pq = |a_pq| e^{iφ}; with t = tan θ solving the real 2×2 problem
+   for (a_pp, |a_pq|, a_qq), the unitary
+     J = [[c, -s e^{iφ}], [s e^{-iφ}, c]]   (acting on rows/cols p,q)
+   makes (J† A J)_pq = 0. *)
+let rotate a v n p q =
+  let re = Cmat.raw_re a and im = Cmat.raw_im a in
+  let apq_re = re.((p * n) + q) and apq_im = im.((p * n) + q) in
+  let mag = sqrt ((apq_re *. apq_re) +. (apq_im *. apq_im)) in
+  if mag > 0.0 then begin
+    let phi_re = apq_re /. mag and phi_im = apq_im /. mag in
+    let app = re.((p * n) + p) and aqq = re.((q * n) + q) in
+    let tau = (app -. aqq) /. (2.0 *. mag) in
+    let t =
+      let s = if tau >= 0.0 then 1.0 else -1.0 in
+      s /. (Float.abs tau +. sqrt (1.0 +. (tau *. tau)))
+    in
+    let c = 1.0 /. sqrt (1.0 +. (t *. t)) in
+    let s = t *. c in
+    (* Column update: columns p and q of A and V multiply by J. *)
+    let update_cols mat_re mat_im rows =
+      for i = 0 to rows - 1 do
+        let ip = (i * n) + p and iq = (i * n) + q in
+        let xp_re = mat_re.(ip) and xp_im = mat_im.(ip) in
+        let xq_re = mat_re.(iq) and xq_im = mat_im.(iq) in
+        (* new_p = c·x_p + s·e^{-iφ}·x_q ; new_q = -s·e^{iφ}·x_p + c·x_q *)
+        let eq_re = (phi_re *. xq_re) +. (phi_im *. xq_im) in
+        let eq_im = (phi_re *. xq_im) -. (phi_im *. xq_re) in
+        mat_re.(ip) <- (c *. xp_re) +. (s *. eq_re);
+        mat_im.(ip) <- (c *. xp_im) +. (s *. eq_im);
+        let ep_re = (phi_re *. xp_re) -. (phi_im *. xp_im) in
+        let ep_im = (phi_re *. xp_im) +. (phi_im *. xp_re) in
+        mat_re.(iq) <- (c *. xq_re) -. (s *. ep_re);
+        mat_im.(iq) <- (c *. xq_im) -. (s *. ep_im)
+      done
+    in
+    (* Row update of A: rows p and q multiply by J†. *)
+    let update_rows () =
+      for j = 0 to n - 1 do
+        let pj = (p * n) + j and qj = (q * n) + j in
+        let xp_re = re.(pj) and xp_im = im.(pj) in
+        let xq_re = re.(qj) and xq_im = im.(qj) in
+        (* new_p = c·x_p + s·e^{iφ}·x_q ; new_q = -s·e^{-iφ}·x_p + c·x_q *)
+        let eq_re = (phi_re *. xq_re) -. (phi_im *. xq_im) in
+        let eq_im = (phi_re *. xq_im) +. (phi_im *. xq_re) in
+        re.(pj) <- (c *. xp_re) +. (s *. eq_re);
+        im.(pj) <- (c *. xp_im) +. (s *. eq_im);
+        let ep_re = (phi_re *. xp_re) +. (phi_im *. xp_im) in
+        let ep_im = (phi_re *. xp_im) -. (phi_im *. xp_re) in
+        re.(qj) <- (c *. xq_re) -. (s *. ep_re);
+        im.(qj) <- (c *. xq_im) -. (s *. ep_im)
+      done
+    in
+    update_rows ();
+    update_cols re im n;
+    update_cols (Cmat.raw_re v) (Cmat.raw_im v) n
+  end
+
+let eig ?(tol = 1e-12) ?(max_sweeps = 50) m =
+  let rows, cols = Cmat.dims m in
+  if rows <> cols then invalid_arg "Herm.eig: not square";
+  let n = rows in
+  let a = Cmat.copy m in
+  let v = Cmat.identity n in
+  let scale = Float.max 1.0 (Cmat.frobenius_distance m (Cmat.create n n)) in
+  let sweeps = ref 0 in
+  while off_diag_norm a n > tol *. scale && !sweeps < max_sweeps do
+    incr sweeps;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        rotate a v n p q
+      done
+    done
+  done;
+  let re = Cmat.raw_re a in
+  { eigenvalues = Array.init n (fun i -> re.((i * n) + i)); eigenvectors = v }
+
+let evolution d t =
+  let v = d.eigenvectors in
+  let n = Array.length d.eigenvalues in
+  let diag = Cmat.create n n in
+  for i = 0 to n - 1 do
+    let phase = -.d.eigenvalues.(i) *. t in
+    Cmat.set diag i i { Complex.re = cos phase; im = sin phase }
+  done;
+  Cmat.mul (Cmat.mul v diag) (Cmat.dagger v)
+
+let expm_hermitian_times m t = evolution (eig m) t

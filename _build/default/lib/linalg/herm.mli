@@ -1,0 +1,20 @@
+(** Hermitian eigendecomposition via the cyclic complex Jacobi method,
+    and the matrix exponentials built on it.
+
+    Intended for the exact-evolution reference of the algorithmic-error
+    experiment (Fig. 8): a Hamiltonian is diagonalized once and
+    [exp(-i·H·t)] is then obtained for any [t] from the spectrum. *)
+
+type decomposition = { eigenvalues : float array; eigenvectors : Cmat.t }
+(** [H = V · diag(λ) · V†] with [V = eigenvectors] unitary. *)
+
+val eig : ?tol:float -> ?max_sweeps:int -> Cmat.t -> decomposition
+(** Diagonalize a Hermitian matrix.  [tol] (default [1e-12]) bounds the
+    residual off-diagonal Frobenius mass relative to the matrix norm.
+    Raises [Invalid_argument] on non-square input. *)
+
+val evolution : decomposition -> float -> Cmat.t
+(** [evolution d t = exp(-i·H·t) = V·diag(e^{-iλt})·V†]. *)
+
+val expm_hermitian_times : Cmat.t -> float -> Cmat.t
+(** One-shot [exp(-i·H·t)]. *)

@@ -1,0 +1,155 @@
+module Gate = Phoenix_circuit.Gate
+module Circuit = Phoenix_circuit.Circuit
+module Pauli = Phoenix_pauli.Pauli
+module Pauli_string = Phoenix_pauli.Pauli_string
+
+type t = { n : int; re : float array; im : float array }
+
+let zero_state n =
+  if n <= 0 then invalid_arg "Statevector.zero_state: need at least one qubit";
+  let dim = 1 lsl n in
+  let v = { n; re = Array.make dim 0.0; im = Array.make dim 0.0 } in
+  v.re.(0) <- 1.0;
+  v
+
+let basis_state n k =
+  let v = zero_state n in
+  if k < 0 || k >= 1 lsl n then invalid_arg "Statevector.basis_state: out of range";
+  v.re.(0) <- 0.0;
+  v.re.(k) <- 1.0;
+  v
+
+let num_qubits v = v.n
+let copy v = { v with re = Array.copy v.re; im = Array.copy v.im }
+let amplitude v k = { Complex.re = v.re.(k); im = v.im.(k) }
+
+let norm v =
+  let acc = ref 0.0 in
+  Array.iteri (fun k re -> acc := !acc +. (re *. re) +. (v.im.(k) *. v.im.(k))) v.re;
+  sqrt !acc
+
+let apply_1q v q m =
+  let g i j = Cmat.get m i j in
+  let m00 = g 0 0 and m01 = g 0 1 and m10 = g 1 0 and m11 = g 1 1 in
+  let dim = 1 lsl v.n in
+  let mask = 1 lsl (v.n - 1 - q) in
+  for i0 = 0 to dim - 1 do
+    if i0 land mask = 0 then begin
+      let i1 = i0 lor mask in
+      let a_re = v.re.(i0) and a_im = v.im.(i0) in
+      let b_re = v.re.(i1) and b_im = v.im.(i1) in
+      v.re.(i0) <-
+        (m00.Complex.re *. a_re) -. (m00.Complex.im *. a_im)
+        +. (m01.Complex.re *. b_re) -. (m01.Complex.im *. b_im);
+      v.im.(i0) <-
+        (m00.Complex.re *. a_im) +. (m00.Complex.im *. a_re)
+        +. (m01.Complex.re *. b_im) +. (m01.Complex.im *. b_re);
+      v.re.(i1) <-
+        (m10.Complex.re *. a_re) -. (m10.Complex.im *. a_im)
+        +. (m11.Complex.re *. b_re) -. (m11.Complex.im *. b_im);
+      v.im.(i1) <-
+        (m10.Complex.re *. a_im) +. (m10.Complex.im *. a_re)
+        +. (m11.Complex.re *. b_im) +. (m11.Complex.im *. b_re)
+    end
+  done
+
+let apply_2q v a b m =
+  let mre = Array.init 16 (fun k -> (Cmat.get m (k / 4) (k mod 4)).Complex.re) in
+  let mim = Array.init 16 (fun k -> (Cmat.get m (k / 4) (k mod 4)).Complex.im) in
+  let dim = 1 lsl v.n in
+  let mask_a = 1 lsl (v.n - 1 - a) and mask_b = 1 lsl (v.n - 1 - b) in
+  let idx = Array.make 4 0 in
+  let tre = Array.make 4 0.0 and tim = Array.make 4 0.0 in
+  for base = 0 to dim - 1 do
+    if base land mask_a = 0 && base land mask_b = 0 then begin
+      idx.(0) <- base;
+      idx.(1) <- base lor mask_b;
+      idx.(2) <- base lor mask_a;
+      idx.(3) <- base lor mask_a lor mask_b;
+      for k = 0 to 3 do
+        tre.(k) <- v.re.(idx.(k));
+        tim.(k) <- v.im.(idx.(k))
+      done;
+      for k = 0 to 3 do
+        let acc_re = ref 0.0 and acc_im = ref 0.0 in
+        for l = 0 to 3 do
+          let mr = mre.((k * 4) + l) and mi = mim.((k * 4) + l) in
+          acc_re := !acc_re +. (mr *. tre.(l)) -. (mi *. tim.(l));
+          acc_im := !acc_im +. (mr *. tim.(l)) +. (mi *. tre.(l))
+        done;
+        v.re.(idx.(k)) <- !acc_re;
+        v.im.(idx.(k)) <- !acc_im
+      done
+    end
+  done
+
+let apply_gate v g =
+  match g, Gate.qubits g with
+  | Gate.G1 (k, q), _ -> apply_1q v q (Unitary.one_q k)
+  | _, [ a; b ] -> apply_2q v a b (Unitary.gate_4x4 g)
+  | _, _ -> assert false
+
+let run_circuit v circuit =
+  if Circuit.num_qubits circuit <> v.n then
+    invalid_arg "Statevector.run_circuit: qubit-count mismatch";
+  List.iter (apply_gate v) (Circuit.gates circuit)
+
+let of_circuit circuit =
+  let v = zero_state (Circuit.num_qubits circuit) in
+  run_circuit v circuit;
+  v
+
+let inner_product a b =
+  if a.n <> b.n then invalid_arg "Statevector.inner_product: size mismatch";
+  let re = ref 0.0 and im = ref 0.0 in
+  Array.iteri
+    (fun k a_re ->
+      let a_im = a.im.(k) and b_re = b.re.(k) and b_im = b.im.(k) in
+      (* conj(a) * b *)
+      re := !re +. (a_re *. b_re) +. (a_im *. b_im);
+      im := !im +. (a_re *. b_im) -. (a_im *. b_re))
+    a.re;
+  { Complex.re = !re; im = !im }
+
+(* P|ψ⟩ computed amplitude-wise: for basis |k⟩, P|k⟩ = phase · |k'⟩ with
+   k' = k ⊕ x-mask and phase i^{(#Y)} · (−1)^{(z·k')}… implemented via the
+   per-qubit action to stay simple and obviously correct. *)
+let expectation_pauli v p =
+  if Pauli_string.num_qubits p <> v.n then
+    invalid_arg "Statevector.expectation_pauli: size mismatch";
+  let w = copy v in
+  List.iter
+    (fun q ->
+      match Pauli_string.get p q with
+      | Pauli.I -> ()
+      | op -> apply_1q w q (Unitary.pauli_1q op))
+    (List.init v.n (fun i -> i));
+  (inner_product v w).Complex.re
+
+let expectation v h =
+  if Phoenix_ham.Hamiltonian.num_qubits h <> v.n then
+    invalid_arg "Statevector.expectation: size mismatch";
+  List.fold_left
+    (fun acc (t : Phoenix_pauli.Pauli_term.t) ->
+      acc
+      +. (t.Phoenix_pauli.Pauli_term.coeff
+         *. expectation_pauli v t.Phoenix_pauli.Pauli_term.pauli))
+    0.0
+    (Phoenix_ham.Hamiltonian.terms h)
+
+let probabilities v =
+  Array.init (1 lsl v.n) (fun k ->
+      (v.re.(k) *. v.re.(k)) +. (v.im.(k) *. v.im.(k)))
+
+let sample rng v =
+  let probs = probabilities v in
+  let total = Array.fold_left ( +. ) 0.0 probs in
+  let target = Phoenix_util.Prng.float rng total in
+  let rec walk k acc =
+    if k >= Array.length probs - 1 then k
+    else begin
+      let acc = acc +. probs.(k) in
+      if acc >= target then k else walk (k + 1) acc
+    end
+  in
+  walk 0 0.0

@@ -1,0 +1,48 @@
+(** State-vector simulation.
+
+    Where {!Unitary} builds full [2^n × 2^n] matrices (needed for
+    infidelity metrics), this module evolves a single [2^n] state —
+    linear rather than quadratic in the Hilbert-space dimension per gate
+    — and supports the expectation values a VQE loop needs.
+
+    Basis convention matches {!Unitary}: qubit 0 is the most significant
+    bit of the amplitude index. *)
+
+type t
+
+val zero_state : int -> t
+(** [|0…0⟩] over [n] qubits. *)
+
+val basis_state : int -> int -> t
+(** [basis_state n k] is the computational-basis state [|k⟩]. *)
+
+val num_qubits : t -> int
+val copy : t -> t
+val amplitude : t -> int -> Complex.t
+val norm : t -> float
+
+val apply_gate : t -> Phoenix_circuit.Gate.t -> unit
+(** In-place gate application. *)
+
+val run_circuit : t -> Phoenix_circuit.Circuit.t -> unit
+(** Apply every gate in order.
+    Raises [Invalid_argument] on qubit-count mismatch. *)
+
+val of_circuit : Phoenix_circuit.Circuit.t -> t
+(** [run_circuit] on a fresh [|0…0⟩]. *)
+
+val inner_product : t -> t -> Complex.t
+(** [⟨a|b⟩]. *)
+
+val expectation_pauli : t -> Phoenix_pauli.Pauli_string.t -> float
+(** [⟨ψ|P|ψ⟩] (real for Hermitian [P]; the imaginary part is
+    discarded). *)
+
+val expectation : t -> Phoenix_ham.Hamiltonian.t -> float
+(** [⟨ψ|H|ψ⟩ = Σ_j h_j·⟨ψ|P_j|ψ⟩]. *)
+
+val probabilities : t -> float array
+(** Measurement distribution over the computational basis. *)
+
+val sample : Phoenix_util.Prng.t -> t -> int
+(** Draw one computational-basis outcome. *)

@@ -1,0 +1,242 @@
+module Pauli = Phoenix_pauli.Pauli
+module Pauli_string = Phoenix_pauli.Pauli_string
+module Clifford2q = Phoenix_pauli.Clifford2q
+module Gate = Phoenix_circuit.Gate
+module Circuit = Phoenix_circuit.Circuit
+
+let c ?(im = 0.0) re = { Complex.re; im }
+let czero = c 0.0
+let cone = c 1.0
+
+let pauli_1q p =
+  let open Complex in
+  match p with
+  | Pauli.I -> Cmat.of_complex_array [| [| cone; czero |]; [| czero; cone |] |]
+  | Pauli.X -> Cmat.of_complex_array [| [| czero; cone |]; [| cone; czero |] |]
+  | Pauli.Y ->
+    Cmat.of_complex_array
+      [| [| czero; { re = 0.0; im = -1.0 } |]; [| { re = 0.0; im = 1.0 }; czero |] |]
+  | Pauli.Z ->
+    Cmat.of_complex_array [| [| cone; czero |]; [| czero; c (-1.0) |] |]
+
+let rot_matrix p theta =
+  (* exp(-i θ/2 σ) = cos(θ/2) I - i sin(θ/2) σ *)
+  let co = cos (theta /. 2.0) and si = sin (theta /. 2.0) in
+  let id = Cmat.identity 2 and sigma = pauli_1q p in
+  Cmat.add (Cmat.scale (c co) id) (Cmat.scale (c ~im:(-.si) 0.0) sigma)
+
+let sqrt_half = 1.0 /. sqrt 2.0
+
+let one_q g =
+  match g with
+  | Gate.H ->
+    Cmat.of_complex_array
+      [| [| c sqrt_half; c sqrt_half |]; [| c sqrt_half; c (-.sqrt_half) |] |]
+  | Gate.S ->
+    Cmat.of_complex_array [| [| cone; czero |]; [| czero; c ~im:1.0 0.0 |] |]
+  | Gate.Sdg ->
+    Cmat.of_complex_array [| [| cone; czero |]; [| czero; c ~im:(-1.0) 0.0 |] |]
+  | Gate.T ->
+    Cmat.of_complex_array
+      [| [| cone; czero |]; [| czero; c ~im:sqrt_half sqrt_half |] |]
+  | Gate.Tdg ->
+    Cmat.of_complex_array
+      [| [| cone; czero |]; [| czero; c ~im:(-.sqrt_half) sqrt_half |] |]
+  | Gate.X -> pauli_1q Pauli.X
+  | Gate.Y -> pauli_1q Pauli.Y
+  | Gate.Z -> pauli_1q Pauli.Z
+  | Gate.Rx t -> rot_matrix Pauli.X t
+  | Gate.Ry t -> rot_matrix Pauli.Y t
+  | Gate.Rz t -> rot_matrix Pauli.Z t
+
+let pauli_matrix p =
+  let n = Pauli_string.num_qubits p in
+  let rec go q acc =
+    if q >= n then acc else go (q + 1) (Cmat.kron acc (pauli_1q (Pauli_string.get p q)))
+  in
+  go 1 (pauli_1q (Pauli_string.get p 0))
+
+let gadget_matrix p theta =
+  let n = Pauli_string.num_qubits p in
+  let dim = 1 lsl n in
+  let co = cos (theta /. 2.0) and si = sin (theta /. 2.0) in
+  Cmat.add
+    (Cmat.scale (c co) (Cmat.identity dim))
+    (Cmat.scale (c ~im:(-.si) 0.0) (pauli_matrix p))
+
+let clifford2q_4x4 kind =
+  let s0, s1 = Clifford2q.kind_sigmas kind in
+  let id2 = Cmat.identity 2 in
+  let half = c 0.5 in
+  let plus = Cmat.kron (Cmat.add id2 (pauli_1q s0)) id2 in
+  let minus = Cmat.kron (Cmat.sub id2 (pauli_1q s0)) (pauli_1q s1) in
+  Cmat.scale half (Cmat.add plus minus)
+
+let rpp_4x4 p0 p1 theta =
+  let co = cos (theta /. 2.0) and si = sin (theta /. 2.0) in
+  Cmat.add
+    (Cmat.scale (c co) (Cmat.identity 4))
+    (Cmat.scale (c ~im:(-.si) 0.0) (Cmat.kron (pauli_1q p0) (pauli_1q p1)))
+
+let cnot_4x4 =
+  Cmat.of_complex_array
+    [|
+      [| cone; czero; czero; czero |];
+      [| czero; cone; czero; czero |];
+      [| czero; czero; czero; cone |];
+      [| czero; czero; cone; czero |];
+    |]
+
+let swap_4x4 =
+  Cmat.of_complex_array
+    [|
+      [| cone; czero; czero; czero |];
+      [| czero; czero; cone; czero |];
+      [| czero; cone; czero; czero |];
+      [| czero; czero; czero; cone |];
+    |]
+
+(* Re-express a 4×4 written for local order (q0, q1) in the swapped local
+   order: permute basis index bits. *)
+let swap_factors m =
+  let r = Cmat.create 4 4 in
+  let perm i = ((i land 1) lsl 1) lor (i lsr 1) in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      Cmat.set r (perm i) (perm j) (Cmat.get m i j)
+    done
+  done;
+  r
+
+(* Local 4×4 of a 2Q gate with [a] mapped to the high local bit. *)
+let rec local_4x4 a b g =
+  match g with
+  | Gate.Cnot (c0, t0) ->
+    if c0 = a && t0 = b then cnot_4x4
+    else if c0 = b && t0 = a then swap_factors cnot_4x4
+    else invalid_arg "Unitary.local_4x4: qubit mismatch"
+  | Gate.Cliff2 { Clifford2q.kind; a = ca; b = cb } ->
+    if ca = a && cb = b then clifford2q_4x4 kind
+    else if ca = b && cb = a then swap_factors (clifford2q_4x4 kind)
+    else invalid_arg "Unitary.local_4x4: qubit mismatch"
+  | Gate.Rpp { p0; p1; a = ra; b = rb; theta } ->
+    if ra = a && rb = b then rpp_4x4 p0 p1 theta
+    else if ra = b && rb = a then rpp_4x4 p1 p0 theta
+    else invalid_arg "Unitary.local_4x4: qubit mismatch"
+  | Gate.Swap (x, y) ->
+    if (x = a && y = b) || (x = b && y = a) then swap_4x4
+    else invalid_arg "Unitary.local_4x4: qubit mismatch"
+  | Gate.Su4 { a = sa; b = sb; parts } ->
+    if not ((sa = a && sb = b) || (sa = b && sb = a)) then
+      invalid_arg "Unitary.local_4x4: qubit mismatch";
+    List.fold_left
+      (fun acc part ->
+        let m =
+          match Gate.qubits part with
+          | [ q ] ->
+            if q = a then Cmat.kron (one_q_of part) (Cmat.identity 2)
+            else Cmat.kron (Cmat.identity 2) (one_q_of part)
+          | [ _; _ ] -> local_4x4 a b part
+          | _ -> assert false
+        in
+        Cmat.mul m acc)
+      (Cmat.identity 4) parts
+  | Gate.G1 _ -> invalid_arg "Unitary.local_4x4: one-qubit gate"
+
+and one_q_of = function
+  | Gate.G1 (k, _) -> one_q k
+  | Gate.Cnot _ | Gate.Cliff2 _ | Gate.Rpp _ | Gate.Swap _ | Gate.Su4 _ ->
+    invalid_arg "Unitary.one_q_of: not a 1Q gate"
+
+let gate_4x4 g =
+  match Gate.qubits g with
+  | [ a; b ] -> local_4x4 a b g
+  | _ -> invalid_arg "Unitary.gate_4x4: not a 2Q gate"
+
+(* u <- (G on qubit q) · u, in place. *)
+let apply_1q_inplace u n q m =
+  let dim = 1 lsl n in
+  let re = Cmat.raw_re u and im = Cmat.raw_im u in
+  let g i j = Cmat.get m i j in
+  let m00 = g 0 0 and m01 = g 0 1 and m10 = g 1 0 and m11 = g 1 1 in
+  let mask = 1 lsl (n - 1 - q) in
+  for i0 = 0 to dim - 1 do
+    if i0 land mask = 0 then begin
+      let i1 = i0 lor mask in
+      let r0 = i0 * dim and r1 = i1 * dim in
+      for j = 0 to dim - 1 do
+        let a_re = re.(r0 + j) and a_im = im.(r0 + j) in
+        let b_re = re.(r1 + j) and b_im = im.(r1 + j) in
+        re.(r0 + j) <-
+          (m00.Complex.re *. a_re) -. (m00.Complex.im *. a_im)
+          +. (m01.Complex.re *. b_re) -. (m01.Complex.im *. b_im);
+        im.(r0 + j) <-
+          (m00.Complex.re *. a_im) +. (m00.Complex.im *. a_re)
+          +. (m01.Complex.re *. b_im) +. (m01.Complex.im *. b_re);
+        re.(r1 + j) <-
+          (m10.Complex.re *. a_re) -. (m10.Complex.im *. a_im)
+          +. (m11.Complex.re *. b_re) -. (m11.Complex.im *. b_im);
+        im.(r1 + j) <-
+          (m10.Complex.re *. a_im) +. (m10.Complex.im *. a_re)
+          +. (m11.Complex.re *. b_im) +. (m11.Complex.im *. b_re)
+      done
+    end
+  done
+
+(* u <- (M on qubits a,b) · u with a the high local bit, in place. *)
+let apply_2q_inplace u n a b m =
+  let dim = 1 lsl n in
+  let re = Cmat.raw_re u and im = Cmat.raw_im u in
+  let mre = Array.init 16 (fun k -> (Cmat.get m (k / 4) (k mod 4)).Complex.re) in
+  let mim = Array.init 16 (fun k -> (Cmat.get m (k / 4) (k mod 4)).Complex.im) in
+  let mask_a = 1 lsl (n - 1 - a) and mask_b = 1 lsl (n - 1 - b) in
+  let rows = Array.make 4 0 in
+  let tmp_re = Array.make 4 0.0 and tmp_im = Array.make 4 0.0 in
+  for base = 0 to dim - 1 do
+    if base land mask_a = 0 && base land mask_b = 0 then begin
+      rows.(0) <- base;
+      rows.(1) <- base lor mask_b;
+      rows.(2) <- base lor mask_a;
+      rows.(3) <- base lor mask_a lor mask_b;
+      for j = 0 to dim - 1 do
+        for k = 0 to 3 do
+          tmp_re.(k) <- re.((rows.(k) * dim) + j);
+          tmp_im.(k) <- im.((rows.(k) * dim) + j)
+        done;
+        for k = 0 to 3 do
+          let acc_re = ref 0.0 and acc_im = ref 0.0 in
+          for l = 0 to 3 do
+            let mr = mre.((k * 4) + l) and mi = mim.((k * 4) + l) in
+            acc_re := !acc_re +. (mr *. tmp_re.(l)) -. (mi *. tmp_im.(l));
+            acc_im := !acc_im +. (mr *. tmp_im.(l)) +. (mi *. tmp_re.(l))
+          done;
+          re.((rows.(k) * dim) + j) <- !acc_re;
+          im.((rows.(k) * dim) + j) <- !acc_im
+        done
+      done
+    end
+  done
+
+let apply_gate u n g =
+  match g, Gate.qubits g with
+  | Gate.G1 (k, q), _ -> apply_1q_inplace u n q (one_q k)
+  | _, [ a; b ] -> apply_2q_inplace u n a b (local_4x4 a b g)
+  | _, _ -> assert false
+
+let circuit_unitary circ =
+  let n = Circuit.num_qubits circ in
+  let u = Cmat.identity (1 lsl n) in
+  List.iter (apply_gate u n) (Circuit.gates circ);
+  u
+
+let program_unitary n gadgets =
+  let u = ref (Cmat.identity (1 lsl n)) in
+  List.iter (fun (p, theta) -> u := Cmat.mul (gadget_matrix p theta) !u) gadgets;
+  !u
+
+let hamiltonian_matrix n terms =
+  let acc = ref (Cmat.create (1 lsl n) (1 lsl n)) in
+  List.iter
+    (fun (p, h) -> acc := Cmat.add !acc (Cmat.scale (c h) (pauli_matrix p)))
+    terms;
+  !acc

@@ -1,0 +1,40 @@
+(** Exact unitaries of gates, circuits, Pauli strings and gadget programs.
+
+    Basis-index convention: qubit 0 is the most significant bit of the
+    computational-basis index, so [pauli_matrix (of_string "ZY")] equals
+    [kron Z Y]. *)
+
+val pauli_1q : Phoenix_pauli.Pauli.t -> Cmat.t
+(** 2×2 matrix of a single-qubit Pauli. *)
+
+val one_q : Phoenix_circuit.Gate.one_q -> Cmat.t
+(** 2×2 matrix of a 1Q gate. *)
+
+val pauli_matrix : Phoenix_pauli.Pauli_string.t -> Cmat.t
+(** [2^n × 2^n] matrix of a Pauli string. *)
+
+val gadget_matrix : Phoenix_pauli.Pauli_string.t -> float -> Cmat.t
+(** [gadget_matrix p θ = exp(-i θ/2 P) = cos(θ/2)·I − i·sin(θ/2)·P]. *)
+
+val clifford2q_4x4 : Phoenix_pauli.Clifford2q.kind -> Cmat.t
+(** 4×4 matrix of [C(σ0, σ1)] with the control as the first factor. *)
+
+val gate_4x4 : Phoenix_circuit.Gate.t -> Cmat.t
+(** Local 4×4 matrix of a 2Q gate, first factor = first qubit in
+    [Gate.qubits] order for [Cnot]/[Cliff2]/[Rpp], smaller index first for
+    [Swap]/[Su4].  Raises [Invalid_argument] on 1Q gates. *)
+
+val apply_gate : Cmat.t -> int -> Phoenix_circuit.Gate.t -> unit
+(** [apply_gate u n g] replaces [u] with [U(g)·u] in place, where [u] is
+    a [2^n × 2^n] matrix. *)
+
+val circuit_unitary : Phoenix_circuit.Circuit.t -> Cmat.t
+(** Full unitary of a circuit. *)
+
+val program_unitary :
+  int -> (Phoenix_pauli.Pauli_string.t * float) list -> Cmat.t
+(** Unitary of a gadget list applied in order (first gadget first). *)
+
+val hamiltonian_matrix :
+  int -> (Phoenix_pauli.Pauli_string.t * float) list -> Cmat.t
+(** [Σ_j h_j · P_j] as a dense Hermitian matrix. *)

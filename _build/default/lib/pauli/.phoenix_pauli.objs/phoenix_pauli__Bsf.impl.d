@@ -1,0 +1,1 @@
+lib/pauli/bsf.ml: Array Clifford2q Format List Pauli_string Phoenix_util

@@ -1,0 +1,1 @@
+lib/pauli/bsf.mli: Clifford2q Format Pauli_string Phoenix_util

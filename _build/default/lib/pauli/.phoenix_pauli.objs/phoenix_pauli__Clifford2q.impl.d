@@ -1,0 +1,1 @@
+lib/pauli/clifford2q.ml: Format Pauli

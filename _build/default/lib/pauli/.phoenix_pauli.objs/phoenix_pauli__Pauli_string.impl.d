@@ -1,0 +1,1 @@
+lib/pauli/pauli_string.ml: Format Hashtbl List Pauli Phoenix_util String

@@ -1,0 +1,1 @@
+lib/pauli/pauli_string.mli: Format Pauli Phoenix_util

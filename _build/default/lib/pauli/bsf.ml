@@ -1,0 +1,187 @@
+module Bitvec = Phoenix_util.Bitvec
+
+type mrow = {
+  x : Bitvec.t;
+  z : Bitvec.t;
+  mutable neg : bool;
+  angle : float;
+}
+
+type t = { n : int; mutable mrows : mrow array }
+
+type row = { pauli : Pauli_string.t; neg : bool; angle : float }
+
+let create n =
+  if n <= 0 then invalid_arg "Bsf.create: need at least one qubit";
+  { n; mrows = [||] }
+
+let of_terms n terms =
+  let to_row (p, angle) =
+    if Pauli_string.num_qubits p <> n then
+      invalid_arg "Bsf.of_terms: qubit-count mismatch";
+    { x = Pauli_string.x_bits p; z = Pauli_string.z_bits p; neg = false; angle }
+  in
+  { n; mrows = Array.of_list (List.map to_row terms) }
+
+let copy t =
+  let copy_row r = { r with x = Bitvec.copy r.x; z = Bitvec.copy r.z } in
+  { t with mrows = Array.map copy_row t.mrows }
+
+let num_qubits t = t.n
+let num_rows t = Array.length t.mrows
+
+let snapshot r =
+  { pauli = Pauli_string.of_bits ~x:r.x ~z:r.z; neg = r.neg; angle = r.angle }
+
+let rows t = Array.to_list (Array.map snapshot t.mrows)
+let row_weight t i = Bitvec.or_popcount t.mrows.(i).x t.mrows.(i).z
+
+let row_pauli t i =
+  Pauli_string.of_bits ~x:t.mrows.(i).x ~z:t.mrows.(i).z
+
+let support t =
+  let acc = Bitvec.create t.n in
+  Array.iter
+    (fun r ->
+      Bitvec.or_into acc r.x;
+      Bitvec.or_into acc r.z)
+    t.mrows;
+  acc
+
+let total_weight t = Bitvec.popcount (support t)
+let support_indices t = Bitvec.indices (support t)
+
+let nonlocal_count t =
+  Array.fold_left
+    (fun acc r -> if Bitvec.or_popcount r.x r.z > 1 then acc + 1 else acc)
+    0 t.mrows
+
+(* Sign conventions (standard stabilizer-tableau update rules, verified
+   against dense conjugation in the test suite):
+   - H:  X ↔ Z, Y ↦ -Y.
+   - S:  X ↦ Y, Y ↦ -X, Z ↦ Z.
+   - S†: X ↦ -Y ... i.e. the sign flips on x ∧ ¬z before z ^= x.
+   - CNOT a→b: x_b ^= x_a, z_a ^= z_b, sign flips on x_a ∧ z_b ∧ (x_b = z_a)
+     evaluated on the pre-update bits. *)
+
+let apply_h t q =
+  Array.iter
+    (fun r ->
+      let xq = Bitvec.get r.x q and zq = Bitvec.get r.z q in
+      if xq && zq then r.neg <- not r.neg;
+      Bitvec.set r.x q zq;
+      Bitvec.set r.z q xq)
+    t.mrows
+
+let apply_s t q =
+  Array.iter
+    (fun r ->
+      let xq = Bitvec.get r.x q and zq = Bitvec.get r.z q in
+      if xq && zq then r.neg <- not r.neg;
+      if xq then Bitvec.flip r.z q)
+    t.mrows
+
+let apply_sdg t q =
+  Array.iter
+    (fun r ->
+      let xq = Bitvec.get r.x q and zq = Bitvec.get r.z q in
+      if xq && not zq then r.neg <- not r.neg;
+      if xq then Bitvec.flip r.z q)
+    t.mrows
+
+let apply_cnot t a b =
+  Array.iter
+    (fun r ->
+      let xa = Bitvec.get r.x a
+      and za = Bitvec.get r.z a
+      and xb = Bitvec.get r.x b
+      and zb = Bitvec.get r.z b in
+      if xa && zb && xb = za then r.neg <- not r.neg;
+      Bitvec.set r.x b (xb <> xa);
+      Bitvec.set r.z a (za <> zb))
+    t.mrows
+
+let apply_basis_gate t = function
+  | Clifford2q.H q -> apply_h t q
+  | Clifford2q.S q -> apply_s t q
+  | Clifford2q.Sdg q -> apply_sdg t q
+  | Clifford2q.Cnot (a, b) -> apply_cnot t a b
+
+(* Conjugation by a product C = g_k ⋯ g_1 (time order g_1 first) nests as
+   conj(C, P) = conj(g_k, … conj(g_1, P) …), so primitives are applied in
+   the decomposition's time order. *)
+let apply_clifford2q t gate =
+  List.iter (apply_basis_gate t) (Clifford2q.decompose gate)
+
+let mrow_commutes a b =
+  (Bitvec.and_popcount a.x b.z + Bitvec.and_popcount a.z b.x) mod 2 = 0
+
+let pop_local_rows ?(commuting_only = false) t =
+  let n_rows = Array.length t.mrows in
+  let local = Array.map (fun r -> Bitvec.or_popcount r.x r.z <= 1) t.mrows in
+  if commuting_only then begin
+    (* A local row may only leave its program position when it commutes
+       with every row that stays behind — including locals that
+       themselves fail the test, hence the fixpoint iteration.  Peeled
+       locals keep their relative order, so they need not commute with
+       each other. *)
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for i = 0 to n_rows - 1 do
+        if local.(i) then
+          for j = 0 to n_rows - 1 do
+            if (not local.(j)) && not (mrow_commutes t.mrows.(i) t.mrows.(j))
+            then begin
+              local.(i) <- false;
+              changed := true
+            end
+          done
+      done
+    done
+  end;
+  let peeled = ref [] and kept = ref [] in
+  for i = n_rows - 1 downto 0 do
+    if local.(i) then peeled := snapshot t.mrows.(i) :: !peeled
+    else kept := t.mrows.(i) :: !kept
+  done;
+  t.mrows <- Array.of_list !kept;
+  !peeled
+
+let cost t =
+  let n_rows = Array.length t.mrows in
+  let w_tot = float_of_int (total_weight t) in
+  let n_nl = float_of_int (nonlocal_count t) in
+  let pair_sup = ref 0 and pair_x = ref 0 and pair_z = ref 0 in
+  for i = 0 to n_rows - 1 do
+    let ri = t.mrows.(i) in
+    let sup_i = Bitvec.logor ri.x ri.z in
+    for j = i + 1 to n_rows - 1 do
+      let rj = t.mrows.(j) in
+      let sup_j = Bitvec.logor rj.x rj.z in
+      pair_sup := !pair_sup + Bitvec.or_popcount sup_i sup_j;
+      pair_x := !pair_x + Bitvec.or_popcount ri.x rj.x;
+      pair_z := !pair_z + Bitvec.or_popcount ri.z rj.z
+    done
+  done;
+  (w_tot *. n_nl *. n_nl)
+  +. float_of_int !pair_sup
+  +. (0.5 *. float_of_int (!pair_x + !pair_z))
+
+let to_terms t =
+  List.map
+    (fun r ->
+      let angle = if r.neg then -.r.angle else r.angle in
+      r.pauli, angle)
+    (rows t)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  Array.iter
+    (fun r ->
+      let s = snapshot r in
+      Format.fprintf fmt "%c%a (θ=%g)@,"
+        (if s.neg then '-' else '+')
+        Pauli_string.pp s.pauli s.angle)
+    t.mrows;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,67 @@
+(** Binary symplectic form tableau with sign tracking (§III of the paper).
+
+    Each row is a signed Pauli exponentiation [exp(-i θ/2 · (±P))]: the bit
+    vectors encode [P], [neg] records the sign accumulated by Clifford
+    conjugation, and [angle] is [θ].  Conjugating the tableau by a Clifford
+    [C] replaces every row [P] with [C·P·C†]; a sign flip is equivalent to
+    negating the angle at synthesis time.
+
+    The tableau is mutable: [apply_*] update it in place. *)
+
+type t
+
+type row = { pauli : Pauli_string.t; neg : bool; angle : float }
+(** Immutable snapshot of one tableau row. *)
+
+val create : int -> t
+(** Empty tableau over [n] qubits. *)
+
+val of_terms : int -> (Pauli_string.t * float) list -> t
+(** [of_terms n terms] starts with positive signs; every string must act on
+    [n] qubits.  Order is preserved. *)
+
+val copy : t -> t
+val num_qubits : t -> int
+val num_rows : t -> int
+val rows : t -> row list
+(** Rows in program order. *)
+
+val row_weight : t -> int -> int
+val row_pauli : t -> int -> Pauli_string.t
+
+val total_weight : t -> int
+(** Eq. 4: size of the union support of all rows. *)
+
+val support : t -> Phoenix_util.Bitvec.t
+val support_indices : t -> int list
+
+val nonlocal_count : t -> int
+(** Number of rows of weight strictly greater than 1. *)
+
+val apply_h : t -> int -> unit
+val apply_s : t -> int -> unit
+val apply_sdg : t -> int -> unit
+val apply_cnot : t -> int -> int -> unit
+(** Conjugate every row by the given Clifford gate (control, target for
+    [apply_cnot]), updating signs per the stabilizer-tableau rules. *)
+
+val apply_clifford2q : t -> Clifford2q.t -> unit
+(** Conjugate by one of the six generators, via its {H, S, S†, CNOT}
+    decomposition. *)
+
+val pop_local_rows : ?commuting_only:bool -> t -> row list
+(** Remove and return every row of weight ≤ 1 (in program order).
+    Weight-0 rows are global phases and are returned as well so callers can
+    account for them.  With [~commuting_only:true] a local row is only
+    peeled when it commutes with all rows remaining in the tableau, making
+    the peel an exact program transformation. *)
+
+val cost : t -> float
+(** The heuristic BSF cost of Eq. 6:
+    [w_tot·n_nl² + Σ_{i<j} |sup_i ∨ sup_j|
+     + ½·Σ_{i<j} (|x_i ∨ x_j| + |z_i ∨ z_j|)]. *)
+
+val to_terms : t -> (Pauli_string.t * float) list
+(** Rows with signs folded into the angles. *)
+
+val pp : Format.formatter -> t -> unit

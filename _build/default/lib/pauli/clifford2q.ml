@@ -1,0 +1,75 @@
+type kind = CXX | CYY | CZZ | CXY | CYZ | CZX
+
+type t = { kind : kind; a : int; b : int }
+
+let all_kinds = [ CXX; CYY; CZZ; CXY; CYZ; CZX ]
+
+let kind_sigmas = function
+  | CXX -> Pauli.X, Pauli.X
+  | CYY -> Pauli.Y, Pauli.Y
+  | CZZ -> Pauli.Z, Pauli.Z
+  | CXY -> Pauli.X, Pauli.Y
+  | CYZ -> Pauli.Y, Pauli.Z
+  | CZX -> Pauli.Z, Pauli.X
+
+(* C(σ0,σ1)_{a,b} = C(σ1,σ0)_{b,a}: the missing three combinations are the
+   six generators with operands swapped. *)
+let kind_of_sigmas s0 s1 =
+  match s0, s1 with
+  | Pauli.I, _ | _, Pauli.I -> None
+  | Pauli.X, Pauli.X -> Some (CXX, false)
+  | Pauli.Y, Pauli.Y -> Some (CYY, false)
+  | Pauli.Z, Pauli.Z -> Some (CZZ, false)
+  | Pauli.X, Pauli.Y -> Some (CXY, false)
+  | Pauli.Y, Pauli.X -> Some (CXY, true)
+  | Pauli.Y, Pauli.Z -> Some (CYZ, false)
+  | Pauli.Z, Pauli.Y -> Some (CYZ, true)
+  | Pauli.Z, Pauli.X -> Some (CZX, false)
+  | Pauli.X, Pauli.Z -> Some (CZX, true)
+
+let make kind a b =
+  if a = b then invalid_arg "Clifford2q.make: qubits must differ";
+  if a < 0 || b < 0 then invalid_arg "Clifford2q.make: negative qubit";
+  { kind; a; b }
+
+let is_symmetric = function
+  | CXX | CYY | CZZ -> true
+  | CXY | CYZ | CZX -> false
+
+let equal_gate g h =
+  g.kind = h.kind
+  && ((g.a = h.a && g.b = h.b)
+     || (is_symmetric g.kind && g.a = h.b && g.b = h.a))
+
+let kind_to_string = function
+  | CXX -> "C(X,X)"
+  | CYY -> "C(Y,Y)"
+  | CZZ -> "C(Z,Z)"
+  | CXY -> "C(X,Y)"
+  | CYZ -> "C(Y,Z)"
+  | CZX -> "C(Z,X)"
+
+let pp fmt g = Format.fprintf fmt "%s[%d,%d]" (kind_to_string g.kind) g.a g.b
+
+type basis_gate = H of int | S of int | Sdg of int | Cnot of int * int
+
+(* Conjugating-basis circuits: [pre] maps the computational frame so that
+   CNOT realizes C(σ0,σ1); [post] is its inverse.  V0 satisfies
+   V0·Z·V0† = σ0 on the control, V1 satisfies V1·X·V1† = σ1 on the target,
+   and C(σ0,σ1) = (V0⊗V1)·CNOT·(V0⊗V1)†. *)
+let decompose { kind; a; b } =
+  let v0_pre, v0_post =
+    match kind_sigmas kind with
+    | Pauli.Z, _ -> [], []
+    | Pauli.X, _ -> [ H a ], [ H a ]
+    | Pauli.Y, _ -> [ Sdg a; H a ], [ H a; S a ]
+    | Pauli.I, _ -> assert false
+  in
+  let v1_pre, v1_post =
+    match kind_sigmas kind with
+    | _, Pauli.X -> [], []
+    | _, Pauli.Y -> [ Sdg b ], [ S b ]
+    | _, Pauli.Z -> [ H b ], [ H b ]
+    | _, Pauli.I -> assert false
+  in
+  v1_pre @ v0_pre @ [ Cnot (a, b) ] @ v0_post @ v1_post

@@ -1,0 +1,44 @@
+(** The six two-qubit Clifford generators used by PHOENIX (Eq. 5).
+
+    Each generator is a universal controlled gate
+    [C(σ0, σ1) = ((I+σ0)⊗I + (I−σ0)⊗σ1) / 2] — Hermitian, involutive and
+    CNOT-equivalent.  [C(Z,X)] is CNOT itself.  A gate value records the
+    kind together with the control qubit [a] (carrying σ0) and target
+    qubit [b] (carrying σ1). *)
+
+type kind = CXX | CYY | CZZ | CXY | CYZ | CZX
+
+type t = { kind : kind; a : int; b : int }
+
+val all_kinds : kind list
+(** The six generators, in the paper's order (Eq. 5). *)
+
+val kind_sigmas : kind -> Pauli.t * Pauli.t
+(** [(σ0, σ1)] of the kind. *)
+
+val kind_of_sigmas : Pauli.t -> Pauli.t -> (kind * bool) option
+(** [kind_of_sigmas σ0 σ1] is [Some (k, swapped)] when [C(σ0,σ1)] equals
+    generator [k] with operands possibly [swapped] (using
+    [C(σ0,σ1)_{a,b} = C(σ1,σ0)_{b,a}]); [None] when either input is [I]. *)
+
+val make : kind -> int -> int -> t
+(** Raises [Invalid_argument] if the qubits coincide or are negative. *)
+
+val is_symmetric : kind -> bool
+(** [true] for [CXX], [CYY], [CZZ]: the gate is invariant under swapping
+    its operands. *)
+
+val equal_gate : t -> t -> bool
+(** Structural equality modulo operand swap for symmetric kinds — exactly
+    the relation under which two adjacent gates cancel ([C² = I]). *)
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit
+
+type basis_gate = H of int | S of int | Sdg of int | Cnot of int * int
+(** 1Q/2Q gate alphabet used for decomposition (control first in [Cnot]). *)
+
+val decompose : t -> basis_gate list
+(** Time-ordered gate list realizing the generator over
+    {H, S, S†, CNOT}, e.g. [C(X,Y) = (H⊗S)·CNOT·(H⊗S†)] decomposes as
+    [[Sdg b; H a; Cnot (a,b); S b; H a]]. *)

@@ -1,0 +1,47 @@
+type t = I | X | Y | Z
+
+let equal a b = a = b
+
+let index = function I -> 0 | X -> 1 | Y -> 2 | Z -> 3
+let compare a b = Stdlib.compare (index a) (index b)
+
+let of_char c =
+  match Char.uppercase_ascii c with
+  | 'I' -> I
+  | 'X' -> X
+  | 'Y' -> Y
+  | 'Z' -> Z
+  | _ -> invalid_arg "Pauli.of_char: expected one of I, X, Y, Z"
+
+let to_char = function I -> 'I' | X -> 'X' | Y -> 'Y' | Z -> 'Z'
+
+let of_bits ~x ~z =
+  match x, z with
+  | false, false -> I
+  | true, false -> X
+  | true, true -> Y
+  | false, true -> Z
+
+let to_bits = function
+  | I -> false, false
+  | X -> true, false
+  | Y -> true, true
+  | Z -> false, true
+
+let commutes a b = a = I || b = I || a = b
+
+(* p·q = i^k r.  E.g. X·Y = iZ, Y·X = -iZ = i^3 Z. *)
+let mul a b =
+  match a, b with
+  | I, p -> 0, p
+  | p, I -> 0, p
+  | X, X | Y, Y | Z, Z -> 0, I
+  | X, Y -> 1, Z
+  | Y, X -> 3, Z
+  | Y, Z -> 1, X
+  | Z, Y -> 3, X
+  | Z, X -> 1, Y
+  | X, Z -> 3, Y
+
+let is_identity p = p = I
+let pp fmt p = Format.pp_print_char fmt (to_char p)

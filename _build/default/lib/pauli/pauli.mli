@@ -1,0 +1,28 @@
+(** Single-qubit Pauli operators.
+
+    The binary encoding follows the paper's convention: [I = (0,0)],
+    [X = (1,0)], [Z = (0,1)], [Y = (1,1)]. *)
+
+type t = I | X | Y | Z
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val of_char : char -> t
+(** Parses ['I' | 'X' | 'Y' | 'Z'] (case-insensitive).
+    Raises [Invalid_argument] otherwise. *)
+
+val to_char : t -> char
+
+val of_bits : x:bool -> z:bool -> t
+val to_bits : t -> bool * bool
+(** [(x, z)] pair of the symplectic encoding. *)
+
+val commutes : t -> t -> bool
+(** Two single-qubit Paulis commute iff one is [I] or they are equal. *)
+
+val mul : t -> t -> int * t
+(** [mul p q] is [(k, r)] with [p·q = i^k · r], [k ∈ {0,1,2,3}]. *)
+
+val is_identity : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,73 @@
+module Bitvec = Phoenix_util.Bitvec
+
+type t = { x : Bitvec.t; z : Bitvec.t }
+
+let num_qubits t = Bitvec.length t.x
+
+let identity n =
+  if n <= 0 then invalid_arg "Pauli_string.identity: need at least one qubit";
+  { x = Bitvec.create n; z = Bitvec.create n }
+
+let of_list ps =
+  let n = List.length ps in
+  let t = identity n in
+  List.iteri
+    (fun q p ->
+      let x, z = Pauli.to_bits p in
+      Bitvec.set t.x q x;
+      Bitvec.set t.z q z)
+    ps;
+  t
+
+let get t q = Pauli.of_bits ~x:(Bitvec.get t.x q) ~z:(Bitvec.get t.z q)
+
+let to_list t = List.init (num_qubits t) (get t)
+
+let of_string s =
+  if String.length s = 0 then invalid_arg "Pauli_string.of_string: empty";
+  of_list (List.init (String.length s) (fun i -> Pauli.of_char s.[i]))
+
+let to_string t = String.init (num_qubits t) (fun q -> Pauli.to_char (get t q))
+
+let of_bits ~x ~z =
+  if Bitvec.length x <> Bitvec.length z then
+    invalid_arg "Pauli_string.of_bits: length mismatch";
+  { x = Bitvec.copy x; z = Bitvec.copy z }
+
+let x_bits t = Bitvec.copy t.x
+let z_bits t = Bitvec.copy t.z
+
+let set t q p =
+  let x, z = Pauli.to_bits p in
+  let t' = { x = Bitvec.copy t.x; z = Bitvec.copy t.z } in
+  Bitvec.set t'.x q x;
+  Bitvec.set t'.z q z;
+  t'
+
+let single n q p = set (identity n) q p
+let support t = Bitvec.logor t.x t.z
+let weight t = Bitvec.or_popcount t.x t.z
+let support_list t = Bitvec.indices (support t)
+let is_identity t = Bitvec.is_zero t.x && Bitvec.is_zero t.z
+
+let commutes a b =
+  (Bitvec.and_popcount a.x b.z + Bitvec.and_popcount a.z b.x) mod 2 = 0
+
+let mul a b =
+  let n = num_qubits a in
+  if n <> num_qubits b then invalid_arg "Pauli_string.mul: size mismatch";
+  let phase = ref 0 in
+  for q = 0 to n - 1 do
+    let k, _ = Pauli.mul (get a q) (get b q) in
+    phase := (!phase + k) mod 4
+  done;
+  !phase, { x = Bitvec.logxor a.x b.x; z = Bitvec.logxor a.z b.z }
+
+let equal a b = Bitvec.equal a.x b.x && Bitvec.equal a.z b.z
+
+let compare a b =
+  let c = Bitvec.compare a.x b.x in
+  if c <> 0 then c else Bitvec.compare a.z b.z
+
+let hash t = Hashtbl.hash (Bitvec.hash t.x, Bitvec.hash t.z)
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,13 @@
+type t = { pauli : Pauli_string.t; coeff : float }
+
+let make pauli coeff = { pauli; coeff }
+let num_qubits t = Pauli_string.num_qubits t.pauli
+let weight t = Pauli_string.weight t.pauli
+let scale s t = { t with coeff = s *. t.coeff }
+
+let equal a b = Pauli_string.equal a.pauli b.pauli && a.coeff = b.coeff
+
+let pp fmt t =
+  Format.fprintf fmt "%+.6g * %a" t.coeff Pauli_string.pp t.pauli
+
+let support_key t = Phoenix_util.Bitvec.to_string (Pauli_string.support t.pauli)

@@ -1,0 +1,18 @@
+(** A Pauli string with a real coefficient.
+
+    A Hamiltonian is a list of terms [h_j · P_j]; a Trotterized program is a
+    list of Pauli exponentiations [exp(-i θ_j/2 · P_j)] where [θ_j] is
+    derived from the coefficient and the time step. *)
+
+type t = { pauli : Pauli_string.t; coeff : float }
+
+val make : Pauli_string.t -> float -> t
+val num_qubits : t -> int
+val weight : t -> int
+val scale : float -> t -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val support_key : t -> string
+(** Canonical key identifying the set of qubits the term acts on
+    non-trivially; terms with equal keys belong to the same IR group. *)

@@ -1,0 +1,1 @@
+lib/router/layout.ml: Array Format

@@ -1,0 +1,1 @@
+lib/router/layout.mli: Format

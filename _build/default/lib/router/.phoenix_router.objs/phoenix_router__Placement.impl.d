@@ -1,0 +1,1 @@
+lib/router/placement.ml: Array Float Hashtbl Layout List Phoenix_circuit Phoenix_topology

@@ -1,0 +1,1 @@
+lib/router/placement.mli: Layout Phoenix_circuit Phoenix_topology

@@ -1,0 +1,1 @@
+lib/router/sabre.ml: Array Float Layout List Phoenix_circuit Phoenix_pauli Phoenix_topology Phoenix_util Placement Seq

@@ -1,0 +1,1 @@
+lib/router/sabre.mli: Layout Phoenix_circuit Phoenix_topology

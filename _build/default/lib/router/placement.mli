@@ -1,0 +1,25 @@
+(** Interaction-aware initial qubit placement.
+
+    Logical qubits are embedded greedily in descending interaction
+    degree: the first lands on a well-connected physical site, each
+    subsequent one on the free site minimizing the interaction-weighted
+    distance to its already-placed partners.  Used both as the 2QAN-style
+    placement and as the seed layout for SABRE refinement. *)
+
+val interaction_aware :
+  ?seed_site:int ->
+  Phoenix_topology.Topology.t ->
+  n_logical:int ->
+  weights:(int * int * int) list ->
+  Layout.t
+(** [weights] lists [(a, b, count)] interaction multiplicities between
+    logical qubits.  [seed_site] perturbs the seed-site choice for
+    multi-start searches.  Raises [Invalid_argument] if the device is too
+    small. *)
+
+val of_circuit :
+  ?seed_site:int ->
+  Phoenix_topology.Topology.t ->
+  Phoenix_circuit.Circuit.t ->
+  Layout.t
+(** Placement derived from a circuit's 2Q interaction counts. *)

@@ -1,0 +1,1 @@
+lib/topology/topology.ml: Array Format Lazy List Phoenix_util Queue

@@ -1,0 +1,124 @@
+(* Bits are packed 62 per word so that all word values stay positive
+   OCaml ints regardless of platform word size games. *)
+
+let bits_per_word = 62
+
+type t = { len : int; words : int array }
+
+let word_count len = (len + bits_per_word - 1) / bits_per_word
+
+let create len =
+  if len < 0 then invalid_arg "Bitvec.create: negative length";
+  { len; words = Array.make (max 1 (word_count len)) 0 }
+
+let length v = v.len
+let copy v = { len = v.len; words = Array.copy v.words }
+
+let check_index v i =
+  if i < 0 || i >= v.len then invalid_arg "Bitvec: index out of range"
+
+let get v i =
+  check_index v i;
+  v.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let set v i b =
+  check_index v i;
+  let w = i / bits_per_word and m = 1 lsl (i mod bits_per_word) in
+  if b then v.words.(w) <- v.words.(w) lor m
+  else v.words.(w) <- v.words.(w) land lnot m
+
+let flip v i =
+  check_index v i;
+  let w = i / bits_per_word and m = 1 lsl (i mod bits_per_word) in
+  v.words.(w) <- v.words.(w) lxor m
+
+(* Kernighan's loop: one iteration per set bit, which suits the sparse
+   vectors that dominate BSF workloads. *)
+let popcount_word w =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w 0
+
+let popcount v = Array.fold_left (fun acc w -> acc + popcount_word w) 0 v.words
+let is_zero v = Array.for_all (fun w -> w = 0) v.words
+let equal a b = a.len = b.len && a.words = b.words
+
+let compare a b =
+  let c = Stdlib.compare a.len b.len in
+  if c <> 0 then c else Stdlib.compare a.words b.words
+
+let hash v = Hashtbl.hash (v.len, v.words)
+
+let check_same_length a b =
+  if a.len <> b.len then invalid_arg "Bitvec: length mismatch"
+
+let xor_into dst src =
+  check_same_length dst src;
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) lxor w) src.words
+
+let or_into dst src =
+  check_same_length dst src;
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) lor w) src.words
+
+let and_into dst src =
+  check_same_length dst src;
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) land w) src.words
+
+let logxor a b = let r = copy a in xor_into r b; r
+let logor a b = let r = copy a in or_into r b; r
+let logand a b = let r = copy a in and_into r b; r
+
+let and_popcount a b =
+  check_same_length a b;
+  let acc = ref 0 in
+  Array.iteri (fun i w -> acc := !acc + popcount_word (w land b.words.(i))) a.words;
+  !acc
+
+let or_popcount a b =
+  check_same_length a b;
+  let acc = ref 0 in
+  Array.iteri (fun i w -> acc := !acc + popcount_word (w lor b.words.(i))) a.words;
+  !acc
+
+let iter_set f v =
+  for wi = 0 to Array.length v.words - 1 do
+    let w = ref v.words.(wi) in
+    while !w <> 0 do
+      let low = !w land - !w in
+      let rec log2 m acc = if m = 1 then acc else log2 (m lsr 1) (acc + 1) in
+      f ((wi * bits_per_word) + log2 low 0);
+      w := !w land (!w - 1)
+    done
+  done
+
+let fold_set f init v =
+  let acc = ref init in
+  iter_set (fun i -> acc := f !acc i) v;
+  !acc
+
+let indices v = List.rev (fold_set (fun acc i -> i :: acc) [] v)
+
+let first_set v =
+  let exception Found of int in
+  try
+    iter_set (fun i -> raise (Found i)) v;
+    None
+  with Found i -> Some i
+
+let of_indices n is =
+  let v = create n in
+  List.iter (fun i -> set v i true) is;
+  v
+
+let of_string s =
+  let v = create (String.length s) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '0' -> ()
+      | '1' -> set v i true
+      | _ -> invalid_arg "Bitvec.of_string: expected '0' or '1'")
+    s;
+  v
+
+let to_string v = String.init v.len (fun i -> if get v i then '1' else '0')
+let pp fmt v = Format.pp_print_string fmt (to_string v)

@@ -1,0 +1,81 @@
+(** Fixed-length bit vectors backed by [int] words.
+
+    Bit vectors are the storage substrate of the binary symplectic form: a
+    Pauli string over [n] qubits is a pair of length-[n] bit vectors.  All
+    operations are length-checked; combining vectors of different lengths
+    raises [Invalid_argument]. *)
+
+type t
+(** A mutable fixed-length bit vector. *)
+
+val create : int -> t
+(** [create n] is an all-zero vector of length [n].  [n] must be
+    non-negative. *)
+
+val length : t -> int
+(** Number of bits. *)
+
+val copy : t -> t
+(** Independent copy. *)
+
+val get : t -> int -> bool
+(** [get v i] is bit [i].  Raises [Invalid_argument] if out of range. *)
+
+val set : t -> int -> bool -> unit
+(** [set v i b] sets bit [i] to [b]. *)
+
+val flip : t -> int -> unit
+(** [flip v i] toggles bit [i]. *)
+
+val popcount : t -> int
+(** Number of set bits. *)
+
+val is_zero : t -> bool
+(** [true] iff no bit is set. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val xor_into : t -> t -> unit
+(** [xor_into dst src] sets [dst <- dst lxor src]. *)
+
+val or_into : t -> t -> unit
+(** [or_into dst src] sets [dst <- dst lor src]. *)
+
+val and_into : t -> t -> unit
+(** [and_into dst src] sets [dst <- dst land src]. *)
+
+val logxor : t -> t -> t
+val logor : t -> t -> t
+val logand : t -> t -> t
+
+val and_popcount : t -> t -> int
+(** [and_popcount a b] is [popcount (logand a b)] without allocation. *)
+
+val or_popcount : t -> t -> int
+(** [or_popcount a b] is [popcount (logor a b)] without allocation. *)
+
+val iter_set : (int -> unit) -> t -> unit
+(** [iter_set f v] applies [f] to the index of every set bit, ascending. *)
+
+val fold_set : ('a -> int -> 'a) -> 'a -> t -> 'a
+(** [fold_set f init v] folds over indices of set bits, ascending. *)
+
+val indices : t -> int list
+(** Ascending list of set-bit indices. *)
+
+val first_set : t -> int option
+(** Lowest set-bit index, if any. *)
+
+val of_indices : int -> int list -> t
+(** [of_indices n is] is the length-[n] vector with exactly bits [is] set. *)
+
+val of_string : string -> t
+(** [of_string "0110"] parses a vector, index 0 first.  Raises
+    [Invalid_argument] on characters other than '0'/'1'. *)
+
+val to_string : t -> string
+(** Inverse of [of_string]. *)
+
+val pp : Format.formatter -> t -> unit

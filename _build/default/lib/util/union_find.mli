@@ -1,0 +1,20 @@
+(** Disjoint-set forest with path compression and union by rank.
+
+    Used for connectivity checks on coupling graphs and interaction graphs. *)
+
+type t
+
+val create : int -> t
+(** [create n] is [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> unit
+(** Merge the sets of the two elements. *)
+
+val same : t -> int -> int -> bool
+(** [true] iff both elements are in one set. *)
+
+val count : t -> int
+(** Number of disjoint sets. *)

@@ -1,0 +1,1 @@
+lib/vqe/ansatz.ml: Array List Phoenix Phoenix_circuit Phoenix_ham Phoenix_linalg Phoenix_pauli

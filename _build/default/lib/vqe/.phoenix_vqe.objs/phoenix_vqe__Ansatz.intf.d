@@ -1,0 +1,1 @@
+lib/vqe/ansatz.mli: Phoenix Phoenix_circuit Phoenix_ham Phoenix_linalg Phoenix_pauli

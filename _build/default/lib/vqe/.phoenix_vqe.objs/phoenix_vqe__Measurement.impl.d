@@ -1,0 +1,1 @@
+lib/vqe/measurement.ml: List Phoenix_circuit Phoenix_ham Phoenix_linalg Phoenix_pauli Phoenix_util

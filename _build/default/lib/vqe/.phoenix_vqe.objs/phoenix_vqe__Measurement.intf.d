@@ -1,0 +1,1 @@
+lib/vqe/measurement.mli: Phoenix_circuit Phoenix_ham Phoenix_linalg Phoenix_pauli

@@ -1,0 +1,1 @@
+lib/vqe/optimize.ml: Array Float List Phoenix_util

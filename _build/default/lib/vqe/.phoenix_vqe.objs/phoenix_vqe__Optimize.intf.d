@@ -1,0 +1,1 @@
+lib/vqe/optimize.mli:

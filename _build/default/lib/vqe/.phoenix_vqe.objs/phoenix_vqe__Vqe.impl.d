@@ -1,0 +1,1 @@
+lib/vqe/vqe.ml: Ansatz Array Float List Optimize Phoenix_ham Phoenix_linalg Phoenix_pauli

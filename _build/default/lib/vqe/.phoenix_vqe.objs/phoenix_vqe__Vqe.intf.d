@@ -1,0 +1,1 @@
+lib/vqe/vqe.mli: Ansatz Optimize Phoenix_ham

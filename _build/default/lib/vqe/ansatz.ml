@@ -1,0 +1,47 @@
+module Hamiltonian = Phoenix_ham.Hamiltonian
+module Pauli_term = Phoenix_pauli.Pauli_term
+module Compiler = Phoenix.Compiler
+module Statevector = Phoenix_linalg.Statevector
+
+type t = {
+  n : int;
+  blocks : (Phoenix_pauli.Pauli_string.t * float) list list;
+      (** base gadget angles (2·h_j), scaled per block by the parameter *)
+}
+
+let of_hamiltonian h =
+  let to_gadget (t : Pauli_term.t) =
+    t.Pauli_term.pauli, 2.0 *. t.Pauli_term.coeff
+  in
+  let blocks =
+    match Hamiltonian.term_blocks h with
+    | Some blocks -> List.map (List.map to_gadget) blocks
+    | None -> List.map (fun t -> [ to_gadget t ]) (Hamiltonian.terms h)
+  in
+  { n = Hamiltonian.num_qubits h; blocks }
+
+let num_qubits t = t.n
+let num_parameters t = List.length t.blocks
+
+let gadgets t theta =
+  if Array.length theta <> num_parameters t then
+    invalid_arg "Ansatz.gadgets: parameter arity mismatch";
+  List.mapi
+    (fun k block ->
+      List.map (fun (p, base) -> p, theta.(k) *. base) block)
+    t.blocks
+
+let circuit ?(options = Compiler.default_options) t theta =
+  let report = Compiler.compile_blocks ~options t.n (gadgets t theta) in
+  report.Compiler.circuit
+
+let state t theta = Statevector.of_circuit (circuit t theta)
+
+let state_with_reference t ~occupied theta =
+  let v = Statevector.zero_state t.n in
+  List.iter
+    (fun q ->
+      Statevector.apply_gate v (Phoenix_circuit.Gate.G1 (Phoenix_circuit.Gate.X, q)))
+    occupied;
+  Statevector.run_circuit v (circuit t theta);
+  v

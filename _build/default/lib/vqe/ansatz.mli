@@ -1,0 +1,35 @@
+(** Parameterized ansatz circuits for variational algorithms.
+
+    An ansatz is a gadget program whose blocks (e.g. UCCSD excitation
+    operators, QAOA layers) each carry one variational parameter scaling
+    the block's base coefficients.  Circuits are produced by the PHOENIX
+    compiler, so the variational loop exercises the same compilation
+    stack the paper evaluates. *)
+
+type t
+
+val of_hamiltonian : Phoenix_ham.Hamiltonian.t -> t
+(** One parameter per recorded block; Hamiltonians without block
+    structure get one parameter per term. *)
+
+val num_qubits : t -> int
+val num_parameters : t -> int
+
+val gadgets :
+  t -> float array -> (Phoenix_pauli.Pauli_string.t * float) list list
+(** Parameterized gadget blocks: block [k]'s angles are scaled by
+    [theta.(k)].  Raises [Invalid_argument] on arity mismatch. *)
+
+val circuit :
+  ?options:Phoenix.Compiler.options -> t -> float array ->
+  Phoenix_circuit.Circuit.t
+(** Compile the parameterized program (default options: logical CNOT
+    ISA). *)
+
+val state : t -> float array -> Phoenix_linalg.Statevector.t
+(** Simulate the compiled circuit from [|0…0⟩]. *)
+
+val state_with_reference : t -> occupied:int list -> float array ->
+  Phoenix_linalg.Statevector.t
+(** Like [state], but starting from the Hartree–Fock-style reference
+    [|1…10…0⟩] with the given qubits set (X gates prepended). *)

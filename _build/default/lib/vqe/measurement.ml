@@ -1,0 +1,90 @@
+module Pauli = Phoenix_pauli.Pauli
+module Pauli_string = Phoenix_pauli.Pauli_string
+module Pauli_term = Phoenix_pauli.Pauli_term
+module Hamiltonian = Phoenix_ham.Hamiltonian
+module Gate = Phoenix_circuit.Gate
+module Circuit = Phoenix_circuit.Circuit
+module Statevector = Phoenix_linalg.Statevector
+module Prng = Phoenix_util.Prng
+
+type group = { basis : Pauli_string.t; terms : Pauli_term.t list }
+
+let qubit_wise_commuting a b =
+  let n = Pauli_string.num_qubits a in
+  let rec ok q =
+    q >= n
+    ||
+    let pa = Pauli_string.get a q and pb = Pauli_string.get b q in
+    (Pauli.is_identity pa || Pauli.is_identity pb || Pauli.equal pa pb)
+    && ok (q + 1)
+  in
+  ok 0
+
+(* merge a string into a partial basis (precondition: QWC) *)
+let merge_basis basis p =
+  List.fold_left
+    (fun acc q ->
+      let letter = Pauli_string.get p q in
+      if Pauli.is_identity letter then acc else Pauli_string.set acc q letter)
+    basis
+    (Pauli_string.support_list p)
+
+let group_terms h =
+  let n = Hamiltonian.num_qubits h in
+  let groups : (Pauli_string.t * Pauli_term.t list) list ref = ref [] in
+  List.iter
+    (fun (t : Pauli_term.t) ->
+      let p = t.Pauli_term.pauli in
+      let rec place = function
+        | [] -> [ merge_basis (Pauli_string.identity n) p, [ t ] ]
+        | (basis, members) :: rest ->
+          if qubit_wise_commuting basis p then
+            (merge_basis basis p, t :: members) :: rest
+          else (basis, members) :: place rest
+      in
+      groups := place !groups)
+    (Hamiltonian.terms h);
+  List.map (fun (basis, members) -> { basis; terms = List.rev members }) !groups
+
+let basis_rotation n group =
+  let gates =
+    List.concat_map
+      (fun q ->
+        match Pauli_string.get group.basis q with
+        | Pauli.I | Pauli.Z -> []
+        | Pauli.X -> [ Gate.G1 (Gate.H, q) ]
+        | Pauli.Y -> [ Gate.G1 (Gate.Sdg, q); Gate.G1 (Gate.H, q) ])
+      (List.init n (fun i -> i))
+  in
+  Circuit.create n gates
+
+let parity outcome p n =
+  let bits = ref 0 in
+  List.iter
+    (fun q -> bits := !bits lxor ((outcome lsr (n - 1 - q)) land 1))
+    (Pauli_string.support_list p);
+  if !bits = 0 then 1.0 else -1.0
+
+let estimate ?(shots_per_group = 1024) ~seed state h =
+  let n = Hamiltonian.num_qubits h in
+  let rng = Prng.create seed in
+  List.fold_left
+    (fun acc group ->
+      let rotated = Statevector.copy state in
+      Statevector.run_circuit rotated (basis_rotation n group);
+      let sums = List.map (fun _ -> ref 0.0) group.terms in
+      for _ = 1 to shots_per_group do
+        let outcome = Statevector.sample rng rotated in
+        List.iter2
+          (fun (t : Pauli_term.t) sum ->
+            sum := !sum +. parity outcome t.Pauli_term.pauli n)
+          group.terms sums
+      done;
+      acc
+      +. List.fold_left2
+           (fun a (t : Pauli_term.t) sum ->
+             a +. (t.Pauli_term.coeff *. !sum /. float_of_int shots_per_group))
+           0.0 group.terms sums)
+    0.0 (group_terms h)
+
+let num_measurement_settings h = List.length (group_terms h)

@@ -1,0 +1,39 @@
+(** Measurement grouping for sampled expectation values.
+
+    Hamiltonian terms are partitioned into qubit-wise commuting (QWC)
+    groups: two strings are QWC when at every qubit their letters agree
+    or one is identity, so one basis-rotation layer measures the whole
+    group simultaneously.  This is the standard measurement-count
+    reduction used when a VQE runs on sampled hardware rather than a
+    state vector. *)
+
+type group = {
+  basis : Phoenix_pauli.Pauli_string.t;
+      (** the group's joint measurement basis: at each qubit, the unique
+          non-identity letter used by the group (or I) *)
+  terms : Phoenix_pauli.Pauli_term.t list;
+}
+
+val qubit_wise_commuting :
+  Phoenix_pauli.Pauli_string.t -> Phoenix_pauli.Pauli_string.t -> bool
+
+val group_terms : Phoenix_ham.Hamiltonian.t -> group list
+(** Greedy first-fit QWC partition. *)
+
+val basis_rotation : int -> group -> Phoenix_circuit.Circuit.t
+(** The 1Q layer rotating the group's basis into Z (X ↦ H, Y ↦ H·S†). *)
+
+val estimate :
+  ?shots_per_group:int ->
+  seed:int ->
+  Phoenix_linalg.Statevector.t ->
+  Phoenix_ham.Hamiltonian.t ->
+  float
+(** Sampled estimate of [⟨ψ|H|ψ⟩]: for each QWC group, apply its basis
+    rotation to a copy of the state, draw [shots_per_group] samples
+    (default 1024) and average the ±1 parities.  Converges to
+    {!Phoenix_linalg.Statevector.expectation} as shots grow. *)
+
+val num_measurement_settings : Phoenix_ham.Hamiltonian.t -> int
+(** Number of distinct measurement bases after grouping (vs. one per
+    term without it). *)

@@ -1,0 +1,121 @@
+module Prng = Phoenix_util.Prng
+
+type trace = { iterations : int; best_value : float; history : float list }
+
+let spsa ?(seed = 2027) ?(iterations = 100) ?(a = 0.2) ?(c = 0.1) f x0 =
+  let rng = Prng.create seed in
+  let n = Array.length x0 in
+  let x = Array.copy x0 in
+  let best = ref (Array.copy x0) and best_val = ref (f x0) in
+  let history = ref [ !best_val ] in
+  let stability = float_of_int iterations /. 10.0 in
+  for k = 0 to iterations - 1 do
+    let ak = a /. ((float_of_int k +. 1.0 +. stability) ** 0.602) in
+    let ck = c /. ((float_of_int k +. 1.0) ** 0.101) in
+    let delta = Array.init n (fun _ -> if Prng.bool rng then 1.0 else -1.0) in
+    let shift sign = Array.mapi (fun i xi -> xi +. (sign *. ck *. delta.(i))) x in
+    let fp = f (shift 1.0) and fm = f (shift (-1.0)) in
+    let gradient_scale = (fp -. fm) /. (2.0 *. ck) in
+    Array.iteri
+      (fun i xi -> x.(i) <- xi -. (ak *. gradient_scale /. delta.(i)))
+      (Array.copy x);
+    let v = f x in
+    history := v :: !history;
+    if v < !best_val then begin
+      best_val := v;
+      best := Array.copy x
+    end
+  done;
+  ( !best,
+    { iterations; best_value = !best_val; history = List.rev !history } )
+
+let nelder_mead ?(iterations = 200) ?(simplex_scale = 0.1) ?(tolerance = 1e-10)
+    f x0 =
+  let n = Array.length x0 in
+  let point i =
+    if i = 0 then Array.copy x0
+    else begin
+      let p = Array.copy x0 in
+      p.(i - 1) <- p.(i - 1) +. simplex_scale;
+      p
+    end
+  in
+  let simplex = Array.init (n + 1) (fun i -> point i) in
+  let values = Array.map f simplex in
+  let history = ref [] in
+  let order () =
+    let idx = Array.init (n + 1) (fun i -> i) in
+    Array.sort (fun i j -> compare values.(i) values.(j)) idx;
+    idx
+  in
+  let centroid exclude =
+    let c = Array.make n 0.0 in
+    Array.iteri
+      (fun i p ->
+        if i <> exclude then Array.iteri (fun j x -> c.(j) <- c.(j) +. x) p)
+      simplex;
+    Array.map (fun x -> x /. float_of_int n) c
+  in
+  let combine alpha c p =
+    Array.init n (fun j -> c.(j) +. (alpha *. (c.(j) -. p.(j))))
+  in
+  let iter_count = ref 0 in
+  (try
+     for _ = 1 to iterations do
+       incr iter_count;
+       let idx = order () in
+       let best = idx.(0) and worst = idx.(n) and second = idx.(n - 1) in
+       history := values.(best) :: !history;
+       if Float.abs (values.(worst) -. values.(best)) < tolerance then
+         raise Exit;
+       let c = centroid worst in
+       let reflected = combine 1.0 c simplex.(worst) in
+       let fr = f reflected in
+       if fr < values.(best) then begin
+         let expanded = combine 2.0 c simplex.(worst) in
+         let fe = f expanded in
+         if fe < fr then begin
+           simplex.(worst) <- expanded;
+           values.(worst) <- fe
+         end
+         else begin
+           simplex.(worst) <- reflected;
+           values.(worst) <- fr
+         end
+       end
+       else if fr < values.(second) then begin
+         simplex.(worst) <- reflected;
+         values.(worst) <- fr
+       end
+       else begin
+         let contracted = combine (-0.5) c simplex.(worst) in
+         let fc = f contracted in
+         if fc < values.(worst) then begin
+           simplex.(worst) <- contracted;
+           values.(worst) <- fc
+         end
+         else begin
+           (* shrink toward the best vertex *)
+           let b = simplex.(best) in
+           Array.iteri
+             (fun i p ->
+               if i <> best then begin
+                 let shrunk =
+                   Array.init n (fun j -> b.(j) +. (0.5 *. (p.(j) -. b.(j))))
+                 in
+                 simplex.(i) <- shrunk;
+                 values.(i) <- f shrunk
+               end)
+             (Array.copy simplex)
+         end
+       end
+     done
+   with Exit -> ());
+  let idx = order () in
+  let best = idx.(0) in
+  ( Array.copy simplex.(best),
+    {
+      iterations = !iter_count;
+      best_value = values.(best);
+      history = List.rev !history;
+    } )

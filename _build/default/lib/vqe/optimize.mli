@@ -1,0 +1,32 @@
+(** Gradient-free optimizers for variational loops.
+
+    SPSA (simultaneous perturbation stochastic approximation) is the
+    standard noisy-hardware choice; Nelder–Mead is provided for small
+    smooth problems. *)
+
+type trace = { iterations : int; best_value : float; history : float list }
+(** [history] holds the objective value per iteration, oldest first. *)
+
+val spsa :
+  ?seed:int ->
+  ?iterations:int ->
+  ?a:float ->
+  ?c:float ->
+  (float array -> float) ->
+  float array ->
+  float array * trace
+(** [spsa f x0] minimizes [f] from [x0] with standard gain schedules
+    [a_k = a/(k+1+A)^0.602], [c_k = c/(k+1)^0.101]; defaults:
+    100 iterations, [a = 0.2], [c = 0.1]. *)
+
+val nelder_mead :
+  ?iterations:int ->
+  ?simplex_scale:float ->
+  ?tolerance:float ->
+  (float array -> float) ->
+  float array ->
+  float array * trace
+(** Standard reflection/expansion/contraction/shrink Nelder–Mead with a
+    regular initial simplex of edge [simplex_scale] (default 0.1);
+    terminates when the simplex's objective spread falls below
+    [tolerance] (default 1e-10). *)

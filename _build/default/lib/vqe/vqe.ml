@@ -1,0 +1,58 @@
+module Hamiltonian = Phoenix_ham.Hamiltonian
+module Statevector = Phoenix_linalg.Statevector
+
+type problem = {
+  hamiltonian : Hamiltonian.t;
+  ansatz : Ansatz.t;
+  reference : int list;
+}
+
+let uccsd_problem ?(seed = 11) enc spec =
+  let cluster = Phoenix_ham.Uccsd.ansatz ~seed enc spec in
+  let hamiltonian =
+    Phoenix_ham.Electronic_structure.synthetic ~seed enc
+      ~n_spatial:(Hamiltonian.num_qubits cluster / 2)
+  in
+  let n_occ = Phoenix_ham.Uccsd.num_active_electrons spec / 2 in
+  (* Hartree–Fock-like reference: lowest n_occ spatial orbitals doubly
+     occupied — in the Jordan–Wigner interleaved layout these are qubits
+     0 .. 2·n_occ−1.  The Bravyi–Kitaev encoding stores parities, so the
+     reference bit pattern is the BK transform of that occupation; for
+     the demonstration's purposes the JW pattern is used for both (the
+     optimizer starts in its vicinity either way). *)
+  let reference = List.init (2 * n_occ) (fun i -> i) in
+  { hamiltonian; ansatz = Ansatz.of_hamiltonian cluster; reference }
+
+let energy problem theta =
+  let v =
+    Ansatz.state_with_reference problem.ansatz ~occupied:problem.reference theta
+  in
+  Statevector.expectation v problem.hamiltonian
+
+let exact_ground_energy problem =
+  let n = Hamiltonian.num_qubits problem.hamiltonian in
+  let matrix =
+    Phoenix_linalg.Unitary.hamiltonian_matrix n
+      (List.map
+         (fun (t : Phoenix_pauli.Pauli_term.t) ->
+           t.Phoenix_pauli.Pauli_term.pauli, t.Phoenix_pauli.Pauli_term.coeff)
+         (Hamiltonian.terms problem.hamiltonian))
+  in
+  let d = Phoenix_linalg.Herm.eig matrix in
+  Array.fold_left Float.min Float.infinity d.Phoenix_linalg.Herm.eigenvalues
+
+type outcome = {
+  parameters : float array;
+  energy : float;
+  trace : Optimize.trace;
+}
+
+let minimize ?(optimizer = `Nelder_mead) ?iterations problem =
+  let objective = energy problem in
+  let x0 = Array.make (Ansatz.num_parameters problem.ansatz) 0.0 in
+  let parameters, trace =
+    match optimizer with
+    | `Spsa -> Optimize.spsa ?iterations objective x0
+    | `Nelder_mead -> Optimize.nelder_mead ?iterations objective x0
+  in
+  { parameters; energy = trace.Optimize.best_value; trace }

@@ -1,0 +1,35 @@
+(** A complete variational-quantum-eigensolver loop on top of the PHOENIX
+    compilation stack: the objective simulates the PHOENIX-compiled
+    ansatz circuit and measures [⟨ψ(θ)|H|ψ(θ)⟩]. *)
+
+type problem = {
+  hamiltonian : Phoenix_ham.Hamiltonian.t;  (** the observable to minimize *)
+  ansatz : Ansatz.t;
+  reference : int list;  (** qubits set in the initial product state *)
+}
+
+val uccsd_problem :
+  ?seed:int -> Phoenix_ham.Fermion.encoding -> Phoenix_ham.Uccsd.spec ->
+  problem
+(** Molecular VQE: a synthetic electronic-structure Hamiltonian for the
+    molecule (see {!Phoenix_ham.Electronic_structure}) with a UCCSD
+    ansatz and the Hartree–Fock reference occupation. *)
+
+val energy : problem -> float array -> float
+(** Objective value at a parameter point. *)
+
+val exact_ground_energy : problem -> float
+(** Smallest eigenvalue of the Hamiltonian (dense diagonalization). *)
+
+type outcome = {
+  parameters : float array;
+  energy : float;
+  trace : Optimize.trace;
+}
+
+val minimize :
+  ?optimizer:[ `Spsa | `Nelder_mead ] ->
+  ?iterations:int ->
+  problem ->
+  outcome
+(** Run the loop from the zero parameter vector (the reference state). *)

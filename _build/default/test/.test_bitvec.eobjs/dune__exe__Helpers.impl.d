@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Phoenix_circuit Phoenix_linalg Phoenix_pauli QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Alcotest Helpers List Phoenix_util Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_bsf.ml: Alcotest Complex Helpers List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Hashtbl Helpers List Phoenix_circuit QCheck2

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Complex Float Helpers List Phoenix Phoenix_circuit Phoenix_ham Phoenix_pauli Phoenix_topology QCheck2

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Float Helpers List Phoenix_circuit Phoenix_experiments Phoenix_ham Phoenix_linalg Phoenix_pauli String

@@ -1,0 +1,1 @@
+test/test_gate.ml: Alcotest Helpers List Phoenix_ham Phoenix_pauli

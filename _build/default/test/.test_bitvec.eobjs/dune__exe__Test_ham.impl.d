@@ -1,0 +1,1 @@
+test/test_ham.ml: Alcotest Complex Float Helpers List Phoenix_ham Phoenix_pauli Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Complex Helpers List Phoenix_linalg Phoenix_util Printf

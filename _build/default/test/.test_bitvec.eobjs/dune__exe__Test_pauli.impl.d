@@ -1,0 +1,1 @@
+test/test_pauli.ml: Alcotest Complex Helpers List Printf QCheck2

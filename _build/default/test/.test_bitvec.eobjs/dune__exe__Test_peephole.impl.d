@@ -1,0 +1,1 @@
+test/test_peephole.ml: Alcotest Float Helpers Phoenix_circuit QCheck2

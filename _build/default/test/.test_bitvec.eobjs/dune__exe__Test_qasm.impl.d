@@ -1,0 +1,1 @@
+test/test_qasm.ml: Alcotest Float Helpers List Phoenix_circuit Phoenix_pauli QCheck2 String

@@ -1,0 +1,1 @@
+test/test_rebase.ml: Alcotest Helpers List Phoenix_circuit QCheck2

@@ -1,0 +1,1 @@
+test/test_router.ml: Alcotest Complex Helpers List Phoenix_circuit Phoenix_router Phoenix_topology QCheck2

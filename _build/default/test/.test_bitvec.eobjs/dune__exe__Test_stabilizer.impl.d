@@ -1,0 +1,1 @@
+test/test_stabilizer.ml: Alcotest Float Helpers List Phoenix_circuit Phoenix_linalg Phoenix_pauli Phoenix_util Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_statevector.ml: Alcotest Array Complex Float Helpers Phoenix_ham Phoenix_linalg Phoenix_util QCheck2

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest List Phoenix_topology

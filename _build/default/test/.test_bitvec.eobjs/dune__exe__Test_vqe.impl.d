@@ -1,0 +1,1 @@
+test/test_vqe.ml: Alcotest Array Complex Float Helpers List Phoenix_circuit Phoenix_ham Phoenix_linalg Phoenix_pauli Phoenix_vqe Printf

@@ -1,0 +1,114 @@
+module Bitvec = Phoenix_util.Bitvec
+
+let test_create_and_get () =
+  let v = Bitvec.create 100 in
+  Alcotest.(check int) "length" 100 (Bitvec.length v);
+  Alcotest.(check bool) "zero" true (Bitvec.is_zero v);
+  for i = 0 to 99 do
+    Alcotest.(check bool) "bit clear" false (Bitvec.get v i)
+  done
+
+let test_set_get_roundtrip () =
+  let v = Bitvec.create 130 in
+  (* crosses word boundaries at 62 and 124 *)
+  List.iter (fun i -> Bitvec.set v i true) [ 0; 61; 62; 63; 123; 124; 129 ];
+  List.iter
+    (fun i -> Alcotest.(check bool) (Printf.sprintf "bit %d" i) true (Bitvec.get v i))
+    [ 0; 61; 62; 63; 123; 124; 129 ];
+  Alcotest.(check int) "popcount" 7 (Bitvec.popcount v);
+  Bitvec.set v 62 false;
+  Alcotest.(check bool) "cleared" false (Bitvec.get v 62);
+  Alcotest.(check int) "popcount after clear" 6 (Bitvec.popcount v)
+
+let test_flip () =
+  let v = Bitvec.create 10 in
+  Bitvec.flip v 3;
+  Alcotest.(check bool) "flipped on" true (Bitvec.get v 3);
+  Bitvec.flip v 3;
+  Alcotest.(check bool) "flipped off" false (Bitvec.get v 3)
+
+let test_out_of_range () =
+  let v = Bitvec.create 5 in
+  Alcotest.check_raises "get -1" (Invalid_argument "Bitvec: index out of range")
+    (fun () -> ignore (Bitvec.get v (-1)));
+  Alcotest.check_raises "get 5" (Invalid_argument "Bitvec: index out of range")
+    (fun () -> ignore (Bitvec.get v 5));
+  Alcotest.check_raises "negative length"
+    (Invalid_argument "Bitvec.create: negative length") (fun () ->
+      ignore (Bitvec.create (-1)))
+
+let test_string_roundtrip () =
+  let s = "0110010111010001" in
+  Alcotest.(check string) "roundtrip" s Bitvec.(to_string (of_string s))
+
+let test_logical_ops () =
+  let a = Bitvec.of_string "1100" and b = Bitvec.of_string "1010" in
+  Alcotest.(check string) "xor" "0110" (Bitvec.to_string (Bitvec.logxor a b));
+  Alcotest.(check string) "or" "1110" (Bitvec.to_string (Bitvec.logor a b));
+  Alcotest.(check string) "and" "1000" (Bitvec.to_string (Bitvec.logand a b));
+  Alcotest.(check int) "and_popcount" 1 (Bitvec.and_popcount a b);
+  Alcotest.(check int) "or_popcount" 3 (Bitvec.or_popcount a b)
+
+let test_length_mismatch () =
+  let a = Bitvec.create 4 and b = Bitvec.create 5 in
+  Alcotest.check_raises "xor mismatch" (Invalid_argument "Bitvec: length mismatch")
+    (fun () -> ignore (Bitvec.logxor a b))
+
+let test_indices () =
+  let v = Bitvec.of_indices 70 [ 3; 62; 69 ] in
+  Alcotest.(check (list int)) "indices" [ 3; 62; 69 ] (Bitvec.indices v);
+  Alcotest.(check (option int)) "first_set" (Some 3) (Bitvec.first_set v);
+  Alcotest.(check (option int)) "first_set empty" None
+    (Bitvec.first_set (Bitvec.create 70))
+
+let test_copy_independent () =
+  let a = Bitvec.of_string "1010" in
+  let b = Bitvec.copy a in
+  Bitvec.flip b 0;
+  Alcotest.(check bool) "original unchanged" true (Bitvec.get a 0);
+  Alcotest.(check bool) "copy changed" false (Bitvec.get b 0)
+
+let prop_xor_popcount =
+  Helpers.qtest "xor of self is zero"
+    (QCheck2.Gen.list_size (QCheck2.Gen.return 80) QCheck2.Gen.bool)
+    (fun bits ->
+      let v = Bitvec.create 80 in
+      List.iteri (fun i b -> Bitvec.set v i b) bits;
+      Bitvec.is_zero (Bitvec.logxor v v))
+
+let prop_popcount_matches_indices =
+  Helpers.qtest "popcount = |indices|"
+    (QCheck2.Gen.list_size (QCheck2.Gen.return 100) QCheck2.Gen.bool)
+    (fun bits ->
+      let v = Bitvec.create 100 in
+      List.iteri (fun i b -> Bitvec.set v i b) bits;
+      Bitvec.popcount v = List.length (Bitvec.indices v))
+
+let prop_fold_ascending =
+  Helpers.qtest "fold_set visits ascending"
+    (QCheck2.Gen.list_size (QCheck2.Gen.return 90) QCheck2.Gen.bool)
+    (fun bits ->
+      let v = Bitvec.create 90 in
+      List.iteri (fun i b -> Bitvec.set v i b) bits;
+      let idx = Bitvec.indices v in
+      List.sort compare idx = idx)
+
+let () =
+  Alcotest.run "bitvec"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "create/get" `Quick test_create_and_get;
+          Alcotest.test_case "set/get across words" `Quick test_set_get_roundtrip;
+          Alcotest.test_case "flip" `Quick test_flip;
+          Alcotest.test_case "bounds" `Quick test_out_of_range;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "logical ops" `Quick test_logical_ops;
+          Alcotest.test_case "length mismatch" `Quick test_length_mismatch;
+          Alcotest.test_case "indices" `Quick test_indices;
+          Alcotest.test_case "copy independence" `Quick test_copy_independent;
+        ] );
+      ( "props",
+        [ prop_xor_popcount; prop_popcount_matches_indices; prop_fold_ascending ]
+      );
+    ]

@@ -1,0 +1,214 @@
+(* Smoke tests for the experiment harness, plus regressions for the
+   compiler behaviours the experiments rely on. *)
+
+module E = Phoenix_experiments
+module Circuit = Helpers.Circuit
+module Hamiltonian = Phoenix_ham.Hamiltonian
+
+let test_metrics_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (E.Metrics.geomean [ 1.0; 4.0 ]);
+  Alcotest.check_raises "empty" (Invalid_argument "Metrics.geomean: empty")
+    (fun () -> ignore (E.Metrics.geomean []));
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Metrics.geomean: non-positive entry") (fun () ->
+      ignore (E.Metrics.geomean [ 1.0; 0.0 ]))
+
+let test_workloads_suite_complete () =
+  let suite = E.Workloads.uccsd_suite () in
+  Alcotest.(check int) "16 benchmarks" 16 (List.length suite);
+  let quick = E.Workloads.uccsd_suite ~labels:E.Workloads.uccsd_quick_labels () in
+  Alcotest.(check int) "4 quick" 4 (List.length quick)
+
+let test_workloads_qaoa () =
+  let suite = E.Workloads.qaoa_suite () in
+  Alcotest.(check int) "6 benchmarks" 6 (List.length suite);
+  List.iter
+    (fun (c : E.Workloads.qaoa_case) ->
+      Alcotest.(check bool) "nonempty" true (c.E.Workloads.qgadgets <> []))
+    suite
+
+let lih = [ "LiH_frz_JW" ]
+
+let test_table1_matches_paper_structure () =
+  let rows = E.Table1.run ~labels:lih () in
+  match rows with
+  | [ r ] ->
+    Alcotest.(check int) "qubits" 10 r.E.Table1.qubits;
+    Alcotest.(check int) "pauli" 144 r.E.Table1.pauli;
+    Alcotest.(check int) "w_max" 10 r.E.Table1.w_max;
+    (* within 25% of the paper's values *)
+    let _, _, _, _, paper_cnot, _, _ = List.assoc r.E.Table1.label E.Table1.paper in
+    let ratio = float_of_int r.E.Table1.cnots /. float_of_int paper_cnot in
+    Alcotest.(check bool) "cnot within 25% of paper" true
+      (ratio > 0.75 && ratio < 1.25)
+  | _ -> Alcotest.fail "expected one row"
+
+let test_fig5_phoenix_wins () =
+  let rows = E.Fig5.run ~labels:lih () in
+  List.iter
+    (fun row ->
+      let phx = List.assoc E.Drivers.Phoenix_c row.E.Fig5.per_compiler in
+      List.iter
+        (fun (c, m) ->
+          if c <> E.Drivers.Phoenix_c then
+            Alcotest.(check bool)
+              (E.Drivers.compiler_name c ^ " beaten")
+              true
+              (phx.E.Metrics.two_q <= m.E.Metrics.two_q))
+        row.E.Fig5.per_compiler)
+    rows
+
+let test_fig6_respects_paper_shape () =
+  let rows = E.Fig6.run ~labels:lih () in
+  List.iter
+    (fun row ->
+      let phx = List.assoc E.Drivers.Phoenix_c row.E.Fig6.per_compiler in
+      let plh = List.assoc E.Drivers.Paulihedral row.E.Fig6.per_compiler in
+      Alcotest.(check bool) "phoenix ≤ paulihedral on heavy-hex" true
+        (phx.E.Drivers.counts.E.Metrics.two_q
+        <= plh.E.Drivers.counts.E.Metrics.two_q))
+    rows
+
+let test_table4_phoenix_wins () =
+  let rows = E.Table4.run () in
+  Alcotest.(check int) "six rows" 6 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (r.E.Table4.label ^ ": phoenix cnot ≤ 2qan")
+        true
+        (r.E.Table4.phoenix.E.Table4.cnots <= r.E.Table4.qan2.E.Table4.cnots))
+    rows
+
+let test_fig8_errors_increase_with_scale () =
+  let series = E.Fig8.run ~scales:[ 0.2; 1.6 ] ~molecules:[ "LiH_reduced" ] () in
+  List.iter
+    (fun s ->
+      match s.E.Fig8.points with
+      | [ small; large ] ->
+        Alcotest.(check bool) "monotone tket" true
+          (small.E.Fig8.tket < large.E.Fig8.tket);
+        Alcotest.(check bool) "monotone phoenix" true
+          (small.E.Fig8.phoenix < large.E.Fig8.phoenix);
+        Alcotest.(check bool) "positive" true (small.E.Fig8.phoenix > 0.0)
+      | _ -> Alcotest.fail "two points expected")
+    series
+
+let test_ablations_full_is_best_cnot () =
+  let results = E.Ablations.run_uccsd ~labels:lih () in
+  let rate v = fst (List.assoc v results) in
+  Alcotest.(check bool) "full ≤ no-ordering" true
+    (rate E.Ablations.Full <= rate E.Ablations.No_ordering +. 1e-9);
+  Alcotest.(check bool) "full ≤ no-peephole" true
+    (rate E.Ablations.Full <= rate E.Ablations.No_peephole +. 1e-9);
+  Alcotest.(check bool) "full ≤ no-compression" true
+    (rate E.Ablations.Full <= rate E.Ablations.No_compression +. 1e-9)
+
+(* --- features the harness depends on --- *)
+
+let test_second_order_trotter () =
+  let h = Phoenix_ham.Spin_models.tfim_chain 3 in
+  let s1 = Hamiltonian.trotter_gadgets ~tau:0.3 h in
+  let s2 = Hamiltonian.trotter_gadgets_order2 ~tau:0.3 h in
+  Alcotest.(check int) "doubled length" (2 * List.length s1) (List.length s2);
+  (* symmetric: the reversed list equals itself *)
+  let p2 = List.map fst s2 in
+  Alcotest.(check bool) "palindrome" true (p2 = List.rev p2);
+  (* second order is more accurate at equal tau *)
+  let to_terms ham =
+    List.map
+      (fun (t : Phoenix_pauli.Pauli_term.t) ->
+        t.Phoenix_pauli.Pauli_term.pauli, t.Phoenix_pauli.Pauli_term.coeff)
+      (Hamiltonian.terms ham)
+  in
+  let exact =
+    Phoenix_linalg.Herm.expm_hermitian_times
+      (Phoenix_linalg.Unitary.hamiltonian_matrix 3 (to_terms h))
+      0.3
+  in
+  let err gadgets =
+    Phoenix_linalg.Fidelity.infidelity exact
+      (Phoenix_linalg.Unitary.program_unitary 3 gadgets)
+  in
+  Alcotest.(check bool) "2nd order better" true (err s2 < err s1)
+
+let test_placement_respects_interactions () =
+  let topo = Phoenix_topology.Topology.line 8 in
+  let layout =
+    Phoenix_router.Placement.interaction_aware topo ~n_logical:3
+      ~weights:[ 0, 1, 5; 1, 2, 5 ]
+  in
+  let p q = Phoenix_router.Layout.physical_of layout q in
+  Alcotest.(check int) "0-1 adjacent" 1
+    (Phoenix_topology.Topology.distance topo (p 0) (p 1));
+  Alcotest.(check int) "1-2 adjacent" 1
+    (Phoenix_topology.Topology.distance topo (p 1) (p 2))
+
+let test_route_commuting_correct_structure () =
+  let topo = Phoenix_topology.Topology.line 5 in
+  let zz a b t =
+    Helpers.Gate.Rpp
+      { p0 = Helpers.Pauli.Z; p1 = Helpers.Pauli.Z; a; b; theta = t }
+  in
+  let circ = Circuit.create 5 [ zz 0 4 0.1; zz 1 3 0.2; zz 0 2 0.3 ] in
+  let r = Phoenix_router.Sabre.route_commuting topo circ in
+  (* every 2Q gate respects adjacency *)
+  List.iter
+    (fun g ->
+      match Helpers.Gate.pair g with
+      | Some (a, b) ->
+        Alcotest.(check bool) "adjacent" true
+          (Phoenix_topology.Topology.are_adjacent topo a b)
+      | None -> ())
+    (Circuit.gates r.Phoenix_router.Sabre.circuit);
+  (* all three interactions are present *)
+  let rpp_count =
+    Circuit.count
+      (fun g -> match g with Helpers.Gate.Rpp _ -> true | _ -> false)
+      r.Phoenix_router.Sabre.circuit
+  in
+  Alcotest.(check int) "interactions preserved" 3 rpp_count
+
+(* Regression: this input once sent exact-mode simplification into a
+   forced-fallback ping-pong (unpeelable locals re-growing). *)
+let test_simplify_exact_stall_regression () =
+  let ps = Helpers.Pauli_string.of_string in
+  let terms =
+    [ ps "ZYZ", 0.5; ps "IZI", 0.3; ps "YXY", 0.7; ps "IIZ", 0.2; ps "YXZ", 0.9 ]
+  in
+  let cfg = Phoenix.Simplify.run ~exact:true 3 terms in
+  let circ = Phoenix.Synthesis.cfg_to_circuit 3 cfg in
+  Helpers.check_equiv ~tol:1e-7 "still exact"
+    (Helpers.Unitary.program_unitary 3 terms)
+    (Helpers.Unitary.circuit_unitary circ);
+  Alcotest.(check bool) "bounded clifford count" true
+    (Phoenix.Simplify.num_cliffords cfg < 20)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "harness",
+        [
+          Alcotest.test_case "geomean" `Quick test_metrics_geomean;
+          Alcotest.test_case "uccsd suite" `Quick test_workloads_suite_complete;
+          Alcotest.test_case "qaoa suite" `Quick test_workloads_qaoa;
+          Alcotest.test_case "table1 structure" `Quick
+            test_table1_matches_paper_structure;
+          Alcotest.test_case "fig5 phoenix wins" `Slow test_fig5_phoenix_wins;
+          Alcotest.test_case "fig6 shape" `Slow test_fig6_respects_paper_shape;
+          Alcotest.test_case "table4 phoenix wins" `Slow test_table4_phoenix_wins;
+          Alcotest.test_case "fig8 monotone" `Slow
+            test_fig8_errors_increase_with_scale;
+          Alcotest.test_case "ablations" `Slow test_ablations_full_is_best_cnot;
+        ] );
+      ( "features",
+        [
+          Alcotest.test_case "second-order trotter" `Quick
+            test_second_order_trotter;
+          Alcotest.test_case "placement" `Quick test_placement_respects_interactions;
+          Alcotest.test_case "commuting router" `Quick
+            test_route_commuting_correct_structure;
+          Alcotest.test_case "exact stall regression" `Quick
+            test_simplify_exact_stall_regression;
+        ] );
+    ]

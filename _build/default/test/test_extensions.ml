@@ -1,0 +1,208 @@
+(* Extensions beyond the paper's core: noise projection, qDRIFT,
+   circuit drawing, lattice spin models, and the fidelity experiment. *)
+
+module Noise = Phoenix_circuit.Noise
+module Draw = Phoenix_circuit.Draw
+module Trotter = Phoenix_ham.Trotter
+module Spin_models = Phoenix_ham.Spin_models
+module Hamiltonian = Phoenix_ham.Hamiltonian
+module Circuit = Helpers.Circuit
+module Gate = Helpers.Gate
+
+(* --- noise --- *)
+
+let test_noise_monotone_in_gates () =
+  let small = Circuit.create 2 [ Gate.Cnot (0, 1) ] in
+  let large = Circuit.create 2 [ Gate.Cnot (0, 1); Gate.Cnot (0, 1); Gate.Cnot (0, 1) ] in
+  Alcotest.(check bool) "more gates, lower fidelity" true
+    (Noise.success_probability large < Noise.success_probability small);
+  Alcotest.(check bool) "within (0,1]" true
+    (Noise.success_probability small > 0.0
+    && Noise.success_probability small <= 1.0)
+
+let test_noise_counts_cnot_equivalents () =
+  let swap = Circuit.create 2 [ Gate.Swap (0, 1) ] in
+  let one = Circuit.create 2 [ Gate.Cnot (0, 1) ] in
+  Alcotest.(check bool) "swap (3 CNOTs) worse than 1 CNOT" true
+    (Noise.success_probability swap < Noise.success_probability one)
+
+let test_log_infidelity_additive () =
+  let c1 = Circuit.create 2 [ Gate.Cnot (0, 1) ] in
+  let c2 = Circuit.create 2 [ Gate.Cnot (0, 1); Gate.Cnot (0, 1) ] in
+  (* two sequential CNOTs on the same pair double the gate charge; depth
+     also doubles, so log-infidelity at least doubles *)
+  Alcotest.(check bool) "superadditive" true
+    (Noise.log_infidelity c2 >= 2.0 *. Noise.log_infidelity c1 -. 1e-12)
+
+let test_noise_models_ordering () =
+  let c = Circuit.create 2 [ Gate.Cnot (0, 1) ] in
+  Alcotest.(check bool) "ion trap cleaner per gate" true
+    (Noise.success_probability ~model:Noise.ion_trap_like c
+    > Noise.success_probability ~model:Noise.ibm_like c)
+
+(* --- qDRIFT --- *)
+
+let tfim = Spin_models.tfim_chain ~j:1.0 ~h:0.7 3
+
+let test_qdrift_structure () =
+  let gadgets = Trotter.qdrift ~seed:5 ~samples:50 tfim in
+  Alcotest.(check int) "sample count" 50 (List.length gadgets);
+  let lam = Trotter.lambda tfim in
+  let expected = 2.0 *. lam /. 50.0 in
+  List.iter
+    (fun (_, theta) ->
+      Alcotest.(check (float 1e-12)) "uniform |angle|" expected (Float.abs theta))
+    gadgets
+
+let test_qdrift_deterministic () =
+  let a = Trotter.qdrift ~seed:9 ~samples:30 tfim in
+  let b = Trotter.qdrift ~seed:9 ~samples:30 tfim in
+  Alcotest.(check bool) "same stream" true (a = b)
+
+let test_qdrift_frequencies () =
+  (* term with the largest |h| must be sampled most often *)
+  let h =
+    Hamiltonian.make 2
+      [
+        Phoenix_pauli.Pauli_term.make (Helpers.Pauli_string.of_string "ZZ") 10.0;
+        Phoenix_pauli.Pauli_term.make (Helpers.Pauli_string.of_string "XI") 0.1;
+      ]
+  in
+  let gadgets = Trotter.qdrift ~seed:3 ~samples:500 h in
+  let zz_count =
+    List.length
+      (List.filter
+         (fun (p, _) -> Helpers.Pauli_string.to_string p = "ZZ")
+         gadgets)
+  in
+  Alcotest.(check bool) "dominant term dominates" true (zz_count > 450)
+
+let test_qdrift_converges () =
+  (* more samples → closer to the exact evolution *)
+  let n = 3 in
+  let to_terms ham =
+    List.map
+      (fun (t : Phoenix_pauli.Pauli_term.t) ->
+        t.Phoenix_pauli.Pauli_term.pauli, t.Phoenix_pauli.Pauli_term.coeff)
+      (Hamiltonian.terms ham)
+  in
+  let exact =
+    Phoenix_linalg.Herm.expm_hermitian_times
+      (Phoenix_linalg.Unitary.hamiltonian_matrix n (to_terms tfim))
+      1.0
+  in
+  let err samples =
+    let gadgets = Trotter.qdrift ~seed:17 ~samples tfim in
+    Phoenix_linalg.Fidelity.infidelity exact
+      (Phoenix_linalg.Unitary.program_unitary n gadgets)
+  in
+  Alcotest.(check bool) "400 samples better than 20" true (err 400 < err 20)
+
+(* --- drawing --- *)
+
+let test_draw_structure () =
+  let c =
+    Circuit.create 3
+      [ Gate.G1 (Gate.H, 0); Gate.Cnot (0, 2); Gate.G1 (Gate.Rz 0.5, 1) ]
+  in
+  let text = Draw.to_string c in
+  let lines = String.split_on_char '\n' text in
+  (* 3 qubit rows + 2 connector rows + trailing newline *)
+  Alcotest.(check int) "line count" 6 (List.length lines);
+  Alcotest.(check bool) "has control dot" true
+    (List.exists (fun l -> String.length l > 0 &&
+       (let rec has i = i < String.length l - 2 &&
+          (String.sub l i 3 = "\xe2\x97\x8f" || has (i + 1)) in has 0)) lines)
+
+let test_draw_handles_all_gate_kinds () =
+  let c =
+    Circuit.create 3
+      [
+        Gate.G1 (Gate.Sdg, 0);
+        Gate.Swap (0, 1);
+        Gate.Cliff2 (Phoenix_pauli.Clifford2q.make Phoenix_pauli.Clifford2q.CXY 1 2);
+        Gate.Rpp { p0 = Helpers.Pauli.X; p1 = Helpers.Pauli.Y; a = 0; b = 2; theta = 0.3 };
+        Gate.Su4 { a = 0; b = 1; parts = [ Gate.Cnot (0, 1) ] };
+      ]
+  in
+  let text = Draw.to_string c in
+  Alcotest.(check bool) "nonempty" true (String.length text > 0)
+
+(* --- lattice models --- *)
+
+let test_lattice_term_counts () =
+  (* 2×3 grid: 2·2 + 3·1 = 7 bonds *)
+  let h = Spin_models.heisenberg_lattice ~rows:2 ~cols:3 () in
+  Alcotest.(check int) "qubits" 6 (Hamiltonian.num_qubits h);
+  Alcotest.(check int) "terms" (7 * 3) (Hamiltonian.num_terms h);
+  let t = Spin_models.tfim_lattice ~rows:2 ~cols:2 () in
+  Alcotest.(check int) "tfim terms" (4 + 4) (Hamiltonian.num_terms t)
+
+let test_xxz_delta () =
+  let h = Spin_models.xxz_chain ~j:1.0 ~delta:0.0 3 in
+  (* Δ = 0 drops the ZZ terms *)
+  Alcotest.(check int) "terms" 4 (Hamiltonian.num_terms h)
+
+let test_random_field_heisenberg () =
+  let h = Spin_models.random_field_heisenberg ~seed:3 ~w:1.0 4 in
+  (* 3 bonds × 3 + 4 fields *)
+  Alcotest.(check int) "terms" 13 (Hamiltonian.num_terms h);
+  let h2 = Spin_models.random_field_heisenberg ~seed:3 ~w:1.0 4 in
+  Alcotest.(check bool) "deterministic" true
+    (Hamiltonian.to_lines h = Hamiltonian.to_lines h2)
+
+(* --- fidelity experiment --- *)
+
+let test_fidelity_experiment_phoenix_wins () =
+  let rows = Phoenix_experiments.Fidelity.run ~labels:[ "LiH_frz_JW" ] () in
+  match rows with
+  | [ row ] ->
+    let phx =
+      List.assoc Phoenix_experiments.Drivers.Phoenix_c
+        row.Phoenix_experiments.Fidelity.per_compiler
+    in
+    List.iter
+      (fun (c, p) ->
+        if c <> Phoenix_experiments.Drivers.Phoenix_c then
+          Alcotest.(check bool)
+            (Phoenix_experiments.Drivers.compiler_name c)
+            true (phx >= p))
+      row.Phoenix_experiments.Fidelity.per_compiler
+  | _ -> Alcotest.fail "one row expected"
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "noise",
+        [
+          Alcotest.test_case "monotone" `Quick test_noise_monotone_in_gates;
+          Alcotest.test_case "cnot equivalents" `Quick
+            test_noise_counts_cnot_equivalents;
+          Alcotest.test_case "log additive" `Quick test_log_infidelity_additive;
+          Alcotest.test_case "model ordering" `Quick test_noise_models_ordering;
+        ] );
+      ( "qdrift",
+        [
+          Alcotest.test_case "structure" `Quick test_qdrift_structure;
+          Alcotest.test_case "deterministic" `Quick test_qdrift_deterministic;
+          Alcotest.test_case "frequencies" `Quick test_qdrift_frequencies;
+          Alcotest.test_case "converges" `Quick test_qdrift_converges;
+        ] );
+      ( "draw",
+        [
+          Alcotest.test_case "structure" `Quick test_draw_structure;
+          Alcotest.test_case "all gate kinds" `Quick
+            test_draw_handles_all_gate_kinds;
+        ] );
+      ( "models",
+        [
+          Alcotest.test_case "lattice counts" `Quick test_lattice_term_counts;
+          Alcotest.test_case "xxz delta" `Quick test_xxz_delta;
+          Alcotest.test_case "random field" `Quick test_random_field_heisenberg;
+        ] );
+      ( "fidelity",
+        [
+          Alcotest.test_case "phoenix wins" `Quick
+            test_fidelity_experiment_phoenix_wins;
+        ] );
+    ]

@@ -1,0 +1,332 @@
+module Pauli_string = Helpers.Pauli_string
+module Pauli_term = Phoenix_pauli.Pauli_term
+module Hamiltonian = Phoenix_ham.Hamiltonian
+module Pauli_sum = Phoenix_ham.Pauli_sum
+module Fermion = Phoenix_ham.Fermion
+module Uccsd = Phoenix_ham.Uccsd
+module Molecules = Phoenix_ham.Molecules
+module Graphs = Phoenix_ham.Graphs
+module Qaoa = Phoenix_ham.Qaoa
+module Spin_models = Phoenix_ham.Spin_models
+
+(* --- Pauli_sum algebra --- *)
+
+let ps s = Pauli_string.of_string s
+let c re im = { Complex.re; im }
+
+let test_sum_normalization () =
+  let a = Pauli_sum.of_term (c 1.0 0.0) (ps "XZ") in
+  let b = Pauli_sum.of_term (c (-1.0) 0.0) (ps "XZ") in
+  Alcotest.(check bool) "cancels to zero" true (Pauli_sum.is_zero (Pauli_sum.add a b));
+  let d = Pauli_sum.add a a in
+  Alcotest.(check int) "collected" 1 (Pauli_sum.num_terms d)
+
+let test_sum_mul () =
+  (* (X)(Z) = -iY *)
+  let prod =
+    Pauli_sum.mul (Pauli_sum.of_term Complex.one (ps "X"))
+      (Pauli_sum.of_term Complex.one (ps "Z"))
+  in
+  match Pauli_sum.terms prod with
+  | [ (coeff, p) ] ->
+    Alcotest.(check string) "pauli" "Y" (Pauli_string.to_string p);
+    Alcotest.(check (float 1e-12)) "im" (-1.0) coeff.Complex.im
+  | _ -> Alcotest.fail "one term expected"
+
+let test_dagger_hermitian () =
+  let op = Pauli_sum.of_term (c 0.0 1.0) (ps "XY") in
+  Alcotest.(check bool) "iXY anti-hermitian" true (Pauli_sum.is_anti_hermitian op);
+  Alcotest.(check bool) "dagger flips" true
+    (Pauli_sum.is_zero (Pauli_sum.add (Pauli_sum.dagger op) op))
+
+(* --- Canonical anticommutation relations: the correctness certificate
+       for both encodings. --- *)
+
+let car_holds enc n =
+  let aop = Fermion.annihilation enc n and cop = Fermion.creation enc n in
+  let ok = ref true in
+  for p = 0 to n - 1 do
+    for q = 0 to n - 1 do
+      (* {a_p, a†_q} = δ_pq *)
+      let acr = Pauli_sum.anticommutator (aop p) (cop q) in
+      let expected =
+        if p = q then Pauli_sum.identity n else Pauli_sum.zero n
+      in
+      if not (Pauli_sum.is_zero (Pauli_sum.sub acr expected)) then ok := false;
+      (* {a_p, a_q} = 0 *)
+      if not (Pauli_sum.is_zero (Pauli_sum.anticommutator (aop p) (aop q)))
+      then ok := false
+    done
+  done;
+  !ok
+
+let test_car_jw () =
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (Printf.sprintf "JW CAR n=%d" n) true
+        (car_holds Fermion.Jordan_wigner n))
+    [ 1; 2; 3; 5 ]
+
+let test_car_bk () =
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (Printf.sprintf "BK CAR n=%d" n) true
+        (car_holds Fermion.Bravyi_kitaev n))
+    [ 1; 2; 3; 4; 5; 8 ]
+
+let test_number_operator_idempotent () =
+  (* n_j² = n_j for fermions. *)
+  List.iter
+    (fun enc ->
+      let n = 4 in
+      for j = 0 to n - 1 do
+        let num = Fermion.number_operator enc n j in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s n_%d idempotent" (Fermion.encoding_to_string enc) j)
+          true
+          (Pauli_sum.is_zero (Pauli_sum.sub (Pauli_sum.mul num num) num))
+      done)
+    [ Fermion.Jordan_wigner; Fermion.Bravyi_kitaev ]
+
+let test_excitations_hermitian () =
+  List.iter
+    (fun enc ->
+      let s = Fermion.excitation_single enc 4 ~p:3 ~q:0 in
+      Alcotest.(check bool) "single hermitian" true (Pauli_sum.is_hermitian s);
+      let d = Fermion.excitation_double enc 4 ~p:2 ~q:3 ~r:1 ~s:0 in
+      Alcotest.(check bool) "double hermitian" true (Pauli_sum.is_hermitian d))
+    [ Fermion.Jordan_wigner; Fermion.Bravyi_kitaev ]
+
+let test_jw_single_structure () =
+  (* JW single excitation i(a†_2 a_0 − h.c.) = (XZY − YZX)/2-type: exactly
+     2 strings of weight 3 with a Z-chain. *)
+  let s = Fermion.excitation_single Fermion.Jordan_wigner 3 ~p:2 ~q:0 in
+  let ts = Pauli_sum.to_hermitian_terms s in
+  Alcotest.(check int) "2 strings" 2 (List.length ts);
+  List.iter
+    (fun (p, coeff) ->
+      Alcotest.(check int) "weight 3" 3 (Pauli_string.weight p);
+      Alcotest.(check (float 1e-12)) "|coeff| = 1/2" 0.5 (Float.abs coeff))
+    ts
+
+let test_jw_double_has_8_strings () =
+  let d = Fermion.excitation_double Fermion.Jordan_wigner 4 ~p:2 ~q:3 ~r:1 ~s:0 in
+  Alcotest.(check int) "8 strings" 8
+    (List.length (Pauli_sum.to_hermitian_terms d))
+
+let test_bk_sets_small () =
+  (* n = 4 Fenwick tree: parent 0→1, 1→3, 2→3.  Sets are unordered. *)
+  let sorted l = List.sort compare l in
+  let check name expected got =
+    Alcotest.(check (list int)) name expected (sorted got)
+  in
+  check "U(0)" [ 1; 3 ] (Fermion.bk_update_set 4 0);
+  check "U(1)" [ 3 ] (Fermion.bk_update_set 4 1);
+  check "U(2)" [ 3 ] (Fermion.bk_update_set 4 2);
+  check "U(3)" [] (Fermion.bk_update_set 4 3);
+  check "F(1)" [ 0 ] (Fermion.bk_flip_set 4 1);
+  check "F(3)" [ 1; 2 ] (Fermion.bk_flip_set 4 3);
+  check "P(2)" [ 1 ] (Fermion.bk_parity_set 4 2);
+  check "P(3)" [ 1; 2 ] (Fermion.bk_parity_set 4 3);
+  check "R(3)" [] (Fermion.bk_remainder_set 4 3)
+
+(* --- UCCSD: excitation structure and Table I parity --- *)
+
+let test_uccsd_excitation_counts () =
+  (* LiH frozen: 2 active electrons, 10 qubits → 8 singles + 16 doubles. *)
+  let spec = Molecules.frozen Molecules.lih in
+  let exs = Uccsd.excitations spec in
+  let singles =
+    List.length (List.filter (function Uccsd.Single _ -> true | Uccsd.Double _ -> false) exs)
+  in
+  Alcotest.(check int) "qubits" 10 (Uccsd.num_qubits spec);
+  Alcotest.(check int) "singles" 8 singles;
+  Alcotest.(check int) "doubles" 16 (List.length exs - singles)
+
+let table1_expected =
+  (* label, qubits, #Pauli — from the paper's Table I. *)
+  [
+    "CH2_cmplt_BK", 14, 1488;
+    "CH2_cmplt_JW", 14, 1488;
+    "CH2_frz_BK", 12, 828;
+    "CH2_frz_JW", 12, 828;
+    "H2O_cmplt_BK", 14, 1000;
+    "H2O_cmplt_JW", 14, 1000;
+    "H2O_frz_BK", 12, 640;
+    "H2O_frz_JW", 12, 640;
+    "LiH_cmplt_BK", 12, 640;
+    "LiH_cmplt_JW", 12, 640;
+    "LiH_frz_BK", 10, 144;
+    "LiH_frz_JW", 10, 144;
+    "NH_cmplt_BK", 12, 640;
+    "NH_cmplt_JW", 12, 640;
+    "NH_frz_BK", 10, 360;
+    "NH_frz_JW", 10, 360;
+  ]
+
+let test_table1_qubit_and_pauli_counts () =
+  List.iter
+    (fun (label, qubits, pauli) ->
+      let b = Molecules.find label in
+      Alcotest.(check int) (label ^ " qubits") qubits (Uccsd.num_qubits b.Molecules.spec);
+      let h = Uccsd.ansatz b.Molecules.encoding b.Molecules.spec in
+      Alcotest.(check int) (label ^ " #Pauli") pauli (Hamiltonian.num_terms h))
+    table1_expected
+
+let test_jw_max_weight_is_full_register () =
+  (* Table I: w_max = #qubits for JW complete molecules. *)
+  let b = Molecules.find "LiH_cmplt_JW" in
+  let h = Uccsd.ansatz b.Molecules.encoding b.Molecules.spec in
+  Alcotest.(check int) "w_max" 12 (Hamiltonian.max_weight h)
+
+let test_bk_weight_below_jw () =
+  let bk = Molecules.find "CH2_cmplt_BK" and jw = Molecules.find "CH2_cmplt_JW" in
+  let wh b = Hamiltonian.max_weight (Uccsd.ansatz b.Molecules.encoding b.Molecules.spec) in
+  Alcotest.(check bool) "BK < JW max weight" true (wh bk < wh jw)
+
+let test_ansatz_deterministic () =
+  let b = Molecules.find "LiH_frz_JW" in
+  let h1 = Uccsd.ansatz ~seed:5 b.Molecules.encoding b.Molecules.spec in
+  let h2 = Uccsd.ansatz ~seed:5 b.Molecules.encoding b.Molecules.spec in
+  Alcotest.(check bool) "same" true
+    (List.for_all2 Pauli_term.equal (Hamiltonian.terms h1) (Hamiltonian.terms h2))
+
+let test_amplitude_scale () =
+  let b = Molecules.find "LiH_frz_JW" in
+  let h1 = Uccsd.ansatz ~amplitude_scale:1.0 b.Molecules.encoding b.Molecules.spec in
+  let h2 = Uccsd.ansatz ~amplitude_scale:0.5 b.Molecules.encoding b.Molecules.spec in
+  List.iter2
+    (fun (t1 : Pauli_term.t) (t2 : Pauli_term.t) ->
+      Alcotest.(check (float 1e-12)) "halved" (t1.Pauli_term.coeff /. 2.0)
+        t2.Pauli_term.coeff)
+    (Hamiltonian.terms h1) (Hamiltonian.terms h2)
+
+(* --- Hamiltonian io and metrics --- *)
+
+let test_hamiltonian_io_roundtrip () =
+  let h = Spin_models.heisenberg_chain 4 in
+  let h' = Hamiltonian.of_lines (Hamiltonian.to_lines h) in
+  Alcotest.(check int) "terms" (Hamiltonian.num_terms h) (Hamiltonian.num_terms h');
+  Alcotest.(check bool) "equal" true
+    (List.for_all2 Pauli_term.equal (Hamiltonian.terms h) (Hamiltonian.terms h'))
+
+let test_trotter_gadgets () =
+  let h = Spin_models.tfim_chain ~j:1.0 ~h:0.5 3 in
+  let gs = Hamiltonian.trotter_gadgets ~tau:0.1 h in
+  Alcotest.(check int) "gadget count" (Hamiltonian.num_terms h) (List.length gs);
+  match gs with
+  | (_, theta) :: _ -> Alcotest.(check (float 1e-12)) "angle" (-0.2) theta
+  | [] -> Alcotest.fail "no gadgets"
+
+(* --- graphs and QAOA --- *)
+
+let test_random_regular () =
+  List.iter
+    (fun (n, d) ->
+      let g = Graphs.random_regular ~seed:7 ~degree:d n in
+      Alcotest.(check bool) (Printf.sprintf "%d-regular on %d" d n) true
+        (Graphs.is_regular d g);
+      Alcotest.(check int) "edge count" (n * d / 2) (Graphs.num_edges g))
+    [ 16, 4; 20, 4; 24, 4; 16, 3; 20, 3; 24, 3 ]
+
+let test_random_regular_deterministic () =
+  let g1 = Graphs.random_regular ~seed:11 ~degree:3 16 in
+  let g2 = Graphs.random_regular ~seed:11 ~degree:3 16 in
+  Alcotest.(check bool) "same edges" true (Graphs.edges g1 = Graphs.edges g2)
+
+let test_qaoa_term_counts () =
+  List.iter
+    (fun (label, g) ->
+      let h = Qaoa.maxcut_cost g in
+      let expected = Graphs.num_edges g in
+      Alcotest.(check int) label expected (Hamiltonian.num_terms h);
+      Alcotest.(check int) (label ^ " weight") 2 (Hamiltonian.max_weight h))
+    (Qaoa.benchmark_suite ())
+
+let test_qaoa_table4_pauli_counts () =
+  (* Table IV: #Pauli = 32/40/48 for Rand, 24/30/36 for Reg3. *)
+  let expected =
+    [ "Rand-16", 32; "Rand-20", 40; "Rand-24", 48;
+      "Reg3-16", 24; "Reg3-20", 30; "Reg3-24", 36 ]
+  in
+  let suite = Qaoa.benchmark_suite () in
+  List.iter
+    (fun (label, count) ->
+      let g = List.assoc label suite in
+      Alcotest.(check int) label count
+        (Hamiltonian.num_terms (Qaoa.maxcut_cost g)))
+    expected
+
+let test_qaoa_ansatz_layers () =
+  let g = Graphs.cycle 4 in
+  let h = Qaoa.ansatz ~layers:2 g in
+  (* per layer: 4 edges + 4 mixers *)
+  Alcotest.(check int) "terms" 16 (Hamiltonian.num_terms h)
+
+let test_spin_models () =
+  let h = Spin_models.heisenberg_chain ~periodic:true 4 in
+  Alcotest.(check int) "heisenberg pbc terms" 12 (Hamiltonian.num_terms h);
+  let t = Spin_models.tfim_chain 5 in
+  Alcotest.(check int) "tfim terms" 9 (Hamiltonian.num_terms t);
+  let xy = Spin_models.xy_chain 3 in
+  Alcotest.(check int) "xy terms" 4 (Hamiltonian.num_terms xy)
+
+let prop_sum_mul_associative =
+  Helpers.qtest ~count:60 "pauli-sum product is associative"
+    (QCheck2.Gen.triple (Helpers.pauli_string_gen 3) (Helpers.pauli_string_gen 3)
+       (Helpers.pauli_string_gen 3))
+    (fun (a, b, cc) ->
+      let s p = Pauli_sum.of_term (c 1.0 0.5) p in
+      let lhs = Pauli_sum.mul (Pauli_sum.mul (s a) (s b)) (s cc) in
+      let rhs = Pauli_sum.mul (s a) (Pauli_sum.mul (s b) (s cc)) in
+      Pauli_sum.is_zero (Pauli_sum.sub lhs rhs))
+
+let () =
+  Alcotest.run "ham"
+    [
+      ( "pauli-sum",
+        [
+          Alcotest.test_case "normalization" `Quick test_sum_normalization;
+          Alcotest.test_case "product" `Quick test_sum_mul;
+          Alcotest.test_case "dagger" `Quick test_dagger_hermitian;
+        ] );
+      ( "fermion",
+        [
+          Alcotest.test_case "JW CAR" `Quick test_car_jw;
+          Alcotest.test_case "BK CAR" `Quick test_car_bk;
+          Alcotest.test_case "number idempotent" `Quick
+            test_number_operator_idempotent;
+          Alcotest.test_case "excitations hermitian" `Quick
+            test_excitations_hermitian;
+          Alcotest.test_case "JW single structure" `Quick test_jw_single_structure;
+          Alcotest.test_case "JW double 8 strings" `Quick
+            test_jw_double_has_8_strings;
+          Alcotest.test_case "BK index sets (n=4)" `Quick test_bk_sets_small;
+        ] );
+      ( "uccsd",
+        [
+          Alcotest.test_case "excitation counts" `Quick test_uccsd_excitation_counts;
+          Alcotest.test_case "Table I qubit/#Pauli parity" `Slow
+            test_table1_qubit_and_pauli_counts;
+          Alcotest.test_case "JW max weight" `Quick test_jw_max_weight_is_full_register;
+          Alcotest.test_case "BK weight < JW" `Quick test_bk_weight_below_jw;
+          Alcotest.test_case "deterministic" `Quick test_ansatz_deterministic;
+          Alcotest.test_case "amplitude scale" `Quick test_amplitude_scale;
+        ] );
+      ( "hamiltonian",
+        [
+          Alcotest.test_case "io roundtrip" `Quick test_hamiltonian_io_roundtrip;
+          Alcotest.test_case "trotter gadgets" `Quick test_trotter_gadgets;
+        ] );
+      ( "qaoa",
+        [
+          Alcotest.test_case "random regular" `Quick test_random_regular;
+          Alcotest.test_case "regular deterministic" `Quick
+            test_random_regular_deterministic;
+          Alcotest.test_case "term counts" `Quick test_qaoa_term_counts;
+          Alcotest.test_case "Table IV #Pauli" `Quick test_qaoa_table4_pauli_counts;
+          Alcotest.test_case "ansatz layers" `Quick test_qaoa_ansatz_layers;
+        ] );
+      ("spin", [ Alcotest.test_case "models" `Quick test_spin_models ]);
+      ("props", [ prop_sum_mul_associative ]);
+    ]

@@ -1,0 +1,219 @@
+module Cmat = Helpers.Cmat
+module Unitary = Helpers.Unitary
+module Herm = Phoenix_linalg.Herm
+module Fidelity = Helpers.Fidelity
+module Pauli = Helpers.Pauli
+module Pauli_string = Helpers.Pauli_string
+module Gate = Helpers.Gate
+module Circuit = Helpers.Circuit
+module Prng = Phoenix_util.Prng
+
+let ci = { Complex.re = 0.0; im = 1.0 }
+
+let test_identity_mul () =
+  let id = Cmat.identity 4 in
+  let m = Cmat.scale ci (Cmat.identity 4) in
+  Alcotest.(check bool) "I·M = M" true (Cmat.is_close (Cmat.mul id m) m)
+
+let test_mul_known () =
+  (* X · Z = -iY *)
+  let x = Unitary.pauli_1q Pauli.X and z = Unitary.pauli_1q Pauli.Z in
+  let y = Unitary.pauli_1q Pauli.Y in
+  let minus_i = { Complex.re = 0.0; im = -1.0 } in
+  Alcotest.(check bool) "XZ = -iY" true
+    (Cmat.is_close (Cmat.mul x z) (Cmat.scale minus_i y))
+
+let test_kron_dims () =
+  let a = Cmat.identity 2 and b = Cmat.identity 3 in
+  let k = Cmat.kron a b in
+  Alcotest.(check (pair int int)) "dims" (6, 6) (Cmat.dims k)
+
+let test_dagger () =
+  let s = Unitary.one_q Gate.S in
+  let prod = Cmat.mul s (Cmat.dagger s) in
+  Alcotest.(check bool) "S·S† = I" true (Cmat.is_close prod (Cmat.identity 2))
+
+let test_trace () =
+  let z = Unitary.pauli_1q Pauli.Z in
+  let t = Cmat.trace z in
+  Alcotest.(check (float 1e-12)) "tr Z = 0" 0.0 (Complex.norm t);
+  Alcotest.(check (float 1e-12)) "tr I = 2" 2.0
+    (Complex.norm (Cmat.trace (Cmat.identity 2)))
+
+let test_equal_up_to_phase () =
+  let h = Unitary.one_q Gate.H in
+  let h' = Cmat.scale ci h in
+  Alcotest.(check bool) "phase-equal" true (Cmat.equal_up_to_phase h h');
+  Alcotest.(check bool) "not equal to X" false
+    (Cmat.equal_up_to_phase h (Unitary.pauli_1q Pauli.X))
+
+let test_gadget_zz () =
+  (* exp(-iθ/2 Z⊗Z) is diagonal with phases e^{∓iθ/2}. *)
+  let theta = 0.8 in
+  let g = Unitary.gadget_matrix (Pauli_string.of_string "ZZ") theta in
+  let d0 = Cmat.get g 0 0 in
+  Alcotest.(check (float 1e-12)) "cos" (cos (theta /. 2.0)) d0.Complex.re;
+  Alcotest.(check (float 1e-12)) "sin" (-.sin (theta /. 2.0)) d0.Complex.im;
+  let d1 = Cmat.get g 1 1 in
+  Alcotest.(check (float 1e-12)) "conj phase" (sin (theta /. 2.0)) d1.Complex.im
+
+let test_cnot_matrix () =
+  let c = Circuit.create 2 [ Gate.Cnot (0, 1) ] in
+  let u = Unitary.circuit_unitary c in
+  (* |10> -> |11> *)
+  Alcotest.(check (float 1e-12)) "flip" 1.0 (Complex.norm (Cmat.get u 3 2));
+  Alcotest.(check (float 1e-12)) "no flip" 1.0 (Complex.norm (Cmat.get u 0 0))
+
+let test_cnot_ladder_equals_zz_gadget () =
+  (* CNOT · Rz(θ)_target · CNOT = exp(-iθ/2 Z⊗Z) *)
+  let theta = 1.1 in
+  let c =
+    Circuit.create 2
+      [ Gate.Cnot (0, 1); Gate.G1 (Gate.Rz theta, 1); Gate.Cnot (0, 1) ]
+  in
+  Helpers.check_equiv "ladder = gadget"
+    (Unitary.circuit_unitary c)
+    (Unitary.gadget_matrix (Pauli_string.of_string "ZZ") theta)
+
+let test_apply_gate_matches_kron () =
+  (* H on qubit 1 of 3 = I ⊗ H ⊗ I *)
+  let u = Cmat.identity 8 in
+  Unitary.apply_gate u 3 (Gate.G1 (Gate.H, 1));
+  let expected =
+    Cmat.kron (Cmat.kron (Cmat.identity 2) (Unitary.one_q Gate.H)) (Cmat.identity 2)
+  in
+  Alcotest.(check bool) "embedding" true (Cmat.is_close u expected)
+
+let test_apply_2q_nonadjacent () =
+  (* CNOT with control 2, target 0 on 3 qubits, vs permuted construction *)
+  let u = Cmat.identity 8 in
+  Unitary.apply_gate u 3 (Gate.Cnot (2, 0));
+  (* check action on basis states: bit2 (lsb) controls bit0 (msb) *)
+  (* |001> (idx 1) -> |101> (idx 5) *)
+  Alcotest.(check (float 1e-12)) "flip msb" 1.0 (Complex.norm (Cmat.get u 5 1));
+  Alcotest.(check (float 1e-12)) "identity on 0" 1.0 (Complex.norm (Cmat.get u 0 0))
+
+let random_hermitian rng n =
+  let m = Cmat.create n n in
+  for i = 0 to n - 1 do
+    Cmat.set m i i { Complex.re = Prng.uniform rng (-1.0) 1.0; im = 0.0 };
+    for j = i + 1 to n - 1 do
+      let re = Prng.uniform rng (-1.0) 1.0 and im = Prng.uniform rng (-1.0) 1.0 in
+      Cmat.set m i j { Complex.re = re; im };
+      Cmat.set m j i { Complex.re = re; im = -.im }
+    done
+  done;
+  m
+
+let test_jacobi_reconstruction () =
+  let rng = Prng.create 2024 in
+  List.iter
+    (fun n ->
+      let h = random_hermitian rng n in
+      let d = Herm.eig h in
+      let v = d.Herm.eigenvectors in
+      let diag = Cmat.create n n in
+      Array.iteri (fun i l -> Cmat.set diag i i { Complex.re = l; im = 0.0 })
+        d.Herm.eigenvalues;
+      let rebuilt = Cmat.mul (Cmat.mul v diag) (Cmat.dagger v) in
+      Alcotest.(check bool)
+        (Printf.sprintf "V·D·V† = H (n=%d)" n)
+        true
+        (Cmat.is_close ~tol:1e-8 rebuilt h);
+      let vtv = Cmat.mul (Cmat.dagger v) v in
+      Alcotest.(check bool)
+        (Printf.sprintf "V unitary (n=%d)" n)
+        true
+        (Cmat.is_close ~tol:1e-8 vtv (Cmat.identity n)))
+    [ 2; 4; 8; 16 ]
+
+let test_evolution_unitary () =
+  let rng = Prng.create 7 in
+  let h = random_hermitian rng 8 in
+  let u = Herm.expm_hermitian_times h 0.7 in
+  Alcotest.(check bool) "U†U = I" true
+    (Cmat.is_close ~tol:1e-8 (Cmat.mul (Cmat.dagger u) u) (Cmat.identity 8))
+
+let test_evolution_of_pauli () =
+  (* exp(-i·(θ/2)·P) computed spectrally must equal the closed form. *)
+  let p = Pauli_string.of_string "XY" in
+  let theta = 0.9 in
+  let h = Unitary.hamiltonian_matrix 2 [ p, 1.0 ] in
+  let u = Herm.expm_hermitian_times h (theta /. 2.0) in
+  Alcotest.(check bool) "matches gadget" true
+    (Cmat.is_close ~tol:1e-9 u (Unitary.gadget_matrix p theta))
+
+let test_infidelity_zero_for_same () =
+  let u = Unitary.gadget_matrix (Pauli_string.of_string "ZZ") 0.4 in
+  Alcotest.(check (float 1e-12)) "self" 0.0 (Fidelity.infidelity u u)
+
+let test_infidelity_phase_insensitive () =
+  let u = Unitary.gadget_matrix (Pauli_string.of_string "XX") 0.4 in
+  let v = Cmat.scale ci u in
+  Alcotest.(check (float 1e-12)) "phase" 0.0 (Fidelity.infidelity u v)
+
+let test_infidelity_positive_for_different () =
+  let u = Unitary.gadget_matrix (Pauli_string.of_string "XX") 0.4 in
+  let v = Unitary.gadget_matrix (Pauli_string.of_string "XX") 0.9 in
+  Alcotest.(check bool) "positive" true (Fidelity.infidelity u v > 1e-4)
+
+let test_trotter_error_scales () =
+  (* Two non-commuting terms: first-order Trotter error shrinks as the
+     coefficients shrink — the mechanism behind Fig. 8. *)
+  let terms scale =
+    [
+      Pauli_string.of_string "XI", 0.3 *. scale;
+      Pauli_string.of_string "ZZ", 0.4 *. scale;
+    ]
+  in
+  let infid scale =
+    let ts = terms scale in
+    let h = Unitary.hamiltonian_matrix 2 ts in
+    let exact = Herm.expm_hermitian_times h 1.0 in
+    let trotter =
+      Unitary.program_unitary 2 (List.map (fun (p, c) -> p, 2.0 *. c) ts)
+    in
+    Fidelity.infidelity exact trotter
+  in
+  let e1 = infid 1.0 and e01 = infid 0.1 in
+  Alcotest.(check bool) "error shrinks" true (e01 < e1 /. 10.0)
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "cmat",
+        [
+          Alcotest.test_case "identity mul" `Quick test_identity_mul;
+          Alcotest.test_case "XZ = -iY" `Quick test_mul_known;
+          Alcotest.test_case "kron dims" `Quick test_kron_dims;
+          Alcotest.test_case "dagger" `Quick test_dagger;
+          Alcotest.test_case "trace" `Quick test_trace;
+          Alcotest.test_case "phase equality" `Quick test_equal_up_to_phase;
+        ] );
+      ( "unitary",
+        [
+          Alcotest.test_case "gadget ZZ" `Quick test_gadget_zz;
+          Alcotest.test_case "CNOT matrix" `Quick test_cnot_matrix;
+          Alcotest.test_case "ladder = gadget" `Quick
+            test_cnot_ladder_equals_zz_gadget;
+          Alcotest.test_case "1q embedding" `Quick test_apply_gate_matches_kron;
+          Alcotest.test_case "2q non-adjacent" `Quick test_apply_2q_nonadjacent;
+        ] );
+      ( "herm",
+        [
+          Alcotest.test_case "jacobi reconstruction" `Quick
+            test_jacobi_reconstruction;
+          Alcotest.test_case "evolution unitary" `Quick test_evolution_unitary;
+          Alcotest.test_case "evolution of pauli" `Quick test_evolution_of_pauli;
+        ] );
+      ( "fidelity",
+        [
+          Alcotest.test_case "zero for same" `Quick test_infidelity_zero_for_same;
+          Alcotest.test_case "phase insensitive" `Quick
+            test_infidelity_phase_insensitive;
+          Alcotest.test_case "positive for different" `Quick
+            test_infidelity_positive_for_different;
+          Alcotest.test_case "trotter error scaling" `Quick
+            test_trotter_error_scales;
+        ] );
+    ]

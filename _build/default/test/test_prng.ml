@@ -1,0 +1,76 @@
+module Prng = Phoenix_util.Prng
+
+let test_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_different_seeds () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  Alcotest.(check bool) "different streams" true
+    (Prng.next_int64 a <> Prng.next_int64 b)
+
+let test_int_bounds () =
+  let g = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 13 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 13)
+  done;
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int g 0))
+
+let test_float_bounds () =
+  let g = Prng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Prng.float g 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_uniform_hits_both_halves () =
+  let g = Prng.create 11 in
+  let lo = ref 0 and hi = ref 0 in
+  for _ = 1 to 1000 do
+    if Prng.uniform g (-1.0) 1.0 < 0.0 then incr lo else incr hi
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!lo > 300 && !hi > 300)
+
+let test_shuffle_permutes () =
+  let g = Prng.create 5 in
+  let arr = Array.init 50 (fun i -> i) in
+  Prng.shuffle g arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_split_independent () =
+  let g = Prng.create 3 in
+  let h = Prng.split g in
+  Alcotest.(check bool) "independent streams" true
+    (Prng.next_int64 g <> Prng.next_int64 h)
+
+let test_pick () =
+  let g = Prng.create 13 in
+  for _ = 1 to 100 do
+    let v = Prng.pick g [ 1; 2; 3 ] in
+    Alcotest.(check bool) "member" true (List.mem v [ 1; 2; 3 ])
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Prng.pick: empty list")
+    (fun () -> ignore (Prng.pick g ([] : int list)))
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_different_seeds;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_float_bounds;
+          Alcotest.test_case "uniform balance" `Quick test_uniform_hits_both_halves;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+          Alcotest.test_case "split" `Quick test_split_independent;
+          Alcotest.test_case "pick" `Quick test_pick;
+        ] );
+    ]

@@ -1,0 +1,191 @@
+module Gate = Helpers.Gate
+module Circuit = Helpers.Circuit
+module Cmat = Helpers.Cmat
+module Unitary = Helpers.Unitary
+module Topology = Phoenix_topology.Topology
+module Layout = Phoenix_router.Layout
+module Sabre = Phoenix_router.Sabre
+module Rebase = Phoenix_circuit.Rebase
+
+let cnot a b = Gate.Cnot (a, b)
+let h q = Gate.G1 (Gate.H, q)
+let rz t q = Gate.G1 (Gate.Rz t, q)
+
+(* --- layout --- *)
+
+let test_layout_trivial () =
+  let l = Layout.trivial ~n_logical:3 ~n_physical:5 in
+  Alcotest.(check int) "physical of 2" 2 (Layout.physical_of l 2);
+  Alcotest.(check (option int)) "logical of 4" None (Layout.logical_of l 4);
+  Alcotest.(check (option int)) "logical of 1" (Some 1) (Layout.logical_of l 1)
+
+let test_layout_swap () =
+  let l = Layout.trivial ~n_logical:2 ~n_physical:3 in
+  let l' = Layout.swap_physical l 0 2 in
+  Alcotest.(check int) "moved" 2 (Layout.physical_of l' 0);
+  Alcotest.(check (option int)) "vacated" None (Layout.logical_of l' 0);
+  Alcotest.(check int) "untouched" 1 (Layout.physical_of l' 1);
+  (* original is unchanged (immutability) *)
+  Alcotest.(check int) "original" 0 (Layout.physical_of l 0)
+
+let test_layout_injective () =
+  Alcotest.check_raises "duplicate" (Invalid_argument "Layout.of_l2p: not injective")
+    (fun () -> ignore (Layout.of_l2p ~n_physical:3 [| 1; 1 |]))
+
+(* --- routing: respects topology --- *)
+
+let respects_topology topo circ =
+  List.for_all
+    (fun g ->
+      match Gate.pair g with
+      | Some (a, b) -> Topology.are_adjacent topo a b
+      | None -> true)
+    (Circuit.gates circ)
+
+let test_route_line () =
+  let topo = Topology.line 4 in
+  let circ = Circuit.create 4 [ cnot 0 3; cnot 1 2 ] in
+  let r = Sabre.route topo circ in
+  Alcotest.(check bool) "respects topology" true (respects_topology topo r.Sabre.circuit);
+  Alcotest.(check bool) "needs swaps" true (r.Sabre.num_swaps > 0);
+  Alcotest.(check int) "2q conserved" (2 + r.Sabre.num_swaps)
+    (Circuit.count_2q r.Sabre.circuit)
+
+let test_route_adjacent_needs_no_swap () =
+  let topo = Topology.line 3 in
+  let circ = Circuit.create 3 [ cnot 0 1; cnot 1 2; h 0; rz 0.4 2 ] in
+  let r = Sabre.route topo circ in
+  Alcotest.(check int) "no swaps" 0 r.Sabre.num_swaps;
+  Alcotest.(check int) "gates preserved" 4 (Circuit.length r.Sabre.circuit)
+
+(* permutation matrix of a full layout (n_logical = n_physical): maps the
+   logical basis into the physical basis *)
+let perm_matrix n layout =
+  let dim = 1 lsl n in
+  let m = Cmat.create dim dim in
+  for logical = 0 to dim - 1 do
+    let physical = ref 0 in
+    for l = 0 to n - 1 do
+      let bit = (logical lsr (n - 1 - l)) land 1 in
+      if bit = 1 then begin
+        let p = Layout.physical_of layout l in
+        physical := !physical lor (1 lsl (n - 1 - p))
+      end
+    done;
+    Cmat.set m !physical logical Complex.one
+  done;
+  m
+
+let routed_equivalent topo circ =
+  let r = Sabre.route topo circ in
+  let n = Circuit.num_qubits circ in
+  let u_logical = Unitary.circuit_unitary circ in
+  let u_routed = Unitary.circuit_unitary (Rebase.to_cnot_basis r.Sabre.circuit) in
+  (* U_routed · M_init = M_final · U_logical *)
+  let lhs = Cmat.mul u_routed (perm_matrix n r.Sabre.initial_layout) in
+  let rhs = Cmat.mul (perm_matrix n r.Sabre.final_layout) u_logical in
+  respects_topology topo r.Sabre.circuit && Helpers.unitary_equiv ~tol:1e-7 lhs rhs
+
+let random_circuit_gen n =
+  let open QCheck2.Gen in
+  let pairs =
+    map
+      (fun (a, d) ->
+        let b = (a + 1 + d) mod n in
+        a, b)
+      (pair (int_range 0 (n - 1)) (int_range 0 (n - 2)))
+  in
+  list_size (int_range 0 20)
+    (oneof
+       [
+         map (fun (a, b) -> cnot a b) pairs;
+         map (fun q -> h q) (int_range 0 (n - 1));
+         map (fun (q, t) -> rz t q) (pair (int_range 0 (n - 1)) Helpers.angle_gen);
+       ])
+
+let prop_route_preserves_unitary_line =
+  Helpers.qtest ~count:60 "routing on a line preserves the permuted unitary"
+    (random_circuit_gen 4)
+    (fun gates -> routed_equivalent (Topology.line 4) (Circuit.create 4 gates))
+
+let prop_route_preserves_unitary_ring =
+  Helpers.qtest ~count:40 "routing on a ring preserves the permuted unitary"
+    (random_circuit_gen 4)
+    (fun gates -> routed_equivalent (Topology.ring 4) (Circuit.create 4 gates))
+
+let prop_route_respects_topology_heavy_hex =
+  Helpers.qtest ~count:20 "routing respects heavy-hex adjacency"
+    (random_circuit_gen 8)
+    (fun gates ->
+      let topo = Topology.heavy_hex ~widths:[ 5; 5 ] in
+      let circ = Circuit.create 8 gates in
+      let r = Sabre.route topo circ in
+      respects_topology topo r.Sabre.circuit)
+
+let test_refinement_not_worse_much () =
+  (* refinement should yield a valid routing too *)
+  let topo = Topology.line 5 in
+  let gates = [ cnot 0 4; cnot 1 3; cnot 0 2; cnot 2 4; cnot 1 4 ] in
+  let circ = Circuit.create 5 gates in
+  let r = Sabre.route_with_refinement ~iterations:2 topo circ in
+  Alcotest.(check bool) "valid" true (respects_topology topo r.Sabre.circuit)
+
+let test_bridge_routing_correct () =
+  (* CNOT(0,2) on a 3-line with no other gates: bridge applies, layout
+     unchanged, unitary preserved exactly (no output permutation). *)
+  let topo = Topology.line 3 in
+  let circ = Circuit.create 3 [ cnot 0 2 ] in
+  let r = Sabre.route ~use_bridge:true topo circ in
+  Alcotest.(check int) "no swaps" 0 r.Sabre.num_swaps;
+  Alcotest.(check int) "four cnots" 4 (Circuit.count_2q r.Sabre.circuit);
+  Alcotest.(check bool) "topology ok" true (respects_topology topo r.Sabre.circuit);
+  Helpers.check_equiv "bridge unitary"
+    (Unitary.circuit_unitary circ)
+    (Unitary.circuit_unitary r.Sabre.circuit)
+
+let prop_bridge_routing_equivalent =
+  Helpers.qtest ~count:40 "bridge-enabled routing preserves permuted unitary"
+    (random_circuit_gen 4)
+    (fun gates ->
+      let topo = Topology.line 4 in
+      let circ = Circuit.create 4 gates in
+      let r = Sabre.route ~use_bridge:true topo circ in
+      let n = Circuit.num_qubits circ in
+      let u_logical = Unitary.circuit_unitary circ in
+      let u_routed = Unitary.circuit_unitary (Rebase.to_cnot_basis r.Sabre.circuit) in
+      let lhs = Cmat.mul u_routed (perm_matrix n r.Sabre.initial_layout) in
+      let rhs = Cmat.mul (perm_matrix n r.Sabre.final_layout) u_logical in
+      respects_topology topo r.Sabre.circuit
+      && Helpers.unitary_equiv ~tol:1e-7 lhs rhs)
+
+let test_device_too_small () =
+  Alcotest.check_raises "too small" (Invalid_argument "Sabre.route: device too small")
+    (fun () ->
+      ignore (Sabre.route (Topology.line 2) (Circuit.create 3 [ cnot 0 2 ])))
+
+let () =
+  Alcotest.run "router"
+    [
+      ( "layout",
+        [
+          Alcotest.test_case "trivial" `Quick test_layout_trivial;
+          Alcotest.test_case "swap" `Quick test_layout_swap;
+          Alcotest.test_case "injective" `Quick test_layout_injective;
+        ] );
+      ( "sabre",
+        [
+          Alcotest.test_case "line routing" `Quick test_route_line;
+          Alcotest.test_case "adjacent no swaps" `Quick
+            test_route_adjacent_needs_no_swap;
+          Alcotest.test_case "refinement valid" `Quick test_refinement_not_worse_much;
+          Alcotest.test_case "bridge routing" `Quick test_bridge_routing_correct;
+          Alcotest.test_case "device too small" `Quick test_device_too_small;
+        ] );
+      ( "props",
+        [
+          prop_route_preserves_unitary_line;
+          prop_route_preserves_unitary_ring;
+          prop_route_respects_topology_heavy_hex;
+          prop_bridge_routing_equivalent;
+        ] );
+    ]

@@ -1,0 +1,186 @@
+module Stab = Phoenix_circuit.Stabilizer
+module Gate = Helpers.Gate
+module Circuit = Helpers.Circuit
+module Pauli_string = Helpers.Pauli_string
+module Sv = Phoenix_linalg.Statevector
+module Prng = Phoenix_util.Prng
+
+let h q = Gate.G1 (Gate.H, q)
+let s q = Gate.G1 (Gate.S, q)
+let x q = Gate.G1 (Gate.X, q)
+let cnot a b = Gate.Cnot (a, b)
+
+let ghz n =
+  Circuit.create n (h 0 :: List.init (n - 1) (fun i -> cnot i (i + 1)))
+
+let test_initial_state () =
+  let t = Stab.make 3 in
+  Alcotest.(check int) "⟨Z0⟩" 1 (Stab.expectation_z t 0);
+  Alcotest.(check int) "measure 0" 0 (Stab.measure t 1);
+  Alcotest.(check int) "⟨ZZZ⟩" 1
+    (Stab.expectation_pauli t (Pauli_string.of_string "ZZZ"))
+
+let test_x_flips () =
+  let t = Stab.make 2 in
+  Stab.apply_x t 0;
+  Alcotest.(check int) "⟨Z0⟩ = -1" (-1) (Stab.expectation_z t 0);
+  Alcotest.(check int) "measure 1" 1 (Stab.measure t 0)
+
+let test_ghz_stabilizers () =
+  let t = Stab.make 3 in
+  Stab.run_circuit t (ghz 3);
+  let check name p expected =
+    Alcotest.(check int) name expected
+      (Stab.expectation_pauli t (Pauli_string.of_string p))
+  in
+  check "XXX" "XXX" 1;
+  check "ZZI" "ZZI" 1;
+  check "IZZ" "IZZ" 1;
+  check "ZIZ" "ZIZ" 1;
+  check "ZII (random)" "ZII" 0;
+  check "YYX" "YYX" (-1)
+
+let test_ghz_measurement_correlated () =
+  let outcomes = ref [] in
+  for seed = 1 to 30 do
+    let t = Stab.make ~seed 3 in
+    Stab.run_circuit t (ghz 3);
+    let a = Stab.measure t 0 and b = Stab.measure t 1 and c = Stab.measure t 2 in
+    Alcotest.(check int) "b = a" a b;
+    Alcotest.(check int) "c = a" a c;
+    outcomes := a :: !outcomes
+  done;
+  Alcotest.(check bool) "both outcomes occur" true
+    (List.mem 0 !outcomes && List.mem 1 !outcomes)
+
+let test_measure_is_projective () =
+  let t = Stab.make ~seed:5 2 in
+  Stab.run_circuit t (Circuit.create 2 [ h 0 ]);
+  let first = Stab.measure t 0 in
+  let second = Stab.measure t 0 in
+  Alcotest.(check int) "repeatable" first second;
+  Alcotest.(check int) "now deterministic" (if first = 1 then -1 else 1)
+    (Stab.expectation_z t 0)
+
+let clifford_gate_gen n =
+  let open QCheck2.Gen in
+  let pairs =
+    map
+      (fun (a, d) ->
+        let b = (a + 1 + d) mod n in
+        a, b)
+      (pair (int_range 0 (n - 1)) (int_range 0 (n - 2)))
+  in
+  oneof
+    [
+      map (fun q -> h q) (int_range 0 (n - 1));
+      map (fun q -> s q) (int_range 0 (n - 1));
+      map (fun q -> Gate.G1 (Gate.Sdg, q)) (int_range 0 (n - 1));
+      map (fun q -> x q) (int_range 0 (n - 1));
+      map (fun q -> Gate.G1 (Gate.Y, q)) (int_range 0 (n - 1));
+      map (fun q -> Gate.G1 (Gate.Z, q)) (int_range 0 (n - 1));
+      map (fun (a, b) -> cnot a b) pairs;
+      map (fun (a, b) -> Gate.Swap (a, b)) pairs;
+      map
+        (fun ((a, b), k) -> Gate.Cliff2 (Phoenix_pauli.Clifford2q.make k a b))
+        (pair pairs (oneofl Phoenix_pauli.Clifford2q.all_kinds));
+      map (fun q -> Gate.G1 (Gate.Rz (2.0 *. Float.atan 1.0), q))
+        (int_range 0 (n - 1));
+      map (fun q -> Gate.G1 (Gate.Rx (-2.0 *. Float.atan 1.0), q))
+        (int_range 0 (n - 1));
+      map (fun q -> Gate.G1 (Gate.Ry (4.0 *. Float.atan 1.0), q))
+        (int_range 0 (n - 1));
+    ]
+
+(* Decisive property: stabilizer expectations equal dense ones on random
+   Clifford circuits, for every 3-qubit Pauli observable. *)
+let prop_matches_dense =
+  Helpers.qtest ~count:60 "stabilizer ⟨P⟩ = dense ⟨P⟩ on Clifford circuits"
+    (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 20) (clifford_gate_gen 3))
+    (fun gates ->
+      let c = Circuit.create 3 gates in
+      let t = Stab.make 3 in
+      Stab.run_circuit t c;
+      let v = Sv.of_circuit c in
+      let ok = ref true in
+      (* iterate all 63 non-identity Pauli strings *)
+      let letters = [ 'I'; 'X'; 'Y'; 'Z' ] in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              List.iter
+                (fun cc ->
+                  let str = Printf.sprintf "%c%c%c" a b cc in
+                  if str <> "III" then begin
+                    let p = Pauli_string.of_string str in
+                    let dense = Sv.expectation_pauli v p in
+                    let stab = float_of_int (Stab.expectation_pauli t p) in
+                    if Float.abs (dense -. stab) > 1e-7 then ok := false
+                  end)
+                letters)
+            letters)
+        letters;
+      !ok)
+
+let prop_rejects_non_clifford =
+  Helpers.qtest ~count:20 "rejects non-Clifford rotations"
+    (QCheck2.Gen.float_range 0.3 1.2)
+    (fun theta ->
+      let t = Stab.make 1 in
+      try
+        Stab.apply_gate t (Gate.G1 (Gate.Rz theta, 0));
+        false
+      with Invalid_argument _ -> true)
+
+let test_large_scale () =
+  (* 64 qubits, a few thousand Clifford gates: far beyond dense reach *)
+  let n = 64 in
+  let rng = Prng.create 3 in
+  let t = Stab.make n in
+  for _ = 1 to 3000 do
+    match Prng.int rng 3 with
+    | 0 -> Stab.apply_h t (Prng.int rng n)
+    | 1 -> Stab.apply_s t (Prng.int rng n)
+    | _ ->
+      let a = Prng.int rng n in
+      let b = (a + 1 + Prng.int rng (n - 1)) mod n in
+      Stab.apply_cnot t a b
+  done;
+  Alcotest.(check int) "still n stabilizers" n (List.length (Stab.stabilizers t));
+  (* measuring every qubit must terminate and give bits *)
+  for q = 0 to n - 1 do
+    let m = Stab.measure t q in
+    Alcotest.(check bool) "bit" true (m = 0 || m = 1)
+  done
+
+let test_stabilizers_of_bell () =
+  let t = Stab.make 2 in
+  Stab.run_circuit t (Circuit.create 2 [ h 0; cnot 0 1 ]);
+  let gens =
+    List.map
+      (fun (neg, p) -> (if neg then "-" else "+") ^ Pauli_string.to_string p)
+      (Stab.stabilizers t)
+  in
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) ("generator " ^ g) true
+        (List.mem g [ "+XX"; "+ZZ" ]))
+    gens
+
+let () =
+  Alcotest.run "stabilizer"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "initial state" `Quick test_initial_state;
+          Alcotest.test_case "x flips" `Quick test_x_flips;
+          Alcotest.test_case "ghz stabilizers" `Quick test_ghz_stabilizers;
+          Alcotest.test_case "ghz correlations" `Quick
+            test_ghz_measurement_correlated;
+          Alcotest.test_case "projective" `Quick test_measure_is_projective;
+          Alcotest.test_case "bell generators" `Quick test_stabilizers_of_bell;
+          Alcotest.test_case "64-qubit scale" `Quick test_large_scale;
+        ] );
+      ("props", [ prop_matches_dense; prop_rejects_non_clifford ]);
+    ]

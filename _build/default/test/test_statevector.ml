@@ -1,0 +1,157 @@
+module Sv = Phoenix_linalg.Statevector
+module Gate = Helpers.Gate
+module Circuit = Helpers.Circuit
+module Pauli_string = Helpers.Pauli_string
+module Unitary = Helpers.Unitary
+module Cmat = Helpers.Cmat
+module Prng = Phoenix_util.Prng
+
+let h q = Gate.G1 (Gate.H, q)
+let x q = Gate.G1 (Gate.X, q)
+let cnot a b = Gate.Cnot (a, b)
+
+let test_zero_state () =
+  let v = Sv.zero_state 3 in
+  Alcotest.(check int) "qubits" 3 (Sv.num_qubits v);
+  Alcotest.(check (float 1e-12)) "norm" 1.0 (Sv.norm v);
+  Alcotest.(check (float 1e-12)) "amp0" 1.0 (Complex.norm (Sv.amplitude v 0))
+
+let test_basis_state () =
+  let v = Sv.basis_state 3 5 in
+  Alcotest.(check (float 1e-12)) "amp5" 1.0 (Complex.norm (Sv.amplitude v 5));
+  Alcotest.(check (float 1e-12)) "amp0" 0.0 (Complex.norm (Sv.amplitude v 0));
+  Alcotest.check_raises "range" (Invalid_argument "Statevector.basis_state: out of range")
+    (fun () -> ignore (Sv.basis_state 2 4))
+
+let test_bell_state () =
+  let v = Sv.of_circuit (Circuit.create 2 [ h 0; cnot 0 1 ]) in
+  let p = Sv.probabilities v in
+  Alcotest.(check (float 1e-12)) "p00" 0.5 p.(0);
+  Alcotest.(check (float 1e-12)) "p11" 0.5 p.(3);
+  Alcotest.(check (float 1e-12)) "p01" 0.0 p.(1)
+
+let test_x_flips () =
+  let v = Sv.of_circuit (Circuit.create 2 [ x 1 ]) in
+  (* qubit 1 is the least significant of two: |01⟩ = index 1 *)
+  Alcotest.(check (float 1e-12)) "amp" 1.0 (Complex.norm (Sv.amplitude v 1))
+
+let random_circuit_gen n =
+  let open QCheck2.Gen in
+  let pairs =
+    map
+      (fun (a, d) ->
+        let b = (a + 1 + d) mod n in
+        a, b)
+      (pair (int_range 0 (n - 1)) (int_range 0 (n - 2)))
+  in
+  list_size (int_range 0 15)
+    (oneof
+       [
+         map (fun q -> h q) (int_range 0 (n - 1));
+         map (fun (q, t) -> Gate.G1 (Gate.Rz t, q))
+           (pair (int_range 0 (n - 1)) Helpers.angle_gen);
+         map (fun (q, t) -> Gate.G1 (Gate.Ry t, q))
+           (pair (int_range 0 (n - 1)) Helpers.angle_gen);
+         map (fun (a, b) -> cnot a b) pairs;
+         map (fun (a, b) -> Gate.Swap (a, b)) pairs;
+         map
+           (fun ((a, b), t) ->
+             Gate.Rpp
+               { p0 = Helpers.Pauli.X; p1 = Helpers.Pauli.Y; a; b; theta = t })
+           (pair pairs Helpers.angle_gen);
+       ])
+
+(* The decisive property: state-vector simulation agrees with the full
+   unitary simulator column 0. *)
+let prop_matches_unitary =
+  Helpers.qtest ~count:100 "statevector = U·|0…0⟩ column"
+    (random_circuit_gen 3)
+    (fun gates ->
+      let c = Circuit.create 3 gates in
+      let v = Sv.of_circuit c in
+      let u = Unitary.circuit_unitary c in
+      let ok = ref true in
+      for k = 0 to 7 do
+        let expected = Cmat.get u k 0 and got = Sv.amplitude v k in
+        if Complex.norm (Complex.sub expected got) > 1e-9 then ok := false
+      done;
+      !ok)
+
+let prop_norm_preserved =
+  Helpers.qtest ~count:100 "gates preserve the norm" (random_circuit_gen 4)
+    (fun gates ->
+      let v = Sv.of_circuit (Circuit.create 4 gates) in
+      Float.abs (Sv.norm v -. 1.0) < 1e-9)
+
+let test_expectation_pauli () =
+  (* ⟨0|Z|0⟩ = 1, ⟨1|Z|1⟩ = −1, ⟨+|X|+⟩ = 1 *)
+  let z = Pauli_string.of_string "Z" in
+  Alcotest.(check (float 1e-12)) "⟨0|Z|0⟩" 1.0
+    (Sv.expectation_pauli (Sv.zero_state 1) z);
+  Alcotest.(check (float 1e-12)) "⟨1|Z|1⟩" (-1.0)
+    (Sv.expectation_pauli (Sv.basis_state 1 1) z);
+  let plus = Sv.of_circuit (Circuit.create 1 [ h 0 ]) in
+  Alcotest.(check (float 1e-9)) "⟨+|X|+⟩" 1.0
+    (Sv.expectation_pauli plus (Pauli_string.of_string "X"))
+
+let test_expectation_hamiltonian () =
+  (* TFIM on |00⟩: ⟨H⟩ = −j·1 − h·0 − h·0 = −j *)
+  let ham = Phoenix_ham.Spin_models.tfim_chain ~j:0.7 ~h:0.3 2 in
+  Alcotest.(check (float 1e-9)) "tfim" (-0.7)
+    (Sv.expectation (Sv.zero_state 2) ham)
+
+let prop_expectation_matches_matrix =
+  Helpers.qtest ~count:60 "⟨ψ|P|ψ⟩ matches dense computation"
+    (QCheck2.Gen.pair (random_circuit_gen 3) (Helpers.pauli_string_gen 3))
+    (fun (gates, p) ->
+      let c = Circuit.create 3 gates in
+      let v = Sv.of_circuit c in
+      let got = Sv.expectation_pauli v p in
+      (* dense: column 0 of U, then ⟨ψ|P|ψ⟩ *)
+      let u = Unitary.circuit_unitary c in
+      let pm = Unitary.pauli_matrix p in
+      let psi = Array.init 8 (fun k -> Cmat.get u k 0) in
+      let expected = ref 0.0 in
+      for i = 0 to 7 do
+        for j = 0 to 7 do
+          let pij = Cmat.get pm i j in
+          let term = Complex.mul (Complex.conj psi.(i)) (Complex.mul pij psi.(j)) in
+          expected := !expected +. term.Complex.re
+        done
+      done;
+      Float.abs (got -. !expected) < 1e-8)
+
+let test_sampling_distribution () =
+  let rng = Prng.create 77 in
+  let v = Sv.of_circuit (Circuit.create 2 [ h 0; cnot 0 1 ]) in
+  let counts = Array.make 4 0 in
+  for _ = 1 to 2000 do
+    let k = Sv.sample rng v in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Alcotest.(check int) "no 01" 0 counts.(1);
+  Alcotest.(check int) "no 10" 0 counts.(2);
+  Alcotest.(check bool) "roughly balanced" true
+    (counts.(0) > 800 && counts.(3) > 800)
+
+let () =
+  Alcotest.run "statevector"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "zero state" `Quick test_zero_state;
+          Alcotest.test_case "basis state" `Quick test_basis_state;
+          Alcotest.test_case "bell state" `Quick test_bell_state;
+          Alcotest.test_case "x flips" `Quick test_x_flips;
+          Alcotest.test_case "expectation pauli" `Quick test_expectation_pauli;
+          Alcotest.test_case "expectation hamiltonian" `Quick
+            test_expectation_hamiltonian;
+          Alcotest.test_case "sampling" `Quick test_sampling_distribution;
+        ] );
+      ( "props",
+        [
+          prop_matches_unitary;
+          prop_norm_preserved;
+          prop_expectation_matches_matrix;
+        ] );
+    ]

@@ -1,0 +1,98 @@
+module Topology = Phoenix_topology.Topology
+
+let test_line () =
+  let t = Topology.line 5 in
+  Alcotest.(check int) "qubits" 5 (Topology.num_qubits t);
+  Alcotest.(check int) "edges" 4 (List.length (Topology.edges t));
+  Alcotest.(check bool) "adjacent" true (Topology.are_adjacent t 1 2);
+  Alcotest.(check bool) "not adjacent" false (Topology.are_adjacent t 0 4);
+  Alcotest.(check int) "distance" 4 (Topology.distance t 0 4);
+  Alcotest.(check bool) "connected" true (Topology.is_connected t)
+
+let test_ring () =
+  let t = Topology.ring 6 in
+  Alcotest.(check int) "edges" 6 (List.length (Topology.edges t));
+  Alcotest.(check int) "wraparound distance" 1 (Topology.distance t 0 5);
+  Alcotest.(check int) "opposite" 3 (Topology.distance t 0 3)
+
+let test_all_to_all () =
+  let t = Topology.all_to_all 5 in
+  Alcotest.(check int) "edges" 10 (List.length (Topology.edges t));
+  Alcotest.(check int) "distance" 1 (Topology.distance t 0 4)
+
+let test_grid () =
+  let t = Topology.grid ~rows:3 ~cols:4 in
+  Alcotest.(check int) "qubits" 12 (Topology.num_qubits t);
+  (* edges: 3·3 horizontal + 2·4 vertical = 17 *)
+  Alcotest.(check int) "edges" 17 (List.length (Topology.edges t));
+  Alcotest.(check int) "manhattan distance" 5 (Topology.distance t 0 11)
+
+let test_degree_bound_heavy_hex () =
+  (* heavy-hex: row qubits have degree ≤ 3, bridges exactly 2 *)
+  let t = Topology.ibm_manhattan () in
+  Alcotest.(check int) "qubits" 64 (Topology.num_qubits t);
+  Alcotest.(check bool) "connected" true (Topology.is_connected t);
+  let max_degree =
+    List.fold_left
+      (fun acc q -> max acc (List.length (Topology.neighbors t q)))
+      0
+      (List.init (Topology.num_qubits t) (fun i -> i))
+  in
+  Alcotest.(check bool) "max degree ≤ 3" true (max_degree <= 3)
+
+let test_heavy_hex_small () =
+  let t = Topology.heavy_hex ~widths:[ 5; 5 ] in
+  (* 10 row qubits + bridges at columns 0 and 4 → 12 qubits *)
+  Alcotest.(check int) "qubits" 12 (Topology.num_qubits t);
+  Alcotest.(check bool) "connected" true (Topology.is_connected t)
+
+let test_invalid () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Topology.make: self-loop")
+    (fun () -> ignore (Topology.make 3 [ 1, 1 ]));
+  Alcotest.check_raises "range" (Invalid_argument "Topology.make: qubit out of range")
+    (fun () -> ignore (Topology.make 3 [ 0, 3 ]))
+
+let test_distance_symmetric () =
+  let t = Topology.ibm_manhattan () in
+  let n = Topology.num_qubits t in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if Topology.distance t i j <> Topology.distance t j i then ok := false
+    done
+  done;
+  Alcotest.(check bool) "symmetric" true !ok
+
+let test_distance_triangle () =
+  let t = Topology.grid ~rows:3 ~cols:3 in
+  let n = Topology.num_qubits t in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      for k = 0 to n - 1 do
+        if
+          Topology.distance t i j
+          > Topology.distance t i k + Topology.distance t k j
+        then ok := false
+      done
+    done
+  done;
+  Alcotest.(check bool) "triangle inequality" true !ok
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "line" `Quick test_line;
+          Alcotest.test_case "ring" `Quick test_ring;
+          Alcotest.test_case "all-to-all" `Quick test_all_to_all;
+          Alcotest.test_case "grid" `Quick test_grid;
+          Alcotest.test_case "manhattan heavy-hex" `Quick
+            test_degree_bound_heavy_hex;
+          Alcotest.test_case "small heavy-hex" `Quick test_heavy_hex_small;
+          Alcotest.test_case "invalid inputs" `Quick test_invalid;
+          Alcotest.test_case "distance symmetric" `Quick test_distance_symmetric;
+          Alcotest.test_case "triangle inequality" `Quick test_distance_triangle;
+        ] );
+    ]
