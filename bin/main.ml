@@ -99,12 +99,30 @@ let exact_arg =
   let doc = "Restrict reordering to exact transformations." in
   Arg.(value & flag & info [ "exact" ] ~doc)
 
+let verify_arg =
+  let doc =
+    "Translation-validate the compilation (per-group equivalence checks with \
+     naive fallback, structural/ISA/coupling validation) and print the \
+     diagnostics.  Exits 3 when an error-severity diagnostic remains."
+  in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
+let timings_arg =
+  let doc = "Print per-pass compile times (phoenix compiler only)." in
+  Arg.(value & flag & info [ "timings" ] ~doc)
+
+let print_diagnostics diags =
+  Printf.printf "verify:    %s\n" (Phoenix_verify.Diag.summary diags);
+  List.iter
+    (fun d -> Printf.printf "  %s\n" (Phoenix_verify.Diag.to_string d))
+    diags
+
 let compile_cmd =
-  let run source isa topology compiler dump exact qasm_out draw =
+  let run source isa topology compiler dump exact verify timings qasm_out draw =
     let h = load source in
     let n = Hamiltonian.num_qubits h in
     let topo = topology_of_string n topology in
-    let circuit, swaps =
+    let circuit, swaps, diagnostics, pass_times =
       match compiler with
       | "phoenix" ->
         let options =
@@ -112,6 +130,7 @@ let compile_cmd =
             Compiler.default_options with
             isa;
             exact;
+            verify;
             target =
               (match topo with
               | None -> Compiler.Logical
@@ -119,7 +138,8 @@ let compile_cmd =
           }
         in
         let r = Compiler.compile ~options h in
-        r.Compiler.circuit, r.Compiler.num_swaps
+        r.Compiler.circuit, r.Compiler.num_swaps, r.Compiler.diagnostics,
+        r.Compiler.pass_times
       | name ->
         let gadgets = Hamiltonian.trotter_gadgets h in
         let c =
@@ -132,13 +152,36 @@ let compile_cmd =
             Printf.eprintf "unknown compiler %S\n" other;
             exit 2
         in
-        (match topo with
-        | None -> c, 0
-        | Some t ->
-          let routed = Phoenix_router.Sabre.route_with_refinement t c in
-          ( Phoenix_circuit.Peephole.optimize
-              (Phoenix_circuit.Rebase.to_cnot_basis routed.Phoenix_router.Sabre.circuit),
-            routed.Phoenix_router.Sabre.num_swaps ))
+        let c, swaps =
+          match topo with
+          | None -> c, 0
+          | Some t ->
+            let routed = Phoenix_router.Sabre.route_with_refinement t c in
+            ( Phoenix_circuit.Peephole.optimize
+                (Phoenix_circuit.Rebase.to_cnot_basis routed.Phoenix_router.Sabre.circuit),
+              routed.Phoenix_router.Sabre.num_swaps )
+        in
+        (* Baselines lower to the CNOT alphabet; --verify runs the
+           structural validator on their output. *)
+        let diags =
+          if verify then
+            match
+              Phoenix_verify.Structural.validate
+                ~isa:Phoenix_verify.Structural.Cnot_basis ?topology:topo c
+            with
+            | [] ->
+              [
+                Phoenix_verify.Diag.make ~pass:"structural"
+                  Phoenix_verify.Diag.Info
+                  (if topo = None then "ISA alphabet, qubit range verified"
+                   else
+                     "ISA alphabet, qubit range and coupling-graph \
+                      compliance verified");
+              ]
+            | violations -> violations
+          else []
+        in
+        c, swaps, diags, []
     in
     Printf.printf "qubits:    %d\n" (Circuit.num_qubits circuit);
     Printf.printf "gates:     %d\n" (Circuit.length circuit);
@@ -148,22 +191,28 @@ let compile_cmd =
     Printf.printf "depth:     %d\n" (Circuit.depth circuit);
     Printf.printf "depth-2q:  %d\n" (Circuit.depth_2q circuit);
     Printf.printf "swaps:     %d\n" swaps;
+    if verify then print_diagnostics diagnostics;
+    if timings then
+      List.iter
+        (fun (pass, t) -> Printf.printf "time %-9s %.4fs\n" (pass ^ ":") t)
+        pass_times;
     if dump then
       List.iter
         (fun g -> print_endline (Phoenix_circuit.Gate.to_string g))
         (Circuit.gates circuit);
     if draw then print_string (Phoenix_circuit.Draw.to_string circuit);
-    match qasm_out with
+    (match qasm_out with
     | Some path ->
       let oc = open_out path in
       output_string oc (Phoenix_circuit.Qasm.to_string circuit);
       close_out oc;
       Printf.printf "wrote %s\n" path
-    | None -> ()
+    | None -> ());
+    if verify && Phoenix_verify.Diag.has_errors diagnostics then exit 3
   in
   let doc = "Compile a Hamiltonian-simulation program." in
   Cmd.v (Cmd.info "compile" ~doc)
-    Term.(const run $ source_arg $ isa_arg $ topology_arg $ baseline_arg $ dump_arg $ exact_arg $ qasm_arg $ draw_arg)
+    Term.(const run $ source_arg $ isa_arg $ topology_arg $ baseline_arg $ dump_arg $ exact_arg $ verify_arg $ timings_arg $ qasm_arg $ draw_arg)
 
 let info_cmd =
   let run source =

@@ -15,7 +15,9 @@ type t = {
 }
 
 let make ?(seed = 2029) n =
-  if n <= 0 then invalid_arg "Stabilizer.make: need at least one qubit";
+  if n <= 0 then
+    invalid_arg
+      (Printf.sprintf "Stabilizer.make: need at least one qubit, got n = %d" n);
   let x = Array.init (2 * n) (fun _ -> Bitvec.create n) in
   let z = Array.init (2 * n) (fun _ -> Bitvec.create n) in
   for i = 0 to n - 1 do
@@ -295,7 +297,10 @@ let rec apply_gate t g =
 
 let run_circuit t circuit =
   if Circuit.num_qubits circuit <> t.n then
-    invalid_arg "Stabilizer.run_circuit: qubit-count mismatch";
+    invalid_arg
+      (Printf.sprintf
+         "Stabilizer.run_circuit: circuit has %d qubits, tableau has %d"
+         (Circuit.num_qubits circuit) t.n);
   List.iter (apply_gate t) (Circuit.gates circuit)
 
 let stabilizers t =
@@ -306,7 +311,12 @@ let stabilizers t =
 
 let expectation_pauli t p =
   if Pauli_string.num_qubits p <> t.n then
-    invalid_arg "Stabilizer.expectation_pauli: size mismatch";
+    invalid_arg
+      (Printf.sprintf
+         "Stabilizer.expectation_pauli: string %s has %d qubits, tableau has \
+          %d"
+         (Pauli_string.to_string p)
+         (Pauli_string.num_qubits p) t.n);
   let px = Pauli_string.x_bits p and pz = Pauli_string.z_bits p in
   let anticommutes i =
     (Bitvec.and_popcount t.x.(i) pz + Bitvec.and_popcount t.z.(i) px) mod 2 = 1

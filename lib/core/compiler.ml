@@ -5,6 +5,9 @@ module Rebase = Phoenix_circuit.Rebase
 module Topology = Phoenix_topology.Topology
 module Sabre = Phoenix_router.Sabre
 module Hamiltonian = Phoenix_ham.Hamiltonian
+module Diag = Phoenix_verify.Diag
+module Equiv = Phoenix_verify.Equiv
+module Structural = Phoenix_verify.Structural
 
 type isa = Cnot_isa | Su4_isa
 
@@ -19,6 +22,7 @@ type options = {
   peephole : bool;
   sabre_iterations : int;
   seed : int;
+  verify : bool;
 }
 
 let default_options =
@@ -31,6 +35,7 @@ let default_options =
     peephole = true;
     sabre_iterations = 1;
     seed = 2025;
+    verify = false;
   }
 
 type report = {
@@ -42,6 +47,8 @@ type report = {
   logical_two_q : int;
   num_groups : int;
   wall_time : float;
+  pass_times : (string * float) list;
+  diagnostics : Diag.t list;
 }
 
 let maybe_peephole options c = if options.peephole then Peephole.optimize c else c
@@ -52,29 +59,84 @@ let lower_cnot options c =
     Peephole.optimize (Phoenix_circuit.Phase_folding.fold lowered)
   else lowered
 
-let compile_groups ?(options = default_options) n groups =
+(* Verification thresholds: per-group dense checks stay cheap, the final
+   end-to-end dense check follows the paper's small-n regime. *)
+let group_unitary_max_qubits = 8
+let final_unitary_max_qubits = 10
+
+(* Per-group translation validation: the scalable Pauli-propagation check
+   always runs; for small registers the dense unitary comparison backs it
+   up. *)
+let check_group_circuit options n terms circuit =
+  match Equiv.propagation_check ~exact:options.exact n terms circuit with
+  | Error _ as e -> e
+  | Ok () ->
+    if n <= group_unitary_max_qubits then Equiv.unitary_check n terms circuit
+    else Ok ()
+
+let compile_groups ?(options = default_options) ?synthesize n groups =
   let t0 = Sys.time () in
-  let routing_aware = match options.target with Hardware _ -> true | Logical -> false in
-  let blocks =
-    List.map
-      (fun g ->
-        {
-          Order.group = g;
-          circuit = Synthesis.group_circuit ~exact:options.exact g;
-        })
-      groups
+  let times = ref [] in
+  let timed label f =
+    let t = Sys.time () in
+    let r = f () in
+    times := (label, Sys.time () -. t) :: !times;
+    r
   in
+  let diags = ref [] in
+  let diag ?group ~pass severity fmt =
+    Printf.ksprintf
+      (fun m -> diags := Diag.make ?group ~pass severity m :: !diags)
+      fmt
+  in
+  let routing_aware = match options.target with Hardware _ -> true | Logical -> false in
+  let synth =
+    match synthesize with
+    | Some f -> f
+    | None -> fun g -> Synthesis.group_circuit ~exact:options.exact g
+  in
+  (* Graceful degradation: a group whose synthesized circuit fails its
+     check is re-synthesized with the naive ladder (trusted, program
+     order) and the recovery is recorded — the pipeline always emits a
+     valid circuit instead of aborting. *)
+  let recovered = ref 0 in
+  let checked_group idx (g : Group.t) =
+    let c = synth g in
+    if not options.verify then { Order.group = g; circuit = c }
+    else
+      match check_group_circuit options n g.Group.terms c with
+      | Ok () -> { Order.group = g; circuit = c }
+      | Error msg ->
+        incr recovered;
+        diag ~group:idx ~pass:"simplify" Diag.Warning
+          "synthesis failed verification (%s); recovered with the naive \
+           ladder"
+          msg;
+        let fb = Synthesis.naive_gadget_circuit n g.Group.terms in
+        (match check_group_circuit options n g.Group.terms fb with
+        | Ok () -> { Order.group = g; circuit = fb }
+        | Error msg2 ->
+          diag ~group:idx ~pass:"simplify" Diag.Error
+            "naive fallback also failed verification (%s)" msg2;
+          { Order.group = g; circuit = fb })
+  in
+  let blocks = timed "simplify" (fun () -> List.mapi checked_group groups) in
+  if options.verify && !recovered = 0 then
+    diag ~pass:"simplify" Diag.Info "verified %d group circuits"
+      (List.length groups);
   let ordered =
     (* Reordering IR groups is a Trotter-level transformation; exact mode
        keeps program order so the output is strictly equivalent. *)
     if options.exact then blocks
-    else Order.order ~lookahead:options.lookahead ~routing_aware blocks
+    else
+      timed "order" (fun () ->
+          Order.order ~lookahead:options.lookahead ~routing_aware blocks)
   in
   let abstract =
     Circuit.concat_list n (List.map (fun b -> b.Order.circuit) ordered)
   in
-  let abstract = maybe_peephole options abstract in
-  let logical_cnot = lower_cnot options abstract in
+  let abstract = timed "peephole" (fun () -> maybe_peephole options abstract) in
+  let logical_cnot = timed "lower" (fun () -> lower_cnot options abstract) in
   let logical_two_q =
     match options.isa with
     | Cnot_isa -> Circuit.count_2q logical_cnot
@@ -102,28 +164,29 @@ let compile_groups ?(options = default_options) n groups =
           false
       in
       let routed =
-        if List.for_all z_diagonal (Circuit.gates abstract) then begin
-          (* multi-start over placement seed sites; keep the routing with
-             the fewest SWAPs, then lowest 2Q depth *)
-          let attempt seed_site =
-            let initial =
-              Phoenix_router.Placement.of_circuit ~seed_site topo abstract
-            in
-            Sabre.route_commuting ~initial topo abstract
-          in
-          let score (r : Sabre.result) =
-            r.Sabre.num_swaps, Circuit.depth_2q r.Sabre.circuit
-          in
-          List.fold_left
-            (fun best seed_site ->
-              let r = attempt seed_site in
-              if score r < score best then r else best)
-            (attempt 0)
-            [ 11; 23; 37; 53 ]
-        end
-        else
-          Sabre.route_with_refinement ~iterations:options.sabre_iterations
-            ~lookahead:20 ~seed:options.seed topo abstract
+        timed "route" (fun () ->
+            if List.for_all z_diagonal (Circuit.gates abstract) then begin
+              (* multi-start over placement seed sites; keep the routing with
+                 the fewest SWAPs, then lowest 2Q depth *)
+              let attempt seed_site =
+                let initial =
+                  Phoenix_router.Placement.of_circuit ~seed_site topo abstract
+                in
+                Sabre.route_commuting ~initial topo abstract
+              in
+              let score (r : Sabre.result) =
+                r.Sabre.num_swaps, Circuit.depth_2q r.Sabre.circuit
+              in
+              List.fold_left
+                (fun best seed_site ->
+                  let r = attempt seed_site in
+                  if score r < score best then r else best)
+                (attempt 0)
+                [ 11; 23; 37; 53 ]
+            end
+            else
+              Sabre.route_with_refinement ~iterations:options.sabre_iterations
+                ~lookahead:20 ~seed:options.seed topo abstract)
       in
       let physical =
         match options.isa with
@@ -132,6 +195,37 @@ let compile_groups ?(options = default_options) n groups =
       in
       physical, routed.Sabre.num_swaps
   in
+  if options.verify then
+    timed "verify" (fun () ->
+        let isa_basis =
+          match options.isa with
+          | Cnot_isa -> Structural.Cnot_basis
+          | Su4_isa -> Structural.Su4_basis
+        in
+        let topology =
+          match options.target with Hardware t -> Some t | Logical -> None
+        in
+        let structural =
+          Structural.validate ~isa:isa_basis ?topology final_circuit
+        in
+        if structural = [] then
+          diag ~pass:"structural" Diag.Info
+            "ISA alphabet, qubit range%s verified"
+            (if topology = None then "" else " and coupling-graph compliance")
+        else diags := List.rev_append structural !diags;
+        (* End-to-end dense check: only meaningful when nothing in the
+           pipeline may exercise Trotter freedom (exact mode, no routing
+           permutation) and the register is small. *)
+        match options.target with
+        | Logical when options.exact && n <= final_unitary_max_qubits ->
+          let program = List.concat_map (fun g -> g.Group.terms) groups in
+          (match Equiv.unitary_check n program final_circuit with
+          | Ok () ->
+            diag ~pass:"verify" Diag.Info
+              "end-to-end unitary equivalence verified (n = %d)" n
+          | Error msg ->
+            diag ~pass:"verify" Diag.Error "end-to-end check failed: %s" msg)
+        | Logical | Hardware _ -> ());
   {
     circuit = final_circuit;
     two_q_count = Circuit.count_2q final_circuit;
@@ -141,13 +235,25 @@ let compile_groups ?(options = default_options) n groups =
     logical_two_q;
     num_groups = List.length groups;
     wall_time = Sys.time () -. t0;
+    pass_times = List.rev !times;
+    diagnostics = List.rev !diags;
   }
 
-let compile_gadgets ?options n gadgets =
-  compile_groups ?options n (Group.group_gadgets n gadgets)
+let with_grouping_time t r =
+  { r with pass_times = ("group", t) :: r.pass_times; wall_time = r.wall_time +. t }
 
-let compile_blocks ?options n blocks =
-  compile_groups ?options n (Group.of_blocks n blocks)
+let compile_gadgets ?options ?synthesize n gadgets =
+  let exact = (Option.value ~default:default_options options).exact in
+  let t0 = Sys.time () in
+  let groups = Group.group_gadgets ~exact n gadgets in
+  let tg = Sys.time () -. t0 in
+  with_grouping_time tg (compile_groups ?options ?synthesize n groups)
+
+let compile_blocks ?options ?synthesize n blocks =
+  let t0 = Sys.time () in
+  let groups = Group.of_blocks n blocks in
+  let tg = Sys.time () -. t0 in
+  with_grouping_time tg (compile_groups ?options ?synthesize n groups)
 
 let compile ?options h =
   let tau = (Option.value ~default:default_options options).tau in

@@ -2,7 +2,17 @@
 
     IR grouping → group-wise BSF simplification → Tetris-like IR group
     ordering → ISA lowering (CNOT or SU(4)) → optional hardware-aware
-    routing → peephole cleanup. *)
+    routing → peephole cleanup.
+
+    With [verify = true] every pass boundary is translation-validated
+    (see {!Phoenix_verify}): each group's synthesized circuit is checked
+    against its gadgets by Pauli propagation (plus a dense unitary
+    comparison on small registers), the final circuit is structurally
+    validated (ISA alphabet, qubit range, coupling compliance), and in
+    exact logical mode the end-to-end unitary is compared for small [n].
+    A group that fails its check is re-synthesized with the naive ladder
+    and the recovery recorded as a [Warning] diagnostic — compilation
+    always produces a valid circuit rather than aborting. *)
 
 type isa = Cnot_isa | Su4_isa
 
@@ -21,10 +31,14 @@ type options = {
   peephole : bool;  (** run the O3-style cleanup passes *)
   sabre_iterations : int;  (** SABRE layout-refinement round trips *)
   seed : int;
+  verify : bool;
+      (** translation-validate every pass boundary and fall back to
+          naive synthesis on per-group check failures *)
 }
 
 val default_options : options
-(** CNOT ISA, logical target, [tau = 1], lookahead 10, peephole on. *)
+(** CNOT ISA, logical target, [tau = 1], lookahead 10, peephole on,
+    verification off. *)
 
 type report = {
   circuit : Phoenix_circuit.Circuit.t;  (** final lowered circuit *)
@@ -38,12 +52,19 @@ type report = {
           ratios *)
   num_groups : int;
   wall_time : float;  (** seconds of CPU time spent compiling *)
+  pass_times : (string * float) list;
+      (** per-pass CPU seconds in pipeline order — ["group"],
+          ["simplify"], ["order"], ["peephole"], ["lower"], ["route"],
+          ["verify"]; passes that did not run are absent *)
+  diagnostics : Phoenix_verify.Diag.t list;
+      (** chronological; empty unless [options.verify] *)
 }
 
 val compile : ?options:options -> Phoenix_ham.Hamiltonian.t -> report
 
 val compile_gadgets :
   ?options:options ->
+  ?synthesize:(Group.t -> Phoenix_circuit.Circuit.t) ->
   int ->
   (Phoenix_pauli.Pauli_string.t * float) list ->
   report
@@ -52,6 +73,7 @@ val compile_gadgets :
 
 val compile_blocks :
   ?options:options ->
+  ?synthesize:(Group.t -> Phoenix_circuit.Circuit.t) ->
   int ->
   (Phoenix_pauli.Pauli_string.t * float) list list ->
   report
@@ -59,5 +81,14 @@ val compile_blocks :
     [compile] uses this automatically when the Hamiltonian records block
     structure (UCCSD ansatzes do). *)
 
-val compile_groups : ?options:options -> int -> Group.t list -> report
-(** Lowest-level entry point. *)
+val compile_groups :
+  ?options:options ->
+  ?synthesize:(Group.t -> Phoenix_circuit.Circuit.t) ->
+  int ->
+  Group.t list ->
+  report
+(** Lowest-level entry point.  [synthesize] overrides per-group circuit
+    synthesis (default {!Synthesis.group_circuit}); it exists for
+    experimentation and fault injection — with [verify = true] a
+    synthesizer that produces a wrong circuit is caught per group and
+    recovered via the naive ladder. *)

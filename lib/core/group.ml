@@ -9,26 +9,9 @@ type t = {
 
 let weight g = Bitvec.popcount g.support
 
-let group_gadgets n gadgets =
-  let table : (string, (Pauli_string.t * float) list ref) Hashtbl.t =
-    Hashtbl.create 64
-  in
-  let order = ref [] in
-  List.iter
-    (fun ((p, _) as gadget) ->
-      if not (Pauli_string.is_identity p) then begin
-        let key = Bitvec.to_string (Pauli_string.support p) in
-        match Hashtbl.find_opt table key with
-        | Some cell -> cell := gadget :: !cell
-        | None ->
-          let cell = ref [ gadget ] in
-          Hashtbl.add table key cell;
-          order := key :: !order
-      end)
-    gadgets;
+let finish_groups n newest_first =
   List.rev_map
-    (fun key ->
-      let cell = Hashtbl.find table key in
+    (fun cell ->
       let terms = List.rev !cell in
       let support =
         match terms with
@@ -36,7 +19,56 @@ let group_gadgets n gadgets =
         | [] -> assert false
       in
       { n; terms; support })
-    !order
+    newest_first
+
+(* Exact-mode grouping must be an exact program transformation: a gadget
+   may only be merged into an earlier same-support group when it commutes
+   with every term of every group in between — otherwise the merge is a
+   Trotter-level reordering and the gadget starts a fresh group. *)
+let group_gadgets_ordered n gadgets =
+  let groups = ref [] in
+  (* newest first: (support key, reversed terms) *)
+  List.iter
+    (fun ((p, _) as gadget) ->
+      if not (Pauli_string.is_identity p) then begin
+        let key = Bitvec.to_string (Pauli_string.support p) in
+        let rec find = function
+          | [] -> None
+          | (k, cell) :: rest ->
+            if k = key then Some cell
+            else if
+              List.for_all (fun (q, _) -> Pauli_string.commutes p q) !cell
+            then find rest
+            else None
+        in
+        match find !groups with
+        | Some cell -> cell := gadget :: !cell
+        | None -> groups := (key, ref [ gadget ]) :: !groups
+      end)
+    gadgets;
+  finish_groups n (List.map snd !groups)
+
+let group_gadgets ?(exact = false) n gadgets =
+  if exact then group_gadgets_ordered n gadgets
+  else begin
+    let table : (string, (Pauli_string.t * float) list ref) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let order = ref [] in
+    List.iter
+      (fun ((p, _) as gadget) ->
+        if not (Pauli_string.is_identity p) then begin
+          let key = Bitvec.to_string (Pauli_string.support p) in
+          match Hashtbl.find_opt table key with
+          | Some cell -> cell := gadget :: !cell
+          | None ->
+            let cell = ref [ gadget ] in
+            Hashtbl.add table key cell;
+            order := key :: !order
+        end)
+      gadgets;
+    finish_groups n (List.map (Hashtbl.find table) !order)
+  end
 
 let of_blocks n blocks =
   List.filter_map

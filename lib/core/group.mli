@@ -13,9 +13,16 @@ val weight : t -> int
 (** Support size — the "width" used to pre-arrange groups. *)
 
 val group_gadgets :
-  int -> (Phoenix_pauli.Pauli_string.t * float) list -> t list
+  ?exact:bool -> int -> (Phoenix_pauli.Pauli_string.t * float) list -> t list
 (** Partition a gadget program into support-keyed groups.  Identity
-    strings are dropped (they are global phases). *)
+    strings are dropped (they are global phases).
+
+    With [~exact:true] the grouping is an exact program transformation:
+    a gadget joins an earlier group with the same support only if it
+    commutes with every term of every group in between, so merging never
+    moves it past a non-commuting gadget.  The default greedy grouping
+    merges all same-support gadgets regardless, which is only
+    Trotter-equivalent. *)
 
 val of_blocks :
   int -> (Phoenix_pauli.Pauli_string.t * float) list list -> t list

@@ -1,7 +1,10 @@
 type t = { rows : int; cols : int; re : float array; im : float array }
 
 let create rows cols =
-  if rows <= 0 || cols <= 0 then invalid_arg "Cmat.create: bad dimensions";
+  if rows <= 0 || cols <= 0 then
+    invalid_arg
+      (Printf.sprintf "Cmat.create: dimensions must be positive, got %dx%d"
+         rows cols);
   { rows; cols; re = Array.make (rows * cols) 0.0; im = Array.make (rows * cols) 0.0 }
 
 let identity n =
@@ -15,7 +18,9 @@ let dims m = m.rows, m.cols
 
 let idx m i j =
   if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
-    invalid_arg "Cmat: index out of range";
+    invalid_arg
+      (Printf.sprintf "Cmat: index (%d,%d) out of range for a %dx%d matrix" i
+         j m.rows m.cols);
   (i * m.cols) + j
 
 let get m i j =
@@ -40,7 +45,9 @@ let scale (c : Complex.t) m =
 
 let map2 f g a b =
   if a.rows <> b.rows || a.cols <> b.cols then
-    invalid_arg "Cmat: dimension mismatch";
+    invalid_arg
+      (Printf.sprintf "Cmat.map2: dimension mismatch (%dx%d vs %dx%d)" a.rows
+         a.cols b.rows b.cols);
   let r = create a.rows a.cols in
   for k = 0 to (a.rows * a.cols) - 1 do
     r.re.(k) <- f a.re.(k) b.re.(k);
@@ -52,7 +59,10 @@ let add a b = map2 ( +. ) ( +. ) a b
 let sub a b = map2 ( -. ) ( -. ) a b
 
 let mul a b =
-  if a.cols <> b.rows then invalid_arg "Cmat.mul: dimension mismatch";
+  if a.cols <> b.rows then
+    invalid_arg
+      (Printf.sprintf "Cmat.mul: cannot multiply %dx%d by %dx%d" a.rows a.cols
+         b.rows b.cols);
   let r = create a.rows b.cols in
   for i = 0 to a.rows - 1 do
     for k = 0 to a.cols - 1 do
@@ -99,7 +109,9 @@ let kron a b =
   r
 
 let trace m =
-  if m.rows <> m.cols then invalid_arg "Cmat.trace: not square";
+  if m.rows <> m.cols then
+    invalid_arg
+      (Printf.sprintf "Cmat.trace: matrix is %dx%d, not square" m.rows m.cols);
   let re = ref 0.0 and im = ref 0.0 in
   for i = 0 to m.rows - 1 do
     re := !re +. m.re.((i * m.cols) + i);
@@ -109,7 +121,10 @@ let trace m =
 
 let frobenius_distance a b =
   if a.rows <> b.rows || a.cols <> b.cols then
-    invalid_arg "Cmat: dimension mismatch";
+    invalid_arg
+      (Printf.sprintf
+         "Cmat.frobenius_distance: dimension mismatch (%dx%d vs %dx%d)" a.rows
+         a.cols b.rows b.cols);
   let acc = ref 0.0 in
   for k = 0 to (a.rows * a.cols) - 1 do
     let dr = a.re.(k) -. b.re.(k) and di = a.im.(k) -. b.im.(k) in
@@ -119,7 +134,10 @@ let frobenius_distance a b =
 
 let max_abs_diff a b =
   if a.rows <> b.rows || a.cols <> b.cols then
-    invalid_arg "Cmat: dimension mismatch";
+    invalid_arg
+      (Printf.sprintf
+         "Cmat.max_abs_diff: dimension mismatch (%dx%d vs %dx%d)" a.rows
+         a.cols b.rows b.cols);
   let acc = ref 0.0 in
   for k = 0 to (a.rows * a.cols) - 1 do
     let dr = a.re.(k) -. b.re.(k) and di = a.im.(k) -. b.im.(k) in
@@ -157,13 +175,16 @@ let equal_up_to_phase ?(tol = 1e-9) a b =
 
 let of_complex_array rows_arr =
   let rows = Array.length rows_arr in
-  if rows = 0 then invalid_arg "Cmat.of_complex_array: empty";
+  if rows = 0 then invalid_arg "Cmat.of_complex_array: empty row array";
   let cols = Array.length rows_arr.(0) in
   let m = create rows cols in
   Array.iteri
     (fun i row ->
       if Array.length row <> cols then
-        invalid_arg "Cmat.of_complex_array: ragged rows";
+        invalid_arg
+          (Printf.sprintf
+             "Cmat.of_complex_array: row %d has %d entries, expected %d" i
+             (Array.length row) cols);
       Array.iteri (fun j c -> set m i j c) row)
     rows_arr;
   m

@@ -109,26 +109,30 @@ let swap_factors m =
   r
 
 (* Local 4×4 of a 2Q gate with [a] mapped to the high local bit. *)
+let qubit_mismatch a b g =
+  invalid_arg
+    (Printf.sprintf "Unitary.local_4x4: gate %s does not act on pair (%d,%d)"
+       (Gate.to_string g) a b)
+
 let rec local_4x4 a b g =
   match g with
   | Gate.Cnot (c0, t0) ->
     if c0 = a && t0 = b then cnot_4x4
     else if c0 = b && t0 = a then swap_factors cnot_4x4
-    else invalid_arg "Unitary.local_4x4: qubit mismatch"
+    else qubit_mismatch a b g
   | Gate.Cliff2 { Clifford2q.kind; a = ca; b = cb } ->
     if ca = a && cb = b then clifford2q_4x4 kind
     else if ca = b && cb = a then swap_factors (clifford2q_4x4 kind)
-    else invalid_arg "Unitary.local_4x4: qubit mismatch"
+    else qubit_mismatch a b g
   | Gate.Rpp { p0; p1; a = ra; b = rb; theta } ->
     if ra = a && rb = b then rpp_4x4 p0 p1 theta
     else if ra = b && rb = a then rpp_4x4 p1 p0 theta
-    else invalid_arg "Unitary.local_4x4: qubit mismatch"
+    else qubit_mismatch a b g
   | Gate.Swap (x, y) ->
     if (x = a && y = b) || (x = b && y = a) then swap_4x4
-    else invalid_arg "Unitary.local_4x4: qubit mismatch"
+    else qubit_mismatch a b g
   | Gate.Su4 { a = sa; b = sb; parts } ->
-    if not ((sa = a && sb = b) || (sa = b && sb = a)) then
-      invalid_arg "Unitary.local_4x4: qubit mismatch";
+    if not ((sa = a && sb = b) || (sa = b && sb = a)) then qubit_mismatch a b g;
     List.fold_left
       (fun acc part ->
         let m =
@@ -145,13 +149,19 @@ let rec local_4x4 a b g =
 
 and one_q_of = function
   | Gate.G1 (k, _) -> one_q k
-  | Gate.Cnot _ | Gate.Cliff2 _ | Gate.Rpp _ | Gate.Swap _ | Gate.Su4 _ ->
-    invalid_arg "Unitary.one_q_of: not a 1Q gate"
+  | (Gate.Cnot _ | Gate.Cliff2 _ | Gate.Rpp _ | Gate.Swap _ | Gate.Su4 _) as g
+    ->
+    invalid_arg
+      (Printf.sprintf "Unitary.one_q_of: %s is not a 1Q gate"
+         (Gate.to_string g))
 
 let gate_4x4 g =
   match Gate.qubits g with
   | [ a; b ] -> local_4x4 a b g
-  | _ -> invalid_arg "Unitary.gate_4x4: not a 2Q gate"
+  | qs ->
+    invalid_arg
+      (Printf.sprintf "Unitary.gate_4x4: %s acts on %d qubit(s), not 2"
+         (Gate.to_string g) (List.length qs))
 
 (* u <- (G on qubit q) · u, in place. *)
 let apply_1q_inplace u n q m =

@@ -176,9 +176,18 @@ let route ?initial ?(lookahead = 20) ?(decay = 0.001) ?(seed = 7)
     ?(use_bridge = false) topo circ =
   let n_log = Circuit.num_qubits circ in
   let n_phys = Topology.num_qubits topo in
-  if n_log > n_phys then invalid_arg "Sabre.route: device too small";
+  if n_log > n_phys then
+    invalid_arg
+      (Printf.sprintf
+         "Sabre.route: circuit needs %d logical qubits but the device has \
+          only %d"
+         n_log n_phys);
   if not (Topology.is_connected topo) then
-    invalid_arg "Sabre.route: disconnected topology";
+    invalid_arg
+      (Printf.sprintf
+         "Sabre.route: the %d-qubit coupling graph is disconnected — routing \
+          cannot reach every qubit"
+         n_phys);
   let initial_layout =
     match initial with
     | Some l -> l
@@ -321,7 +330,12 @@ let route_with_refinement ?initial ?(iterations = 1) ?lookahead ?seed
 let route_commuting ?initial topo circ =
   let n_log = Circuit.num_qubits circ in
   let n_phys = Topology.num_qubits topo in
-  if n_log > n_phys then invalid_arg "Sabre.route_commuting: device too small";
+  if n_log > n_phys then
+    invalid_arg
+      (Printf.sprintf
+         "Sabre.route_commuting: circuit needs %d logical qubits but the \
+          device has only %d"
+         n_log n_phys);
   let initial_layout =
     match initial with
     | Some l -> l

@@ -1,0 +1,35 @@
+type severity = Info | Warning | Error
+
+type t = {
+  pass : string;
+  group : int option;
+  severity : severity;
+  message : string;
+}
+
+let make ?group ~pass severity message = { pass; group; severity; message }
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let to_string d =
+  let where =
+    match d.group with
+    | Some g -> Printf.sprintf "%s(group %d)" d.pass g
+    | None -> d.pass
+  in
+  Printf.sprintf "[%s] %s: %s" (severity_to_string d.severity) where d.message
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+
+let summary ds =
+  Printf.sprintf "%d errors, %d warnings, %d checks" (count Error ds)
+    (count Warning ds) (count Info ds)

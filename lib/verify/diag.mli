@@ -1,0 +1,36 @@
+(** Structured compiler diagnostics.
+
+    Every pass-boundary check produces a diagnostic instead of raising:
+    which pass emitted it, which IR group (if any) it concerns, how bad
+    it is, and a human-readable message.  [Error] means the emitting
+    check believes the output is wrong; [Warning] covers recovered
+    faults (e.g. a group re-synthesized with the naive fallback) and
+    suspicious-but-valid situations; [Info] records checks that ran and
+    passed. *)
+
+type severity = Info | Warning | Error
+
+type t = {
+  pass : string;  (** pipeline pass that emitted it, e.g. ["simplify"] *)
+  group : int option;  (** IR group index, when group-scoped *)
+  severity : severity;
+  message : string;
+}
+
+val make : ?group:int -> pass:string -> severity -> string -> t
+
+val severity_to_string : severity -> string
+
+val to_string : t -> string
+(** One-line rendering: [ [severity] pass(group k): message]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val errors : t list -> t list
+val warnings : t list -> t list
+val has_errors : t list -> bool
+
+val count : severity -> t list -> int
+
+val summary : t list -> string
+(** e.g. ["2 errors, 1 warning, 5 checks"]. *)

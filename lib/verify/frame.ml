@@ -1,0 +1,123 @@
+module Pauli = Phoenix_pauli.Pauli
+module Pauli_string = Phoenix_pauli.Pauli_string
+module Clifford2q = Phoenix_pauli.Clifford2q
+module Gate = Phoenix_circuit.Gate
+
+(* The frame stores the images of the symplectic generators under the
+   pullback map M(σ) = F† σ F: [xs.(q) = M(X_q)], [zs.(q) = M(Z_q)],
+   each a sign bit plus an unsigned Pauli string. *)
+type t = {
+  n : int;
+  xs : (bool * Pauli_string.t) array;
+  zs : (bool * Pauli_string.t) array;
+}
+
+let identity n =
+  if n <= 0 then
+    invalid_arg (Printf.sprintf "Frame.identity: need n >= 1, got %d" n);
+  {
+    n;
+    xs = Array.init n (fun q -> false, Pauli_string.single n q Pauli.X);
+    zs = Array.init n (fun q -> false, Pauli_string.single n q Pauli.Z);
+  }
+
+let num_qubits t = t.n
+
+let copy t = { t with xs = Array.copy t.xs; zs = Array.copy t.zs }
+
+(* M(σ) for an arbitrary Pauli string, multiplying generator images.
+   Images of commuting Paulis commute, so the accumulated i-power is
+   always even; [Y_q = i·X_q·Z_q] contributes one extra factor of i. *)
+let image t p =
+  let phase = ref 0 in
+  let acc = ref (Pauli_string.identity t.n) in
+  let mul_in (neg, s) =
+    if neg then phase := !phase + 2;
+    let k, r = Pauli_string.mul !acc s in
+    phase := !phase + k;
+    acc := r
+  in
+  List.iter
+    (fun q ->
+      match Pauli_string.get p q with
+      | Pauli.I -> ()
+      | Pauli.X -> mul_in t.xs.(q)
+      | Pauli.Z -> mul_in t.zs.(q)
+      | Pauli.Y ->
+        phase := !phase + 1;
+        mul_in t.xs.(q);
+        mul_in t.zs.(q))
+    (Pauli_string.support_list p);
+  match !phase mod 4 with
+  | 0 -> false, !acc
+  | 2 -> true, !acc
+  | _ -> assert false (* Clifford image of a Hermitian Pauli is Hermitian *)
+
+let negate (neg, s) = not neg, s
+
+let two_qubit_string n (qa, pa) (qb, pb) =
+  Pauli_string.set (Pauli_string.single n qa pa) qb pb
+
+(* Fold gate g: M' = M ∘ e_g with e_g(σ) = g† σ g, rewriting only the
+   generator images e_g moves. *)
+let rec apply_gate t g =
+  match g with
+  | Gate.G1 (Gate.H, q) ->
+    let x = t.xs.(q) in
+    t.xs.(q) <- t.zs.(q);
+    t.zs.(q) <- x
+  | Gate.G1 (Gate.S, q) ->
+    (* S† X S = -Y *)
+    t.xs.(q) <- negate (image t (Pauli_string.single t.n q Pauli.Y))
+  | Gate.G1 (Gate.Sdg, q) ->
+    (* S X S† = Y *)
+    t.xs.(q) <- image t (Pauli_string.single t.n q Pauli.Y)
+  | Gate.G1 (Gate.X, q) -> t.zs.(q) <- negate t.zs.(q)
+  | Gate.G1 (Gate.Y, q) ->
+    t.xs.(q) <- negate t.xs.(q);
+    t.zs.(q) <- negate t.zs.(q)
+  | Gate.G1 (Gate.Z, q) -> t.xs.(q) <- negate t.xs.(q)
+  | Gate.Cnot (c, tq) ->
+    let xc = image t (two_qubit_string t.n (c, Pauli.X) (tq, Pauli.X)) in
+    let zt = image t (two_qubit_string t.n (c, Pauli.Z) (tq, Pauli.Z)) in
+    t.xs.(c) <- xc;
+    t.zs.(tq) <- zt
+  | Gate.Swap (a, b) ->
+    let xa = t.xs.(a) and za = t.zs.(a) in
+    t.xs.(a) <- t.xs.(b);
+    t.zs.(a) <- t.zs.(b);
+    t.xs.(b) <- xa;
+    t.zs.(b) <- za
+  | Gate.Cliff2 c ->
+    List.iter
+      (function
+        | Clifford2q.H q -> apply_gate t (Gate.G1 (Gate.H, q))
+        | Clifford2q.S q -> apply_gate t (Gate.G1 (Gate.S, q))
+        | Clifford2q.Sdg q -> apply_gate t (Gate.G1 (Gate.Sdg, q))
+        | Clifford2q.Cnot (a, b) -> apply_gate t (Gate.Cnot (a, b)))
+      (Clifford2q.decompose c)
+  | Gate.Su4 { parts; _ } -> List.iter (apply_gate t) parts
+  | Gate.G1 ((Gate.T | Gate.Tdg | Gate.Rx _ | Gate.Ry _ | Gate.Rz _), _)
+  | Gate.Rpp _ ->
+    invalid_arg
+      (Printf.sprintf "Frame.apply_gate: non-Clifford gate %s"
+         (Gate.to_string g))
+
+let rec is_clifford_gate = function
+  | Gate.G1 ((Gate.H | Gate.S | Gate.Sdg | Gate.X | Gate.Y | Gate.Z), _)
+  | Gate.Cnot _ | Gate.Swap _ | Gate.Cliff2 _ ->
+    true
+  | Gate.G1 ((Gate.T | Gate.Tdg | Gate.Rx _ | Gate.Ry _ | Gate.Rz _), _)
+  | Gate.Rpp _ ->
+    false
+  | Gate.Su4 { parts; _ } -> List.for_all is_clifford_gate parts
+
+let is_identity t =
+  let gen_fixed q (neg, s) p =
+    (not neg) && Pauli_string.equal s (Pauli_string.single t.n q p)
+  in
+  let rec go q =
+    q >= t.n
+    || (gen_fixed q t.xs.(q) Pauli.X && gen_fixed q t.zs.(q) Pauli.Z && go (q + 1))
+  in
+  go 0

@@ -1,0 +1,38 @@
+(** Signed Clifford conjugation frames for translation validation.
+
+    Scanning a circuit [g1; …; gm] in time order while folding each
+    Clifford gate into the frame maintains the map
+    [σ ↦ F† σ F] where [F = U(gk)·…·U(g1)] is the product of the
+    Clifford gates seen so far.  A rotation gate [exp(-i θ/2 σ)]
+    encountered mid-scan therefore acts, pulled back to the circuit's
+    input frame, along the signed Pauli axis [image frame σ] — which is
+    exactly what {!Equiv.propagation_check} compares against the source
+    gadget program.  All operations are polynomial in the qubit count
+    (no [2^n] objects), so the check scales to full benchmark sizes. *)
+
+type t
+
+val identity : int -> t
+(** Identity frame over [n] qubits.  Raises [Invalid_argument] when
+    [n <= 0]. *)
+
+val num_qubits : t -> int
+
+val copy : t -> t
+
+val is_clifford_gate : Phoenix_circuit.Gate.t -> bool
+(** Whether {!apply_gate} accepts the gate.  [Su4] blocks are Clifford
+    iff all their parts are. *)
+
+val apply_gate : t -> Phoenix_circuit.Gate.t -> unit
+(** Fold one more circuit gate into the frame (in place).  Raises
+    [Invalid_argument] on non-Clifford gates ([Rx]/[Ry]/[Rz]/[T]/[Tdg]
+    and [Rpp]) — classify with {!is_clifford_gate} first. *)
+
+val image : t -> Phoenix_pauli.Pauli_string.t -> bool * Phoenix_pauli.Pauli_string.t
+(** [image f σ] is the signed pullback [F† σ F] as [(negated, string)]. *)
+
+val is_identity : t -> bool
+(** Whether the frame is the identity map with all-positive signs —
+    i.e. the folded Clifford gates multiply to (a global phase times)
+    the identity. *)

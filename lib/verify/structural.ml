@@ -1,0 +1,63 @@
+module Gate = Phoenix_circuit.Gate
+module Circuit = Phoenix_circuit.Circuit
+module Topology = Phoenix_topology.Topology
+
+type isa = Cnot_basis | Su4_basis | Any_basis
+
+let max_reported = 20
+
+let validate ?(isa = Any_basis) ?topology circuit =
+  let n = Circuit.num_qubits circuit in
+  let violations = ref [] in
+  let add fmt = Printf.ksprintf (fun m -> violations := m :: !violations) fmt in
+  (match topology with
+  | Some topo when Topology.num_qubits topo < n ->
+    add "circuit has %d qubits but the device only %d" n
+      (Topology.num_qubits topo)
+  | _ -> ());
+  List.iteri
+    (fun i g ->
+      let qs = Gate.qubits g in
+      List.iter
+        (fun q ->
+          if q < 0 || q >= n then
+            add "gate #%d %s touches qubit %d outside [0, %d)" i
+              (Gate.to_string g) q n)
+        qs;
+      (match qs with
+      | [ a; b ] when a = b ->
+        add "gate #%d %s has coincident operands" i (Gate.to_string g)
+      | _ -> ());
+      (match isa, g with
+      | Cnot_basis, (Gate.G1 _ | Gate.Cnot _) -> ()
+      | Cnot_basis, _ ->
+        add "gate #%d %s is outside the CNOT ISA alphabet" i (Gate.to_string g)
+      | Su4_basis, (Gate.G1 _ | Gate.Su4 _) -> ()
+      | Su4_basis, _ ->
+        add "gate #%d %s is outside the SU(4) ISA alphabet" i (Gate.to_string g)
+      | Any_basis, _ -> ());
+      match topology, Gate.pair g with
+      | Some topo, Some (a, b)
+        when a >= 0 && b >= 0
+             && a < Topology.num_qubits topo
+             && b < Topology.num_qubits topo
+             && not (Topology.are_adjacent topo a b) ->
+        add "gate #%d %s acts on non-adjacent qubits (%d,%d)" i
+          (Gate.to_string g) a b
+      | _ -> ())
+    (Circuit.gates circuit);
+  let all = List.rev !violations in
+  let shown, extra =
+    if List.length all <= max_reported then all, 0
+    else List.filteri (fun i _ -> i < max_reported) all, List.length all - max_reported
+  in
+  let diags =
+    List.map (fun m -> Diag.make ~pass:"structural" Diag.Error m) shown
+  in
+  if extra > 0 then
+    diags
+    @ [
+        Diag.make ~pass:"structural" Diag.Error
+          (Printf.sprintf "… and %d more structural violations" extra);
+      ]
+  else diags

@@ -1,0 +1,20 @@
+(** Structural circuit validation: cheap invariants every compiled
+    circuit must satisfy regardless of semantics — qubit indices in
+    range, output gate alphabet matching the target ISA, and (after
+    routing) every 2Q gate on a coupling-graph edge. *)
+
+type isa =
+  | Cnot_basis  (** only [G1] and [Cnot] gates allowed *)
+  | Su4_basis  (** only [G1] and [Su4] gates allowed *)
+  | Any_basis  (** no alphabet restriction *)
+
+val validate :
+  ?isa:isa ->
+  ?topology:Phoenix_topology.Topology.t ->
+  Phoenix_circuit.Circuit.t ->
+  Diag.t list
+(** Every violation becomes an [Error] diagnostic under pass
+    ["structural"], naming the gate and its position.  At most 20
+    violations are reported, with a summarizing diagnostic when more
+    were found.  An empty list means the circuit is structurally
+    valid. *)

@@ -36,6 +36,23 @@ let test_grouping_drops_identity () =
   let groups = Group.group_gadgets 2 [ ps "II", 0.5; ps "XX", 0.1 ] in
   Alcotest.(check int) "identity dropped" 1 (List.length groups)
 
+let test_grouping_exact_order () =
+  (* XX / ZI / XX: merging the second XX into the first group would move
+     it past the anticommuting ZI.  Greedy grouping does (it is only
+     Trotter-equivalent); exact grouping must not. *)
+  let gadgets = [ ps "XX", 0.1; ps "ZI", 0.2; ps "XX", 0.3 ] in
+  Alcotest.(check int) "greedy merges" 2
+    (List.length (Group.group_gadgets 2 gadgets));
+  Alcotest.(check int) "exact keeps order" 3
+    (List.length (Group.group_gadgets ~exact:true 2 gadgets));
+  (* commuting interleaving still merges in exact mode *)
+  let gadgets' = [ ps "XX", 0.1; ps "IZ", 0.2; ps "ZI", 0.25; ps "XX", 0.3 ] in
+  Alcotest.(check int) "exact grouping is inexact-free, not timid" 4
+    (List.length (Group.group_gadgets ~exact:true 2 gadgets'));
+  let commuting = [ ps "ZZ", 0.1; ps "ZI", 0.2; ps "ZZ", 0.3 ] in
+  Alcotest.(check int) "exact merges across commuting groups" 2
+    (List.length (Group.group_gadgets ~exact:true 2 commuting))
+
 let test_of_blocks () =
   let blocks = [ [ ps "XXI", 0.1; ps "IZZ", 0.2 ]; []; [ ps "YII", 0.3 ] ] in
   let groups = Group.of_blocks 3 blocks in
@@ -322,6 +339,8 @@ let () =
         [
           Alcotest.test_case "by support" `Quick test_grouping_by_support;
           Alcotest.test_case "drops identity" `Quick test_grouping_drops_identity;
+          Alcotest.test_case "exact order preservation" `Quick
+            test_grouping_exact_order;
           Alcotest.test_case "of blocks" `Quick test_of_blocks;
           Alcotest.test_case "all commuting" `Quick test_all_commuting;
         ] );

@@ -159,7 +159,9 @@ let prop_bridge_routing_equivalent =
       && Helpers.unitary_equiv ~tol:1e-7 lhs rhs)
 
 let test_device_too_small () =
-  Alcotest.check_raises "too small" (Invalid_argument "Sabre.route: device too small")
+  Alcotest.check_raises "too small"
+    (Invalid_argument
+       "Sabre.route: circuit needs 3 logical qubits but the device has only 2")
     (fun () ->
       ignore (Sabre.route (Topology.line 2) (Circuit.create 3 [ cnot 0 2 ])))
 
