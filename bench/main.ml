@@ -5,13 +5,18 @@
      dune exec bench/main.exe                 - everything
      dune exec bench/main.exe -- table1       - one artifact
      dune exec bench/main.exe -- fig5 --quick - reduced benchmark subset
+     dune exec bench/main.exe -- perf --json  - also write BENCH_phoenix.json
 
    Artifacts: table1, fig5 (incl. Table II), fig6, table3, table4
    (incl. Fig. 7), fig8, perf. *)
 
 module E = Phoenix_experiments
+module Clock = Phoenix_util.Clock
 
 let fmt = Format.std_formatter
+
+(* Set from the command line; [perf] writes BENCH_phoenix.json when on. *)
+let json_mode = ref false
 
 let labels ~quick =
   if quick then Some E.Workloads.uccsd_quick_labels else None
@@ -86,6 +91,75 @@ let perf_tests () =
              ignore (Phoenix_baselines.Tket_like.compile n gadgets)));
     ]
 
+(* End-to-end compile wall times: one timed run each, so the JSON records
+   the user-visible latency next to the per-pass OLS estimates. *)
+let end_to_end_compiles () =
+  let case = List.hd (E.Workloads.uccsd_suite ~labels:[ "LiH_frz_JW" ] ()) in
+  let n = case.E.Workloads.n in
+  let blocks = case.E.Workloads.gadget_blocks in
+  let topo = E.Workloads.heavy_hex () in
+  let timed name f =
+    let t0 = Clock.wall_s () in
+    let r : Phoenix.Compiler.report = f () in
+    name, Clock.wall_s () -. t0, r.Phoenix.Compiler.two_q_count
+  in
+  [
+    timed "compile-logical-cnot" (fun () ->
+        Phoenix.Compiler.compile_blocks n blocks);
+    timed "compile-heavy-hex" (fun () ->
+        let options =
+          {
+            Phoenix.Compiler.default_options with
+            target = Phoenix.Compiler.Hardware topo;
+          }
+        in
+        Phoenix.Compiler.compile_blocks ~options n blocks);
+  ]
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let bench_json_path = "BENCH_phoenix.json"
+
+(* Machine-readable perf trajectory: per-pass ms/run from Bechamel plus
+   end-to-end compile wall seconds, appended-to by CI as a workflow
+   artifact from this PR onward. *)
+let write_bench_json ~quick micro e2e =
+  let oc = open_out bench_json_path in
+  let p fmt_str = Printf.fprintf oc fmt_str in
+  p "{\n";
+  p "  \"schema\": \"phoenix-bench-v1\",\n";
+  p "  \"workload\": \"LiH_frz_JW\",\n";
+  p "  \"quick\": %b,\n" quick;
+  p "  \"micro_ms_per_run\": {";
+  List.iteri
+    (fun i (name, ms) ->
+      p "%s\n    \"%s\": %s"
+        (if i = 0 then "" else ",")
+        (json_escape name)
+        (match ms with Some v -> Printf.sprintf "%.6f" v | None -> "null"))
+    micro;
+  p "\n  },\n";
+  p "  \"end_to_end\": {";
+  List.iteri
+    (fun i (name, wall_s, two_q) ->
+      p "%s\n    \"%s\": { \"wall_s\": %.6f, \"two_q_count\": %d }"
+        (if i = 0 then "" else ",")
+        (json_escape name) wall_s two_q)
+    e2e;
+  p "\n  }\n}\n";
+  close_out oc;
+  Format.fprintf fmt "wrote %s@." bench_json_path
+
 let run_perf ~quick =
   let open Bechamel in
   let quota = if quick then 0.5 else 2.0 in
@@ -101,22 +175,38 @@ let run_perf ~quick =
   in
   Format.fprintf fmt
     "@[<v>== Compile-time micro-benchmarks (LiH_frz_JW, 144 Pauli strings) ==@,";
-  let lines = ref [] in
+  let micro = ref [] in
   Hashtbl.iter
     (fun name ols ->
-      let value =
+      let est =
         match Analyze.OLS.estimates ols with
-        | Some [ est ] -> Printf.sprintf "%12.3f ms/run" (est /. 1e6)
-        | Some _ | None -> "(no estimate)"
+        | Some [ est ] -> Some (est /. 1e6)
+        | Some _ | None -> None
       in
-      lines := (name, value) :: !lines)
+      micro := (name, est) :: !micro)
     results;
+  let micro = List.sort compare !micro in
   List.iter
-    (fun (name, value) -> Format.fprintf fmt "%-34s %s@," name value)
-    (List.sort compare !lines);
+    (fun (name, est) ->
+      let value =
+        match est with
+        | Some ms -> Printf.sprintf "%12.3f ms/run" ms
+        | None -> "(no estimate)"
+      in
+      Format.fprintf fmt "%-34s %s@," name value)
+    micro;
   Format.fprintf fmt
     "(paper: compiles thousands of Pauli strings in dozens of seconds on a laptop)@,";
-  Format.fprintf fmt "@]@."
+  Format.fprintf fmt "@]@.";
+  if !json_mode then begin
+    let e2e = end_to_end_compiles () in
+    List.iter
+      (fun (name, wall_s, two_q) ->
+        Format.fprintf fmt "%-34s %12.3f s end-to-end (%d 2Q)@." name wall_s
+          two_q)
+      e2e;
+    write_bench_json ~quick micro e2e
+  end
 
 let artifacts =
   [
@@ -134,7 +224,8 @@ let artifacts =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
-  let wanted = List.filter (fun a -> a <> "--quick") args in
+  json_mode := List.mem "--json" args;
+  let wanted = List.filter (fun a -> a <> "--quick" && a <> "--json") args in
   let to_run =
     match wanted with
     | [] -> artifacts
@@ -152,7 +243,10 @@ let () =
   List.iter
     (fun (name, f) ->
       Format.fprintf fmt "@.>>> %s@." name;
-      let t0 = Sys.time () in
+      (* Wall clock, not [Sys.time]: CPU seconds sum over domains and
+         overstate elapsed time once compilation is parallel. *)
+      let t0 = Clock.wall_s () in
       f ~quick;
-      Format.fprintf fmt "<<< %s done in %.1fs (cpu)@." name (Sys.time () -. t0))
+      Format.fprintf fmt "<<< %s done in %.1fs (wall)@." name
+        (Clock.wall_s () -. t0))
     to_run

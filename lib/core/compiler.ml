@@ -5,6 +5,8 @@ module Rebase = Phoenix_circuit.Rebase
 module Topology = Phoenix_topology.Topology
 module Sabre = Phoenix_router.Sabre
 module Hamiltonian = Phoenix_ham.Hamiltonian
+module Parallel = Phoenix_util.Parallel
+module Clock = Phoenix_util.Clock
 module Diag = Phoenix_verify.Diag
 module Equiv = Phoenix_verify.Equiv
 module Structural = Phoenix_verify.Structural
@@ -23,6 +25,7 @@ type options = {
   sabre_iterations : int;
   seed : int;
   verify : bool;
+  domains : int;
 }
 
 let default_options =
@@ -36,6 +39,7 @@ let default_options =
     sabre_iterations = 1;
     seed = 2025;
     verify = false;
+    domains = 0;
   }
 
 type report = {
@@ -75,12 +79,12 @@ let check_group_circuit options n terms circuit =
     else Ok ()
 
 let compile_groups ?(options = default_options) ?synthesize n groups =
-  let t0 = Sys.time () in
+  let t0 = Clock.wall_s () in
   let times = ref [] in
   let timed label f =
-    let t = Sys.time () in
+    let t = Clock.wall_s () in
     let r = f () in
-    times := (label, Sys.time () -. t) :: !times;
+    times := (label, Clock.wall_s () -. t) :: !times;
     r
   in
   let diags = ref [] in
@@ -98,29 +102,56 @@ let compile_groups ?(options = default_options) ?synthesize n groups =
   (* Graceful degradation: a group whose synthesized circuit fails its
      check is re-synthesized with the naive ladder (trusted, program
      order) and the recovery is recorded — the pipeline always emits a
-     valid circuit instead of aborting. *)
-  let recovered = ref 0 in
-  let checked_group idx (g : Group.t) =
+     valid circuit instead of aborting.
+
+     Groups are independent, so synthesis + verification fan out over a
+     domain pool.  Each group's diagnostics are collected locally and
+     joined in group order afterwards, so reports are byte-identical to a
+     serial run whatever the scheduling.  A caller-supplied [synthesize]
+     closure is not assumed to be thread-safe and keeps the serial path. *)
+  let checked_group (idx, (g : Group.t)) =
+    let local = ref [] in
+    let record severity msg =
+      local := Diag.make ~group:idx ~pass:"simplify" severity msg :: !local
+    in
     let c = synth g in
-    if not options.verify then { Order.group = g; circuit = c }
+    if not options.verify then { Order.group = g; circuit = c }, [], false
     else
       match check_group_circuit options n g.Group.terms c with
-      | Ok () -> { Order.group = g; circuit = c }
+      | Ok () -> { Order.group = g; circuit = c }, [], false
       | Error msg ->
-        incr recovered;
-        diag ~group:idx ~pass:"simplify" Diag.Warning
-          "synthesis failed verification (%s); recovered with the naive \
-           ladder"
-          msg;
+        record Diag.Warning
+          (Printf.sprintf
+             "synthesis failed verification (%s); recovered with the naive \
+              ladder"
+             msg);
         let fb = Synthesis.naive_gadget_circuit n g.Group.terms in
         (match check_group_circuit options n g.Group.terms fb with
-        | Ok () -> { Order.group = g; circuit = fb }
+        | Ok () -> ()
         | Error msg2 ->
-          diag ~group:idx ~pass:"simplify" Diag.Error
-            "naive fallback also failed verification (%s)" msg2;
-          { Order.group = g; circuit = fb })
+          record Diag.Error
+            (Printf.sprintf "naive fallback also failed verification (%s)"
+               msg2));
+        { Order.group = g; circuit = fb }, List.rev !local, true
   in
-  let blocks = timed "simplify" (fun () -> List.mapi checked_group groups) in
+  let domains =
+    match synthesize with
+    | Some _ -> 1
+    | None ->
+      if options.domains >= 1 then options.domains else Parallel.num_domains ()
+  in
+  let checked =
+    timed "simplify" (fun () ->
+        Parallel.map ~domains checked_group
+          (List.mapi (fun i g -> i, g) groups))
+  in
+  let blocks = List.map (fun (b, _, _) -> b) checked in
+  let recovered = ref 0 in
+  List.iter
+    (fun (_, group_diags, rec_) ->
+      if rec_ then incr recovered;
+      List.iter (fun d -> diags := d :: !diags) group_diags)
+    checked;
   if options.verify && !recovered = 0 then
     diag ~pass:"simplify" Diag.Info "verified %d group circuits"
       (List.length groups);
@@ -234,7 +265,7 @@ let compile_groups ?(options = default_options) ?synthesize n groups =
     num_swaps;
     logical_two_q;
     num_groups = List.length groups;
-    wall_time = Sys.time () -. t0;
+    wall_time = Clock.wall_s () -. t0;
     pass_times = List.rev !times;
     diagnostics = List.rev !diags;
   }
@@ -244,15 +275,15 @@ let with_grouping_time t r =
 
 let compile_gadgets ?options ?synthesize n gadgets =
   let exact = (Option.value ~default:default_options options).exact in
-  let t0 = Sys.time () in
+  let t0 = Clock.wall_s () in
   let groups = Group.group_gadgets ~exact n gadgets in
-  let tg = Sys.time () -. t0 in
+  let tg = Clock.wall_s () -. t0 in
   with_grouping_time tg (compile_groups ?options ?synthesize n groups)
 
 let compile_blocks ?options ?synthesize n blocks =
-  let t0 = Sys.time () in
+  let t0 = Clock.wall_s () in
   let groups = Group.of_blocks n blocks in
-  let tg = Sys.time () -. t0 in
+  let tg = Clock.wall_s () -. t0 in
   with_grouping_time tg (compile_groups ?options ?synthesize n groups)
 
 let compile ?options h =

@@ -34,11 +34,16 @@ type options = {
   verify : bool;
       (** translation-validate every pass boundary and fall back to
           naive synthesis on per-group check failures *)
+  domains : int;
+      (** domains for parallel group synthesis: [1] forces serial, [0]
+          (the default) uses {!Phoenix_util.Parallel.num_domains}.  The
+          output is identical whatever the value: groups are compiled
+          independently and joined in group order. *)
 }
 
 val default_options : options
 (** CNOT ISA, logical target, [tau = 1], lookahead 10, peephole on,
-    verification off. *)
+    verification off, automatic domain count. *)
 
 type report = {
   circuit : Phoenix_circuit.Circuit.t;  (** final lowered circuit *)
@@ -51,9 +56,9 @@ type report = {
       (** 2Q count of the logical-level result, for routing-overhead
           ratios *)
   num_groups : int;
-  wall_time : float;  (** seconds of CPU time spent compiling *)
+  wall_time : float;  (** elapsed wall-clock seconds spent compiling *)
   pass_times : (string * float) list;
-      (** per-pass CPU seconds in pipeline order — ["group"],
+      (** per-pass wall-clock seconds in pipeline order — ["group"],
           ["simplify"], ["order"], ["peephole"], ["lower"], ["route"],
           ["verify"]; passes that did not run are absent *)
   diagnostics : Phoenix_verify.Diag.t list;
@@ -91,4 +96,5 @@ val compile_groups :
     synthesis (default {!Synthesis.group_circuit}); it exists for
     experimentation and fault injection — with [verify = true] a
     synthesizer that produces a wrong circuit is caught per group and
-    recovered via the naive ladder. *)
+    recovered via the naive ladder.  Supplying [synthesize] forces
+    serial group compilation (the closure is not assumed thread-safe). *)

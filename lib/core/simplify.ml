@@ -19,36 +19,74 @@ let row_to_rotation (r : Bsf.row) =
 let finished bsf =
   Bsf.total_weight bsf <= 2 || Bsf.nonlocal_count bsf = 0
 
-(* All (generator, ordered qubit pair) candidates over the support.
-   Symmetric kinds are invariant under operand swap, so they only need
-   i < j; asymmetric kinds need both orders, which also covers the three
-   "missing" σ0/σ1 combinations (C(σ0,σ1)_{a,b} = C(σ1,σ0)_{b,a}). *)
-let candidates support =
-  List.concat_map
-    (fun kind ->
-      List.concat_map
-        (fun i ->
-          List.filter_map
-            (fun j ->
-              if j > i then Some (Clifford2q.make kind i j)
-              else if j < i && not (Clifford2q.is_symmetric kind) then
-                Some (Clifford2q.make kind i j)
-              else None)
-            support)
-        support)
-    Clifford2q.all_kinds
+(* Greedy candidate search over all (generator, ordered qubit pair)
+   combinations on the support.  Symmetric kinds are invariant under
+   operand swap, so they only need i < j; asymmetric kinds need both
+   orders, which also covers the three "missing" σ0/σ1 combinations
+   (C(σ0,σ1)_{a,b} = C(σ1,σ0)_{b,a}).
 
-let best_greedy bsf =
-  let support = Bsf.support_indices bsf in
-  List.fold_left
-    (fun best cliff ->
-      let trial = Bsf.copy bsf in
-      Bsf.apply_clifford2q trial cliff;
-      let cost = Bsf.cost trial in
-      match best with
-      | Some (_, best_cost) when best_cost <= cost -> best
-      | Some _ | None -> Some (cliff, cost))
-    None (candidates support)
+   Candidates are scored by [Bsf.Delta]: the two operand columns are
+   transposed once per qubit pair, then each of the (up to nine)
+   generators on that pair is evaluated in O(R/62) word operations with
+   no tableau copy and no allocation.  The resulting cost is bit-for-bit
+   what [Bsf.cost] would report after actually conjugating, so the
+   selection is identical to the historical copy-and-apply search.
+
+   Determinism contract: iteration here is pair-major (for column
+   locality) while the historical search was kind-major; [rank] restores
+   the historical (kind, operand-position) enumeration order and ties on
+   equal cost resolve to the lowest rank, i.e. to exactly the candidate
+   the serial kind-major scan would have kept.  The winner therefore
+   never depends on iteration strategy — a prerequisite for parallel and
+   serial compilations picking identical Cliffords. *)
+let all_kinds = Array.of_list Clifford2q.all_kinds
+let kind_symmetric = Array.map Clifford2q.is_symmetric all_kinds
+let num_kinds = Array.length all_kinds
+
+let best_greedy ?ws bsf =
+  let support = Array.of_list (Bsf.support_indices bsf) in
+  let m = Array.length support in
+  let ws = match ws with Some w -> w | None -> Bsf.Delta.create () in
+  (* Winner tracked as scalars (kind index, operands): the candidate loop
+     allocates nothing; the gate record materializes once at the end. *)
+  let best_cost = ref infinity and best_rank = ref max_int in
+  let best_ki = ref (-1) and best_a = ref 0 and best_b = ref 0 in
+  for pi = 0 to m - 1 do
+    for pj = pi + 1 to m - 1 do
+      let a = Array.unsafe_get support pi
+      and b = Array.unsafe_get support pj in
+      Bsf.Delta.load ws bsf ~a ~b;
+      for ki = 0 to num_kinds - 1 do
+        let kind = Array.unsafe_get all_kinds ki in
+        let base = ki * m in
+        let cost = Bsf.Delta.eval_kind ws kind ~swapped:false in
+        let rank = ((base + pi) * m) + pj in
+        if cost < !best_cost || (cost = !best_cost && rank < !best_rank)
+        then begin
+          best_cost := cost;
+          best_rank := rank;
+          best_ki := ki;
+          best_a := a;
+          best_b := b
+        end;
+        if not (Array.unsafe_get kind_symmetric ki) then begin
+          let cost = Bsf.Delta.eval_kind ws kind ~swapped:true in
+          let rank = ((base + pj) * m) + pi in
+          if cost < !best_cost || (cost = !best_cost && rank < !best_rank)
+          then begin
+            best_cost := cost;
+            best_rank := rank;
+            best_ki := ki;
+            best_a := b;
+            best_b := a
+          end
+        end
+      done
+    done
+  done;
+  if !best_ki < 0 then None
+  else
+    Some (Clifford2q.make all_kinds.(!best_ki) !best_a !best_b, !best_cost)
 
 (* Pair-kill Clifford for one row: with σa on qubit a and σb on qubit b,
    conjugating by C(σa, σ1) with {σ1, σb} anticommuting maps
@@ -94,6 +132,7 @@ let forced_cycle bsf epochs =
 
 let run ?(exact = false) ?(max_epochs = 100_000) n terms =
   let bsf = Bsf.of_terms n terms in
+  let ws = Bsf.Delta.create () in
   let epochs = ref [] in
   (* epochs: (cliff, locals peeled just before it), most recent first *)
   let trailing = ref [] in
@@ -113,7 +152,7 @@ let run ?(exact = false) ?(max_epochs = 100_000) n terms =
     end
     else begin
       let current_cost = Bsf.cost bsf in
-      match best_greedy bsf with
+      match best_greedy ~ws bsf with
       | Some (cliff, cost) when cost < current_cost -. 1e-9 ->
         Bsf.apply_clifford2q bsf cliff;
         epochs := (cliff, locals) :: !epochs

@@ -4,28 +4,118 @@ type mrow = {
   x : Bitvec.t;
   z : Bitvec.t;
   mutable neg : bool;
+  mutable w : int; (* cached |x ∨ z|, kept current by every mutation *)
   angle : float;
 }
 
-type t = { n : int; mutable mrows : mrow array }
+(* Column statistics: the pairwise terms of Eq. 6 collapse to closed forms
+   over per-column counts,
+
+     Σ_{i<j} |s_i ∨ s_j| = Σ_q #{(i,j) : i<j, q ∈ s_i ∪ s_j}
+                         = Σ_q [C(R,2) − C(R−c_q,2)]
+                         = (R−1)·Σ_q c_q − Σ_q C(c_q,2),
+
+   (likewise for the x- and z-only unions with cx_q / cz_q), while
+   w_tot = #{q : c_q > 0} and n_nl counts cached row weights > 1.  All
+   counters are integers, so the incremental cost is bit-for-bit the
+   value the O(R²·words) pairwise loop would compute. *)
+type stats = {
+  col_c : int array; (* per qubit: rows with x or z set *)
+  col_cx : int array;
+  col_cz : int array;
+  mutable sum_c : int; (* Σ_q c_q *)
+  mutable tri_c : int; (* Σ_q C(c_q, 2) *)
+  mutable sum_cx : int;
+  mutable tri_cx : int;
+  mutable sum_cz : int;
+  mutable tri_cz : int;
+  mutable w_tot : int; (* #{q : c_q > 0} — Eq. 4 *)
+  mutable n_nl : int; (* rows of weight > 1 *)
+}
+
+type t = { n : int; mutable mrows : mrow array; st : stats }
 
 type row = { pauli : Pauli_string.t; neg : bool; angle : float }
 
+let tri c = c * (c - 1) / 2
+
+let fresh_stats n =
+  {
+    col_c = Array.make n 0;
+    col_cx = Array.make n 0;
+    col_cz = Array.make n 0;
+    sum_c = 0;
+    tri_c = 0;
+    sum_cx = 0;
+    tri_cx = 0;
+    sum_cz = 0;
+    tri_cz = 0;
+    w_tot = 0;
+    n_nl = 0;
+  }
+
+let set_c st q v =
+  let old = st.col_c.(q) in
+  if v <> old then begin
+    st.col_c.(q) <- v;
+    st.sum_c <- st.sum_c - old + v;
+    st.tri_c <- st.tri_c - tri old + tri v;
+    if old = 0 then st.w_tot <- st.w_tot + 1
+    else if v = 0 then st.w_tot <- st.w_tot - 1
+  end
+
+let set_cx st q v =
+  let old = st.col_cx.(q) in
+  if v <> old then begin
+    st.col_cx.(q) <- v;
+    st.sum_cx <- st.sum_cx - old + v;
+    st.tri_cx <- st.tri_cx - tri old + tri v
+  end
+
+let set_cz st q v =
+  let old = st.col_cz.(q) in
+  if v <> old then begin
+    st.col_cz.(q) <- v;
+    st.sum_cz <- st.sum_cz - old + v;
+    st.tri_cz <- st.tri_cz - tri old + tri v
+  end
+
+(* Account one row into (dir = 1) or out of (dir = -1) the statistics. *)
+let account st dir r =
+  if r.w > 1 then st.n_nl <- st.n_nl + dir;
+  Bitvec.iter_set (fun q -> set_cx st q (st.col_cx.(q) + dir)) r.x;
+  Bitvec.iter_set (fun q -> set_cz st q (st.col_cz.(q) + dir)) r.z;
+  Bitvec.iter_set (fun q -> set_c st q (st.col_c.(q) + dir)) (Bitvec.logor r.x r.z)
+
 let create n =
   if n <= 0 then invalid_arg "Bsf.create: need at least one qubit";
-  { n; mrows = [||] }
+  { n; mrows = [||]; st = fresh_stats n }
 
 let of_terms n terms =
   let to_row (p, angle) =
     if Pauli_string.num_qubits p <> n then
       invalid_arg "Bsf.of_terms: qubit-count mismatch";
-    { x = Pauli_string.x_bits p; z = Pauli_string.z_bits p; neg = false; angle }
+    let x = Pauli_string.x_bits p and z = Pauli_string.z_bits p in
+    { x; z; neg = false; w = Bitvec.or_popcount x z; angle }
   in
-  { n; mrows = Array.of_list (List.map to_row terms) }
+  let t = { n; mrows = Array.of_list (List.map to_row terms); st = fresh_stats n } in
+  Array.iter (account t.st 1) t.mrows;
+  t
 
 let copy t =
   let copy_row r = { r with x = Bitvec.copy r.x; z = Bitvec.copy r.z } in
-  { t with mrows = Array.map copy_row t.mrows }
+  let st = t.st in
+  {
+    t with
+    mrows = Array.map copy_row t.mrows;
+    st =
+      {
+        st with
+        col_c = Array.copy st.col_c;
+        col_cx = Array.copy st.col_cx;
+        col_cz = Array.copy st.col_cz;
+      };
+  }
 
 let num_qubits t = t.n
 let num_rows t = Array.length t.mrows
@@ -34,27 +124,26 @@ let snapshot r =
   { pauli = Pauli_string.of_bits ~x:r.x ~z:r.z; neg = r.neg; angle = r.angle }
 
 let rows t = Array.to_list (Array.map snapshot t.mrows)
-let row_weight t i = Bitvec.or_popcount t.mrows.(i).x t.mrows.(i).z
+let row_weight t i = t.mrows.(i).w
 
 let row_pauli t i =
   Pauli_string.of_bits ~x:t.mrows.(i).x ~z:t.mrows.(i).z
 
 let support t =
   let acc = Bitvec.create t.n in
-  Array.iter
-    (fun r ->
-      Bitvec.or_into acc r.x;
-      Bitvec.or_into acc r.z)
-    t.mrows;
+  Array.iteri (fun q c -> if c > 0 then Bitvec.set acc q true) t.st.col_c;
   acc
 
-let total_weight t = Bitvec.popcount (support t)
-let support_indices t = Bitvec.indices (support t)
+let total_weight t = t.st.w_tot
 
-let nonlocal_count t =
-  Array.fold_left
-    (fun acc r -> if Bitvec.or_popcount r.x r.z > 1 then acc + 1 else acc)
-    0 t.mrows
+let support_indices t =
+  let acc = ref [] in
+  for q = t.n - 1 downto 0 do
+    if t.st.col_c.(q) > 0 then acc := q :: !acc
+  done;
+  !acc
+
+let nonlocal_count t = t.st.n_nl
 
 (* Sign conventions (standard stabilizer-tableau update rules, verified
    against dense conjugation in the test suite):
@@ -71,25 +160,36 @@ let apply_h t q =
       if xq && zq then r.neg <- not r.neg;
       Bitvec.set r.x q zq;
       Bitvec.set r.z q xq)
-    t.mrows
+    t.mrows;
+  (* columns swap roles at q; support, weights and n_nl are untouched *)
+  let st = t.st in
+  let cx = st.col_cx.(q) and cz = st.col_cz.(q) in
+  set_cx st q cz;
+  set_cz st q cx
 
-let apply_s t q =
+(* S and S† share the bit action z_q ^= x_q: only cz_q changes, by the
+   balance of X rows gaining z against Y rows losing it. *)
+let apply_s_like ~sign_on_z t q =
+  let st = t.st in
+  let dcz = ref 0 in
   Array.iter
     (fun r ->
       let xq = Bitvec.get r.x q and zq = Bitvec.get r.z q in
-      if xq && zq then r.neg <- not r.neg;
-      if xq then Bitvec.flip r.z q)
-    t.mrows
+      if xq && zq = sign_on_z then r.neg <- not r.neg;
+      if xq then begin
+        Bitvec.flip r.z q;
+        dcz := !dcz + (if zq then -1 else 1)
+      end)
+    t.mrows;
+  set_cz st q (st.col_cz.(q) + !dcz)
 
-let apply_sdg t q =
-  Array.iter
-    (fun r ->
-      let xq = Bitvec.get r.x q and zq = Bitvec.get r.z q in
-      if xq && not zq then r.neg <- not r.neg;
-      if xq then Bitvec.flip r.z q)
-    t.mrows
+let apply_s t q = apply_s_like ~sign_on_z:true t q
+let apply_sdg t q = apply_s_like ~sign_on_z:false t q
 
 let apply_cnot t a b =
+  if a = b then invalid_arg "Bsf.apply_cnot: qubits must differ";
+  let st = t.st in
+  let dcxb = ref 0 and dcza = ref 0 and dca = ref 0 and dcb = ref 0 in
   Array.iter
     (fun r ->
       let xa = Bitvec.get r.x a
@@ -97,9 +197,32 @@ let apply_cnot t a b =
       and xb = Bitvec.get r.x b
       and zb = Bitvec.get r.z b in
       if xa && zb && xb = za then r.neg <- not r.neg;
-      Bitvec.set r.x b (xb <> xa);
-      Bitvec.set r.z a (za <> zb))
-    t.mrows
+      let xb' = xb <> xa and za' = za <> zb in
+      Bitvec.set r.x b xb';
+      Bitvec.set r.z a za';
+      if xb' <> xb then dcxb := !dcxb + (if xb' then 1 else -1);
+      if za' <> za then dcza := !dcza + (if za' then 1 else -1);
+      let sa = xa || za and sa' = xa || za' in
+      let sb = xb || zb and sb' = xb' || zb in
+      let dw =
+        (if sa' then 1 else 0) - (if sa then 1 else 0)
+        + (if sb' then 1 else 0)
+        - (if sb then 1 else 0)
+      in
+      if sa' <> sa then dca := !dca + (if sa' then 1 else -1);
+      if sb' <> sb then dcb := !dcb + (if sb' then 1 else -1);
+      if dw <> 0 then begin
+        let w = r.w in
+        let w' = w + dw in
+        r.w <- w';
+        if w > 1 && w' <= 1 then st.n_nl <- st.n_nl - 1
+        else if w <= 1 && w' > 1 then st.n_nl <- st.n_nl + 1
+      end)
+    t.mrows;
+  set_cx st b (st.col_cx.(b) + !dcxb);
+  set_cz st a (st.col_cz.(a) + !dcza);
+  set_c st a (st.col_c.(a) + !dca);
+  set_c st b (st.col_c.(b) + !dcb)
 
 let apply_basis_gate t = function
   | Clifford2q.H q -> apply_h t q
@@ -118,7 +241,7 @@ let mrow_commutes a b =
 
 let pop_local_rows ?(commuting_only = false) t =
   let n_rows = Array.length t.mrows in
-  let local = Array.map (fun r -> Bitvec.or_popcount r.x r.z <= 1) t.mrows in
+  let local = Array.map (fun r -> r.w <= 1) t.mrows in
   if commuting_only then begin
     (* A local row may only leave its program position when it commutes
        with every row that stays behind — including locals that
@@ -142,16 +265,48 @@ let pop_local_rows ?(commuting_only = false) t =
   end;
   let peeled = ref [] and kept = ref [] in
   for i = n_rows - 1 downto 0 do
-    if local.(i) then peeled := snapshot t.mrows.(i) :: !peeled
+    if local.(i) then begin
+      (* peeled rows have weight ≤ 1: at most one column to release *)
+      account t.st (-1) t.mrows.(i);
+      peeled := snapshot t.mrows.(i) :: !peeled
+    end
     else kept := t.mrows.(i) :: !kept
   done;
   t.mrows <- Array.of_list !kept;
   !peeled
 
+(* The Eq. 6 combination, shared verbatim by the incremental cost, the
+   delta engine and the pairwise reference so all three agree to the last
+   ulp whenever their integer counters agree. *)
+let cost_of_counters ~rows ~w_tot ~n_nl ~sum_c ~tri_c ~sum_cx ~tri_cx ~sum_cz
+    ~tri_cz =
+  let pair_sup = ((rows - 1) * sum_c) - tri_c in
+  let pair_x = ((rows - 1) * sum_cx) - tri_cx in
+  let pair_z = ((rows - 1) * sum_cz) - tri_cz in
+  (float_of_int w_tot *. float_of_int n_nl *. float_of_int n_nl)
+  +. float_of_int pair_sup
+  +. (0.5 *. float_of_int (pair_x + pair_z))
+
 let cost t =
+  let st = t.st in
+  cost_of_counters ~rows:(Array.length t.mrows) ~w_tot:st.w_tot ~n_nl:st.n_nl
+    ~sum_c:st.sum_c ~tri_c:st.tri_c ~sum_cx:st.sum_cx ~tri_cx:st.tri_cx
+    ~sum_cz:st.sum_cz ~tri_cz:st.tri_cz
+
+(* Independent O(R²·words) evaluation of Eq. 6 straight from the bits;
+   the property suite pins [cost] against this. *)
+let cost_reference t =
   let n_rows = Array.length t.mrows in
-  let w_tot = float_of_int (total_weight t) in
-  let n_nl = float_of_int (nonlocal_count t) in
+  let sup_acc = Bitvec.create t.n in
+  let n_nl = ref 0 in
+  Array.iter
+    (fun r ->
+      Bitvec.or_into sup_acc r.x;
+      Bitvec.or_into sup_acc r.z;
+      if Bitvec.or_popcount r.x r.z > 1 then incr n_nl)
+    t.mrows;
+  let w_tot = float_of_int (Bitvec.popcount sup_acc) in
+  let n_nl = float_of_int !n_nl in
   let pair_sup = ref 0 and pair_x = ref 0 and pair_z = ref 0 in
   for i = 0 to n_rows - 1 do
     let ri = t.mrows.(i) in
@@ -167,6 +322,269 @@ let cost t =
   (w_tot *. n_nl *. n_nl)
   +. float_of_int !pair_sup
   +. (0.5 *. float_of_int (!pair_x + !pair_z))
+
+(* --- Allocation-free candidate evaluation -------------------------------
+
+   A candidate 2Q Clifford on (a,b) only rewrites columns a and b, so its
+   effect on the cost is a function of those two columns alone.  The
+   workspace transposes them into row-indexed words once per qubit pair;
+   each candidate then costs a handful of word-parallel XOR/popcount
+   passes over R bits — no tableau copy, no conjugation, no pair loop. *)
+module Delta = struct
+  let bpw = Bitvec.bits_per_word
+
+  (* Conjugation by a generator is GF(2)-linear on the four operand
+     columns (signs do not affect the cost), so each (kind, operand
+     order) reduces to four 4-bit masks: new column = XOR of the old
+     columns selected by the mask.  The masks are derived once at module
+     init by pushing symbolic basis masks through [Clifford2q.decompose]
+     — the exact instruction sequence [apply_clifford2q] executes — so
+     they cannot drift from the tableau semantics. *)
+  let kind_index = function
+    | Clifford2q.CXX -> 0
+    | Clifford2q.CYY -> 1
+    | Clifford2q.CZZ -> 2
+    | Clifford2q.CXY -> 3
+    | Clifford2q.CYZ -> 4
+    | Clifford2q.CZX -> 5
+
+  (* masks.(2·kind + order): order 0 = gate on (a,b), 1 = gate on (b,a);
+     each entry is (m_xa, m_za, m_xb, m_zb) over basis bits
+     1=xa, 2=za, 4=xb, 8=zb. *)
+  let col_masks =
+    let compute kind swapped =
+      let xa = ref 1 and za = ref 2 and xb = ref 4 and zb = ref 8 in
+      (* qubit 0 stands for column a, qubit 1 for column b *)
+      let col_x q = if q = 0 then xa else xb in
+      let col_z q = if q = 0 then za else zb in
+      let gate =
+        if swapped then Clifford2q.make kind 1 0 else Clifford2q.make kind 0 1
+      in
+      List.iter
+        (function
+          | Clifford2q.H q ->
+            let x = col_x q and z = col_z q in
+            let tmp = !x in
+            x := !z;
+            z := tmp
+          | Clifford2q.S q | Clifford2q.Sdg q ->
+            let x = col_x q and z = col_z q in
+            z := !z lxor !x
+          | Clifford2q.Cnot (c, t) ->
+            (col_x t) := !(col_x t) lxor !(col_x c);
+            (col_z c) := !(col_z c) lxor !(col_z t))
+        (Clifford2q.decompose gate);
+      !xa, !za, !xb, !zb
+    in
+    Array.init 12 (fun i ->
+        let kind = List.nth Clifford2q.all_kinds (i / 2) in
+        compute kind (i mod 2 = 1))
+
+  type ws = {
+    mutable nwords : int;
+    (* column a / b of the x and z halves, transposed to row-major bits *)
+    mutable xa : int array;
+    mutable za : int array;
+    mutable xb : int array;
+    mutable zb : int array;
+    (* rows whose weight outside {a,b} is 0 / 1: the only rows whose
+       local/nonlocal status a candidate can change *)
+    mutable m0 : int array;
+    mutable m1 : int array;
+    mutable qa : int;
+    mutable qb : int;
+    mutable nl_before : int; (* nonlocal rows of m0/m1 under current cols *)
+    (* snapshot of the tableau counters at load time *)
+    mutable s_rows : int;
+    mutable s_w_tot : int;
+    mutable s_n_nl : int;
+    mutable s_sum_c : int;
+    mutable s_tri_c : int;
+    mutable s_sum_cx : int;
+    mutable s_tri_cx : int;
+    mutable s_sum_cz : int;
+    mutable s_tri_cz : int;
+    mutable ca : int;
+    mutable cb : int;
+    mutable cxa : int;
+    mutable cxb : int;
+    mutable cza : int;
+    mutable czb : int;
+  }
+
+  let create () =
+    {
+      nwords = 0;
+      xa = [||];
+      za = [||];
+      xb = [||];
+      zb = [||];
+      m0 = [||];
+      m1 = [||];
+      qa = -1;
+      qb = -1;
+      nl_before = 0;
+      s_rows = 0;
+      s_w_tot = 0;
+      s_n_nl = 0;
+      s_sum_c = 0;
+      s_tri_c = 0;
+      s_sum_cx = 0;
+      s_tri_cx = 0;
+      s_sum_cz = 0;
+      s_tri_cz = 0;
+      ca = 0;
+      cb = 0;
+      cxa = 0;
+      cxb = 0;
+      cza = 0;
+      czb = 0;
+    }
+
+  let ensure_capacity ws nw =
+    if Array.length ws.xa < nw then begin
+      ws.xa <- Array.make nw 0;
+      ws.za <- Array.make nw 0;
+      ws.xb <- Array.make nw 0;
+      ws.zb <- Array.make nw 0;
+      ws.m0 <- Array.make nw 0;
+      ws.m1 <- Array.make nw 0
+    end
+    else
+      for wi = 0 to nw - 1 do
+        ws.xa.(wi) <- 0;
+        ws.za.(wi) <- 0;
+        ws.xb.(wi) <- 0;
+        ws.zb.(wi) <- 0;
+        ws.m0.(wi) <- 0;
+        ws.m1.(wi) <- 0
+      done
+
+  let load ws t ~a ~b =
+    if a = b then invalid_arg "Bsf.Delta.load: qubits must differ";
+    if a < 0 || a >= t.n || b < 0 || b >= t.n then
+      invalid_arg "Bsf.Delta.load: qubit out of range";
+    let rows = Array.length t.mrows in
+    let nw = (rows + bpw - 1) / bpw in
+    ensure_capacity ws (max nw 1);
+    ws.nwords <- nw;
+    ws.qa <- a;
+    ws.qb <- b;
+    for i = 0 to rows - 1 do
+      let r = Array.unsafe_get t.mrows i in
+      let xbits = Bitvec.get2_unsafe r.x a b in
+      let zbits = Bitvec.get2_unsafe r.z a b in
+      let wi = i / bpw in
+      let bit = 1 lsl (i mod bpw) in
+      if xbits land 1 <> 0 then ws.xa.(wi) <- ws.xa.(wi) lor bit;
+      if xbits land 2 <> 0 then ws.xb.(wi) <- ws.xb.(wi) lor bit;
+      if zbits land 1 <> 0 then ws.za.(wi) <- ws.za.(wi) lor bit;
+      if zbits land 2 <> 0 then ws.zb.(wi) <- ws.zb.(wi) lor bit;
+      let sup = xbits lor zbits in
+      let w_out = r.w - (sup land 1) - ((sup lsr 1) land 1) in
+      if w_out = 0 then ws.m0.(wi) <- ws.m0.(wi) lor bit
+      else if w_out = 1 then ws.m1.(wi) <- ws.m1.(wi) lor bit
+    done;
+    let nl = ref 0 in
+    for wi = 0 to nw - 1 do
+      let sa = ws.xa.(wi) lor ws.za.(wi) and sb = ws.xb.(wi) lor ws.zb.(wi) in
+      nl :=
+        !nl
+        + Bitvec.popcount_word (ws.m1.(wi) land (sa lor sb))
+        + Bitvec.popcount_word (ws.m0.(wi) land sa land sb)
+    done;
+    ws.nl_before <- !nl;
+    let st = t.st in
+    ws.s_rows <- rows;
+    ws.s_w_tot <- st.w_tot;
+    ws.s_n_nl <- st.n_nl;
+    ws.s_sum_c <- st.sum_c;
+    ws.s_tri_c <- st.tri_c;
+    ws.s_sum_cx <- st.sum_cx;
+    ws.s_tri_cx <- st.tri_cx;
+    ws.s_sum_cz <- st.sum_cz;
+    ws.s_tri_cz <- st.tri_cz;
+    ws.ca <- st.col_c.(a);
+    ws.cb <- st.col_c.(b);
+    ws.cxa <- st.col_cx.(a);
+    ws.cxb <- st.col_cx.(b);
+    ws.cza <- st.col_cz.(a);
+    ws.czb <- st.col_cz.(b)
+
+  (* Resulting [cost] of the tableau the workspace was loaded from, were
+     [gate] (on the loaded qubit pair) applied — without applying it.
+     One fused pass over the column words: the candidate's columns are
+     formed on the fly from the precomputed masks (XOR of at most four
+     words each) and reduced to the six popcounts plus the nonlocality
+     correction.  No allocation, no branches on the decomposition. *)
+  let eval_masked ws ki order =
+    let mxa, mza, mxb, mzb = col_masks.((2 * ki) + order) in
+    let nw = ws.nwords in
+    let cxa_n = ref 0
+    and cza_n = ref 0
+    and ca_n = ref 0
+    and cxb_n = ref 0
+    and czb_n = ref 0
+    and cb_n = ref 0
+    and nl_after = ref 0 in
+    for wi = 0 to nw - 1 do
+      let oxa = Array.unsafe_get ws.xa wi
+      and oza = Array.unsafe_get ws.za wi
+      and oxb = Array.unsafe_get ws.xb wi
+      and ozb = Array.unsafe_get ws.zb wi in
+      let sel m =
+        (if m land 1 <> 0 then oxa else 0)
+        lxor (if m land 2 <> 0 then oza else 0)
+        lxor (if m land 4 <> 0 then oxb else 0)
+        lxor (if m land 8 <> 0 then ozb else 0)
+      in
+      let xaw = sel mxa
+      and zaw = sel mza
+      and xbw = sel mxb
+      and zbw = sel mzb in
+      let sa = xaw lor zaw and sb = xbw lor zbw in
+      cxa_n := !cxa_n + Bitvec.popcount_word xaw;
+      cza_n := !cza_n + Bitvec.popcount_word zaw;
+      ca_n := !ca_n + Bitvec.popcount_word sa;
+      cxb_n := !cxb_n + Bitvec.popcount_word xbw;
+      czb_n := !czb_n + Bitvec.popcount_word zbw;
+      cb_n := !cb_n + Bitvec.popcount_word sb;
+      nl_after :=
+        !nl_after
+        + Bitvec.popcount_word (Array.unsafe_get ws.m1 wi land (sa lor sb))
+        + Bitvec.popcount_word (Array.unsafe_get ws.m0 wi land sa land sb)
+    done;
+    let nz c = if c > 0 then 1 else 0 in
+    cost_of_counters ~rows:ws.s_rows
+      ~w_tot:(ws.s_w_tot - nz ws.ca - nz ws.cb + nz !ca_n + nz !cb_n)
+      ~n_nl:(ws.s_n_nl - ws.nl_before + !nl_after)
+      ~sum_c:(ws.s_sum_c - ws.ca - ws.cb + !ca_n + !cb_n)
+      ~tri_c:(ws.s_tri_c - tri ws.ca - tri ws.cb + tri !ca_n + tri !cb_n)
+      ~sum_cx:(ws.s_sum_cx - ws.cxa - ws.cxb + !cxa_n + !cxb_n)
+      ~tri_cx:(ws.s_tri_cx - tri ws.cxa - tri ws.cxb + tri !cxa_n + tri !cxb_n)
+      ~sum_cz:(ws.s_sum_cz - ws.cza - ws.czb + !cza_n + !czb_n)
+      ~tri_cz:(ws.s_tri_cz - tri ws.cza - tri ws.czb + tri !cza_n + tri !czb_n)
+
+  (* Allocation-free entry point for search loops: score [kind] on the
+     loaded pair, operands (a,b) — or (b,a) with [swapped] — without
+     materializing a gate record. *)
+  let eval_kind ws kind ~swapped =
+    eval_masked ws (kind_index kind) (if swapped then 1 else 0)
+
+  let eval ws (gate : Clifford2q.t) =
+    let ga = gate.Clifford2q.a and gb = gate.Clifford2q.b in
+    let order =
+      if ga = ws.qa && gb = ws.qb then 0
+      else if ga = ws.qb && gb = ws.qa then 1
+      else invalid_arg "Bsf.Delta.eval: gate does not act on the loaded pair"
+    in
+    eval_masked ws (kind_index gate.Clifford2q.kind) order
+end
+
+let eval_clifford2q_delta t gate =
+  let ws = Delta.create () in
+  Delta.load ws t ~a:gate.Clifford2q.a ~b:gate.Clifford2q.b;
+  Delta.eval ws gate -. cost t
 
 let to_terms t =
   List.map

@@ -6,7 +6,12 @@
     [C] replaces every row [P] with [C·P·C†]; a sign flip is equivalent to
     negating the angle at synthesis time.
 
-    The tableau is mutable: [apply_*] update it in place. *)
+    The tableau is mutable: [apply_*] update it in place.
+
+    The tableau additionally maintains a column-statistics layer (per-column
+    support counts, per-row weights, and their aggregate sums), which makes
+    {!cost}, {!total_weight}, {!nonlocal_count} and {!row_weight} O(1) and
+    powers the allocation-free candidate evaluation of {!Delta}. *)
 
 type t
 
@@ -59,7 +64,54 @@ val pop_local_rows : ?commuting_only:bool -> t -> row list
 val cost : t -> float
 (** The heuristic BSF cost of Eq. 6:
     [w_tot·n_nl² + Σ_{i<j} |sup_i ∨ sup_j|
-     + ½·Σ_{i<j} (|x_i ∨ x_j| + |z_i ∨ z_j|)]. *)
+     + ½·Σ_{i<j} (|x_i ∨ x_j| + |z_i ∨ z_j|)].
+
+    O(1): the pairwise unions collapse to closed forms over the maintained
+    per-column counts — [Σ_{i<j} |s_i ∨ s_j| = (R−1)·Σ_q c_q − Σ_q C(c_q,2)]
+    and likewise for the x/z parts — so no pair loop runs.  Agrees
+    bit-for-bit with {!cost_reference}. *)
+
+val cost_reference : t -> float
+(** The same quantity evaluated by the original O(R²·words) pairwise loop
+    straight from the bit vectors, bypassing the incremental counters.
+    Test oracle for {!cost} and {!Delta}. *)
+
+(** Allocation-free evaluation of candidate 2Q Clifford conjugations.
+
+    A generator on qubits (a,b) only rewrites columns a and b of the
+    tableau, so its cost is determined by those two columns plus the
+    global counters.  A workspace transposes the two columns into
+    row-indexed words once per qubit pair ({!Delta.load}, O(R)); every
+    candidate on that pair is then scored with a few word-parallel
+    XOR/popcount passes ({!Delta.eval}, O(R/62) words) — no [copy], no
+    [apply_clifford2q], no pairwise loop, and no allocation after the
+    workspace reaches capacity. *)
+module Delta : sig
+  type ws
+  (** Reusable workspace; create once, [load] per qubit pair. *)
+
+  val create : unit -> ws
+
+  val load : ws -> t -> a:int -> b:int -> unit
+  (** Capture columns [a] and [b] (distinct, in range) and the counter
+      snapshot of the tableau.  The workspace is only valid until the
+      tableau is next mutated. *)
+
+  val eval : ws -> Clifford2q.t -> float
+  (** [eval ws gate] is exactly the {!cost} the loaded tableau would have
+      after [apply_clifford2q t gate], for any generator acting on the
+      loaded pair (either operand order).  Raises [Invalid_argument] for
+      a gate on a different pair. *)
+
+  val eval_kind : ws -> Clifford2q.kind -> swapped:bool -> float
+  (** Like {!eval} for the generator [kind] on the loaded pair — operands
+      (a,b), or (b,a) when [swapped] — without allocating a gate value. *)
+end
+
+val eval_clifford2q_delta : t -> Clifford2q.t -> float
+(** [eval_clifford2q_delta t g] is
+    [cost (t after g) -. cost t] computed incrementally — one-shot
+    convenience over {!Delta} (allocates a fresh workspace). *)
 
 val to_terms : t -> (Pauli_string.t * float) list
 (** Rows with signs folded into the angles. *)

@@ -53,15 +53,39 @@ let is_identity t = Bitvec.is_zero t.x && Bitvec.is_zero t.z
 let commutes a b =
   (Bitvec.and_popcount a.x b.z + Bitvec.and_popcount a.z b.x) mod 2 = 0
 
+(* Word-parallel phase computation (the standard BSF trick): the i-power
+   contributed by one qubit is g(x1,z1,x2,z2) ∈ {−1,0,+1} with
+     g = z2−x2 on Y columns, z2·(2x2−1) on X columns, x2·(1−2z2) on Z
+   columns (Aaronson–Gottesman), so the total phase is
+   (#plus − #minus) mod 4 with the ±1 cases picked out by bit masks —
+   62 qubits per word instead of one. *)
 let mul a b =
   let n = num_qubits a in
   if n <> num_qubits b then invalid_arg "Pauli_string.mul: size mismatch";
-  let phase = ref 0 in
-  for q = 0 to n - 1 do
-    let k, _ = Pauli.mul (get a q) (get b q) in
-    phase := (!phase + k) mod 4
+  let plus = ref 0 and minus = ref 0 in
+  for wi = 0 to Bitvec.num_words a.x - 1 do
+    let x1 = Bitvec.word a.x wi
+    and z1 = Bitvec.word a.z wi
+    and x2 = Bitvec.word b.x wi
+    and z2 = Bitvec.word b.z wi in
+    let y1 = x1 land z1
+    and xo1 = x1 land lnot z1
+    and zo1 = z1 land lnot x1 in
+    let p =
+      y1 land z2 land lnot x2
+      lor (xo1 land x2 land z2)
+      lor (zo1 land x2 land lnot z2)
+    in
+    let m =
+      y1 land x2 land lnot z2
+      lor (xo1 land z2 land lnot x2)
+      lor (zo1 land x2 land z2)
+    in
+    plus := !plus + Bitvec.popcount_word p;
+    minus := !minus + Bitvec.popcount_word m
   done;
-  !phase, { x = Bitvec.logxor a.x b.x; z = Bitvec.logxor a.z b.z }
+  let phase = ((!plus - !minus) mod 4 + 4) mod 4 in
+  phase, { x = Bitvec.logxor a.x b.x; z = Bitvec.logxor a.z b.z }
 
 let equal a b = Bitvec.equal a.x b.x && Bitvec.equal a.z b.z
 

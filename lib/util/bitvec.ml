@@ -14,6 +14,14 @@ let create len =
 let length v = v.len
 let copy v = { len = v.len; words = Array.copy v.words }
 
+let num_words v = Array.length v.words
+
+let word v i = v.words.(i)
+
+let blit ~src ~dst =
+  if src.len <> dst.len then invalid_arg "Bitvec.blit: length mismatch";
+  Array.blit src.words 0 dst.words 0 (Array.length src.words)
+
 let check_index v i =
   if i < 0 || i >= v.len then invalid_arg "Bitvec: index out of range"
 
@@ -32,11 +40,34 @@ let flip v i =
   let w = i / bits_per_word and m = 1 lsl (i mod bits_per_word) in
   v.words.(w) <- v.words.(w) lxor m
 
-(* Kernighan's loop: one iteration per set bit, which suits the sparse
-   vectors that dominate BSF workloads. *)
+let get_unsafe v i =
+  Array.unsafe_get v.words (i / bits_per_word)
+  land (1 lsl (i mod bits_per_word))
+  <> 0
+
+(* Two-column extraction: bit [a] in position 0, bit [b] in position 1, so
+   the per-row inner loop of the BSF delta engine reads both operand
+   columns of a candidate 2Q Clifford with two word fetches. *)
+let get2_unsafe v a b =
+  ((Array.unsafe_get v.words (a / bits_per_word) lsr (a mod bits_per_word))
+  land 1)
+  lor (((Array.unsafe_get v.words (b / bits_per_word) lsr (b mod bits_per_word))
+       land 1)
+      lsl 1)
+
+(* SWAR popcount over the 62 payload bits.  The usual 64-bit masks do not
+   fit OCaml's 63-bit literals, but every word is < 2^62, so the first
+   mask only needs even bit positions up to 60 (the shifted value has no
+   bit 61) and the final byte-sum multiply cannot carry past bit 62. *)
 let popcount_word w =
-  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
-  go w 0
+  let w = w - ((w lsr 1) land 0x1555555555555555) in
+  let w = (w land 0x3333333333333333) + ((w lsr 2) land 0x3333333333333333) in
+  let w = (w + (w lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (w * 0x0101010101010101) lsr 56
+
+(* Count-trailing-zeros of a non-zero word: isolate the lowest set bit and
+   popcount the ones below it.  Branch-free, no per-bit loop. *)
+let ctz_word w = popcount_word ((w land -w) - 1)
 
 let popcount v = Array.fold_left (fun acc w -> acc + popcount_word w) 0 v.words
 let is_zero v = Array.for_all (fun w -> w = 0) v.words
@@ -82,10 +113,9 @@ let or_popcount a b =
 let iter_set f v =
   for wi = 0 to Array.length v.words - 1 do
     let w = ref v.words.(wi) in
+    let base = wi * bits_per_word in
     while !w <> 0 do
-      let low = !w land - !w in
-      let rec log2 m acc = if m = 1 then acc else log2 (m lsr 1) (acc + 1) in
-      f ((wi * bits_per_word) + log2 low 0);
+      f (base + ctz_word !w);
       w := !w land (!w - 1)
     done
   done

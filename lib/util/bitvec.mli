@@ -18,8 +18,36 @@ val length : t -> int
 val copy : t -> t
 (** Independent copy. *)
 
+val blit : src:t -> dst:t -> unit
+(** Overwrite [dst] with the bits of [src].  The lengths must match. *)
+
+val num_words : t -> int
+(** Number of backing words (each holding {!bits_per_word} bits). *)
+
+val word : t -> int -> int
+(** [word v i] is backing word [i]; bits beyond [length v] are zero.
+    Together with [num_words] this allows word-parallel read-only loops
+    over several vectors of equal length. *)
+
+val bits_per_word : int
+(** Payload bits per backing word (62). *)
+
+val popcount_word : int -> int
+(** Branch-free population count of one backing word ([0 ≤ w < 2^62]). *)
+
+val ctz_word : int -> int
+(** Index of the lowest set bit of a non-zero word. *)
+
 val get : t -> int -> bool
 (** [get v i] is bit [i].  Raises [Invalid_argument] if out of range. *)
+
+val get_unsafe : t -> int -> bool
+(** [get v i] without the bounds check.  Out-of-range indices are
+    undefined behaviour; reserved for audited hot loops. *)
+
+val get2_unsafe : t -> int -> int -> int
+(** [get2_unsafe v a b] packs bits [a] and [b] into an int: bit 0 is
+    [get v a], bit 1 is [get v b].  No bounds checks. *)
 
 val set : t -> int -> bool -> unit
 (** [set v i b] sets bit [i] to [b]. *)

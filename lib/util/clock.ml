@@ -1,0 +1,5 @@
+(* Wall-clock timing.  [Sys.time] reports CPU seconds summed over every
+   running domain, which overstates elapsed time as soon as compilation
+   is parallel; all user-facing timings go through this module instead. *)
+
+let wall_s = Unix.gettimeofday

@@ -1,0 +1,6 @@
+(** Wall-clock time source for user-facing timings. *)
+
+val wall_s : unit -> float
+(** Seconds of wall-clock (elapsed real) time since the Unix epoch.
+    Unlike [Sys.time], this does not sum CPU time across domains, so
+    durations stay meaningful under domain-parallel compilation. *)

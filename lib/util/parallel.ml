@@ -1,0 +1,53 @@
+(* A minimal domain pool over the stdlib [Domain] API (no external
+   dependency).  Work items are claimed from an atomic counter, but each
+   result is written to its own slot, so the output order — and therefore
+   everything downstream of it — is identical to the serial [List.map],
+   whatever the scheduling. *)
+
+let hardware_domains = lazy (max 1 (Domain.recommended_domain_count ()))
+
+let num_domains () =
+  match Sys.getenv_opt "PHOENIX_DOMAINS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+    | Some d when d >= 1 -> min d 128
+    | Some _ | None -> Lazy.force hardware_domains)
+  | None -> Lazy.force hardware_domains
+
+type 'b slot = Empty | Ok_slot of 'b | Exn_slot of exn * Printexc.raw_backtrace
+
+let map ?domains f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let requested =
+    match domains with Some d when d >= 1 -> d | Some _ | None -> num_domains ()
+  in
+  let k = min requested n in
+  if k <= 1 then List.map f xs
+  else begin
+    let results = Array.make n Empty in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else
+          results.(i) <-
+            (try Ok_slot (f items.(i))
+             with e -> Exn_slot (e, Printexc.get_raw_backtrace ()))
+      done
+    in
+    let spawned = Array.init (k - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    (* Re-raise the lowest-index failure so error reporting does not
+       depend on domain scheduling. *)
+    Array.to_list
+      (Array.map
+         (function
+           | Ok_slot r -> r
+           | Exn_slot (e, bt) -> Printexc.raise_with_backtrace e bt
+           | Empty -> assert false)
+         results)
+  end

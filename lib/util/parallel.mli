@@ -1,0 +1,17 @@
+(** Minimal domain pool for data-parallel maps (stdlib [Domain] only).
+
+    The contract is strict determinism: provided [f] is pure,
+    [map f xs = List.map f xs] — same results, same order, and the
+    lowest-index exception re-raised on failure — regardless of how many
+    domains execute the work or how items are scheduled across them. *)
+
+val num_domains : unit -> int
+(** Domains used by default: [Domain.recommended_domain_count ()], or the
+    [PHOENIX_DOMAINS] environment variable when it parses as a positive
+    integer (capped at 128). *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] evaluates [f] on every element of [xs], fanning the work
+    out over [domains] (default {!num_domains}) domains.  Runs serially
+    when [domains ≤ 1] or there is at most one item.  [f] must be safe to
+    call concurrently from several domains. *)

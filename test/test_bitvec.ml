@@ -68,6 +68,89 @@ let test_copy_independent () =
   Alcotest.(check bool) "original unchanged" true (Bitvec.get a 0);
   Alcotest.(check bool) "copy changed" false (Bitvec.get b 0)
 
+let test_blit () =
+  let a = Bitvec.of_string "1010110" and b = Bitvec.create 7 in
+  Bitvec.blit ~src:a ~dst:b;
+  Alcotest.(check string) "blit copies" "1010110" (Bitvec.to_string b);
+  Bitvec.flip b 0;
+  Alcotest.(check bool) "src unaliased" true (Bitvec.get a 0);
+  Alcotest.check_raises "blit mismatch"
+    (Invalid_argument "Bitvec.blit: length mismatch") (fun () ->
+      Bitvec.blit ~src:a ~dst:(Bitvec.create 8))
+
+let test_word_access () =
+  let v = Bitvec.of_indices 130 [ 0; 61; 62; 129 ] in
+  Alcotest.(check int) "num_words" 3 (Bitvec.num_words v);
+  Alcotest.(check int) "word 0" ((1 lsl 61) lor 1) (Bitvec.word v 0);
+  Alcotest.(check int) "word 1" 1 (Bitvec.word v 1);
+  Alcotest.(check int) "bits_per_word" 62 Bitvec.bits_per_word
+
+let test_word_kernels () =
+  (* SWAR popcount and ctz against the naive per-bit loops, over words
+     exercising every bit position of the 62-bit payload. *)
+  let naive_popcount w =
+    let c = ref 0 in
+    for i = 0 to 61 do
+      if (w lsr i) land 1 = 1 then incr c
+    done;
+    !c
+  in
+  let words =
+    [ 0; 1; 2; 3; 0x2AAA_AAAA_AAAA_AAAA; (1 lsl 62) - 1 ]
+    @ List.init 62 (fun i -> 1 lsl i)
+    @ List.init 61 (fun i -> (1 lsl 62) - 1 - (1 lsl i))
+  in
+  List.iter
+    (fun w ->
+      Alcotest.(check int)
+        (Printf.sprintf "popcount_word %x" w)
+        (naive_popcount w) (Bitvec.popcount_word w);
+      if w <> 0 then
+        let rec lowest i = if (w lsr i) land 1 = 1 then i else lowest (i + 1) in
+        Alcotest.(check int)
+          (Printf.sprintf "ctz_word %x" w)
+          (lowest 0) (Bitvec.ctz_word w))
+    words
+
+let random_vec_gen n =
+  QCheck2.Gen.map
+    (fun bits ->
+      let v = Bitvec.create n in
+      List.iteri (fun i b -> Bitvec.set v i b) bits;
+      v)
+    (QCheck2.Gen.list_size (QCheck2.Gen.return n) QCheck2.Gen.bool)
+
+let prop_get_unsafe_matches_get =
+  Helpers.qtest "get_unsafe = get" (random_vec_gen 150) (fun v ->
+      let ok = ref true in
+      for i = 0 to 149 do
+        if Bitvec.get_unsafe v i <> Bitvec.get v i then ok := false
+      done;
+      !ok)
+
+let prop_get2_unsafe_matches_get =
+  Helpers.qtest "get2_unsafe packs get pairs"
+    (QCheck2.Gen.triple (random_vec_gen 150)
+       (QCheck2.Gen.int_range 0 149)
+       (QCheck2.Gen.int_range 0 149))
+    (fun (v, a, b) ->
+      let expect =
+        (if Bitvec.get v a then 1 else 0) lor (if Bitvec.get v b then 2 else 0)
+      in
+      Bitvec.get2_unsafe v a b = expect)
+
+let prop_iter_set_matches_reference =
+  (* The ctz-driven iter_set must visit exactly the set bits, ascending,
+     like the naive per-bit scan it replaced. *)
+  Helpers.qtest "iter_set = per-bit scan" (random_vec_gen 190) (fun v ->
+      let fast = ref [] in
+      Bitvec.iter_set (fun i -> fast := i :: !fast) v;
+      let slow = ref [] in
+      for i = 189 downto 0 do
+        if Bitvec.get v i then slow := i :: !slow
+      done;
+      List.rev !fast = !slow)
+
 let prop_xor_popcount =
   Helpers.qtest "xor of self is zero"
     (QCheck2.Gen.list_size (QCheck2.Gen.return 80) QCheck2.Gen.bool)
@@ -107,8 +190,17 @@ let () =
           Alcotest.test_case "length mismatch" `Quick test_length_mismatch;
           Alcotest.test_case "indices" `Quick test_indices;
           Alcotest.test_case "copy independence" `Quick test_copy_independent;
+          Alcotest.test_case "blit" `Quick test_blit;
+          Alcotest.test_case "word access" `Quick test_word_access;
+          Alcotest.test_case "popcount/ctz kernels" `Quick test_word_kernels;
         ] );
       ( "props",
-        [ prop_xor_popcount; prop_popcount_matches_indices; prop_fold_ascending ]
-      );
+        [
+          prop_xor_popcount;
+          prop_popcount_matches_indices;
+          prop_fold_ascending;
+          prop_get_unsafe_matches_get;
+          prop_get2_unsafe_matches_get;
+          prop_iter_set_matches_reference;
+        ] );
     ]

@@ -109,6 +109,109 @@ let prop_conjugated_gadget_equivalence =
         Cmat.is_close ~tol:1e-8 lhs rhs
       | _ -> false)
 
+(* --- Incremental column statistics (the delta-cost engine) --- *)
+
+(* Counter maintenance must survive arbitrary op interleavings, including
+   row removal.  Equality below is exact (=, not within-epsilon): the
+   incremental and reference cost paths evaluate the same closed-form
+   expression over what must be identical integer counters, so any
+   divergence at all is a maintenance bug. *)
+let nq = 5
+
+let op_gen =
+  let open QCheck2.Gen in
+  frequency
+    [
+      3, map (fun q -> `H q) (int_range 0 (nq - 1));
+      3, map (fun q -> `S q) (int_range 0 (nq - 1));
+      3, map (fun q -> `Sdg q) (int_range 0 (nq - 1));
+      ( 6,
+        map
+          (fun (a, d) -> `Cnot (a, (a + 1 + d) mod nq))
+          (pair (int_range 0 (nq - 1)) (int_range 0 (nq - 2))) );
+      1, return `Pop;
+    ]
+
+let apply_op bsf = function
+  | `H q -> Bsf.apply_h bsf q
+  | `S q -> Bsf.apply_s bsf q
+  | `Sdg q -> Bsf.apply_sdg bsf q
+  | `Cnot (a, b) -> Bsf.apply_cnot bsf a b
+  | `Pop -> ignore (Bsf.pop_local_rows bsf)
+
+(* Recompute every maintained aggregate from the row snapshots alone. *)
+let counters_agree bsf =
+  let rows = Bsf.rows bsf in
+  let weights = List.map (fun r -> Pauli_string.weight r.Bsf.pauli) rows in
+  let w_tot =
+    List.length
+      (List.sort_uniq compare
+         (List.concat_map (fun r -> Pauli_string.support_list r.Bsf.pauli) rows))
+  in
+  let n_nl = List.length (List.filter (fun w -> w > 1) weights) in
+  Bsf.cost bsf = Bsf.cost_reference bsf
+  && Bsf.total_weight bsf = w_tot
+  && Bsf.nonlocal_count bsf = n_nl
+  && List.for_all
+       (fun (i, w) -> Bsf.row_weight bsf i = w)
+       (List.mapi (fun i w -> i, w) weights)
+
+let prop_incremental_cost_exact =
+  Helpers.qtest ~count:300 "incremental counters = fresh recomputation"
+    (QCheck2.Gen.pair (Helpers.terms_gen nq 8)
+       (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 40) op_gen))
+    (fun (terms, ops) ->
+      let bsf = Bsf.of_terms nq terms in
+      if not (counters_agree bsf) then false
+      else begin
+        List.iter (apply_op bsf) ops;
+        counters_agree bsf && counters_agree (Bsf.copy bsf)
+      end)
+
+(* Delta evaluation must predict, bit for bit, the cost the tableau would
+   report after actually conjugating — for every generator, on every
+   ordered qubit pair, in both workspace operand orders. *)
+let prop_delta_eval_exact =
+  Helpers.qtest ~count:150 "Delta.eval = cost after apply (all pairs × kinds)"
+    (Helpers.terms_gen nq 6)
+    (fun terms ->
+      let bsf = Bsf.of_terms nq terms in
+      let before = Bsf.cost bsf in
+      let ws = Bsf.Delta.create () in
+      let ok = ref true in
+      for a = 0 to nq - 1 do
+        for b = a + 1 to nq - 1 do
+          Bsf.Delta.load ws bsf ~a ~b;
+          List.iter
+            (fun kind ->
+              List.iter
+                (fun swapped ->
+                  let g =
+                    if swapped then Clifford2q.make kind b a
+                    else Clifford2q.make kind a b
+                  in
+                  let t = Bsf.copy bsf in
+                  Bsf.apply_clifford2q t g;
+                  let actual = Bsf.cost t in
+                  if Bsf.Delta.eval ws g <> actual then ok := false;
+                  if Bsf.Delta.eval_kind ws kind ~swapped <> actual then
+                    ok := false;
+                  if Bsf.eval_clifford2q_delta bsf g <> actual -. before then
+                    ok := false)
+                [ false; true ])
+            Clifford2q.all_kinds
+        done
+      done;
+      !ok)
+
+let test_delta_eval_wrong_pair () =
+  let bsf = Bsf.of_terms 3 [ Pauli_string.of_string "XYZ", 1.0 ] in
+  let ws = Bsf.Delta.create () in
+  Bsf.Delta.load ws bsf ~a:0 ~b:1;
+  Alcotest.check_raises "foreign pair rejected"
+    (Invalid_argument "Bsf.Delta.eval: gate does not act on the loaded pair")
+    (fun () -> ignore (Bsf.Delta.eval ws (Clifford2q.make Clifford2q.CXX 0 2)))
+
 (* The motivating example of Fig. 1(b): conjugating
    [ZYY; ZZY; XYY; XZY] by C(X,Y) on qubits (1,2) leaves only weight-2
    Pauli strings. *)
@@ -215,6 +318,13 @@ let () =
           prop_clifford2q_involutive;
           prop_conjugation_preserves_commutation;
           prop_conjugated_gadget_equivalence;
+        ] );
+      ( "delta-cost",
+        [
+          prop_incremental_cost_exact;
+          prop_delta_eval_exact;
+          Alcotest.test_case "foreign pair rejected" `Quick
+            test_delta_eval_wrong_pair;
         ] );
       ( "unit",
         [

@@ -110,6 +110,24 @@ let prop_mul_matches_matrices =
         (Cmat.mul (Unitary.pauli_matrix p) (Unitary.pauli_matrix q))
         (Cmat.scale i_pow (Unitary.pauli_matrix r)))
 
+(* The word-parallel phase computation in Pauli_string.mul must agree
+   with the per-qubit single-Pauli multiplication table, including far
+   past the first backing word (150 qubits spans three words). *)
+let prop_mul_matches_per_qubit =
+  Helpers.qtest ~count:300 "word-parallel mul = per-qubit reference (150q)"
+    (QCheck2.Gen.pair (Helpers.pauli_string_gen 150)
+       (Helpers.pauli_string_gen 150))
+    (fun (p, q) ->
+      let k, r = Pauli_string.mul p q in
+      let phase = ref 0 in
+      let bits_ok = ref true in
+      for i = 0 to 149 do
+        let ki, ri = Pauli.mul (Pauli_string.get p i) (Pauli_string.get q i) in
+        phase := !phase + ki;
+        if not (Pauli.equal ri (Pauli_string.get r i)) then bits_ok := false
+      done;
+      !bits_ok && k = !phase mod 4)
+
 let prop_weight_support =
   Helpers.qtest "weight equals support size" (Helpers.pauli_string_gen 8)
     (fun p -> Pauli_string.weight p = List.length (Pauli_string.support_list p))
@@ -138,6 +156,7 @@ let () =
         [
           prop_commutes_matches_matrices;
           prop_mul_matches_matrices;
+          prop_mul_matches_per_qubit;
           prop_weight_support;
           prop_self_commutes;
         ] );
