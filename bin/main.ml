@@ -4,12 +4,24 @@
      compile   compile a Hamiltonian file (or builtin workload) and report
                metrics; optionally dump the gate list
      info      describe a builtin workload
-     bench     run one of the paper's experiment artifacts *)
+     bench     run one of the paper's experiment artifacts
+     simulate  compile and state-vector-simulate a small workload
+     analyze   run the static analyzer over a compiled workload
+
+   Exit codes: 0 clean, 2 usage/input error, 3 verification errors
+   (--verify), 4 error-severity lint findings (--lint / analyze). *)
 
 module Hamiltonian = Phoenix_ham.Hamiltonian
 module Compiler = Phoenix.Compiler
 module Circuit = Phoenix_circuit.Circuit
+module Gate = Phoenix_circuit.Gate
 module Topology = Phoenix_topology.Topology
+module Diag = Phoenix_verify.Diag
+module Structural = Phoenix_verify.Structural
+module Finding = Phoenix_analysis.Finding
+module Circuit_lint = Phoenix_analysis.Circuit_lint
+module Registry = Phoenix_analysis.Registry
+module Determinism = Phoenix_analysis.Determinism
 
 let read_hamiltonian path =
   let ic = open_in path in
@@ -33,7 +45,9 @@ let builtin_workload name =
          b.Phoenix_ham.Molecules.spec)
   | [ "qaoa"; label ] ->
     let suite = Phoenix_ham.Qaoa.benchmark_suite () in
-    Option.map Phoenix_ham.Qaoa.maxcut_cost (List.assoc_opt label suite)
+    Option.map
+      (fun g -> Phoenix_ham.Qaoa.maxcut_cost g)
+      (List.assoc_opt label suite)
   | [ "heisenberg"; n ] -> Some (Phoenix_ham.Spin_models.heisenberg_chain (int_of_string n))
   | [ "tfim"; n ] -> Some (Phoenix_ham.Spin_models.tfim_chain (int_of_string n))
   | _ -> None
@@ -65,6 +79,168 @@ let topology_of_string n = function
       "unknown topology %S (all-to-all, heavy-hex, line, ring, grid)\n" s;
     exit 2
 
+(* --- shared compilation pipeline ---------------------------------------- *)
+
+type compiled = {
+  circuit : Circuit.t;
+  swaps : int;
+  diagnostics : Diag.t list;  (** from --verify; empty otherwise *)
+  pass_times : (string * float) list;
+  declared : Circuit_lint.declared option;
+      (** metrics the compiler reported, for certification *)
+  topo : Topology.t option;
+  lint_isa : Structural.isa;
+}
+
+let compile_source ~source ~isa ~topology ~compiler ~exact ~verify () =
+  let h = load source in
+  let n = Hamiltonian.num_qubits h in
+  let topo = topology_of_string n topology in
+  match compiler with
+  | "phoenix" ->
+    let options =
+      {
+        Compiler.default_options with
+        isa;
+        exact;
+        verify;
+        target =
+          (match topo with
+          | None -> Compiler.Logical
+          | Some t -> Compiler.Hardware t);
+      }
+    in
+    let r = Compiler.compile ~options h in
+    {
+      circuit = r.Compiler.circuit;
+      swaps = r.Compiler.num_swaps;
+      diagnostics = r.Compiler.diagnostics;
+      pass_times = r.Compiler.pass_times;
+      declared =
+        Some
+          {
+            Circuit_lint.two_q = r.Compiler.two_q_count;
+            depth_2q = r.Compiler.depth_2q;
+            one_q = r.Compiler.one_q_count;
+          };
+      topo;
+      lint_isa =
+        (match isa with
+        | Compiler.Cnot_isa -> Structural.Cnot_basis
+        | Compiler.Su4_isa -> Structural.Su4_basis);
+    }
+  | name ->
+    let gadgets = Hamiltonian.trotter_gadgets h in
+    let c, swaps =
+      match name with
+      | "2qan" ->
+        (match topo with
+        | None ->
+          Printf.eprintf "the 2qan compiler needs a --topology\n";
+          exit 2
+        | Some t ->
+          if
+            List.exists
+              (fun (p, _) -> Phoenix_pauli.Pauli_string.weight p > 2)
+              gadgets
+          then begin
+            Printf.eprintf
+              "the 2qan compiler only handles 2-local workloads\n";
+            exit 2
+          end;
+          let r = Phoenix_baselines.Qan2_like.compile t n gadgets in
+          ( r.Phoenix_baselines.Qan2_like.circuit,
+            r.Phoenix_baselines.Qan2_like.num_swaps ))
+      | _ ->
+        let c =
+          match name with
+          | "tket" -> Phoenix_baselines.Tket_like.compile n gadgets
+          | "paulihedral" -> Phoenix_baselines.Paulihedral_like.compile n gadgets
+          | "tetris" -> Phoenix_baselines.Tetris_like.compile n gadgets
+          | "naive" -> Phoenix_baselines.Naive.compile n gadgets
+          | other ->
+            Printf.eprintf "unknown compiler %S\n" other;
+            exit 2
+        in
+        (match topo with
+        | None -> c, 0
+        | Some t ->
+          let routed = Phoenix_router.Sabre.route_with_refinement t c in
+          ( Phoenix_circuit.Peephole.optimize
+              (Phoenix_circuit.Rebase.to_cnot_basis
+                 routed.Phoenix_router.Sabre.circuit),
+            routed.Phoenix_router.Sabre.num_swaps ))
+    in
+    {
+      circuit = c;
+      swaps;
+      diagnostics = [];
+      pass_times = [];
+      declared = None;
+      topo;
+      lint_isa = Structural.Cnot_basis;
+    }
+
+(* --- fault injection (testing hook) -------------------------------------
+
+   Corrupts the compiled circuit before verification and linting so the
+   detection paths (and exit codes 3/4) are exercisable end to end from
+   the shell.  Documented as a testing aid; `none` is the default. *)
+
+type fault = No_fault | Out_of_isa | Nan_angle | Zero_angle | Dangling
+
+let inject_fault fault c =
+  match fault with
+  | No_fault -> c
+  | Out_of_isa ->
+    Circuit.append c
+      (Gate.Rpp
+         {
+           p0 = Phoenix_pauli.Pauli.X;
+           p1 = Phoenix_pauli.Pauli.Z;
+           a = 0;
+           b = min 1 (Circuit.num_qubits c - 1);
+           theta = 0.7;
+         })
+  | Nan_angle -> Circuit.append c (Gate.G1 (Gate.Rz Float.nan, 0))
+  | Zero_angle -> Circuit.append c (Gate.G1 (Gate.Rz 0.0, 0))
+  | Dangling -> Circuit.with_num_qubits (Circuit.num_qubits c + 1) c
+
+let fault_enum =
+  [
+    "none", No_fault;
+    "out-of-isa", Out_of_isa;
+    "nan-angle", Nan_angle;
+    "zero-angle", Zero_angle;
+    "dangling", Dangling;
+  ]
+
+(* Re-validate a (possibly corrupted) final circuit.  This is the whole
+   --verify story for baselines; for phoenix it re-checks the mutated
+   circuit on top of the report's diagnostics. *)
+let structural_diags ~lint_isa ~topo circuit =
+  match Structural.validate ~isa:lint_isa ?topology:topo circuit with
+  | [] ->
+    [
+      Diag.make ~pass:"structural" Diag.Info
+        (if topo = None then "ISA alphabet, qubit range verified"
+         else
+           "ISA alphabet, qubit range and coupling-graph compliance verified");
+    ]
+  | violations -> violations
+
+let lint_target (c : compiled) circuit =
+  Circuit_lint.target ~isa:c.lint_isa ?topology:c.topo ?declared:c.declared
+    circuit
+
+let print_diagnostics diags =
+  Printf.printf "verify:    %s\n" (Diag.summary diags);
+  List.iter (fun d -> Printf.printf "  %s\n" (Diag.to_string d)) diags
+
+let print_findings findings =
+  Printf.printf "lint:      %s\n" (Finding.summary findings);
+  List.iter (fun f -> Printf.printf "  %s\n" (Finding.to_string f)) findings
+
 open Cmdliner
 
 let source_arg =
@@ -80,7 +256,7 @@ let topology_arg =
   Arg.(value & opt string "all-to-all" & info [ "topology" ] ~doc)
 
 let baseline_arg =
-  let doc = "Compiler: phoenix, tket, paulihedral, tetris or naive." in
+  let doc = "Compiler: phoenix, tket, paulihedral, tetris, 2qan or naive." in
   Arg.(value & opt string "phoenix" & info [ "compiler" ] ~doc)
 
 let dump_arg =
@@ -107,81 +283,49 @@ let verify_arg =
   in
   Arg.(value & flag & info [ "verify" ] ~doc)
 
+let lint_arg =
+  let doc =
+    "Run the static analyzer (see $(b,phoenix analyze)) over the compiled \
+     circuit and print the findings.  Exits 4 when an error-severity \
+     finding remains."
+  in
+  Arg.(value & flag & info [ "lint" ] ~doc)
+
 let timings_arg =
   let doc = "Print per-pass compile times (phoenix compiler only)." in
   Arg.(value & flag & info [ "timings" ] ~doc)
 
-let print_diagnostics diags =
-  Printf.printf "verify:    %s\n" (Phoenix_verify.Diag.summary diags);
-  List.iter
-    (fun d -> Printf.printf "  %s\n" (Phoenix_verify.Diag.to_string d))
-    diags
+let fault_arg =
+  let doc =
+    "Testing hook: corrupt the compiled circuit before verification and \
+     linting (none, out-of-isa, nan-angle, zero-angle, dangling) to \
+     exercise the detection paths and exit codes."
+  in
+  Arg.(value & opt (enum fault_enum) No_fault & info [ "inject-fault" ] ~doc)
 
 let compile_cmd =
-  let run source isa topology compiler dump exact verify timings qasm_out draw =
-    let h = load source in
-    let n = Hamiltonian.num_qubits h in
-    let topo = topology_of_string n topology in
-    let circuit, swaps, diagnostics, pass_times =
-      match compiler with
-      | "phoenix" ->
-        let options =
-          {
-            Compiler.default_options with
-            isa;
-            exact;
-            verify;
-            target =
-              (match topo with
-              | None -> Compiler.Logical
-              | Some t -> Compiler.Hardware t);
-          }
-        in
-        let r = Compiler.compile ~options h in
-        r.Compiler.circuit, r.Compiler.num_swaps, r.Compiler.diagnostics,
-        r.Compiler.pass_times
-      | name ->
-        let gadgets = Hamiltonian.trotter_gadgets h in
-        let c =
-          match name with
-          | "tket" -> Phoenix_baselines.Tket_like.compile n gadgets
-          | "paulihedral" -> Phoenix_baselines.Paulihedral_like.compile n gadgets
-          | "tetris" -> Phoenix_baselines.Tetris_like.compile n gadgets
-          | "naive" -> Phoenix_baselines.Naive.compile n gadgets
-          | other ->
-            Printf.eprintf "unknown compiler %S\n" other;
-            exit 2
-        in
-        let c, swaps =
-          match topo with
-          | None -> c, 0
-          | Some t ->
-            let routed = Phoenix_router.Sabre.route_with_refinement t c in
-            ( Phoenix_circuit.Peephole.optimize
-                (Phoenix_circuit.Rebase.to_cnot_basis routed.Phoenix_router.Sabre.circuit),
-              routed.Phoenix_router.Sabre.num_swaps )
-        in
-        (* Baselines lower to the CNOT alphabet; --verify runs the
-           structural validator on their output. *)
-        let diags =
-          if verify then
-            match
-              Phoenix_verify.Structural.validate
-                ~isa:Phoenix_verify.Structural.Cnot_basis ?topology:topo c
-            with
-            | [] ->
-              [
-                Phoenix_verify.Diag.make ~pass:"structural"
-                  Phoenix_verify.Diag.Info
-                  (if topo = None then "ISA alphabet, qubit range verified"
-                   else
-                     "ISA alphabet, qubit range and coupling-graph \
-                      compliance verified");
-              ]
-            | violations -> violations
-          else []
-        in
-        c, swaps, diags, []
+  let run source isa topology compiler dump exact verify lint timings qasm_out
+      draw fault =
+    let compiled =
+      compile_source ~source ~isa ~topology ~compiler ~exact ~verify ()
+    in
+    let circuit = inject_fault fault compiled.circuit in
+    let diagnostics =
+      if not verify then []
+      else if compiler = "phoenix" && fault = No_fault then
+        compiled.diagnostics
+      else if compiler = "phoenix" then
+        (* re-check only the mutated circuit; keep the report's own info *)
+        compiled.diagnostics
+        @ Structural.validate ~isa:compiled.lint_isa ?topology:compiled.topo
+            circuit
+      else
+        compiled.diagnostics
+        @ structural_diags ~lint_isa:compiled.lint_isa ~topo:compiled.topo
+            circuit
+    in
+    let findings =
+      if lint then Registry.run (lint_target compiled circuit) else []
     in
     Printf.printf "qubits:    %d\n" (Circuit.num_qubits circuit);
     Printf.printf "gates:     %d\n" (Circuit.length circuit);
@@ -190,15 +334,16 @@ let compile_cmd =
     Printf.printf "cnot cost: %d\n" (Circuit.count_cnot circuit);
     Printf.printf "depth:     %d\n" (Circuit.depth circuit);
     Printf.printf "depth-2q:  %d\n" (Circuit.depth_2q circuit);
-    Printf.printf "swaps:     %d\n" swaps;
+    Printf.printf "swaps:     %d\n" compiled.swaps;
     if verify then print_diagnostics diagnostics;
+    if lint then print_findings findings;
     if timings then
       List.iter
         (fun (pass, t) -> Printf.printf "time %-9s %.4fs\n" (pass ^ ":") t)
-        pass_times;
+        compiled.pass_times;
     if dump then
       List.iter
-        (fun g -> print_endline (Phoenix_circuit.Gate.to_string g))
+        (fun g -> print_endline (Gate.to_string g))
         (Circuit.gates circuit);
     if draw then print_string (Phoenix_circuit.Draw.to_string circuit);
     (match qasm_out with
@@ -208,11 +353,12 @@ let compile_cmd =
       close_out oc;
       Printf.printf "wrote %s\n" path
     | None -> ());
-    if verify && Phoenix_verify.Diag.has_errors diagnostics then exit 3
+    if verify && Diag.has_errors diagnostics then exit 3;
+    if lint && Finding.has_errors findings then exit 4
   in
   let doc = "Compile a Hamiltonian-simulation program." in
   Cmd.v (Cmd.info "compile" ~doc)
-    Term.(const run $ source_arg $ isa_arg $ topology_arg $ baseline_arg $ dump_arg $ exact_arg $ verify_arg $ timings_arg $ qasm_arg $ draw_arg)
+    Term.(const run $ source_arg $ isa_arg $ topology_arg $ baseline_arg $ dump_arg $ exact_arg $ verify_arg $ lint_arg $ timings_arg $ qasm_arg $ draw_arg $ fault_arg)
 
 let info_cmd =
   let run source =
@@ -301,60 +447,160 @@ let simulate_cmd =
   let doc = "Compile and state-vector-simulate a workload (<= 14 qubits)." in
   Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ source_arg $ shots_arg)
 
-let analyze_cmd =
-  let run source =
-    let h = load source in
-    let n = Hamiltonian.num_qubits h in
-    let gadgets = Hamiltonian.trotter_gadgets h in
-    (* weight histogram of the raw IR *)
-    let hist = Array.make (n + 1) 0 in
-    List.iter
-      (fun (p, _) ->
-        let w = Phoenix_pauli.Pauli_string.weight p in
-        hist.(w) <- hist.(w) + 1)
-      gadgets;
-    Printf.printf "Pauli-weight histogram (raw IR):\n";
-    Array.iteri (fun w c -> if c > 0 then Printf.printf "  weight %2d: %d\n" w c) hist;
-    (* per-group simplification statistics *)
-    let groups =
-      match Hamiltonian.term_blocks h with
-      | Some blocks ->
-        Phoenix.Group.of_blocks n
-          (List.map
-             (List.map (fun (t : Phoenix_pauli.Pauli_term.t) ->
-                  t.Phoenix_pauli.Pauli_term.pauli,
-                  2.0 *. t.Phoenix_pauli.Pauli_term.coeff))
-             blocks)
-      | None -> Phoenix.Group.group_gadgets n gadgets
-    in
-    let cliff_hist = Hashtbl.create 8 in
-    let total_cliffs = ref 0 in
-    List.iter
-      (fun g ->
-        let cfg = Phoenix.Simplify.run n g.Phoenix.Group.terms in
-        List.iter
-          (function
-            | Phoenix.Simplify.Cliff c ->
-              incr total_cliffs;
-              let k = Phoenix_pauli.Clifford2q.kind_to_string c.Phoenix_pauli.Clifford2q.kind in
-              Hashtbl.replace cliff_hist k
-                (1 + Option.value ~default:0 (Hashtbl.find_opt cliff_hist k))
-            | _ -> ())
-          cfg)
-      groups;
-    Printf.printf "IR groups: %d (mean size %.1f terms)\n" (List.length groups)
-      (float_of_int (List.length gadgets) /. float_of_int (max 1 (List.length groups)));
-    Printf.printf "Clifford2Q conjugations: %d total\n" !total_cliffs;
-    Printf.printf "generator usage (Eq. 5 set):\n";
-    List.iter
-      (fun k ->
-        let name = Phoenix_pauli.Clifford2q.kind_to_string k in
-        Printf.printf "  %-7s %d\n" name
-          (Option.value ~default:0 (Hashtbl.find_opt cliff_hist name)))
-      Phoenix_pauli.Clifford2q.all_kinds
+(* --- analyze: IR statistics (legacy --stats view) ------------------------ *)
+
+let print_ir_stats h =
+  let n = Hamiltonian.num_qubits h in
+  let gadgets = Hamiltonian.trotter_gadgets h in
+  let hist = Array.make (n + 1) 0 in
+  List.iter
+    (fun (p, _) ->
+      let w = Phoenix_pauli.Pauli_string.weight p in
+      hist.(w) <- hist.(w) + 1)
+    gadgets;
+  Printf.printf "Pauli-weight histogram (raw IR):\n";
+  Array.iteri (fun w c -> if c > 0 then Printf.printf "  weight %2d: %d\n" w c) hist;
+  let groups =
+    match Hamiltonian.term_blocks h with
+    | Some blocks ->
+      Phoenix.Group.of_blocks n
+        (List.map
+           (List.map (fun (t : Phoenix_pauli.Pauli_term.t) ->
+                t.Phoenix_pauli.Pauli_term.pauli,
+                2.0 *. t.Phoenix_pauli.Pauli_term.coeff))
+           blocks)
+    | None -> Phoenix.Group.group_gadgets n gadgets
   in
-  let doc = "Report IR statistics: weight histogram, group sizes, generator usage." in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ source_arg)
+  let cliff_hist = Hashtbl.create 8 in
+  let total_cliffs = ref 0 in
+  List.iter
+    (fun g ->
+      let cfg = Phoenix.Simplify.run n g.Phoenix.Group.terms in
+      List.iter
+        (function
+          | Phoenix.Simplify.Cliff c ->
+            incr total_cliffs;
+            let k = Phoenix_pauli.Clifford2q.kind_to_string c.Phoenix_pauli.Clifford2q.kind in
+            Hashtbl.replace cliff_hist k
+              (1 + Option.value ~default:0 (Hashtbl.find_opt cliff_hist k))
+          | _ -> ())
+        cfg)
+    groups;
+  Printf.printf "IR groups: %d (mean size %.1f terms)\n" (List.length groups)
+    (float_of_int (List.length gadgets) /. float_of_int (max 1 (List.length groups)));
+  Printf.printf "Clifford2Q conjugations: %d total\n" !total_cliffs;
+  Printf.printf "generator usage (Eq. 5 set):\n";
+  List.iter
+    (fun k ->
+      let name = Phoenix_pauli.Clifford2q.kind_to_string k in
+      Printf.printf "  %-7s %d\n" name
+        (Option.value ~default:0 (Hashtbl.find_opt cliff_hist name)))
+    Phoenix_pauli.Clifford2q.all_kinds
+
+(* --- analyze: the static analyzer ---------------------------------------- *)
+
+let analyze_cmd =
+  let json_arg =
+    let doc = "Emit the findings as a JSON array on stdout (nothing else)." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let stats_arg =
+    let doc = "Also print IR statistics (weight histogram, generator usage)." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let determinism_arg =
+    let doc =
+      "Also audit parallel-compilation determinism by replaying the \
+       group compilation under permuted work orders (phoenix compiler \
+       only)."
+    in
+    Arg.(value & flag & info [ "determinism" ] ~doc)
+  in
+  let list_arg =
+    let doc = "List the registered analyses and exit." in
+    Arg.(value & flag & info [ "list" ] ~doc)
+  in
+  let opt_source_arg =
+    let doc = "Hamiltonian file or builtin workload." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SOURCE" ~doc)
+  in
+  let run source isa topology compiler exact json stats determinism list_only
+      fault =
+    if list_only then begin
+      List.iter
+        (fun (a : Registry.analysis) ->
+          Printf.printf "%-24s %s\n" a.Registry.name a.Registry.description)
+        Registry.all;
+      exit 0
+    end;
+    let source =
+      match source with
+      | Some s -> s
+      | None ->
+        Printf.eprintf "analyze: a SOURCE is required (or use --list)\n";
+        exit 2
+    in
+    let compiled =
+      compile_source ~source ~isa ~topology ~compiler ~exact ~verify:false ()
+    in
+    let circuit = inject_fault fault compiled.circuit in
+    let findings = Registry.run (lint_target compiled circuit) in
+    let findings =
+      if determinism then begin
+        if compiler <> "phoenix" then begin
+          Printf.eprintf
+            "analyze: --determinism only applies to the phoenix compiler\n";
+          exit 2
+        end;
+        let h = load source in
+        let n = Hamiltonian.num_qubits h in
+        let options =
+          {
+            Compiler.default_options with
+            isa;
+            exact;
+            target =
+              (match compiled.topo with
+              | None -> Compiler.Logical
+              | Some t -> Compiler.Hardware t);
+          }
+        in
+        let groups =
+          match Hamiltonian.term_blocks h with
+          | Some blocks ->
+            Phoenix.Group.of_blocks n
+              (List.map
+                 (List.map (fun (t : Phoenix_pauli.Pauli_term.t) ->
+                      t.Phoenix_pauli.Pauli_term.pauli,
+                      2.0 *. t.Phoenix_pauli.Pauli_term.coeff))
+                 blocks)
+          | None ->
+            Phoenix.Group.group_gadgets ~exact n
+              (Hamiltonian.trotter_gadgets h)
+        in
+        findings @ Determinism.audit_groups ~options n groups
+      end
+      else findings
+    in
+    if json then print_endline (Finding.list_to_json findings)
+    else begin
+      Printf.printf "circuit:   %d qubits, %d gates (%d 2Q, depth-2q %d)\n"
+        (Circuit.num_qubits circuit) (Circuit.length circuit)
+        (Circuit.count_2q circuit) (Circuit.depth_2q circuit);
+      Printf.printf "analyses:  %s\n" (String.concat ", " (Registry.names ()));
+      print_findings findings;
+      if stats then print_ir_stats (load source)
+    end;
+    if Finding.has_errors findings then exit 4
+  in
+  let doc =
+    "Run the static analyzer over a compiled workload: qubit liveness, ISA \
+     and coupling conformance, metric certification, layer consistency, \
+     angle sanity — plus optional compiler-internal determinism audits.  \
+     Exits 4 on error-severity findings."
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const run $ opt_source_arg $ isa_arg $ topology_arg $ baseline_arg $ exact_arg $ json_arg $ stats_arg $ determinism_arg $ list_arg $ fault_arg)
 
 let () =
   let doc = "PHOENIX: Pauli-based high-level optimization engine (DAC 2025 reproduction)." in

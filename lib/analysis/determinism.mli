@@ -1,0 +1,34 @@
+(** Parallel-pool determinism auditor.
+
+    The compiler fans group synthesis out over a domain pool whose
+    contract is strict scheduling independence.  This auditor tests the
+    contract on a real compilation: it compiles once serially, then
+    replays the same input under several domain counts and seeded
+    claim-order permutations (injected via [PHOENIX_PARALLEL_SEED], see
+    {!Phoenix_util.Parallel.map}) and diffs every report field that is
+    not a wall-clock time — output circuit, 2Q/1Q counts, depths, SWAP
+    and group counts, and the rendered diagnostics stream —
+    bit-for-bit.
+
+    Mismatches are [Error] findings naming the offending
+    (domains, seed) replay; a fully deterministic run yields a single
+    [Info] finding. *)
+
+val audit_groups :
+  ?options:Phoenix.Compiler.options ->
+  ?domain_counts:int list ->
+  ?seeds:int list ->
+  int ->
+  Phoenix.Group.t list ->
+  Finding.t list
+(** Defaults: [domain_counts = [2; 4]] (values ≤ 1 are dropped — they
+    are the reference), [seeds = [1; 42]]. *)
+
+val audit_gadgets :
+  ?options:Phoenix.Compiler.options ->
+  ?domain_counts:int list ->
+  ?seeds:int list ->
+  int ->
+  (Phoenix_pauli.Pauli_string.t * float) list ->
+  Finding.t list
+(** Group the gadget program (honouring [options.exact]) and audit. *)

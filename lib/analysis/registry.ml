@@ -1,0 +1,61 @@
+type analysis = {
+  name : string;
+  description : string;
+  run : Circuit_lint.target -> Finding.t list;
+}
+
+let all =
+  [
+    {
+      name = "liveness";
+      description =
+        "dangling-wire detection: logical qubits no gate ever touches";
+      run = Circuit_lint.liveness;
+    };
+    {
+      name = "isa-conformance";
+      description =
+        "gate alphabet, qubit ranges, operand sanity for the target ISA";
+      run = Circuit_lint.isa_conformance;
+    };
+    {
+      name = "coupling-conformance";
+      description = "every 2Q gate of a routed circuit lies on a device edge";
+      run = Circuit_lint.coupling_conformance;
+    };
+    {
+      name = "metrics-certification";
+      description = "declared 2Q/1Q counts and depth match recomputation";
+      run = Circuit_lint.metrics_certification;
+    };
+    {
+      name = "layer-consistency";
+      description = "the 2Q layering partitions, packs and orders correctly";
+      run = Circuit_lint.layer_consistency;
+    };
+    {
+      name = "angle-sanity";
+      description =
+        "no NaN/inf angles; zero or non-canonical rotations are flagged";
+      run = Circuit_lint.angle_sanity;
+    };
+  ]
+
+let names () = List.map (fun a -> a.name) all
+
+let find name = List.find_opt (fun a -> a.name = name) all
+
+let selected only =
+  match only with
+  | None -> Ok all
+  | Some names ->
+    let missing = List.filter (fun n -> find n = None) names in
+    if missing <> [] then Error missing
+    else Ok (List.filter (fun a -> List.mem a.name names) all)
+
+let run ?only target =
+  match selected only with
+  | Error missing ->
+    invalid_arg
+      ("Registry.run: unknown analyses: " ^ String.concat ", " missing)
+  | Ok analyses -> List.concat_map (fun a -> a.run target) analyses

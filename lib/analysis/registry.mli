@@ -1,0 +1,31 @@
+(** The analysis registry.
+
+    Circuit-level analyses are registered here by name; [phoenix
+    analyze], the [--lint] compile flag, and the test harness all run
+    the registry rather than hand-picked pass lists, so a newly
+    registered analysis is automatically surfaced everywhere.  (The
+    compiler-internal audits — {!Tableau_audit}, {!Determinism} — have
+    different inputs and are invoked directly.)
+
+    To add an analysis: write a [Circuit_lint.target -> Finding.t list]
+    function (simulation-free, polynomial in the gate count), append an
+    entry to {!all}, and give it a fault-injection test proving the
+    defect class it exists for is actually caught. *)
+
+type analysis = {
+  name : string;  (** stable kebab-case identifier *)
+  description : string;  (** one line, shown by [phoenix analyze --list] *)
+  run : Circuit_lint.target -> Finding.t list;
+}
+
+val all : analysis list
+(** Registry order is execution and report order. *)
+
+val names : unit -> string list
+
+val find : string -> analysis option
+
+val run : ?only:string list -> Circuit_lint.target -> Finding.t list
+(** Run the whole registry (or the [only] subset) on a target,
+    concatenating findings in registry order.  Raises
+    [Invalid_argument] when [only] names an unknown analysis. *)

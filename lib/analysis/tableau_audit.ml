@@ -1,0 +1,49 @@
+module Bsf = Phoenix_pauli.Bsf
+module Pauli_string = Phoenix_pauli.Pauli_string
+
+let cache_analysis = "bsf-cache"
+let replay_analysis = "bsf-replay"
+
+let cache_audit t =
+  List.map
+    (fun m -> Finding.error ~analysis:cache_analysis "%s" m)
+    (Bsf.audit t)
+
+let replay_audit ~n ~terms ~gates t =
+  let fresh = Bsf.of_terms n terms in
+  List.iter (Bsf.apply_clifford2q fresh) gates;
+  let audited = Array.of_list (Bsf.rows t) in
+  let expected = Array.of_list (Bsf.rows fresh) in
+  if Array.length audited <> Array.length expected then
+    [
+      Finding.error ~analysis:replay_analysis
+        "tableau has %d rows, replay from the program has %d"
+        (Array.length audited) (Array.length expected);
+    ]
+  else begin
+    let fs = ref [] in
+    Array.iteri
+      (fun i (r : Bsf.row) ->
+        let e = expected.(i) in
+        if not (Pauli_string.equal r.Bsf.pauli e.Bsf.pauli) then
+          fs :=
+            Finding.error ~location:(Finding.Row i) ~analysis:replay_analysis
+              "Pauli %s disagrees with fresh conjugation %s"
+              (Pauli_string.to_string r.Bsf.pauli)
+              (Pauli_string.to_string e.Bsf.pauli)
+            :: !fs;
+        if r.Bsf.neg <> e.Bsf.neg then
+          fs :=
+            Finding.error ~location:(Finding.Row i) ~analysis:replay_analysis
+              "sign bit %b disagrees with fresh conjugation (%b)" r.Bsf.neg
+              e.Bsf.neg
+            :: !fs;
+        if r.Bsf.angle <> e.Bsf.angle then
+          fs :=
+            Finding.error ~location:(Finding.Row i) ~analysis:replay_analysis
+              "angle %g disagrees with the program's %g" r.Bsf.angle
+              e.Bsf.angle
+            :: !fs)
+      audited;
+    List.rev !fs
+  end

@@ -1,0 +1,28 @@
+(** Compiler-internal audits of the BSF tableau.
+
+    Two independent oracles for the incremental tableau machinery:
+
+    - {!cache_audit} checks the redundant state — column statistics,
+      row-weight caches, aggregate counters — against fresh recomputation
+      from the bit vectors ({!Phoenix_pauli.Bsf.audit} wrapped as
+      findings).  It catches every corruption the delta-cost engine
+      could introduce without touching the rows themselves.
+    - {!replay_audit} rebuilds the tableau from its originating terms
+      and re-applies the conjugation history, comparing rows — Pauli
+      bits, {b sign bits}, and angles — against the audited tableau.
+      This is the fresh-recomputation oracle for state the cache audit
+      cannot derive (signs depend on the whole Clifford history). *)
+
+val cache_audit : Phoenix_pauli.Bsf.t -> Finding.t list
+(** One [Error] finding per cache discrepancy; [[]] when consistent. *)
+
+val replay_audit :
+  n:int ->
+  terms:(Phoenix_pauli.Pauli_string.t * float) list ->
+  gates:Phoenix_pauli.Clifford2q.t list ->
+  Phoenix_pauli.Bsf.t ->
+  Finding.t list
+(** [replay_audit ~n ~terms ~gates t] checks that [t] equals the tableau
+    obtained by conjugating [of_terms n terms] by [gates] in order.
+    Rows must agree exactly (bits, sign, angle).  The audited tableau
+    must not have peeled rows (row counts must match). *)

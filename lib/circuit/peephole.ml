@@ -54,7 +54,6 @@ type state = {
      deleted entries are skipped lazily. *)
   hist : int list array;
   mutable next : int;
-  mutable changed : bool;
 }
 
 let emit st g =
@@ -65,9 +64,7 @@ let emit st g =
 
 let live st i = st.out.(i) <> None
 
-let delete st i =
-  st.out.(i) <- None;
-  st.changed <- true
+let delete st i = st.out.(i) <- None
 
 (* Scan qubit [q]'s history (most recent first): skip deleted gates and
    gates satisfying [commute]; return the first blocking live gate. *)
@@ -194,7 +191,7 @@ let handle st g =
       if is_zero_angle theta then true else try_merge_rpp st g
     | Gate.Su4 _ -> false
   in
-  if handled then st.changed <- true else emit st g
+  if not handled then emit st g
 
 let pass c =
   let gs = Circuit.gates c in
@@ -205,7 +202,6 @@ let pass c =
       out = Array.make (max 1 (List.length gs)) None;
       hist = Array.make n [];
       next = 0;
-      changed = false;
     }
   in
   List.iter (handle st) gs;

@@ -1,7 +1,6 @@
 module Circuit = Phoenix_circuit.Circuit
 module Peephole = Phoenix_circuit.Peephole
 module Rebase = Phoenix_circuit.Rebase
-module Topology = Phoenix_topology.Topology
 module Sabre = Phoenix_router.Sabre
 module Compiler = Phoenix.Compiler
 module B = Phoenix_baselines

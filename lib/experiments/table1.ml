@@ -1,4 +1,3 @@
-module Hamiltonian = Phoenix_ham.Hamiltonian
 module Circuit = Phoenix_circuit.Circuit
 
 type row = {

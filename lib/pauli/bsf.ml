@@ -145,6 +145,69 @@ let support_indices t =
 
 let nonlocal_count t = t.st.n_nl
 
+(* --- Cache auditing ------------------------------------------------------
+
+   The column-statistics layer is redundant state: every counter is a
+   function of the row bit vectors.  [audit] recomputes that function from
+   scratch and reports every discrepancy, giving the static-analysis layer
+   (and the [PHOENIX_BSF_AUDIT] debug mode) a simulation-free oracle for
+   the incremental bookkeeping of the mutators above. *)
+
+let audit t =
+  let issues = ref [] in
+  let add fmt = Printf.ksprintf (fun m -> issues := m :: !issues) fmt in
+  Array.iteri
+    (fun i r ->
+      let w = Bitvec.or_popcount r.x r.z in
+      if r.w <> w then
+        add "row %d: cached weight %d, bit vectors say %d" i r.w w;
+      if not (Float.is_finite r.angle) then
+        add "row %d: non-finite angle %h" i r.angle)
+    t.mrows;
+  let fresh = fresh_stats t.n in
+  Array.iter
+    (fun r -> account fresh 1 { r with w = Bitvec.or_popcount r.x r.z })
+    t.mrows;
+  let st = t.st in
+  for q = 0 to t.n - 1 do
+    if st.col_c.(q) <> fresh.col_c.(q) then
+      add "column %d: cached support count %d, recomputed %d" q st.col_c.(q)
+        fresh.col_c.(q);
+    if st.col_cx.(q) <> fresh.col_cx.(q) then
+      add "column %d: cached x count %d, recomputed %d" q st.col_cx.(q)
+        fresh.col_cx.(q);
+    if st.col_cz.(q) <> fresh.col_cz.(q) then
+      add "column %d: cached z count %d, recomputed %d" q st.col_cz.(q)
+        fresh.col_cz.(q)
+  done;
+  let scalar name cached recomputed =
+    if cached <> recomputed then
+      add "%s: cached %d, recomputed %d" name cached recomputed
+  in
+  scalar "sum_c" st.sum_c fresh.sum_c;
+  scalar "tri_c" st.tri_c fresh.tri_c;
+  scalar "sum_cx" st.sum_cx fresh.sum_cx;
+  scalar "tri_cx" st.tri_cx fresh.tri_cx;
+  scalar "sum_cz" st.sum_cz fresh.sum_cz;
+  scalar "tri_cz" st.tri_cz fresh.tri_cz;
+  scalar "w_tot" st.w_tot fresh.w_tot;
+  scalar "n_nl (nonlocal rows)" st.n_nl fresh.n_nl;
+  List.rev !issues
+
+let debug_audit_enabled =
+  lazy
+    (match Sys.getenv_opt "PHOENIX_BSF_AUDIT" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true)
+
+let debug_audit t =
+  if Lazy.force debug_audit_enabled then
+    match audit t with
+    | [] -> ()
+    | issues ->
+      invalid_arg
+        ("Bsf cache audit failed after mutation: " ^ String.concat "; " issues)
+
 (* Sign conventions (standard stabilizer-tableau update rules, verified
    against dense conjugation in the test suite):
    - H:  X ↔ Z, Y ↦ -Y.
@@ -165,7 +228,8 @@ let apply_h t q =
   let st = t.st in
   let cx = st.col_cx.(q) and cz = st.col_cz.(q) in
   set_cx st q cz;
-  set_cz st q cx
+  set_cz st q cx;
+  debug_audit t
 
 (* S and S† share the bit action z_q ^= x_q: only cz_q changes, by the
    balance of X rows gaining z against Y rows losing it. *)
@@ -181,7 +245,8 @@ let apply_s_like ~sign_on_z t q =
         dcz := !dcz + (if zq then -1 else 1)
       end)
     t.mrows;
-  set_cz st q (st.col_cz.(q) + !dcz)
+  set_cz st q (st.col_cz.(q) + !dcz);
+  debug_audit t
 
 let apply_s t q = apply_s_like ~sign_on_z:true t q
 let apply_sdg t q = apply_s_like ~sign_on_z:false t q
@@ -222,7 +287,8 @@ let apply_cnot t a b =
   set_cx st b (st.col_cx.(b) + !dcxb);
   set_cz st a (st.col_cz.(a) + !dcza);
   set_c st a (st.col_c.(a) + !dca);
-  set_c st b (st.col_c.(b) + !dcb)
+  set_c st b (st.col_c.(b) + !dcb);
+  debug_audit t
 
 let apply_basis_gate t = function
   | Clifford2q.H q -> apply_h t q
@@ -273,6 +339,7 @@ let pop_local_rows ?(commuting_only = false) t =
     else kept := t.mrows.(i) :: !kept
   done;
   t.mrows <- Array.of_list !kept;
+  debug_audit t;
   !peeled
 
 (* The Eq. 6 combination, shared verbatim by the incremental cost, the
@@ -592,6 +659,28 @@ let to_terms t =
       let angle = if r.neg then -.r.angle else r.angle in
       r.pauli, angle)
     (rows t)
+
+(* Deliberate cache corruption for fault-injection tests of [audit] and
+   the analysis layer.  Only the redundant state is touched — never the
+   bit vectors — so every corruption is exactly the class of bug the
+   incremental bookkeeping could introduce. *)
+module Testing = struct
+  let corrupt_column_count t q =
+    if q < 0 || q >= t.n then invalid_arg "Bsf.Testing.corrupt_column_count";
+    t.st.col_c.(q) <- t.st.col_c.(q) + 1
+
+  let corrupt_row_weight t i =
+    if i < 0 || i >= Array.length t.mrows then
+      invalid_arg "Bsf.Testing.corrupt_row_weight";
+    t.mrows.(i).w <- t.mrows.(i).w + 1
+
+  let corrupt_nonlocal_count t = t.st.n_nl <- t.st.n_nl + 1
+
+  let corrupt_sign t i =
+    if i < 0 || i >= Array.length t.mrows then
+      invalid_arg "Bsf.Testing.corrupt_sign";
+    t.mrows.(i).neg <- not t.mrows.(i).neg
+end
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>";

@@ -43,6 +43,37 @@ val support_indices : t -> int list
 val nonlocal_count : t -> int
 (** Number of rows of weight strictly greater than 1. *)
 
+val audit : t -> string list
+(** Cross-check every piece of redundant state — the per-column
+    support/x/z counts, their aggregate sums and triangle numbers,
+    [w_tot], [n_nl], the per-row weight caches, and angle finiteness —
+    against a fresh recomputation from the row bit vectors.  Returns one
+    human-readable description per discrepancy; [[]] means the caches are
+    consistent.  O(rows · qubits), no simulation.
+
+    When the [PHOENIX_BSF_AUDIT] environment variable is set (non-empty,
+    not ["0"]), every mutator ([apply_*], [pop_local_rows]) re-audits the
+    tableau on exit and raises [Invalid_argument] on the first
+    discrepancy — a debug mode for hunting incremental-bookkeeping bugs
+    at their introduction site. *)
+
+(** Deliberate corruption of the redundant cache state (never the bit
+    vectors), for fault-injection tests of {!audit} and the
+    [Phoenix_analysis] tableau auditor. *)
+module Testing : sig
+  val corrupt_column_count : t -> int -> unit
+  (** Bump the cached support count of one column. *)
+
+  val corrupt_row_weight : t -> int -> unit
+  (** Bump one row's cached weight. *)
+
+  val corrupt_nonlocal_count : t -> unit
+  (** Bump the cached nonlocal-row counter. *)
+
+  val corrupt_sign : t -> int -> unit
+  (** Flip one row's sign bit (caught by the replay audit, not {!audit}). *)
+end
+
 val apply_h : t -> int -> unit
 val apply_s : t -> int -> unit
 val apply_sdg : t -> int -> unit

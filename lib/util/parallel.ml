@@ -16,7 +16,24 @@ let num_domains () =
 
 type 'b slot = Empty | Ok_slot of 'b | Exn_slot of exn * Printexc.raw_backtrace
 
-let map ?domains f xs =
+(* Claim-order permutation: exercised by the determinism auditor to show
+   that no result depends on which domain processes which item in what
+   order.  Results always land in their original slot, so the output is
+   unchanged — only the scheduling varies. *)
+let env_seed () =
+  match Sys.getenv_opt "PHOENIX_PARALLEL_SEED" with
+  | None -> None
+  | Some s -> int_of_string_opt (String.trim s)
+
+let claim_order ~seed n =
+  match (match seed with Some _ -> seed | None -> env_seed ()) with
+  | None -> None
+  | Some s ->
+    let order = Array.init n (fun i -> i) in
+    Prng.shuffle (Prng.create s) order;
+    Some order
+
+let map ?domains ?seed f xs =
   let items = Array.of_list xs in
   let n = Array.length items in
   let requested =
@@ -26,16 +43,19 @@ let map ?domains f xs =
   if k <= 1 then List.map f xs
   else begin
     let results = Array.make n Empty in
+    let order = claim_order ~seed n in
     let next = Atomic.make 0 in
     let worker () =
       let continue = ref true in
       while !continue do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n then continue := false
-        else
+        let j = Atomic.fetch_and_add next 1 in
+        if j >= n then continue := false
+        else begin
+          let i = match order with Some o -> o.(j) | None -> j in
           results.(i) <-
             (try Ok_slot (f items.(i))
              with e -> Exn_slot (e, Printexc.get_raw_backtrace ()))
+        end
       done
     in
     let spawned = Array.init (k - 1) (fun _ -> Domain.spawn worker) in

@@ -10,8 +10,16 @@ val num_domains : unit -> int
     [PHOENIX_DOMAINS] environment variable when it parses as a positive
     integer (capped at 128). *)
 
-val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+val map : ?domains:int -> ?seed:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs] evaluates [f] on every element of [xs], fanning the work
     out over [domains] (default {!num_domains}) domains.  Runs serially
     when [domains ≤ 1] or there is at most one item.  [f] must be safe to
-    call concurrently from several domains. *)
+    call concurrently from several domains.
+
+    [seed] (or, when absent, the [PHOENIX_PARALLEL_SEED] environment
+    variable when it parses as an integer) permutes the order in which
+    items are claimed by the worker domains — a deterministic stand-in
+    for adversarial work-stealing schedules.  Results are unaffected:
+    each lands in its original slot, so [map f xs = List.map f xs] holds
+    for every seed.  The determinism auditor replays compilations under
+    several seeds to prove that property for the compiler's own uses. *)

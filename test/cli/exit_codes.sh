@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Shell-level contract for the phoenix CLI's exit codes:
+#   0 clean, 2 usage/input errors, 3 verification errors, 4 lint errors.
+# Driven by dune (test/cli/dune); $1 is the phoenix executable.
+set -u
+BIN="$1"
+fail=0
+
+expect() {
+  want="$1"; shift
+  "$BIN" "$@" >/dev/null 2>&1
+  got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: phoenix $* -> exit $got (want $want)" >&2
+    fail=1
+  else
+    echo "ok: phoenix $* -> $got"
+  fi
+}
+
+W=uccsd:LiH_frz_JW
+
+# clean runs
+expect 0 compile "$W"
+expect 0 compile "$W" --verify --lint
+expect 0 analyze "$W"
+expect 0 analyze --list
+# dangling wire is a warning, not an error: exit stays 0
+expect 0 analyze heisenberg:6 --inject-fault dangling
+
+# usage / input errors
+expect 2 compile no-such-workload
+expect 2 analyze
+expect 2 compile "$W" --compiler no-such-compiler
+expect 2 compile "$W" --topology no-such-topology
+expect 2 compile heisenberg:6 --compiler 2qan
+
+# verification errors (exit 3), which take precedence over lint errors
+expect 3 compile "$W" --verify --inject-fault out-of-isa
+expect 3 compile "$W" --verify --lint --inject-fault out-of-isa
+
+# lint errors (exit 4)
+expect 4 compile "$W" --lint --inject-fault nan-angle
+expect 4 analyze "$W" --inject-fault out-of-isa
+expect 4 analyze heisenberg:6 --inject-fault nan-angle
+
+exit "$fail"

@@ -1,0 +1,401 @@
+(* The static analyzer: clean bills of health for every compiler's
+   output, fault-injection coverage for every defect class an analysis
+   exists to catch, and the compiler-internal tableau/determinism
+   audits. *)
+
+module Pauli = Helpers.Pauli
+module Pauli_string = Helpers.Pauli_string
+module Clifford2q = Helpers.Clifford2q
+module Bsf = Helpers.Bsf
+module Gate = Helpers.Gate
+module Circuit = Helpers.Circuit
+module Topology = Phoenix_topology.Topology
+module Sabre = Phoenix_router.Sabre
+module Compiler = Phoenix.Compiler
+module Structural = Phoenix_verify.Structural
+module Finding = Phoenix_analysis.Finding
+module Circuit_lint = Phoenix_analysis.Circuit_lint
+module Tableau_audit = Phoenix_analysis.Tableau_audit
+module Determinism = Phoenix_analysis.Determinism
+module Registry = Phoenix_analysis.Registry
+
+(* Exercise the PHOENIX_BSF_AUDIT debug mode for the whole binary:
+   every tableau mutation in these tests self-audits. *)
+let () = Unix.putenv "PHOENIX_BSF_AUDIT" "1"
+
+let ps = Pauli_string.of_string
+
+let heisenberg n = Phoenix_ham.Spin_models.heisenberg_chain n
+
+let lint ?isa ?topology ?declared c =
+  Registry.run (Circuit_lint.target ?isa ?topology ?declared c)
+
+let check_no_errors msg findings =
+  Alcotest.(check (list string))
+    msg []
+    (List.map Finding.to_string (Finding.errors findings))
+
+let declared_of (r : Compiler.report) =
+  {
+    Circuit_lint.two_q = r.Compiler.two_q_count;
+    depth_2q = r.Compiler.depth_2q;
+    one_q = r.Compiler.one_q_count;
+  }
+
+(* --- clean lints over real compilations --------------------------------- *)
+
+let test_phoenix_logical_clean () =
+  let h = heisenberg 6 in
+  List.iter
+    (fun (isa, lint_isa, tag) ->
+      let options = { Compiler.default_options with isa } in
+      let r = Compiler.compile ~options h in
+      check_no_errors tag
+        (lint ~isa:lint_isa ~declared:(declared_of r) r.Compiler.circuit))
+    [
+      Compiler.Cnot_isa, Circuit_lint.Cnot_basis, "cnot isa";
+      Compiler.Su4_isa, Circuit_lint.Su4_basis, "su4 isa";
+    ]
+
+let test_phoenix_routed_clean () =
+  let topo = Topology.line 8 in
+  let options =
+    { Compiler.default_options with target = Compiler.Hardware topo }
+  in
+  let r = Compiler.compile ~options (heisenberg 8) in
+  check_no_errors "routed phoenix"
+    (lint ~isa:Circuit_lint.Cnot_basis ~topology:topo
+       ~declared:(declared_of r) r.Compiler.circuit)
+
+let test_baselines_clean () =
+  let h = heisenberg 8 in
+  let n = 8 in
+  let gadgets = Phoenix_ham.Hamiltonian.trotter_gadgets h in
+  let topo = Topology.line n in
+  let logical =
+    [
+      "tket", Phoenix_baselines.Tket_like.compile n gadgets;
+      "paulihedral", Phoenix_baselines.Paulihedral_like.compile n gadgets;
+      "tetris", Phoenix_baselines.Tetris_like.compile n gadgets;
+      "naive", Phoenix_baselines.Naive.compile n gadgets;
+    ]
+  in
+  List.iter
+    (fun (name, c) ->
+      check_no_errors (name ^ " logical")
+        (lint ~isa:Circuit_lint.Cnot_basis c);
+      let routed = Sabre.route_with_refinement topo c in
+      let final =
+        Phoenix_circuit.Peephole.optimize
+          (Phoenix_circuit.Rebase.to_cnot_basis routed.Sabre.circuit)
+      in
+      check_no_errors (name ^ " routed")
+        (lint ~isa:Circuit_lint.Cnot_basis ~topology:topo final))
+    logical;
+  let r = Phoenix_baselines.Qan2_like.compile topo n gadgets in
+  check_no_errors "2qan routed"
+    (lint ~isa:Circuit_lint.Cnot_basis ~topology:topo
+       r.Phoenix_baselines.Qan2_like.circuit)
+
+(* --- fault injection: circuit-level analyses ---------------------------- *)
+
+let compiled_heisenberg () =
+  let r = Compiler.compile (heisenberg 6) in
+  r.Compiler.circuit, declared_of r
+
+let test_catches_out_of_isa_gate () =
+  let c, declared = compiled_heisenberg () in
+  let bad =
+    Circuit.append c
+      (Gate.Rpp { p0 = Pauli.X; p1 = Pauli.Z; a = 0; b = 1; theta = 0.4 })
+  in
+  let findings = lint ~isa:Circuit_lint.Cnot_basis ~declared bad in
+  Alcotest.(check bool)
+    "isa violation flagged" true
+    (List.exists
+       (fun (f : Finding.t) ->
+         f.Finding.analysis = "isa-conformance"
+         && f.Finding.severity = Finding.Error)
+       findings);
+  (* the appended 2Q gate also breaks the declared metrics *)
+  Alcotest.(check bool)
+    "metrics drift flagged" true
+    (List.exists
+       (fun (f : Finding.t) -> f.Finding.analysis = "metrics-certification")
+       (Finding.errors findings))
+
+(* Delete one SWAP and relabel everything after it through the
+   transposition it implemented — the classic stale-layout addresser
+   bug.  The circuit still "reads" fine gate by gate; only coupling
+   conformance can see the damage. *)
+let drop_swap_with_stale_layout c =
+  let arr = Circuit.gate_array c in
+  let n = Circuit.num_qubits c in
+  let idx =
+    let found = ref None in
+    Array.iteri
+      (fun i g ->
+        match g, !found with Gate.Swap _, None -> found := Some i | _ -> ())
+      arr;
+    !found
+  in
+  match idx with
+  | None -> None
+  | Some i ->
+    let a, b =
+      match arr.(i) with Gate.Swap (a, b) -> a, b | _ -> assert false
+    in
+    let relabel q = if q = a then b else if q = b then a else q in
+    let prefix = Array.to_list (Array.sub arr 0 i) in
+    let suffix = Array.to_list (Array.sub arr (i + 1) (Array.length arr - i - 1)) in
+    Some
+      (Circuit.concat (Circuit.create n prefix)
+         (Circuit.map_qubits relabel (Circuit.create n suffix)))
+
+let test_catches_dropped_swap () =
+  (* Deterministic core case: line 0-1-2-3; dropping the SWAP(1,2) and
+     relabelling leaves CNOT(1,3), which is off the coupling graph. *)
+  let topo = Topology.line 4 in
+  let c =
+    Circuit.create 4 [ Gate.Cnot (0, 1); Gate.Swap (1, 2); Gate.Cnot (2, 3) ]
+  in
+  check_no_errors "valid before" (lint ~topology:topo c);
+  (match drop_swap_with_stale_layout c with
+  | None -> Alcotest.fail "no swap found"
+  | Some bad ->
+    Alcotest.(check bool)
+      "stale layout flagged" true
+      (List.exists
+         (fun (f : Finding.t) -> f.Finding.analysis = "coupling-conformance")
+         (Finding.errors (lint ~topology:topo bad))));
+  (* And on a genuinely routed circuit: CNOT(0,3) on a line forces SABRE
+     to insert at least one SWAP. *)
+  let logical =
+    Circuit.create 4
+      [ Gate.Cnot (0, 3); Gate.Cnot (0, 1); Gate.Cnot (2, 3); Gate.Cnot (0, 3) ]
+  in
+  let routed = (Sabre.route_with_refinement topo logical).Sabre.circuit in
+  check_no_errors "routed valid" (lint ~topology:topo routed);
+  match drop_swap_with_stale_layout routed with
+  | None -> Alcotest.fail "routing inserted no swap"
+  | Some bad ->
+    Alcotest.(check bool)
+      "dropped swap flagged" true
+      (Finding.has_errors (lint ~topology:topo bad))
+
+let test_catches_nan_angle () =
+  let c, _ = compiled_heisenberg () in
+  let bad = Circuit.append c (Gate.G1 (Gate.Rz Float.nan, 0)) in
+  Alcotest.(check bool)
+    "nan flagged as error" true
+    (List.exists
+       (fun (f : Finding.t) -> f.Finding.analysis = "angle-sanity")
+       (Finding.errors (lint ~isa:Circuit_lint.Cnot_basis bad)))
+
+let test_zero_angle_is_warning_only () =
+  let c, _ = compiled_heisenberg () in
+  let sloppy = Circuit.append c (Gate.G1 (Gate.Rz 0.0, 0)) in
+  let findings = lint ~isa:Circuit_lint.Cnot_basis sloppy in
+  Alcotest.(check bool) "no errors" false (Finding.has_errors findings);
+  Alcotest.(check bool)
+    "missed optimization warned" true
+    (List.exists
+       (fun (f : Finding.t) ->
+         f.Finding.analysis = "angle-sanity"
+         && f.Finding.severity = Finding.Warning)
+       findings)
+
+let test_catches_metrics_drift () =
+  let c, declared = compiled_heisenberg () in
+  let wrong = { declared with Circuit_lint.two_q = declared.Circuit_lint.two_q + 1 } in
+  Alcotest.(check bool)
+    "drift flagged" true
+    (List.exists
+       (fun (f : Finding.t) -> f.Finding.analysis = "metrics-certification")
+       (Finding.errors (lint ~declared:wrong c)))
+
+let test_catches_dangling_qubit () =
+  let c, _ = compiled_heisenberg () in
+  let padded = Circuit.with_num_qubits (Circuit.num_qubits c + 1) c in
+  let findings = lint padded in
+  Alcotest.(check bool) "warning only" false (Finding.has_errors findings);
+  Alcotest.(check bool)
+    "dangling wire warned" true
+    (List.exists
+       (fun (f : Finding.t) ->
+         f.Finding.analysis = "liveness"
+         && f.Finding.location = Finding.Qubit (Circuit.num_qubits c))
+       findings);
+  (* idle physical qubits are normal on hardware targets *)
+  Alcotest.(check int)
+    "hardware targets exempt" 0
+    (List.length (lint ~topology:(Topology.line 8) padded))
+
+let test_registry_selection () =
+  let c, _ = compiled_heisenberg () in
+  let bad = Circuit.append c (Gate.G1 (Gate.Rz Float.nan, 0)) in
+  let only = lint ~isa:Circuit_lint.Cnot_basis bad in
+  ignore only;
+  let subset =
+    Registry.run ~only:[ "liveness" ]
+      (Circuit_lint.target ~isa:Circuit_lint.Cnot_basis bad)
+  in
+  Alcotest.(check bool) "nan invisible to liveness" false
+    (Finding.has_errors subset);
+  Alcotest.check_raises "unknown analysis"
+    (Invalid_argument "Registry.run: unknown analyses: no-such-pass")
+    (fun () ->
+      ignore
+        (Registry.run ~only:[ "no-such-pass" ] (Circuit_lint.target bad)))
+
+(* --- tableau audits ------------------------------------------------------ *)
+
+let random_conjugated_bsf =
+  let open QCheck2.Gen in
+  let* terms = Helpers.terms_gen 4 6 in
+  let* gates = list_size (int_range 0 8) (Helpers.clifford2q_gen 4) in
+  return (terms, gates)
+
+let build_bsf n terms gates =
+  let t = Bsf.of_terms n terms in
+  List.iter (Bsf.apply_clifford2q t) gates;
+  t
+
+let prop_audit_clean =
+  Helpers.qtest ~count:100 "caches stay consistent under conjugation"
+    random_conjugated_bsf
+    (fun (terms, gates) ->
+      let t = build_bsf 4 terms gates in
+      Bsf.audit t = []
+      && Tableau_audit.cache_audit t = []
+      && Tableau_audit.replay_audit ~n:4 ~terms ~gates t = [])
+
+let fixed_bsf () =
+  let terms = [ ps "XYZI", 0.3; ps "ZZII", 0.5; ps "IXXY", 0.7 ] in
+  let gates = [ Clifford2q.make Clifford2q.CXX 0 1; Clifford2q.make Clifford2q.CZZ 2 3 ] in
+  terms, gates, build_bsf 4 terms gates
+
+let test_catches_corrupt_column_count () =
+  let _, _, t = fixed_bsf () in
+  Bsf.Testing.corrupt_column_count t 1;
+  let findings = Tableau_audit.cache_audit t in
+  Alcotest.(check bool) "caught" true (Finding.has_errors findings)
+
+let test_catches_stale_row_weight () =
+  let _, _, t = fixed_bsf () in
+  Bsf.Testing.corrupt_row_weight t 0;
+  Alcotest.(check bool)
+    "caught" true
+    (Finding.has_errors (Tableau_audit.cache_audit t))
+
+let test_catches_corrupt_nonlocal_count () =
+  let _, _, t = fixed_bsf () in
+  Bsf.Testing.corrupt_nonlocal_count t;
+  Alcotest.(check bool)
+    "caught" true
+    (Finding.has_errors (Tableau_audit.cache_audit t))
+
+let test_replay_catches_sign_flip () =
+  let terms, gates, t = fixed_bsf () in
+  check_no_errors "clean before"
+    (Tableau_audit.replay_audit ~n:4 ~terms ~gates t);
+  Bsf.Testing.corrupt_sign t 1;
+  (* invisible to the cache audit, which cannot derive signs... *)
+  Alcotest.(check (list string))
+    "cache audit blind to signs" []
+    (List.map Finding.to_string (Tableau_audit.cache_audit t));
+  (* ...but the replay oracle pins it to the row *)
+  let findings = Tableau_audit.replay_audit ~n:4 ~terms ~gates t in
+  Alcotest.(check bool)
+    "caught at row 1" true
+    (List.exists
+       (fun (f : Finding.t) ->
+         f.Finding.severity = Finding.Error && f.Finding.location = Finding.Row 1)
+       findings)
+
+let test_debug_audit_mode_traps_mutators () =
+  (* PHOENIX_BSF_AUDIT=1 is set binary-wide above: a corrupted cache must
+     make the very next mutator raise. *)
+  let _, _, t = fixed_bsf () in
+  Bsf.Testing.corrupt_column_count t 0;
+  match Bsf.apply_h t 0 with
+  | () -> Alcotest.fail "debug audit did not trip"
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool)
+      "names the audit" true
+      (String.length msg > 0
+      && String.sub msg 0 (min 9 (String.length msg)) = "Bsf cache")
+
+(* --- parallel determinism audit ------------------------------------------ *)
+
+let test_determinism_audit_clean () =
+  let gadgets =
+    Phoenix_ham.Hamiltonian.trotter_gadgets (heisenberg 6)
+  in
+  let findings = Determinism.audit_gadgets 6 gadgets in
+  check_no_errors "deterministic" findings;
+  Alcotest.(check int) "single certification" 1 (List.length findings);
+  Alcotest.(check bool)
+    "info severity" true
+    (match findings with
+    | [ f ] -> f.Finding.severity = Finding.Info
+    | _ -> false)
+
+(* --- finding rendering --------------------------------------------------- *)
+
+let test_finding_json () =
+  let f =
+    Finding.error ~location:(Finding.Gate 3) ~analysis:"isa-conformance"
+      "bad \"gate\""
+  in
+  Alcotest.(check string)
+    "json object"
+    "{\"analysis\":\"isa-conformance\",\"severity\":\"error\",\"location\":{\"kind\":\"gate\",\"index\":3},\"message\":\"bad \\\"gate\\\"\"}"
+    (Finding.to_json f);
+  Alcotest.(check string) "empty list" "[]" (Finding.list_to_json []);
+  Alcotest.(check string)
+    "summary" "1 error, 0 warnings, 0 notes"
+    (Finding.summary [ f ])
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "clean",
+        [
+          Alcotest.test_case "phoenix logical" `Quick test_phoenix_logical_clean;
+          Alcotest.test_case "phoenix routed" `Quick test_phoenix_routed_clean;
+          Alcotest.test_case "all baselines" `Quick test_baselines_clean;
+        ] );
+      ( "fault-injection",
+        [
+          Alcotest.test_case "out-of-ISA gate" `Quick test_catches_out_of_isa_gate;
+          Alcotest.test_case "dropped SWAP" `Quick test_catches_dropped_swap;
+          Alcotest.test_case "NaN angle" `Quick test_catches_nan_angle;
+          Alcotest.test_case "zero angle warns" `Quick
+            test_zero_angle_is_warning_only;
+          Alcotest.test_case "metrics drift" `Quick test_catches_metrics_drift;
+          Alcotest.test_case "dangling qubit" `Quick test_catches_dangling_qubit;
+          Alcotest.test_case "registry selection" `Quick test_registry_selection;
+        ] );
+      ( "tableau",
+        [
+          prop_audit_clean;
+          Alcotest.test_case "corrupt column count" `Quick
+            test_catches_corrupt_column_count;
+          Alcotest.test_case "stale row weight" `Quick
+            test_catches_stale_row_weight;
+          Alcotest.test_case "corrupt nonlocal count" `Quick
+            test_catches_corrupt_nonlocal_count;
+          Alcotest.test_case "sign flip via replay" `Quick
+            test_replay_catches_sign_flip;
+          Alcotest.test_case "debug audit traps mutators" `Quick
+            test_debug_audit_mode_traps_mutators;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "parallel replays identical" `Quick
+            test_determinism_audit_clean;
+        ] );
+      ( "rendering",
+        [ Alcotest.test_case "json + summary" `Quick test_finding_json ] );
+    ]

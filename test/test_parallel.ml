@@ -60,6 +60,38 @@ let test_env_override () =
       Unix.putenv "PHOENIX_DOMAINS" "100000";
       Alcotest.(check int) "capped" 128 (Parallel.num_domains ()))
 
+(* A seeded claim-order permutation is the auditor's stand-in for an
+   adversarial scheduler; the pool's contract must survive every one. *)
+let test_seeded_permutation () =
+  let f x = (x * 31) mod 101 in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun len ->
+          let xs = List.init len (fun i -> i - 3) in
+          Alcotest.(check (list int))
+            (Printf.sprintf "seed=%d len=%d" seed len)
+            (List.map f xs)
+            (Parallel.map ~domains:4 ~seed f xs))
+        [ 0; 1; 5; 64; 133 ])
+    [ 0; 1; 42; 1337 ]
+
+let test_seed_env_override () =
+  let prev = Sys.getenv_opt "PHOENIX_PARALLEL_SEED" in
+  let restore () =
+    Unix.putenv "PHOENIX_PARALLEL_SEED" (Option.value ~default:"" prev)
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv "PHOENIX_PARALLEL_SEED" "7";
+      let xs = List.init 50 Fun.id in
+      Alcotest.(check (list int))
+        "env-seeded map = List.map" (List.map succ xs)
+        (Parallel.map ~domains:4 succ xs);
+      Unix.putenv "PHOENIX_PARALLEL_SEED" "junk";
+      Alcotest.(check (list int))
+        "junk seed ignored" (List.map succ xs)
+        (Parallel.map ~domains:4 succ xs))
+
 (* Parallel and serial compilation must produce the same report,
    bit for bit: circuit, counts, and diagnostics in group order. *)
 let blocks =
@@ -112,6 +144,9 @@ let () =
           Alcotest.test_case "lowest-index exception" `Quick
             test_exception_lowest_index;
           Alcotest.test_case "PHOENIX_DOMAINS override" `Quick test_env_override;
+          Alcotest.test_case "seeded claim orders" `Quick test_seeded_permutation;
+          Alcotest.test_case "PHOENIX_PARALLEL_SEED override" `Quick
+            test_seed_env_override;
         ] );
       ( "compiler",
         [

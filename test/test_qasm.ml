@@ -84,6 +84,31 @@ let prop_roundtrip =
     (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 12) (random_gate_gen 3))
     (fun gates -> roundtrip (Circuit.create 3 gates))
 
+(* Export is canonical: importing what we printed and printing again
+   must reproduce the text byte for byte, and the imported circuit must
+   lint clean in the CNOT basis (export lowers everything). *)
+let roundtrip_fixed_point c =
+  let text = Qasm.to_string c in
+  let c' = Qasm.of_string text in
+  let lint_ok =
+    not
+      (Phoenix_analysis.Finding.has_errors
+         (Phoenix_analysis.Registry.run
+            (Phoenix_analysis.Circuit_lint.target
+               ~isa:Phoenix_analysis.Circuit_lint.Cnot_basis c')))
+  in
+  String.equal text (Qasm.to_string c') && lint_ok
+
+let prop_roundtrip_fixed_point =
+  Helpers.qtest ~count:80 "qasm export→import→export is a fixed point"
+    (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 12) (random_gate_gen 3))
+    (fun gates -> roundtrip_fixed_point (Circuit.create 3 gates))
+
+let test_compiled_roundtrip_fixed_point () =
+  let r = Phoenix.Compiler.compile (Phoenix_ham.Spin_models.heisenberg_chain 5) in
+  Alcotest.(check bool) "compiled circuit" true
+    (roundtrip_fixed_point r.Phoenix.Compiler.circuit)
+
 let test_parse_pi_forms () =
   let c =
     Qasm.of_string
@@ -128,6 +153,9 @@ let () =
         [
           Alcotest.test_case "simple" `Quick test_roundtrip_simple;
           prop_roundtrip;
+          prop_roundtrip_fixed_point;
+          Alcotest.test_case "compiled circuit fixed point" `Quick
+            test_compiled_roundtrip_fixed_point;
         ] );
       ( "parse",
         [
