@@ -101,7 +101,10 @@ let end_to_end_compiles () =
   let timed name f =
     let t0 = Clock.wall_s () in
     let r : Phoenix.Compiler.report = f () in
-    name, Clock.wall_s () -. t0, r.Phoenix.Compiler.two_q_count
+    ( name,
+      Clock.wall_s () -. t0,
+      r.Phoenix.Compiler.two_q_count,
+      r.Phoenix.Compiler.pass_times )
   in
   [
     timed "compile-logical-cnot" (fun () ->
@@ -131,13 +134,13 @@ let json_escape s =
 let bench_json_path = "BENCH_phoenix.json"
 
 (* Machine-readable perf trajectory: per-pass ms/run from Bechamel plus
-   end-to-end compile wall seconds, appended-to by CI as a workflow
-   artifact from this PR onward. *)
+   end-to-end compile wall seconds (with the pipeline's own per-pass
+   split), appended-to by CI as a workflow artifact. *)
 let write_bench_json ~quick micro e2e =
   let oc = open_out bench_json_path in
   let p fmt_str = Printf.fprintf oc fmt_str in
   p "{\n";
-  p "  \"schema\": \"phoenix-bench-v1\",\n";
+  p "  \"schema\": \"phoenix-bench-v2\",\n";
   p "  \"workload\": \"LiH_frz_JW\",\n";
   p "  \"quick\": %b,\n" quick;
   p "  \"micro_ms_per_run\": {";
@@ -151,10 +154,16 @@ let write_bench_json ~quick micro e2e =
   p "\n  },\n";
   p "  \"end_to_end\": {";
   List.iteri
-    (fun i (name, wall_s, two_q) ->
-      p "%s\n    \"%s\": { \"wall_s\": %.6f, \"two_q_count\": %d }"
+    (fun i (name, wall_s, two_q, pass_times) ->
+      p "%s\n    \"%s\": { \"wall_s\": %.6f, \"two_q_count\": %d,"
         (if i = 0 then "" else ",")
-        (json_escape name) wall_s two_q)
+        (json_escape name) wall_s two_q;
+      p "\n      \"pass_s\": {";
+      List.iteri
+        (fun j (pass, s) ->
+          p "%s \"%s\": %.6f" (if j = 0 then "" else ",") (json_escape pass) s)
+        pass_times;
+      p " } }")
     e2e;
   p "\n  }\n}\n";
   close_out oc;
@@ -201,9 +210,13 @@ let run_perf ~quick =
   if !json_mode then begin
     let e2e = end_to_end_compiles () in
     List.iter
-      (fun (name, wall_s, two_q) ->
+      (fun (name, wall_s, two_q, pass_times) ->
         Format.fprintf fmt "%-34s %12.3f s end-to-end (%d 2Q)@." name wall_s
-          two_q)
+          two_q;
+        List.iter
+          (fun (pass, s) ->
+            Format.fprintf fmt "  %-32s %12.3f s@." pass s)
+          pass_times)
       e2e;
     write_bench_json ~quick micro e2e
   end

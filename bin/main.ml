@@ -7,6 +7,12 @@
      bench     run one of the paper's experiment artifacts
      simulate  compile and state-vector-simulate a small workload
      analyze   run the static analyzer over a compiled workload
+     passes    list the registered passes and which pipelines use them
+
+   Every compiler — PHOENIX and the baselines — dispatches through the
+   pipeline registry (Phoenix_pipeline.Registry), so they all return the
+   same report, carry declared metrics for lint certification, and
+   support --timings / --trace.
 
    Exit codes: 0 clean, 2 usage/input error, 3 verification errors
    (--verify), 4 error-severity lint findings (--lint / analyze). *)
@@ -22,6 +28,9 @@ module Finding = Phoenix_analysis.Finding
 module Circuit_lint = Phoenix_analysis.Circuit_lint
 module Registry = Phoenix_analysis.Registry
 module Determinism = Phoenix_analysis.Determinism
+module Pass = Phoenix.Pass
+module Pipelines = Phoenix_pipeline.Registry
+module Hooks = Phoenix_pipeline.Hooks
 
 let read_hamiltonian path =
   let ic = open_in path in
@@ -79,107 +88,77 @@ let topology_of_string n = function
       "unknown topology %S (all-to-all, heavy-hex, line, ring, grid)\n" s;
     exit 2
 
-(* --- shared compilation pipeline ---------------------------------------- *)
+(* --- shared compilation pipeline ----------------------------------------
+
+   Every compiler goes through the pipeline registry: one dispatch, one
+   report type, declared metrics for certification, pass times and a
+   metric trace for all of them. *)
 
 type compiled = {
-  circuit : Circuit.t;
-  swaps : int;
-  diagnostics : Diag.t list;  (** from --verify; empty otherwise *)
-  pass_times : (string * float) list;
-  declared : Circuit_lint.declared option;
-      (** metrics the compiler reported, for certification *)
+  report : Compiler.report;
   topo : Topology.t option;
   lint_isa : Structural.isa;
+  hook_findings : (string * Finding.t) list;
+      (** per-pass lint-hook findings (with --lint) *)
+  hook_diags : Diag.t list;
+      (** pass-boundary translation-validation diagnostics (with
+          --verify) *)
 }
 
-let compile_source ~source ~isa ~topology ~compiler ~exact ~verify () =
+let find_pipeline name =
+  match Pipelines.find name with
+  | Some e -> e
+  | None ->
+    Printf.eprintf "unknown compiler %S\n" name;
+    exit 2
+
+let compile_source ~source ~isa ~topology ~compiler ~exact ~verify ~lint () =
   let h = load source in
   let n = Hamiltonian.num_qubits h in
   let topo = topology_of_string n topology in
-  match compiler with
-  | "phoenix" ->
-    let options =
-      {
-        Compiler.default_options with
-        isa;
-        exact;
-        verify;
-        target =
-          (match topo with
-          | None -> Compiler.Logical
-          | Some t -> Compiler.Hardware t);
-      }
-    in
-    let r = Compiler.compile ~options h in
+  let entry = find_pipeline compiler in
+  if entry.Pipelines.requires_topology && topo = None then begin
+    Printf.eprintf "the %s compiler needs a --topology\n" entry.Pipelines.name;
+    exit 2
+  end;
+  if
+    entry.Pipelines.two_local_only
+    && List.exists
+         (fun (p, _) -> Phoenix_pauli.Pauli_string.weight p > 2)
+         (Hamiltonian.trotter_gadgets h)
+  then begin
+    Printf.eprintf "the %s compiler only handles 2-local workloads\n"
+      entry.Pipelines.name;
+    exit 2
+  end;
+  let options =
     {
-      circuit = r.Compiler.circuit;
-      swaps = r.Compiler.num_swaps;
-      diagnostics = r.Compiler.diagnostics;
-      pass_times = r.Compiler.pass_times;
-      declared =
-        Some
-          {
-            Circuit_lint.two_q = r.Compiler.two_q_count;
-            depth_2q = r.Compiler.depth_2q;
-            one_q = r.Compiler.one_q_count;
-          };
-      topo;
-      lint_isa =
-        (match isa with
-        | Compiler.Cnot_isa -> Structural.Cnot_basis
-        | Compiler.Su4_isa -> Structural.Su4_basis);
-    }
-  | name ->
-    let gadgets = Hamiltonian.trotter_gadgets h in
-    let c, swaps =
-      match name with
-      | "2qan" ->
+      Compiler.default_options with
+      isa;
+      exact;
+      verify;
+      target =
         (match topo with
-        | None ->
-          Printf.eprintf "the 2qan compiler needs a --topology\n";
-          exit 2
-        | Some t ->
-          if
-            List.exists
-              (fun (p, _) -> Phoenix_pauli.Pauli_string.weight p > 2)
-              gadgets
-          then begin
-            Printf.eprintf
-              "the 2qan compiler only handles 2-local workloads\n";
-            exit 2
-          end;
-          let r = Phoenix_baselines.Qan2_like.compile t n gadgets in
-          ( r.Phoenix_baselines.Qan2_like.circuit,
-            r.Phoenix_baselines.Qan2_like.num_swaps ))
-      | _ ->
-        let c =
-          match name with
-          | "tket" -> Phoenix_baselines.Tket_like.compile n gadgets
-          | "paulihedral" -> Phoenix_baselines.Paulihedral_like.compile n gadgets
-          | "tetris" -> Phoenix_baselines.Tetris_like.compile n gadgets
-          | "naive" -> Phoenix_baselines.Naive.compile n gadgets
-          | other ->
-            Printf.eprintf "unknown compiler %S\n" other;
-            exit 2
-        in
-        (match topo with
-        | None -> c, 0
-        | Some t ->
-          let routed = Phoenix_router.Sabre.route_with_refinement t c in
-          ( Phoenix_circuit.Peephole.optimize
-              (Phoenix_circuit.Rebase.to_cnot_basis
-                 routed.Phoenix_router.Sabre.circuit),
-            routed.Phoenix_router.Sabre.num_swaps ))
-    in
-    {
-      circuit = c;
-      swaps;
-      diagnostics = [];
-      pass_times = [];
-      declared = None;
-      topo;
-      lint_isa = Structural.Cnot_basis;
+        | None -> Compiler.Logical
+        | Some t -> Compiler.Hardware t);
     }
+  in
+  let hook_findings = ref [] and hook_diags = ref [] in
+  let hooks =
+    (if lint then [ Hooks.lint hook_findings ] else [])
+    @ if verify then [ Hooks.translation_validate hook_diags ] else []
+  in
+  let report = Pipelines.compile ~options ~hooks entry h in
+  {
+    report;
+    topo;
+    lint_isa =
+      (match isa with
+      | Compiler.Cnot_isa -> Structural.Cnot_basis
+      | Compiler.Su4_isa -> Structural.Su4_basis);
+    hook_findings = List.rev !hook_findings;
+    hook_diags = List.rev !hook_diags;
+  }
 
 (* --- fault injection (testing hook) -------------------------------------
 
@@ -229,9 +208,16 @@ let structural_diags ~lint_isa ~topo circuit =
     ]
   | violations -> violations
 
+let declared_of_report (r : Compiler.report) =
+  {
+    Circuit_lint.two_q = r.Compiler.two_q_count;
+    depth_2q = r.Compiler.depth_2q;
+    one_q = r.Compiler.one_q_count;
+  }
+
 let lint_target (c : compiled) circuit =
-  Circuit_lint.target ~isa:c.lint_isa ?topology:c.topo ?declared:c.declared
-    circuit
+  Circuit_lint.target ~isa:c.lint_isa ?topology:c.topo
+    ~declared:(declared_of_report c.report) circuit
 
 let print_diagnostics diags =
   Printf.printf "verify:    %s\n" (Diag.summary diags);
@@ -240,6 +226,16 @@ let print_diagnostics diags =
 let print_findings findings =
   Printf.printf "lint:      %s\n" (Finding.summary findings);
   List.iter (fun f -> Printf.printf "  %s\n" (Finding.to_string f)) findings
+
+let print_hook_findings tagged =
+  if tagged <> [] then begin
+    Printf.printf "pass lint: %d finding(s) at pass boundaries\n"
+      (List.length tagged);
+    List.iter
+      (fun (pass, f) ->
+        Printf.printf "  [after %s] %s\n" pass (Finding.to_string f))
+      tagged
+  end
 
 open Cmdliner
 
@@ -292,8 +288,23 @@ let lint_arg =
   Arg.(value & flag & info [ "lint" ] ~doc)
 
 let timings_arg =
-  let doc = "Print per-pass compile times (phoenix compiler only)." in
+  let doc = "Print per-pass compile times." in
   Arg.(value & flag & info [ "timings" ] ~doc)
+
+let pipeline_arg =
+  let doc =
+    "Pipeline to compile with (synonym for $(b,--compiler); see \
+     $(b,phoenix passes) for the registry)."
+  in
+  Arg.(value & opt (some string) None & info [ "pipeline" ] ~docv:"NAME" ~doc)
+
+let trace_arg =
+  let doc =
+    "Write the machine-readable pass trace (per-pass wall time and \
+     before/after/delta circuit metrics, schema phoenix-trace-v1) to \
+     FILE as JSON; $(b,-) for stdout."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
 let fault_arg =
   let doc =
@@ -304,25 +315,31 @@ let fault_arg =
   Arg.(value & opt (enum fault_enum) No_fault & info [ "inject-fault" ] ~doc)
 
 let compile_cmd =
-  let run source isa topology compiler dump exact verify lint timings qasm_out
-      draw fault =
+  let run source isa topology compiler pipeline dump exact verify lint timings
+      qasm_out draw fault trace_out =
+    let compiler = Option.value pipeline ~default:compiler in
     let compiled =
-      compile_source ~source ~isa ~topology ~compiler ~exact ~verify ()
+      compile_source ~source ~isa ~topology ~compiler ~exact ~verify ~lint ()
     in
-    let circuit = inject_fault fault compiled.circuit in
+    let circuit = inject_fault fault compiled.report.Compiler.circuit in
     let diagnostics =
       if not verify then []
-      else if compiler = "phoenix" && fault = No_fault then
-        compiled.diagnostics
-      else if compiler = "phoenix" then
-        (* re-check only the mutated circuit; keep the report's own info *)
-        compiled.diagnostics
-        @ Structural.validate ~isa:compiled.lint_isa ?topology:compiled.topo
-            circuit
-      else
-        compiled.diagnostics
-        @ structural_diags ~lint_isa:compiled.lint_isa ~topo:compiled.topo
-            circuit
+      else begin
+        let from_report =
+          compiled.report.Compiler.diagnostics @ compiled.hook_diags
+        in
+        if fault = No_fault then from_report
+        else
+          (* re-check only the mutated circuit; keep the report's own info *)
+          from_report
+          @
+          if compiled.report.Compiler.diagnostics <> [] then
+            Structural.validate ~isa:compiled.lint_isa ?topology:compiled.topo
+              circuit
+          else
+            structural_diags ~lint_isa:compiled.lint_isa ~topo:compiled.topo
+              circuit
+      end
     in
     let findings =
       if lint then Registry.run (lint_target compiled circuit) else []
@@ -334,13 +351,16 @@ let compile_cmd =
     Printf.printf "cnot cost: %d\n" (Circuit.count_cnot circuit);
     Printf.printf "depth:     %d\n" (Circuit.depth circuit);
     Printf.printf "depth-2q:  %d\n" (Circuit.depth_2q circuit);
-    Printf.printf "swaps:     %d\n" compiled.swaps;
+    Printf.printf "swaps:     %d\n" compiled.report.Compiler.num_swaps;
     if verify then print_diagnostics diagnostics;
-    if lint then print_findings findings;
+    if lint then begin
+      print_findings findings;
+      print_hook_findings compiled.hook_findings
+    end;
     if timings then
       List.iter
         (fun (pass, t) -> Printf.printf "time %-9s %.4fs\n" (pass ^ ":") t)
-        compiled.pass_times;
+        compiled.report.Compiler.pass_times;
     if dump then
       List.iter
         (fun g -> print_endline (Gate.to_string g))
@@ -353,12 +373,30 @@ let compile_cmd =
       close_out oc;
       Printf.printf "wrote %s\n" path
     | None -> ());
+    (match trace_out with
+    | Some path ->
+      let json =
+        Pass.trace_to_json ~compiler ~workload:source
+          compiled.report.Compiler.trace
+      in
+      if path = "-" then print_endline json
+      else begin
+        let oc = open_out path in
+        output_string oc json;
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+      end
+    | None -> ());
     if verify && Diag.has_errors diagnostics then exit 3;
-    if lint && Finding.has_errors findings then exit 4
+    if lint
+       && (Finding.has_errors findings
+          || Finding.has_errors (List.map snd compiled.hook_findings))
+    then exit 4
   in
   let doc = "Compile a Hamiltonian-simulation program." in
   Cmd.v (Cmd.info "compile" ~doc)
-    Term.(const run $ source_arg $ isa_arg $ topology_arg $ baseline_arg $ dump_arg $ exact_arg $ verify_arg $ lint_arg $ timings_arg $ qasm_arg $ draw_arg $ fault_arg)
+    Term.(const run $ source_arg $ isa_arg $ topology_arg $ baseline_arg $ pipeline_arg $ dump_arg $ exact_arg $ verify_arg $ lint_arg $ timings_arg $ qasm_arg $ draw_arg $ fault_arg $ trace_arg)
 
 let info_cmd =
   let run source =
@@ -541,9 +579,10 @@ let analyze_cmd =
         exit 2
     in
     let compiled =
-      compile_source ~source ~isa ~topology ~compiler ~exact ~verify:false ()
+      compile_source ~source ~isa ~topology ~compiler ~exact ~verify:false
+        ~lint:false ()
     in
-    let circuit = inject_fault fault compiled.circuit in
+    let circuit = inject_fault fault compiled.report.Compiler.circuit in
     let findings = Registry.run (lint_target compiled circuit) in
     let findings =
       if determinism then begin
@@ -602,10 +641,58 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(const run $ opt_source_arg $ isa_arg $ topology_arg $ baseline_arg $ exact_arg $ json_arg $ stats_arg $ determinism_arg $ list_arg $ fault_arg)
 
+(* --- passes: the pipeline/pass registry ---------------------------------- *)
+
+let passes_cmd =
+  let list_arg =
+    let doc = "List every registered pass (the default)." in
+    Arg.(value & flag & info [ "list" ] ~doc)
+  in
+  let run list_only pipeline =
+    ignore list_only;
+    match pipeline with
+    | Some name ->
+      let entry = find_pipeline name in
+      Printf.printf "%s — %s\n" entry.Pipelines.name
+        entry.Pipelines.description;
+      Printf.printf "passes (hardware target, verification on):\n";
+      let repr =
+        {
+          Compiler.default_options with
+          Compiler.target = Compiler.Hardware (Topology.line 4);
+          verify = true;
+        }
+      in
+      List.iter
+        (fun (p : Pass.t) ->
+          Printf.printf "  %-10s %s\n" p.Pass.name p.Pass.description)
+        (entry.Pipelines.passes repr)
+    | None ->
+      Printf.printf "pipelines:\n";
+      List.iter
+        (fun (e : Pipelines.entry) ->
+          Printf.printf "  %-12s %s\n" e.Pipelines.name
+            e.Pipelines.description)
+        Pipelines.all;
+      Printf.printf "\npasses (name, description, used by):\n";
+      List.iter
+        (fun (c : Pipelines.catalog_entry) ->
+          Printf.printf "  %-10s %s\n  %10s   used by: %s\n" c.Pipelines.pass_name
+            c.Pipelines.pass_description ""
+            (String.concat ", " c.Pipelines.pipelines))
+        (Pipelines.catalog ())
+  in
+  let doc =
+    "List the registered pipelines and passes: each pass's name, \
+     description and the pipelines that use it.  With $(b,--pipeline) \
+     NAME, show that pipeline's pass list in execution order."
+  in
+  Cmd.v (Cmd.info "passes" ~doc) Term.(const run $ list_arg $ pipeline_arg)
+
 let () =
   let doc = "PHOENIX: Pauli-based high-level optimization engine (DAC 2025 reproduction)." in
   let info = Cmd.info "phoenix" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; info_cmd; bench_cmd; simulate_cmd; analyze_cmd ]))
+          [ compile_cmd; info_cmd; bench_cmd; simulate_cmd; analyze_cmd; passes_cmd ]))

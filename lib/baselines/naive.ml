@@ -1,1 +1,19 @@
-let compile n gadgets = Phoenix.Synthesis.naive_gadget_circuit n gadgets
+module Pass = Phoenix.Pass
+
+let synth_pass =
+  Pass.make ~name:"synth"
+    ~description:
+      "per-gadget CNOT-ladder synthesis in program order (no grouping, no \
+       cleanup)"
+    (fun ctx ->
+      {
+        ctx with
+        Pass.circuit =
+          Phoenix.Synthesis.naive_gadget_circuit ctx.Pass.n ctx.Pass.gadgets;
+      })
+
+let passes = [ synth_pass ]
+
+let compile n gadgets =
+  let ctx, _ = Pass.run passes (Pass.init ~gadgets Pass.default_options n) in
+  ctx.Pass.circuit

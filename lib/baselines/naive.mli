@@ -4,6 +4,9 @@
     the "original circuit" against which optimization rates are
     reported (Table I / Table II). *)
 
+val passes : Phoenix.Pass.t list
+(** The single-pass pipeline: synth. *)
+
 val compile :
   int -> (Phoenix_pauli.Pauli_string.t * float) list ->
   Phoenix_circuit.Circuit.t

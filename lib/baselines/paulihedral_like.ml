@@ -2,7 +2,10 @@ module Bitvec = Phoenix_util.Bitvec
 module Pauli_string = Phoenix_pauli.Pauli_string
 module Circuit = Phoenix_circuit.Circuit
 module Peephole = Phoenix_circuit.Peephole
+module Pass = Phoenix.Pass
+module Passes = Phoenix.Passes
 module Group = Phoenix.Group
+module Order = Phoenix.Order
 module Synthesis = Phoenix.Synthesis
 
 let overlap a b =
@@ -62,13 +65,42 @@ let block_circuit n (g : Group.t) =
     else ladder_version
   end
 
-let compile_groups ?(peephole = true) n groups =
-  let ordered = order_blocks groups in
-  let circuit = Circuit.concat_list n (List.map (block_circuit n) ordered) in
-  if peephole then Peephole.optimize circuit else circuit
+let order_pass =
+  Pass.make ~name:"order"
+    ~description:"chain IR blocks greedily by support overlap"
+    (fun ctx -> { ctx with Pass.groups = order_blocks ctx.Pass.groups })
 
-let compile ?peephole n gadgets =
-  compile_groups ?peephole n (Group.group_gadgets n gadgets)
+let synth_pass =
+  Pass.make ~name:"synth"
+    ~description:
+      "block-local synthesis: diagonalized ladders or shared Z-first \
+       ladders, whichever peepholes to fewer CNOTs"
+    (fun ctx ->
+      {
+        ctx with
+        Pass.blocks =
+          List.map
+            (fun (g : Group.t) ->
+              { Order.group = g; Order.circuit = block_circuit ctx.Pass.n g })
+            ctx.Pass.groups;
+      })
 
-let compile_blocks ?peephole n blocks =
-  compile_groups ?peephole n (Group.of_blocks n blocks)
+let passes ~with_grouping =
+  (if with_grouping then [ Passes.group ] else [])
+  @ [ order_pass; synth_pass; Passes.assemble; Passes.peephole ]
+
+let run ~with_grouping ~peephole ctx =
+  let ctx, _ =
+    Pass.run (passes ~with_grouping)
+      { ctx with Pass.options = { ctx.Pass.options with Pass.peephole } }
+  in
+  ctx.Pass.circuit
+
+let compile ?(peephole = true) n gadgets =
+  run ~with_grouping:true ~peephole (Pass.init ~gadgets Pass.default_options n)
+
+let compile_blocks ?(peephole = true) n blocks =
+  run ~with_grouping:true ~peephole
+    (Pass.init
+       ~gadgets:(List.concat blocks)
+       ~term_blocks:blocks Pass.default_options n)

@@ -8,6 +8,10 @@
     cancellations, which the peephole pass (standing in for the Qiskit O2
     that Paulihedral pairs with) then harvests. *)
 
+val passes : with_grouping:bool -> Phoenix.Pass.t list
+(** The pipeline: [group →] order → synth → assemble → peephole.  Pass
+    [~with_grouping:false] when the context already carries IR groups. *)
+
 val compile :
   ?peephole:bool ->
   int ->

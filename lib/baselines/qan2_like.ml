@@ -1,10 +1,11 @@
 module Pauli_string = Phoenix_pauli.Pauli_string
 module Gate = Phoenix_circuit.Gate
 module Circuit = Phoenix_circuit.Circuit
-module Peephole = Phoenix_circuit.Peephole
 module Rebase = Phoenix_circuit.Rebase
 module Topology = Phoenix_topology.Topology
 module Layout = Phoenix_router.Layout
+module Pass = Phoenix.Pass
+module Passes = Phoenix.Passes
 
 type result = {
   circuit : Circuit.t;
@@ -97,120 +98,169 @@ let place topo n gadgets =
     logical_order;
   Layout.of_l2p ~n_physical:n_phys l2p
 
-let compile ?(peephole = true) topo n gadgets =
-  let n_phys = Topology.num_qubits topo in
-  if n > n_phys then invalid_arg "Qan2_like.compile: device too small";
-  let ones, twos =
-    List.fold_left
-      (fun (ones, twos) gadget ->
-        match to_gate n gadget with
-        | None -> ones, twos
-        | Some (`One g) -> g :: ones, twos
-        | Some (`Two i) -> ones, i :: twos)
-      ([], []) gadgets
-  in
-  let initial_layout = place topo n gadgets in
-  let layout = ref initial_layout in
-  let emitted = ref (List.rev ones) (* 1Q gates are free: place them first *)
-  and swaps = ref 0 in
-  let emitted_phys g =
-    let f q = Layout.physical_of !layout q in
-    match g with
-    | Gate.Rpp r -> Gate.Rpp { r with a = f r.a; b = f r.b }
-    | Gate.G1 (k, q) -> Gate.G1 (k, f q)
-    | _ -> assert false
-  in
-  (* 1Q rotations are emitted at their logical qubit's initial site. *)
-  emitted := List.map emitted_phys !emitted |> List.rev;
-  let pending = ref twos in
-  let dist i =
-    Topology.distance topo
-      (Layout.physical_of !layout i.a)
-      (Layout.physical_of !layout i.b)
-  in
-  let emit_executable () =
-    let rec go progressed =
-      let exec, rest = List.partition (fun i -> dist i = 1) !pending in
-      if exec = [] then progressed
-      else begin
-        List.iter (fun i -> emitted := emitted_phys i.gate :: !emitted) exec;
-        pending := rest;
-        go true
-      end
-    in
-    go false
-  in
-  let total_distance () =
-    List.fold_left (fun acc i -> acc + dist i) 0 !pending
-  in
-  while !pending <> [] do
-    ignore (emit_executable ());
-    if !pending <> [] then begin
-      (* candidate swaps: edges touching any pending interaction qubit *)
-      let frontier =
-        List.concat_map
-          (fun i ->
-            [ Layout.physical_of !layout i.a; Layout.physical_of !layout i.b ])
-          !pending
-        |> List.sort_uniq compare
+let topology_of_ctx ctx =
+  match ctx.Pass.options.Pass.target with
+  | Pass.Hardware topo -> topo
+  | Pass.Logical -> invalid_arg "Qan2_like: needs a hardware target"
+
+let place_pass =
+  Pass.make ~name:"place"
+    ~description:"interaction-weighted greedy initial embedding"
+    (fun ctx ->
+      let topo = topology_of_ctx ctx in
+      let n = ctx.Pass.n in
+      if n > Topology.num_qubits topo then
+        invalid_arg "Qan2_like.compile: device too small";
+      { ctx with Pass.layout = Some (place topo n ctx.Pass.gadgets) })
+
+(* The 2QAN scheduling loop: alternate between emitting every
+   currently-executable interaction and inserting the SWAP that most
+   reduces the remaining interaction distance.  Interactions commute, so
+   the emission order is free. *)
+let route_pass =
+  Pass.make ~name:"route"
+    ~description:
+      "greedy commuting-interaction scheduling: emit executable \
+       interactions, insert distance-reducing SWAPs"
+    (fun ctx ->
+      let topo = topology_of_ctx ctx in
+      let n = ctx.Pass.n in
+      let n_phys = Topology.num_qubits topo in
+      let initial_layout =
+        match ctx.Pass.layout with Some l -> l | None -> place topo n ctx.Pass.gadgets
       in
-      let candidates =
-        List.concat_map
-          (fun p ->
-            List.map (fun q -> min p q, max p q) (Topology.neighbors topo p))
-          frontier
-        |> List.sort_uniq compare
-      in
-      let baseline = total_distance () in
-      let score (p, q) =
-        let saved = !layout in
-        layout := Layout.swap_physical !layout p q;
-        let d = total_distance () in
-        let newly_exec =
-          List.fold_left (fun acc i -> if dist i = 1 then acc + 1 else acc) 0 !pending
-        in
-        layout := saved;
-        (float_of_int d, -.float_of_int newly_exec)
-      in
-      let best =
+      let ones, twos =
         List.fold_left
-          (fun best cand ->
-            let s = score cand in
-            match best with
-            | Some (_, bs) when bs <= s -> best
-            | Some _ | None -> Some (cand, s))
-          None candidates
+          (fun (ones, twos) gadget ->
+            match to_gate n gadget with
+            | None -> ones, twos
+            | Some (`One g) -> g :: ones, twos
+            | Some (`Two i) -> ones, i :: twos)
+          ([], []) ctx.Pass.gadgets
       in
-      let (p, q), (best_d, _) =
-        match best with Some (c, s) -> c, s | None -> assert false
+      let layout = ref initial_layout in
+      let emitted = ref (List.rev ones) (* 1Q gates are free: place them first *)
+      and swaps = ref 0 in
+      let emitted_phys g =
+        let f q = Layout.physical_of !layout q in
+        match g with
+        | Gate.Rpp r -> Gate.Rpp { r with a = f r.a; b = f r.b }
+        | Gate.G1 (k, q) -> Gate.G1 (k, f q)
+        | _ -> assert false
       in
-      (* Guaranteed progress: if no candidate reduces total distance,
-         step the first pending interaction along a shortest path. *)
-      let p, q =
-        if best_d < float_of_int baseline then p, q
-        else begin
-          match !pending with
-          | i :: _ ->
-            let pa = Layout.physical_of !layout i.a
-            and pb = Layout.physical_of !layout i.b in
-            let closer =
-              List.find_opt
-                (fun nb ->
-                  Topology.distance topo nb pb < Topology.distance topo pa pb)
-                (Topology.neighbors topo pa)
+      (* 1Q rotations are emitted at their logical qubit's initial site. *)
+      emitted := List.map emitted_phys !emitted |> List.rev;
+      let pending = ref twos in
+      let dist i =
+        Topology.distance topo
+          (Layout.physical_of !layout i.a)
+          (Layout.physical_of !layout i.b)
+      in
+      let emit_executable () =
+        let rec go progressed =
+          let exec, rest = List.partition (fun i -> dist i = 1) !pending in
+          if exec = [] then progressed
+          else begin
+            List.iter (fun i -> emitted := emitted_phys i.gate :: !emitted) exec;
+            pending := rest;
+            go true
+          end
+        in
+        go false
+      in
+      let total_distance () =
+        List.fold_left (fun acc i -> acc + dist i) 0 !pending
+      in
+      while !pending <> [] do
+        ignore (emit_executable ());
+        if !pending <> [] then begin
+          (* candidate swaps: edges touching any pending interaction qubit *)
+          let frontier =
+            List.concat_map
+              (fun i ->
+                [ Layout.physical_of !layout i.a; Layout.physical_of !layout i.b ])
+              !pending
+            |> List.sort_uniq compare
+          in
+          let candidates =
+            List.concat_map
+              (fun p ->
+                List.map (fun q -> min p q, max p q) (Topology.neighbors topo p))
+              frontier
+            |> List.sort_uniq compare
+          in
+          let baseline = total_distance () in
+          let score (p, q) =
+            let saved = !layout in
+            layout := Layout.swap_physical !layout p q;
+            let d = total_distance () in
+            let newly_exec =
+              List.fold_left (fun acc i -> if dist i = 1 then acc + 1 else acc) 0 !pending
             in
-            (match closer with
-            | Some nb -> min pa nb, max pa nb
-            | None -> p, q)
-          | [] -> assert false
+            layout := saved;
+            (float_of_int d, -.float_of_int newly_exec)
+          in
+          let best =
+            List.fold_left
+              (fun best cand ->
+                let s = score cand in
+                match best with
+                | Some (_, bs) when bs <= s -> best
+                | Some _ | None -> Some (cand, s))
+              None candidates
+          in
+          let (p, q), (best_d, _) =
+            match best with Some (c, s) -> c, s | None -> assert false
+          in
+          (* Guaranteed progress: if no candidate reduces total distance,
+             step the first pending interaction along a shortest path. *)
+          let p, q =
+            if best_d < float_of_int baseline then p, q
+            else begin
+              match !pending with
+              | i :: _ ->
+                let pa = Layout.physical_of !layout i.a
+                and pb = Layout.physical_of !layout i.b in
+                let closer =
+                  List.find_opt
+                    (fun nb ->
+                      Topology.distance topo nb pb < Topology.distance topo pa pb)
+                    (Topology.neighbors topo pa)
+                in
+                (match closer with
+                | Some nb -> min pa nb, max pa nb
+                | None -> p, q)
+              | [] -> assert false
+            end
+          in
+          layout := Layout.swap_physical !layout p q;
+          emitted := Gate.Swap (p, q) :: !emitted;
+          incr swaps
         end
-      in
-      layout := Layout.swap_physical !layout p q;
-      emitted := Gate.Swap (p, q) :: !emitted;
-      incr swaps
-    end
-  done;
-  let circuit = Circuit.create n_phys (List.rev !emitted) in
-  let circuit = Rebase.to_cnot_basis circuit in
-  let circuit = if peephole then Peephole.optimize circuit else circuit in
-  { circuit; num_swaps = !swaps; initial_layout }
+      done;
+      {
+        ctx with
+        Pass.circuit = Circuit.create n_phys (List.rev !emitted);
+        Pass.num_swaps = !swaps;
+        Pass.layout = Some initial_layout;
+      })
+
+let lower_pass =
+  Pass.make ~name:"lower"
+    ~description:"expand SWAPs and rebase to the CNOT basis"
+    (fun ctx ->
+      { ctx with Pass.circuit = Rebase.to_cnot_basis ctx.Pass.circuit })
+
+let passes = [ place_pass; route_pass; lower_pass; Passes.peephole ]
+
+let compile ?(peephole = true) topo n gadgets =
+  let options =
+    { Pass.default_options with Pass.peephole; Pass.target = Pass.Hardware topo }
+  in
+  let ctx, _ = Pass.run passes (Pass.init ~gadgets options n) in
+  {
+    circuit = ctx.Pass.circuit;
+    num_swaps = ctx.Pass.num_swaps;
+    initial_layout =
+      (match ctx.Pass.layout with Some l -> l | None -> assert false);
+  }

@@ -17,6 +17,10 @@ type result = {
   initial_layout : Phoenix_router.Layout.t;
 }
 
+val passes : Phoenix.Pass.t list
+(** The pipeline: place → route → lower → peephole.  Requires a
+    [Hardware] target in the context options. *)
+
 val compile :
   ?peephole:bool ->
   Phoenix_topology.Topology.t ->

@@ -1,8 +1,9 @@
 module Pauli = Phoenix_pauli.Pauli
 module Pauli_string = Phoenix_pauli.Pauli_string
-module Circuit = Phoenix_circuit.Circuit
-module Peephole = Phoenix_circuit.Peephole
+module Pass = Phoenix.Pass
+module Passes = Phoenix.Passes
 module Group = Phoenix.Group
+module Order = Phoenix.Order
 module Synthesis = Phoenix.Synthesis
 
 (* A shared qubit with the same Pauli basis lets an entire ladder leg
@@ -54,18 +55,49 @@ let order_blocks blocks =
     in
     chain [ first ] first rest
 
-let compile_groups ?(peephole = true) n groups =
-  let ordered = order_blocks groups in
-  let circuit =
-    Circuit.concat_list n
-      (List.map
-         (fun g -> Synthesis.naive_gadget_circuit ~chain:`Z_first n (sorted_terms g))
-         ordered)
+let order_pass =
+  Pass.make ~name:"order"
+    ~description:
+      "chain IR blocks by boundary cancellation compatibility (matching \
+       Pauli bases on shared qubits)"
+    (fun ctx -> { ctx with Pass.groups = order_blocks ctx.Pass.groups })
+
+let synth_pass =
+  Pass.make ~name:"synth"
+    ~description:
+      "lower each block as sorted Z-first CNOT ladders (boundary legs \
+       cancel across blocks)"
+    (fun ctx ->
+      {
+        ctx with
+        Pass.blocks =
+          List.map
+            (fun (g : Group.t) ->
+              {
+                Order.group = g;
+                Order.circuit =
+                  Synthesis.naive_gadget_circuit ~chain:`Z_first ctx.Pass.n
+                    (sorted_terms g);
+              })
+            ctx.Pass.groups;
+      })
+
+let passes ~with_grouping =
+  (if with_grouping then [ Passes.group ] else [])
+  @ [ order_pass; synth_pass; Passes.assemble; Passes.peephole ]
+
+let run ~with_grouping ~peephole ctx =
+  let ctx, _ =
+    Pass.run (passes ~with_grouping)
+      { ctx with Pass.options = { ctx.Pass.options with Pass.peephole } }
   in
-  if peephole then Peephole.optimize circuit else circuit
+  ctx.Pass.circuit
 
-let compile ?peephole n gadgets =
-  compile_groups ?peephole n (Group.group_gadgets n gadgets)
+let compile ?(peephole = true) n gadgets =
+  run ~with_grouping:true ~peephole (Pass.init ~gadgets Pass.default_options n)
 
-let compile_blocks ?peephole n blocks =
-  compile_groups ?peephole n (Group.of_blocks n blocks)
+let compile_blocks ?(peephole = true) n blocks =
+  run ~with_grouping:true ~peephole
+    (Pass.init
+       ~gadgets:(List.concat blocks)
+       ~term_blocks:blocks Pass.default_options n)

@@ -8,6 +8,10 @@
     and the first gadget of the candidate, and hands routing to the
     shared SABRE router. *)
 
+val passes : with_grouping:bool -> Phoenix.Pass.t list
+(** The pipeline: [group →] order → synth → assemble → peephole.  Pass
+    [~with_grouping:false] when the context already carries IR groups. *)
+
 val compile :
   ?peephole:bool ->
   int ->

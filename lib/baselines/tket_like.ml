@@ -1,7 +1,10 @@
 module Pauli_string = Phoenix_pauli.Pauli_string
 module Gate = Phoenix_circuit.Gate
 module Circuit = Phoenix_circuit.Circuit
-module Peephole = Phoenix_circuit.Peephole
+module Pass = Phoenix.Pass
+module Passes = Phoenix.Passes
+module Group = Phoenix.Group
+module Order = Phoenix.Order
 
 (* Phase ladder for one Z-only string. *)
 let ladder_gates (p, theta) =
@@ -28,7 +31,42 @@ let synth_commuting_set n set =
   let undo = List.rev_map Gate.dagger d.Phoenix_circuit.Diagonalize.clifford in
   d.Phoenix_circuit.Diagonalize.clifford @ List.concat_map ladder_gates sorted @ undo
 
+let partition_pass =
+  Pass.make ~name:"partition"
+    ~description:
+      "partition the gadget program into pairwise-commuting sets (greedy, \
+       program order)"
+    (fun ctx ->
+      let sets =
+        Phoenix_circuit.Diagonalize.partition_commuting ctx.Pass.gadgets
+      in
+      (* of_terms keeps each set verbatim — the Clifford chosen by the
+         diagonalizer depends on every string in the set. *)
+      { ctx with Pass.groups = List.map (Group.of_terms ctx.Pass.n) sets })
+
+let synth_pass =
+  Pass.make ~name:"synth"
+    ~description:
+      "simultaneously diagonalize each commuting set and emit its sorted \
+       phase ladders under the Clifford conjugation"
+    (fun ctx ->
+      let n = ctx.Pass.n in
+      {
+        ctx with
+        Pass.blocks =
+          List.map
+            (fun (g : Group.t) ->
+              {
+                Order.group = g;
+                Order.circuit =
+                  Circuit.create n (synth_commuting_set n g.Group.terms);
+              })
+            ctx.Pass.groups;
+      })
+
+let passes = [ partition_pass; synth_pass; Passes.assemble; Passes.peephole ]
+
 let compile ?(peephole = true) n gadgets =
-  let sets = Phoenix_circuit.Diagonalize.partition_commuting gadgets in
-  let circuit = Circuit.create n (List.concat_map (synth_commuting_set n) sets) in
-  if peephole then Peephole.optimize circuit else circuit
+  let options = { Pass.default_options with Pass.peephole } in
+  let ctx, _ = Pass.run passes (Pass.init ~gadgets options n) in
+  ctx.Pass.circuit

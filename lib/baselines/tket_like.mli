@@ -8,6 +8,9 @@
     sharing); the peephole pass then plays the role of
     FullPeepholeOptimise. *)
 
+val passes : Phoenix.Pass.t list
+(** The pipeline: partition → synth → assemble → peephole. *)
+
 val compile :
   ?peephole:bool ->
   int ->

@@ -1,6 +1,5 @@
 module Circuit = Phoenix_circuit.Circuit
 module Gate = Phoenix_circuit.Gate
-module Peephole = Phoenix_circuit.Peephole
 module Rebase = Phoenix_circuit.Rebase
 module Topology = Phoenix_topology.Topology
 module Sabre = Phoenix_router.Sabre
@@ -11,11 +10,14 @@ module Diag = Phoenix_verify.Diag
 module Equiv = Phoenix_verify.Equiv
 module Structural = Phoenix_verify.Structural
 
-type isa = Cnot_isa | Su4_isa
+(* The option records are defined by the pass-manager core and re-exported
+   here so every pipeline — PHOENIX and baselines alike — shares them. *)
 
-type target = Logical | Hardware of Topology.t
+type isa = Pass.isa = Cnot_isa | Su4_isa
 
-type options = {
+type target = Pass.target = Logical | Hardware of Topology.t
+
+type options = Pass.options = {
   isa : isa;
   target : target;
   tau : float;
@@ -28,19 +30,7 @@ type options = {
   domains : int;
 }
 
-let default_options =
-  {
-    isa = Cnot_isa;
-    target = Logical;
-    tau = 1.0;
-    lookahead = 10;
-    exact = false;
-    peephole = true;
-    sabre_iterations = 1;
-    seed = 2025;
-    verify = false;
-    domains = 0;
-  }
+let default_options = Pass.default_options
 
 type report = {
   circuit : Circuit.t;
@@ -53,15 +43,8 @@ type report = {
   wall_time : float;
   pass_times : (string * float) list;
   diagnostics : Diag.t list;
+  trace : Pass.trace;
 }
-
-let maybe_peephole options c = if options.peephole then Peephole.optimize c else c
-
-let lower_cnot options c =
-  let lowered = Rebase.to_cnot_basis (maybe_peephole options c) in
-  if options.peephole then
-    Peephole.optimize (Phoenix_circuit.Phase_folding.fold lowered)
-  else lowered
 
 (* Verification thresholds: per-group dense checks stay cheap, the final
    end-to-end dense check follows the paper's small-n regime. *)
@@ -71,229 +54,307 @@ let final_unitary_max_qubits = 10
 (* Per-group translation validation: the scalable Pauli-propagation check
    always runs; for small registers the dense unitary comparison backs it
    up. *)
-let check_group_circuit options n terms circuit =
+let check_group_circuit (options : options) n terms circuit =
   match Equiv.propagation_check ~exact:options.exact n terms circuit with
   | Error _ as e -> e
   | Ok () ->
     if n <= group_unitary_max_qubits then Equiv.unitary_check n terms circuit
     else Ok ()
 
-let compile_groups ?(options = default_options) ?synthesize n groups =
-  let t0 = Clock.wall_s () in
-  let times = ref [] in
-  let timed label f =
-    let t = Clock.wall_s () in
-    let r = f () in
-    times := (label, Clock.wall_s () -. t) :: !times;
-    r
-  in
-  let diags = ref [] in
-  let diag ?group ~pass severity fmt =
-    Printf.ksprintf
-      (fun m -> diags := Diag.make ?group ~pass severity m :: !diags)
-      fmt
-  in
-  let routing_aware = match options.target with Hardware _ -> true | Logical -> false in
-  let synth =
-    match synthesize with
-    | Some f -> f
-    | None -> fun g -> Synthesis.group_circuit ~exact:options.exact g
-  in
-  (* Graceful degradation: a group whose synthesized circuit fails its
-     check is re-synthesized with the naive ladder (trusted, program
-     order) and the recovery is recorded — the pipeline always emits a
-     valid circuit instead of aborting.
+(* --- PHOENIX-specific passes ------------------------------------------ *)
 
-     Groups are independent, so synthesis + verification fan out over a
-     domain pool.  Each group's diagnostics are collected locally and
-     joined in group order afterwards, so reports are byte-identical to a
-     serial run whatever the scheduling.  A caller-supplied [synthesize]
-     closure is not assumed to be thread-safe and keeps the serial path. *)
-  let checked_group (idx, (g : Group.t)) =
-    let local = ref [] in
-    let record severity msg =
-      local := Diag.make ~group:idx ~pass:"simplify" severity msg :: !local
-    in
-    let c = synth g in
-    if not options.verify then { Order.group = g; circuit = c }, [], false
-    else
-      match check_group_circuit options n g.Group.terms c with
-      | Ok () -> { Order.group = g; circuit = c }, [], false
-      | Error msg ->
-        record Diag.Warning
-          (Printf.sprintf
-             "synthesis failed verification (%s); recovered with the naive \
-              ladder"
-             msg);
-        let fb = Synthesis.naive_gadget_circuit n g.Group.terms in
-        (match check_group_circuit options n g.Group.terms fb with
-        | Ok () -> ()
-        | Error msg2 ->
-          record Diag.Error
-            (Printf.sprintf "naive fallback also failed verification (%s)"
-               msg2));
-        { Order.group = g; circuit = fb }, List.rev !local, true
-  in
-  let domains =
-    match synthesize with
-    | Some _ -> 1
-    | None ->
-      if options.domains >= 1 then options.domains else Parallel.num_domains ()
-  in
-  let checked =
-    timed "simplify" (fun () ->
-        Parallel.map ~domains checked_group
-          (List.mapi (fun i g -> i, g) groups))
-  in
-  let blocks = List.map (fun (b, _, _) -> b) checked in
-  let recovered = ref 0 in
-  List.iter
-    (fun (_, group_diags, rec_) ->
-      if rec_ then incr recovered;
-      List.iter (fun d -> diags := d :: !diags) group_diags)
-    checked;
-  if options.verify && !recovered = 0 then
-    diag ~pass:"simplify" Diag.Info "verified %d group circuits"
-      (List.length groups);
-  let ordered =
-    (* Reordering IR groups is a Trotter-level transformation; exact mode
-       keeps program order so the output is strictly equivalent. *)
-    if options.exact then blocks
-    else
-      timed "order" (fun () ->
-          Order.order ~lookahead:options.lookahead ~routing_aware blocks)
-  in
-  let abstract =
-    Circuit.concat_list n (List.map (fun b -> b.Order.circuit) ordered)
-  in
-  let abstract = timed "peephole" (fun () -> maybe_peephole options abstract) in
-  let logical_cnot = timed "lower" (fun () -> lower_cnot options abstract) in
-  let logical_two_q =
-    match options.isa with
-    | Cnot_isa -> Circuit.count_2q logical_cnot
-    | Su4_isa -> Rebase.count_su4 abstract
-  in
-  let final_circuit, num_swaps =
-    match options.target with
-    | Logical ->
-      (match options.isa with
-      | Cnot_isa -> logical_cnot, 0
-      | Su4_isa -> Rebase.to_su4 abstract, 0)
-    | Hardware topo ->
-      (* A fully Z-diagonal program (e.g. a QAOA cost layer) commutes
-         gate-wise, so the router may reorder freely — 2QAN's lever. *)
-      let z_diagonal g =
-        match g with
-        | Gate.G1 ((Gate.Rz _ | Gate.Z | Gate.S | Gate.Sdg | Gate.T | Gate.Tdg), _)
-          ->
-          true
-        | Gate.Rpp { p0 = Phoenix_pauli.Pauli.Z; p1 = Phoenix_pauli.Pauli.Z; _ }
-          ->
-          true
-        | Gate.G1 _ | Gate.Cnot _ | Gate.Cliff2 _ | Gate.Rpp _ | Gate.Swap _
-        | Gate.Su4 _ ->
-          false
+(* Graceful degradation: a group whose synthesized circuit fails its
+   check is re-synthesized with the naive ladder (trusted, program
+   order) and the recovery is recorded — the pipeline always emits a
+   valid circuit instead of aborting.
+
+   Groups are independent, so synthesis + verification fan out over a
+   domain pool.  Each group's diagnostics are collected locally and
+   joined in group order afterwards, so reports are byte-identical to a
+   serial run whatever the scheduling.  A caller-supplied [synthesize]
+   closure is not assumed to be thread-safe and keeps the serial path. *)
+let simplify_pass ?synthesize () =
+  Pass.make ~name:"simplify"
+    ~description:
+      "group-wise BSF simplification (Clifford2Q conjugation search) with \
+       per-group translation validation and naive-ladder fallback"
+    (fun ctx ->
+      let options = ctx.Pass.options in
+      let n = ctx.Pass.n in
+      let synth =
+        match synthesize with
+        | Some f -> f
+        | None -> fun g -> Synthesis.group_circuit ~exact:options.exact g
       in
-      let routed =
-        timed "route" (fun () ->
-            if List.for_all z_diagonal (Circuit.gates abstract) then begin
-              (* multi-start over placement seed sites; keep the routing with
-                 the fewest SWAPs, then lowest 2Q depth *)
-              let attempt seed_site =
-                let initial =
-                  Phoenix_router.Placement.of_circuit ~seed_site topo abstract
-                in
-                Sabre.route_commuting ~initial topo abstract
-              in
-              let score (r : Sabre.result) =
-                r.Sabre.num_swaps, Circuit.depth_2q r.Sabre.circuit
-              in
-              List.fold_left
-                (fun best seed_site ->
-                  let r = attempt seed_site in
-                  if score r < score best then r else best)
-                (attempt 0)
-                [ 11; 23; 37; 53 ]
-            end
-            else
-              Sabre.route_with_refinement ~iterations:options.sabre_iterations
-                ~lookahead:20 ~seed:options.seed topo abstract)
-      in
-      let physical =
-        match options.isa with
-        | Cnot_isa -> lower_cnot options routed.Sabre.circuit
-        | Su4_isa -> Rebase.to_su4 (maybe_peephole options routed.Sabre.circuit)
-      in
-      physical, routed.Sabre.num_swaps
-  in
-  if options.verify then
-    timed "verify" (fun () ->
-        let isa_basis =
-          match options.isa with
-          | Cnot_isa -> Structural.Cnot_basis
-          | Su4_isa -> Structural.Su4_basis
+      let checked_group (idx, (g : Group.t)) =
+        let local = ref [] in
+        let record severity msg =
+          local := Diag.make ~group:idx ~pass:"simplify" severity msg :: !local
         in
-        let topology =
-          match options.target with Hardware t -> Some t | Logical -> None
-        in
-        let structural =
-          Structural.validate ~isa:isa_basis ?topology final_circuit
-        in
-        if structural = [] then
-          diag ~pass:"structural" Diag.Info
-            "ISA alphabet, qubit range%s verified"
-            (if topology = None then "" else " and coupling-graph compliance")
-        else diags := List.rev_append structural !diags;
-        (* End-to-end dense check: only meaningful when nothing in the
-           pipeline may exercise Trotter freedom (exact mode, no routing
-           permutation) and the register is small. *)
-        match options.target with
-        | Logical when options.exact && n <= final_unitary_max_qubits ->
-          let program = List.concat_map (fun g -> g.Group.terms) groups in
-          (match Equiv.unitary_check n program final_circuit with
-          | Ok () ->
-            diag ~pass:"verify" Diag.Info
-              "end-to-end unitary equivalence verified (n = %d)" n
+        let c = synth g in
+        if not options.verify then ({ Order.group = g; circuit = c }, [], false)
+        else
+          match check_group_circuit options n g.Group.terms c with
+          | Ok () -> ({ Order.group = g; circuit = c }, [], false)
           | Error msg ->
-            diag ~pass:"verify" Diag.Error "end-to-end check failed: %s" msg)
-        | Logical | Hardware _ -> ());
+            record Diag.Warning
+              (Printf.sprintf
+                 "synthesis failed verification (%s); recovered with the \
+                  naive ladder"
+                 msg);
+            let fb = Synthesis.naive_gadget_circuit n g.Group.terms in
+            (match check_group_circuit options n g.Group.terms fb with
+            | Ok () -> ()
+            | Error msg2 ->
+              record Diag.Error
+                (Printf.sprintf "naive fallback also failed verification (%s)"
+                   msg2));
+            ({ Order.group = g; circuit = fb }, List.rev !local, true)
+      in
+      let domains =
+        match synthesize with
+        | Some _ -> 1
+        | None ->
+          if options.domains >= 1 then options.domains
+          else Parallel.num_domains ()
+      in
+      let checked =
+        Parallel.map ~domains checked_group
+          (List.mapi (fun i g -> (i, g)) ctx.Pass.groups)
+      in
+      let blocks = List.map (fun (b, _, _) -> b) checked in
+      let recovered = ref 0 in
+      let ctx =
+        List.fold_left
+          (fun ctx (_, group_diags, rec_) ->
+            if rec_ then incr recovered;
+            List.fold_left Pass.add_diag ctx group_diags)
+          ctx checked
+      in
+      let ctx = { ctx with Pass.blocks; Pass.recovered = !recovered } in
+      if options.verify && !recovered = 0 then
+        Pass.diagf ~pass:"simplify" Diag.Info ctx "verified %d group circuits"
+          (List.length ctx.Pass.groups)
+      else ctx)
+
+let order_pass =
+  Pass.make ~name:"order"
+    ~description:
+      "Tetris-like IR-group ordering (lookahead window, routing-aware on \
+       hardware targets)"
+    (fun ctx ->
+      let routing_aware =
+        match ctx.Pass.options.target with
+        | Hardware _ -> true
+        | Logical -> false
+      in
+      {
+        ctx with
+        Pass.blocks =
+          Order.order ~lookahead:ctx.Pass.options.lookahead ~routing_aware
+            ctx.Pass.blocks;
+      })
+
+let lower_pass =
+  Pass.make ~name:"lower"
+    ~description:
+      "ISA lowering: CNOT rebase + phase folding, or SU(4) fusion; on \
+       hardware targets only the pre-routing 2Q count is recorded"
+    (fun ctx ->
+      let options = ctx.Pass.options in
+      match (options.target, options.isa) with
+      | Logical, Cnot_isa ->
+        let c = Passes.lower_cnot options ctx.Pass.circuit in
+        { ctx with Pass.circuit = c; Pass.logical_two_q = Circuit.count_2q c }
+      | Logical, Su4_isa ->
+        let logical_two_q = Rebase.count_su4 ctx.Pass.circuit in
+        {
+          ctx with
+          Pass.circuit = Rebase.to_su4 ctx.Pass.circuit;
+          Pass.logical_two_q = logical_two_q;
+        }
+      | Hardware _, Cnot_isa ->
+        {
+          ctx with
+          Pass.logical_two_q =
+            Circuit.count_2q (Passes.lower_cnot options ctx.Pass.circuit);
+        }
+      | Hardware _, Su4_isa ->
+        { ctx with Pass.logical_two_q = Rebase.count_su4 ctx.Pass.circuit })
+
+let route_pass =
+  Pass.make ~name:"route"
+    ~description:
+      "hardware-aware routing (commuting-set multistart for Z-diagonal \
+       programs, SABRE refinement otherwise) and physical ISA lowering"
+    (fun ctx ->
+      match ctx.Pass.options.target with
+      | Logical -> ctx
+      | Hardware topo ->
+        let options = ctx.Pass.options in
+        let abstract = ctx.Pass.circuit in
+        (* A fully Z-diagonal program (e.g. a QAOA cost layer) commutes
+           gate-wise, so the router may reorder freely — 2QAN's lever. *)
+        let z_diagonal g =
+          match g with
+          | Gate.G1
+              ((Gate.Rz _ | Gate.Z | Gate.S | Gate.Sdg | Gate.T | Gate.Tdg), _)
+            ->
+            true
+          | Gate.Rpp
+              { p0 = Phoenix_pauli.Pauli.Z; p1 = Phoenix_pauli.Pauli.Z; _ } ->
+            true
+          | Gate.G1 _ | Gate.Cnot _ | Gate.Cliff2 _ | Gate.Rpp _ | Gate.Swap _
+          | Gate.Su4 _ ->
+            false
+        in
+        let routed =
+          if List.for_all z_diagonal (Circuit.gates abstract) then begin
+            (* multi-start over placement seed sites; keep the routing with
+               the fewest SWAPs, then lowest 2Q depth *)
+            let attempt seed_site =
+              let initial =
+                Phoenix_router.Placement.of_circuit ~seed_site topo abstract
+              in
+              Sabre.route_commuting ~initial topo abstract
+            in
+            let score (r : Sabre.result) =
+              (r.Sabre.num_swaps, Circuit.depth_2q r.Sabre.circuit)
+            in
+            List.fold_left
+              (fun best seed_site ->
+                let r = attempt seed_site in
+                if score r < score best then r else best)
+              (attempt 0)
+              [ 11; 23; 37; 53 ]
+          end
+          else
+            Sabre.route_with_refinement ~iterations:options.sabre_iterations
+              ~lookahead:20 ~seed:options.seed topo abstract
+        in
+        let physical =
+          match options.isa with
+          | Cnot_isa -> Passes.lower_cnot options routed.Sabre.circuit
+          | Su4_isa ->
+            Rebase.to_su4 (Passes.maybe_peephole options routed.Sabre.circuit)
+        in
+        {
+          ctx with
+          Pass.circuit = physical;
+          Pass.num_swaps = routed.Sabre.num_swaps;
+          Pass.layout = Some routed.Sabre.initial_layout;
+        })
+
+let verify_pass =
+  Pass.make ~name:"verify"
+    ~description:
+      "final translation validation: structural/ISA/coupling checks, plus \
+       an end-to-end dense comparison in exact logical mode on small \
+       registers"
+    (fun ctx ->
+      let options = ctx.Pass.options in
+      let n = ctx.Pass.n in
+      let isa_basis =
+        match options.isa with
+        | Cnot_isa -> Structural.Cnot_basis
+        | Su4_isa -> Structural.Su4_basis
+      in
+      let topology =
+        match options.target with Hardware t -> Some t | Logical -> None
+      in
+      let structural =
+        Structural.validate ~isa:isa_basis ?topology ctx.Pass.circuit
+      in
+      let ctx =
+        if structural = [] then
+          Pass.diagf ~pass:"structural" Diag.Info ctx
+            "ISA alphabet, qubit range%s verified"
+            (if topology = None then ""
+             else " and coupling-graph compliance")
+        else
+          {
+            ctx with
+            Pass.diagnostics = List.rev_append structural ctx.Pass.diagnostics;
+          }
+      in
+      (* End-to-end dense check: only meaningful when nothing in the
+         pipeline may exercise Trotter freedom (exact mode, no routing
+         permutation) and the register is small. *)
+      match options.target with
+      | Logical when options.exact && n <= final_unitary_max_qubits ->
+        let program =
+          List.concat_map (fun g -> g.Group.terms) ctx.Pass.groups
+        in
+        (match Equiv.unitary_check n program ctx.Pass.circuit with
+        | Ok () ->
+          Pass.diagf ~pass:"verify" Diag.Info ctx
+            "end-to-end unitary equivalence verified (n = %d)" n
+        | Error msg ->
+          Pass.diagf ~pass:"verify" Diag.Error ctx
+            "end-to-end check failed: %s" msg)
+      | Logical | Hardware _ -> ctx)
+
+(* --- the canonical pipeline ------------------------------------------- *)
+
+let passes ?synthesize ?(with_grouping = true) (options : options) =
+  List.concat
+    [
+      (if with_grouping then [ Passes.group ] else []);
+      [ simplify_pass ?synthesize () ];
+      (* Reordering IR groups is a Trotter-level transformation; exact
+         mode keeps program order so the output is strictly equivalent. *)
+      (if options.exact then [] else [ order_pass ]);
+      [ Passes.assemble; Passes.peephole; lower_pass ];
+      (match options.target with
+      | Hardware _ -> [ route_pass ]
+      | Logical -> []);
+      (if options.verify then [ verify_pass ] else []);
+    ]
+
+let report_of_ctx ~wall_time (ctx : Pass.ctx) trace =
   {
-    circuit = final_circuit;
-    two_q_count = Circuit.count_2q final_circuit;
-    depth_2q = Circuit.depth_2q final_circuit;
-    one_q_count = Circuit.count_1q final_circuit;
-    num_swaps;
-    logical_two_q;
-    num_groups = List.length groups;
-    wall_time = Clock.wall_s () -. t0;
-    pass_times = List.rev !times;
-    diagnostics = List.rev !diags;
+    circuit = ctx.Pass.circuit;
+    two_q_count = Circuit.count_2q ctx.Pass.circuit;
+    depth_2q = Circuit.depth_2q ctx.Pass.circuit;
+    one_q_count = Circuit.count_1q ctx.Pass.circuit;
+    num_swaps = ctx.Pass.num_swaps;
+    logical_two_q = ctx.Pass.logical_two_q;
+    num_groups = List.length ctx.Pass.groups;
+    wall_time;
+    pass_times =
+      List.map (fun (e : Pass.trace_entry) -> (e.Pass.pass, e.Pass.seconds)) trace;
+    diagnostics = List.rev ctx.Pass.diagnostics;
+    trace;
   }
 
-let with_grouping_time t r =
-  { r with pass_times = ("group", t) :: r.pass_times; wall_time = r.wall_time +. t }
-
-let compile_gadgets ?options ?synthesize n gadgets =
-  let exact = (Option.value ~default:default_options options).exact in
+let run_pipeline ?hooks ?synthesize ~with_grouping options ctx =
   let t0 = Clock.wall_s () in
-  let groups = Group.group_gadgets ~exact n gadgets in
-  let tg = Clock.wall_s () -. t0 in
-  with_grouping_time tg (compile_groups ?options ?synthesize n groups)
+  let ctx, trace =
+    Pass.run ?hooks (passes ?synthesize ~with_grouping options) ctx
+  in
+  report_of_ctx ~wall_time:(Clock.wall_s () -. t0) ctx trace
 
-let compile_blocks ?options ?synthesize n blocks =
-  let t0 = Clock.wall_s () in
-  let groups = Group.of_blocks n blocks in
-  let tg = Clock.wall_s () -. t0 in
-  with_grouping_time tg (compile_groups ?options ?synthesize n groups)
+let compile_groups ?(options = default_options) ?hooks ?synthesize n groups =
+  run_pipeline ?hooks ?synthesize ~with_grouping:false options
+    (Pass.init ~groups options n)
 
-let compile ?options h =
-  let tau = (Option.value ~default:default_options options).tau in
+let compile_gadgets ?(options = default_options) ?hooks ?synthesize n gadgets =
+  run_pipeline ?hooks ?synthesize ~with_grouping:true options
+    (Pass.init ~gadgets options n)
+
+let compile_blocks ?(options = default_options) ?hooks ?synthesize n blocks =
+  run_pipeline ?hooks ?synthesize ~with_grouping:true options
+    (Pass.init ~gadgets:(List.concat blocks) ~term_blocks:blocks options n)
+
+let compile ?(options = default_options) ?hooks h =
   let n = Hamiltonian.num_qubits h in
   match Hamiltonian.term_blocks h with
   | Some blocks ->
     let to_gadget (t : Phoenix_pauli.Pauli_term.t) =
-      t.Phoenix_pauli.Pauli_term.pauli,
-      2.0 *. t.Phoenix_pauli.Pauli_term.coeff *. tau
+      ( t.Phoenix_pauli.Pauli_term.pauli,
+        2.0 *. t.Phoenix_pauli.Pauli_term.coeff *. options.tau )
     in
-    compile_blocks ?options n (List.map (List.map to_gadget) blocks)
-  | None -> compile_gadgets ?options n (Hamiltonian.trotter_gadgets ~tau h)
+    compile_blocks ~options ?hooks n (List.map (List.map to_gadget) blocks)
+  | None ->
+    compile_gadgets ~options ?hooks n
+      (Hamiltonian.trotter_gadgets ~tau:options.tau h)

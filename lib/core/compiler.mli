@@ -4,6 +4,14 @@
     ordering → ISA lowering (CNOT or SU(4)) → optional hardware-aware
     routing → peephole cleanup.
 
+    Since the pass-manager refactor this module is itself a {!Pass}
+    pipeline — the canonical one.  [compile*] assemble the pass list with
+    {!passes}, run it with {!Pass.run}, and fold the final context into
+    the same {!report} as always; options and reports are unchanged and
+    the output is bit-identical to the pre-refactor compiler.  Baseline
+    pipelines reuse the shared passes ({!Passes}) and are registered
+    alongside this one in [Phoenix_pipeline.Registry].
+
     With [verify = true] every pass boundary is translation-validated
     (see {!Phoenix_verify}): each group's synthesized circuit is checked
     against its gadgets by Pauli propagation (plus a dense unitary
@@ -14,13 +22,13 @@
     and the recovery recorded as a [Warning] diagnostic — compilation
     always produces a valid circuit rather than aborting. *)
 
-type isa = Cnot_isa | Su4_isa
+type isa = Pass.isa = Cnot_isa | Su4_isa
 
-type target =
+type target = Pass.target =
   | Logical  (** all-to-all connectivity *)
   | Hardware of Phoenix_topology.Topology.t
 
-type options = {
+type options = Pass.options = {
   isa : isa;
   target : target;
   tau : float;  (** Trotter step duration *)
@@ -59,16 +67,41 @@ type report = {
   wall_time : float;  (** elapsed wall-clock seconds spent compiling *)
   pass_times : (string * float) list;
       (** per-pass wall-clock seconds in pipeline order — ["group"],
-          ["simplify"], ["order"], ["peephole"], ["lower"], ["route"],
-          ["verify"]; passes that did not run are absent *)
+          ["simplify"], ["order"], ["assemble"], ["peephole"],
+          ["lower"], ["route"], ["verify"]; passes that did not run are
+          absent *)
   diagnostics : Phoenix_verify.Diag.t list;
       (** chronological; empty unless [options.verify] *)
+  trace : Pass.trace;
+      (** the full instrumented pass trace: per-pass seconds plus
+          before/after circuit-metric snapshots *)
 }
 
-val compile : ?options:options -> Phoenix_ham.Hamiltonian.t -> report
+val report_of_ctx : wall_time:float -> Pass.ctx -> Pass.trace -> report
+(** Fold a finished pipeline run into the common report — used by every
+    registered pipeline (see [Phoenix_pipeline.Registry]) so PHOENIX and
+    the baselines report through one type. *)
+
+val passes :
+  ?synthesize:(Group.t -> Phoenix_circuit.Circuit.t) ->
+  ?with_grouping:bool ->
+  options ->
+  Pass.t list
+(** The canonical PHOENIX pipeline for [options], as a declarative pass
+    list: grouping (unless [with_grouping = false], for pre-grouped
+    input), simplify, ordering (skipped in exact mode), assembly,
+    peephole, ISA lowering, routing (hardware targets only), and final
+    verification (when [options.verify]). *)
+
+val compile :
+  ?options:options -> ?hooks:Pass.hook list -> Phoenix_ham.Hamiltonian.t ->
+  report
+(** [hooks] (here and below) are {!Pass.hook} pass-boundary
+    instrumentation, fired after every pass. *)
 
 val compile_gadgets :
   ?options:options ->
+  ?hooks:Pass.hook list ->
   ?synthesize:(Group.t -> Phoenix_circuit.Circuit.t) ->
   int ->
   (Phoenix_pauli.Pauli_string.t * float) list ->
@@ -78,6 +111,7 @@ val compile_gadgets :
 
 val compile_blocks :
   ?options:options ->
+  ?hooks:Pass.hook list ->
   ?synthesize:(Group.t -> Phoenix_circuit.Circuit.t) ->
   int ->
   (Phoenix_pauli.Pauli_string.t * float) list list ->
@@ -88,6 +122,7 @@ val compile_blocks :
 
 val compile_groups :
   ?options:options ->
+  ?hooks:Pass.hook list ->
   ?synthesize:(Group.t -> Phoenix_circuit.Circuit.t) ->
   int ->
   Group.t list ->

@@ -86,6 +86,11 @@ let of_blocks n blocks =
         Some { n; terms; support })
     blocks
 
+let of_terms n terms =
+  let support = Bitvec.create n in
+  List.iter (fun (p, _) -> Bitvec.or_into support (Pauli_string.support p)) terms;
+  { n; terms; support }
+
 let all_commuting g =
   let rec ok = function
     | [] -> true

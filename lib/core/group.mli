@@ -30,6 +30,13 @@ val of_blocks :
     as IR groups directly; the support is the union support of the
     block.  Empty blocks and identity strings are dropped. *)
 
+val of_terms : int -> (Phoenix_pauli.Pauli_string.t * float) list -> t
+(** Adopt a term list as one group verbatim — terms are kept exactly as
+    given (identity strings included), so baseline pipelines that
+    partition a program themselves (e.g. into pairwise-commuting sets)
+    can carry their partitions through the pass-manager context without
+    perturbing them. *)
+
 val all_commuting : t -> bool
 (** Whether the group's terms pairwise commute (then any reordering of
     the group is exact, not merely Trotter-equivalent). *)

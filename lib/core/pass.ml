@@ -1,0 +1,185 @@
+module Circuit = Phoenix_circuit.Circuit
+module Topology = Phoenix_topology.Topology
+module Diag = Phoenix_verify.Diag
+module Clock = Phoenix_util.Clock
+
+type isa = Cnot_isa | Su4_isa
+
+type target = Logical | Hardware of Topology.t
+
+type options = {
+  isa : isa;
+  target : target;
+  tau : float;
+  lookahead : int;
+  exact : bool;
+  peephole : bool;
+  sabre_iterations : int;
+  seed : int;
+  verify : bool;
+  domains : int;
+}
+
+let default_options =
+  {
+    isa = Cnot_isa;
+    target = Logical;
+    tau = 1.0;
+    lookahead = 10;
+    exact = false;
+    peephole = true;
+    sabre_iterations = 1;
+    seed = 2025;
+    verify = false;
+    domains = 0;
+  }
+
+(* --- metric snapshots --- *)
+
+type metrics = { gates : int; one_q : int; two_q : int; depth_2q : int }
+
+let metrics_of c =
+  {
+    gates = Circuit.length c;
+    one_q = Circuit.count_1q c;
+    two_q = Circuit.count_2q c;
+    depth_2q = Circuit.depth_2q c;
+  }
+
+let metrics_zero = { gates = 0; one_q = 0; two_q = 0; depth_2q = 0 }
+
+let metrics_delta ~before ~after =
+  {
+    gates = after.gates - before.gates;
+    one_q = after.one_q - before.one_q;
+    two_q = after.two_q - before.two_q;
+    depth_2q = after.depth_2q - before.depth_2q;
+  }
+
+let metrics_add a b =
+  {
+    gates = a.gates + b.gates;
+    one_q = a.one_q + b.one_q;
+    two_q = a.two_q + b.two_q;
+    depth_2q = a.depth_2q + b.depth_2q;
+  }
+
+(* --- the shared compilation context --- *)
+
+type ctx = {
+  n : int;
+  options : options;
+  gadgets : (Phoenix_pauli.Pauli_string.t * float) list;
+  term_blocks : (Phoenix_pauli.Pauli_string.t * float) list list option;
+  groups : Group.t list;
+  blocks : Order.block list;
+  circuit : Circuit.t;
+  num_swaps : int;
+  logical_two_q : int;
+  recovered : int;
+  layout : Phoenix_router.Layout.t option;
+  diagnostics : Diag.t list;
+}
+
+let init ?(gadgets = []) ?term_blocks ?(groups = []) options n =
+  {
+    n;
+    options;
+    gadgets;
+    term_blocks;
+    groups;
+    blocks = [];
+    circuit = Circuit.empty n;
+    num_swaps = 0;
+    logical_two_q = 0;
+    recovered = 0;
+    layout = None;
+    diagnostics = [];
+  }
+
+let add_diag ctx d = { ctx with diagnostics = d :: ctx.diagnostics }
+
+let diagf ?group ~pass severity ctx fmt =
+  Printf.ksprintf
+    (fun m -> add_diag ctx (Diag.make ?group ~pass severity m))
+    fmt
+
+(* --- passes --- *)
+
+type t = { name : string; description : string; run : ctx -> ctx }
+
+let make ~name ~description run = { name; description; run }
+
+type trace_entry = {
+  pass : string;
+  seconds : float;
+  before : metrics;
+  after : metrics;
+}
+
+type trace = trace_entry list
+
+let entry_delta e = metrics_delta ~before:e.before ~after:e.after
+
+type hook = pass:t -> before:ctx -> after:ctx -> seconds:float -> unit
+
+let run ?(hooks = []) passes ctx =
+  let final, rev_trace =
+    List.fold_left
+      (fun (ctx, acc) pass ->
+        let before = metrics_of ctx.circuit in
+        let t0 = Clock.wall_s () in
+        let ctx' = pass.run ctx in
+        let seconds = Clock.wall_s () -. t0 in
+        let after = metrics_of ctx'.circuit in
+        List.iter
+          (fun h -> h ~pass ~before:ctx ~after:ctx' ~seconds)
+          hooks;
+        ctx', { pass = pass.name; seconds; before; after } :: acc)
+      (ctx, []) passes
+  in
+  final, List.rev rev_trace
+
+(* --- machine-readable trace --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let metrics_json m =
+  Printf.sprintf
+    "{ \"gates\": %d, \"one_q\": %d, \"two_q\": %d, \"depth_2q\": %d }"
+    m.gates m.one_q m.two_q m.depth_2q
+
+let trace_to_json ?(compiler = "") ?(workload = "") trace =
+  let buf = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "{\n";
+  p "  \"schema\": \"phoenix-trace-v1\",\n";
+  if compiler <> "" then p "  \"compiler\": \"%s\",\n" (json_escape compiler);
+  if workload <> "" then p "  \"workload\": \"%s\",\n" (json_escape workload);
+  p "  \"total_seconds\": %.6f,\n"
+    (List.fold_left (fun acc e -> acc +. e.seconds) 0.0 trace);
+  p "  \"final\": %s,\n"
+    (metrics_json
+       (match List.rev trace with e :: _ -> e.after | [] -> metrics_zero));
+  p "  \"passes\": [";
+  List.iteri
+    (fun i e ->
+      p "%s\n    { \"pass\": \"%s\", \"seconds\": %.6f,\n"
+        (if i = 0 then "" else ",")
+        (json_escape e.pass) e.seconds;
+      p "      \"before\": %s,\n" (metrics_json e.before);
+      p "      \"after\": %s,\n" (metrics_json e.after);
+      p "      \"delta\": %s }" (metrics_json (entry_delta e)))
+    trace;
+  p "\n  ]\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,134 @@
+(** The pass-manager core.
+
+    PHOENIX and every baseline compiler in this repo are sequences of the
+    same kind of step — group, simplify, order, lower, route, peephole —
+    so all of them are expressed as {e pipelines}: declarative lists of
+    named {e passes}, each a transformation over a shared compilation
+    {!ctx}.  The runner ({!run}) wall-clock-times every pass, snapshots
+    the circuit metrics at each boundary into a {!trace}, and invokes
+    caller-supplied {!hook}s — the pluggable instrumentation point used
+    for lint and translation-validation at pass granularity.
+
+    The framework lives in the core library so {!Compiler} itself is a
+    pipeline; the registry of all pipelines (PHOENIX plus the baselines)
+    is {!Phoenix_pipeline.Registry}. *)
+
+type isa = Cnot_isa | Su4_isa
+
+type target =
+  | Logical  (** all-to-all connectivity *)
+  | Hardware of Phoenix_topology.Topology.t
+
+type options = {
+  isa : isa;
+  target : target;
+  tau : float;  (** Trotter step duration *)
+  lookahead : int;  (** ordering look-ahead window *)
+  exact : bool;
+      (** strict unitary preservation: restrict local peeling to
+          commuting rows and keep IR groups in program order *)
+  peephole : bool;  (** run the O3-style cleanup passes *)
+  sabre_iterations : int;  (** SABRE layout-refinement round trips *)
+  seed : int;
+  verify : bool;
+      (** translation-validate every pass boundary and fall back to
+          naive synthesis on per-group check failures *)
+  domains : int;
+      (** domains for parallel group synthesis: [1] forces serial, [0]
+          (the default) uses {!Phoenix_util.Parallel.num_domains} *)
+}
+
+val default_options : options
+(** CNOT ISA, logical target, [tau = 1], lookahead 10, peephole on,
+    verification off, automatic domain count. *)
+
+(** {1 Metric snapshots} *)
+
+type metrics = { gates : int; one_q : int; two_q : int; depth_2q : int }
+
+val metrics_of : Phoenix_circuit.Circuit.t -> metrics
+val metrics_zero : metrics
+
+val metrics_delta : before:metrics -> after:metrics -> metrics
+(** Component-wise [after - before]; entries may be negative. *)
+
+val metrics_add : metrics -> metrics -> metrics
+
+(** {1 The shared compilation context} *)
+
+type ctx = {
+  n : int;  (** logical register size *)
+  options : options;
+  gadgets : (Phoenix_pauli.Pauli_string.t * float) list;
+      (** the flat gadget program, when known *)
+  term_blocks : (Phoenix_pauli.Pauli_string.t * float) list list option;
+      (** algorithm-level block structure (e.g. UCCSD excitations) *)
+  groups : Group.t list;  (** IR groups, once grouped *)
+  blocks : Order.block list;  (** per-group synthesized circuits *)
+  circuit : Phoenix_circuit.Circuit.t;  (** the evolving circuit *)
+  num_swaps : int;
+  logical_two_q : int;  (** pre-routing 2Q count under the target ISA *)
+  recovered : int;  (** groups re-synthesized by the verified fallback *)
+  layout : Phoenix_router.Layout.t option;  (** placement, once chosen *)
+  diagnostics : Phoenix_verify.Diag.t list;  (** reverse chronological *)
+}
+
+val init :
+  ?gadgets:(Phoenix_pauli.Pauli_string.t * float) list ->
+  ?term_blocks:(Phoenix_pauli.Pauli_string.t * float) list list ->
+  ?groups:Group.t list ->
+  options ->
+  int ->
+  ctx
+(** Fresh context over an [n]-qubit register with an empty circuit. *)
+
+val add_diag : ctx -> Phoenix_verify.Diag.t -> ctx
+
+val diagf :
+  ?group:int ->
+  pass:string ->
+  Phoenix_verify.Diag.severity ->
+  ctx ->
+  ('a, unit, string, ctx) format4 ->
+  'a
+(** Record a formatted diagnostic against the context. *)
+
+(** {1 Passes and pipelines} *)
+
+type t = { name : string; description : string; run : ctx -> ctx }
+(** A named transformation over the context.  A pipeline is a [t list]. *)
+
+val make : name:string -> description:string -> (ctx -> ctx) -> t
+
+type trace_entry = {
+  pass : string;
+  seconds : float;  (** wall-clock time spent in the pass *)
+  before : metrics;  (** circuit metrics entering the pass *)
+  after : metrics;  (** circuit metrics leaving the pass *)
+}
+
+type trace = trace_entry list
+(** One entry per executed pass, in execution order.  Because every
+    circuit mutation happens inside some pass, the per-pass deltas
+    telescope: starting from {!metrics_zero} (the empty circuit),
+    summing {!entry_delta} over the trace reproduces the final
+    circuit's metrics exactly. *)
+
+val entry_delta : trace_entry -> metrics
+
+type hook = pass:t -> before:ctx -> after:ctx -> seconds:float -> unit
+(** Pluggable pass-boundary instrumentation: called after every pass
+    with the contexts on both sides and the elapsed wall time.  See
+    {!Phoenix_pipeline.Hooks} for ready-made lint and
+    translation-validation hooks. *)
+
+val run : ?hooks:hook list -> t list -> ctx -> ctx * trace
+(** Execute a pipeline: fold the passes over the context, timing each,
+    snapshotting boundary metrics, and firing every hook at every
+    boundary. *)
+
+(** {1 Machine-readable trace} *)
+
+val trace_to_json : ?compiler:string -> ?workload:string -> trace -> string
+(** Schema [phoenix-trace-v1]: per-pass seconds and before/after/delta
+    metric snapshots, plus the final metrics and total seconds. *)

@@ -1,0 +1,48 @@
+(** Shared passes: the transformations common to PHOENIX and the
+    baseline pipelines.  Baseline-specific passes live with their
+    compilers (see {!Phoenix_baselines}); PHOENIX-specific ones in
+    {!Compiler}. *)
+
+val maybe_peephole :
+  Pass.options -> Phoenix_circuit.Circuit.t -> Phoenix_circuit.Circuit.t
+(** The O3-style cleanup, gated on [options.peephole]. *)
+
+val lower_cnot :
+  Pass.options -> Phoenix_circuit.Circuit.t -> Phoenix_circuit.Circuit.t
+(** Full CNOT-basis lowering: peephole, rebase, phase folding, peephole
+    (each cleanup gated on [options.peephole]). *)
+
+val logical_isa_count : Pass.options -> Phoenix_circuit.Circuit.t -> int
+(** 2Q count of a logical circuit under the target ISA (CNOTs, or fused
+    SU(4) blocks). *)
+
+val group : Pass.t
+(** Partition [ctx.gadgets] (or adopt [ctx.term_blocks]) into IR groups.
+    Honors [options.exact] for flat gadget programs. *)
+
+val assemble : Pass.t
+(** [ctx.blocks] concatenated in their current order becomes
+    [ctx.circuit]. *)
+
+val peephole : Pass.t
+(** {!maybe_peephole} applied to [ctx.circuit]. *)
+
+val rebase : Pass.t
+(** Rebase a logical circuit to the target ISA and record
+    [logical_two_q].  The identity on circuits already in CNOT basis
+    under [Cnot_isa]. *)
+
+val route_sabre : Pass.t
+(** Generic SABRE routing for hardware targets (the baseline routing
+    path): records the pre-routing ISA count as [logical_two_q], routes
+    with layout refinement, and stores layout and swap count.  The
+    identity on logical targets. *)
+
+val lower_routed : Pass.t
+(** Post-routing ISA lowering: SWAP expansion + CNOT rebase + peephole,
+    or SU(4) fusion. *)
+
+val verify_structural : Pass.t
+(** Structural validation of [ctx.circuit] against the options' ISA and
+    topology, recording violations (or a pass-confirming [Info]) as
+    diagnostics.  Include in a pipeline only when [options.verify]. *)

@@ -1,9 +1,6 @@
 module Circuit = Phoenix_circuit.Circuit
-module Peephole = Phoenix_circuit.Peephole
-module Rebase = Phoenix_circuit.Rebase
-module Sabre = Phoenix_router.Sabre
 module Compiler = Phoenix.Compiler
-module B = Phoenix_baselines
+module Pipelines = Phoenix_pipeline.Registry
 
 type compiler = Naive | Tket | Paulihedral | Tetris | Phoenix_c
 
@@ -14,6 +11,18 @@ let compiler_name = function
   | Tetris -> "Tetris-like"
   | Phoenix_c -> "PHOENIX"
 
+let registry_name = function
+  | Naive -> "naive"
+  | Tket -> "tket"
+  | Paulihedral -> "paulihedral"
+  | Tetris -> "tetris"
+  | Phoenix_c -> "phoenix"
+
+let entry compiler =
+  match Pipelines.find (registry_name compiler) with
+  | Some e -> e
+  | None -> assert false
+
 type isa = Cnot | Su4
 
 type outcome = {
@@ -21,23 +30,10 @@ type outcome = {
   swaps : int;
   logical_two_q : int;
   seconds : float;
+  pass_times : (string * float) list;
 }
 
-let baseline_logical ?(o3 = true) compiler n blocks =
-  let gadgets = List.concat blocks in
-  match compiler with
-  | Naive -> B.Naive.compile n gadgets
-  | Tket -> B.Tket_like.compile ~peephole:o3 n gadgets
-  | Paulihedral -> B.Paulihedral_like.compile_blocks ~peephole:o3 n blocks
-  | Tetris -> B.Tetris_like.compile_blocks ~peephole:o3 n blocks
-  | Phoenix_c -> assert false
-
-let isa_counts isa c =
-  match isa with
-  | Cnot -> Metrics.of_circuit c
-  | Su4 -> Metrics.of_su4_circuit c
-
-let phoenix_options ?(o3 = true) ~isa ~target () =
+let options ?(o3 = true) ~isa ~target () =
   {
     Compiler.default_options with
     isa = (match isa with Cnot -> Compiler.Cnot_isa | Su4 -> Compiler.Su4_isa);
@@ -45,71 +41,33 @@ let phoenix_options ?(o3 = true) ~isa ~target () =
     peephole = o3;
   }
 
-let run_logical ?(o3 = true) ~isa compiler n blocks =
+(* Every compiler — PHOENIX and baselines alike — runs through the
+   pipeline registry; the baseline entries end with the shared SABRE
+   routing + ISA lowering tail on hardware targets, which is exactly the
+   treatment the paper's baseline columns get. *)
+let run ~options ~logical compiler n blocks =
   let t0 = Sys.time () in
-  match compiler with
-  | Phoenix_c ->
-    let options = phoenix_options ~o3 ~isa ~target:Compiler.Logical () in
-    let r = Compiler.compile_blocks ~options n blocks in
-    {
-      counts =
-        {
-          gates = Circuit.length r.Compiler.circuit;
-          two_q = r.Compiler.two_q_count;
-          depth = Circuit.depth r.Compiler.circuit;
-          depth_2q = r.Compiler.depth_2q;
-        };
-      swaps = 0;
-      logical_two_q = r.Compiler.two_q_count;
-      seconds = Sys.time () -. t0;
-    }
-  | Naive | Tket | Paulihedral | Tetris ->
-    let c = baseline_logical ~o3 compiler n blocks in
-    let counts = isa_counts isa c in
-    {
-      counts;
-      swaps = 0;
-      logical_two_q = counts.Metrics.two_q;
-      seconds = Sys.time () -. t0;
-    }
+  let r = Pipelines.compile_blocks ~options (entry compiler) n blocks in
+  {
+    counts =
+      {
+        Metrics.gates = Circuit.length r.Compiler.circuit;
+        two_q = r.Compiler.two_q_count;
+        depth = Circuit.depth r.Compiler.circuit;
+        depth_2q = r.Compiler.depth_2q;
+      };
+    swaps = r.Compiler.num_swaps;
+    logical_two_q =
+      (if logical then r.Compiler.two_q_count else r.Compiler.logical_two_q);
+    seconds = Sys.time () -. t0;
+    pass_times = r.Compiler.pass_times;
+  }
 
-let run_hardware ?(o3 = true) ~isa topo compiler n blocks =
-  let t0 = Sys.time () in
-  match compiler with
-  | Phoenix_c ->
-    let options =
-      phoenix_options ~o3 ~isa ~target:(Compiler.Hardware topo) ()
-    in
-    let r = Compiler.compile_blocks ~options n blocks in
-    {
-      counts =
-        {
-          gates = Circuit.length r.Compiler.circuit;
-          two_q = r.Compiler.two_q_count;
-          depth = Circuit.depth r.Compiler.circuit;
-          depth_2q = r.Compiler.depth_2q;
-        };
-      swaps = r.Compiler.num_swaps;
-      logical_two_q = r.Compiler.logical_two_q;
-      seconds = Sys.time () -. t0;
-    }
-  | Naive | Tket | Paulihedral | Tetris ->
-    let logical = baseline_logical ~o3 compiler n blocks in
-    let logical_two_q = (isa_counts isa logical).Metrics.two_q in
-    let routed = Sabre.route_with_refinement ~iterations:1 topo logical in
-    let final =
-      match isa with
-      | Cnot ->
-        let c = Rebase.to_cnot_basis routed.Sabre.circuit in
-        if o3 then Peephole.optimize c else c
-      | Su4 ->
-        Rebase.to_su4
-          (if o3 then Peephole.optimize routed.Sabre.circuit
-           else routed.Sabre.circuit)
-    in
-    {
-      counts = Metrics.of_circuit final;
-      swaps = routed.Sabre.num_swaps;
-      logical_two_q;
-      seconds = Sys.time () -. t0;
-    }
+let run_logical ?o3 ~isa compiler n blocks =
+  run ~options:(options ?o3 ~isa ~target:Compiler.Logical ()) ~logical:true
+    compiler n blocks
+
+let run_hardware ?o3 ~isa topo compiler n blocks =
+  run
+    ~options:(options ?o3 ~isa ~target:(Compiler.Hardware topo) ())
+    ~logical:false compiler n blocks

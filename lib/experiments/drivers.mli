@@ -2,7 +2,9 @@
     target/ISA, mirroring the paper's experimental settings: baselines
     compile logically (optionally with the O3-style peephole), get routed
     by SABRE, and are rebased to SU(4) when that ISA is selected; PHOENIX
-    runs its integrated pipeline. *)
+    runs its integrated pipeline.  All of them dispatch through the
+    pipeline registry ({!Phoenix_pipeline.Registry}), so every outcome
+    carries the registry report's per-pass timings. *)
 
 type compiler = Naive | Tket | Paulihedral | Tetris | Phoenix_c
 
@@ -15,6 +17,8 @@ type outcome = {
   swaps : int;  (** 0 for logical compilation *)
   logical_two_q : int;  (** pre-routing 2Q count under the same ISA *)
   seconds : float;
+  pass_times : (string * float) list;
+      (** per-pass wall-clock seconds, in pipeline order *)
 }
 
 val run_logical :

@@ -1,0 +1,181 @@
+module Compiler = Phoenix.Compiler
+module Pass = Phoenix.Pass
+module Passes = Phoenix.Passes
+module Hamiltonian = Phoenix_ham.Hamiltonian
+module Clock = Phoenix_util.Clock
+
+type entry = {
+  name : string;
+  description : string;
+  passes : Compiler.options -> Pass.t list;
+  requires_topology : bool;
+  two_local_only : bool;
+  uses_blocks : bool;
+}
+
+(* The tail every logical-level baseline shares: rebase to the target
+   ISA (the identity for already-CNOT circuits under [Cnot_isa]), or —
+   on hardware targets — SABRE routing plus physical lowering; then the
+   structural validator when verification was requested. *)
+let baseline_tail (options : Compiler.options) =
+  (match options.Compiler.target with
+  | Compiler.Hardware _ -> [ Passes.route_sabre; Passes.lower_routed ]
+  | Compiler.Logical -> [ Passes.rebase ])
+  @ (if options.Compiler.verify then [ Passes.verify_structural ] else [])
+
+let phoenix =
+  {
+    name = "phoenix";
+    description =
+      "the PHOENIX pipeline: IR grouping, BSF simplification, Tetris-like \
+       ordering, ISA lowering, hardware-aware routing";
+    passes = (fun options -> Compiler.passes options);
+    requires_topology = false;
+    two_local_only = false;
+    uses_blocks = true;
+  }
+
+let tket =
+  {
+    name = "tket";
+    description =
+      "TKET-like: commuting-set partition, simultaneous diagonalization, \
+       sorted phase ladders, peephole";
+    passes = (fun options -> Phoenix_baselines.Tket_like.passes @ baseline_tail options);
+    requires_topology = false;
+    two_local_only = false;
+    uses_blocks = false;
+  }
+
+let paulihedral =
+  {
+    name = "paulihedral";
+    description =
+      "Paulihedral-like: support-keyed blocks chained by overlap, \
+       block-local ladder synthesis, peephole";
+    passes =
+      (fun options ->
+        Phoenix_baselines.Paulihedral_like.passes ~with_grouping:true
+        @ baseline_tail options);
+    requires_topology = false;
+    two_local_only = false;
+    uses_blocks = false;
+  }
+
+let tetris =
+  {
+    name = "tetris";
+    description =
+      "Tetris-like: blocks ordered by boundary cancellation \
+       compatibility, Z-first ladders, peephole";
+    passes =
+      (fun options ->
+        Phoenix_baselines.Tetris_like.passes ~with_grouping:true
+        @ baseline_tail options);
+    requires_topology = false;
+    two_local_only = false;
+    uses_blocks = false;
+  }
+
+let qan2 =
+  {
+    name = "2qan";
+    description =
+      "2QAN-like: interaction-weighted placement and greedy \
+       commuting-interaction routing for 2-local programs";
+    passes =
+      (fun options ->
+        Phoenix_baselines.Qan2_like.passes
+        @ (if options.Compiler.verify then [ Passes.verify_structural ] else []));
+    requires_topology = true;
+    two_local_only = true;
+    uses_blocks = false;
+  }
+
+let naive =
+  {
+    name = "naive";
+    description =
+      "textbook per-gadget CNOT-ladder synthesis in program order (the \
+       \"original circuit\" of the paper's tables)";
+    passes = (fun options -> Phoenix_baselines.Naive.passes @ baseline_tail options);
+    requires_topology = false;
+    two_local_only = false;
+    uses_blocks = false;
+  }
+
+let all = [ phoenix; tket; paulihedral; tetris; qan2; naive ]
+
+let find name = List.find_opt (fun e -> e.name = name) all
+
+let names () = List.map (fun e -> e.name) all
+
+(* --- running a registered pipeline ------------------------------------ *)
+
+let run ?hooks entry (options : Compiler.options) ctx =
+  let t0 = Clock.wall_s () in
+  let ctx, trace = Pass.run ?hooks (entry.passes options) ctx in
+  Compiler.report_of_ctx ~wall_time:(Clock.wall_s () -. t0) ctx trace
+
+let compile_gadgets ?(options = Compiler.default_options) ?hooks entry n gadgets
+    =
+  run ?hooks entry options (Pass.init ~gadgets options n)
+
+let compile_blocks ?(options = Compiler.default_options) ?hooks entry n blocks =
+  run ?hooks entry options
+    (Pass.init ~gadgets:(List.concat blocks) ~term_blocks:blocks options n)
+
+let compile ?(options = Compiler.default_options) ?hooks entry h =
+  let n = Hamiltonian.num_qubits h in
+  match (if entry.uses_blocks then Hamiltonian.term_blocks h else None) with
+  | Some blocks ->
+    let to_gadget (t : Phoenix_pauli.Pauli_term.t) =
+      ( t.Phoenix_pauli.Pauli_term.pauli,
+        2.0 *. t.Phoenix_pauli.Pauli_term.coeff *. options.Compiler.tau )
+    in
+    compile_blocks ~options ?hooks entry n (List.map (List.map to_gadget) blocks)
+  | None ->
+    compile_gadgets ~options ?hooks entry n
+      (Hamiltonian.trotter_gadgets ~tau:options.Compiler.tau h)
+
+(* --- the pass catalog -------------------------------------------------- *)
+
+type catalog_entry = {
+  pass_name : string;
+  pass_description : string;
+  pipelines : string list;  (** registry names of the pipelines using it *)
+}
+
+(* Representative options that exercise the longest variant of every
+   pipeline: hardware target (routing present), verification on,
+   non-exact (ordering present). *)
+let catalog () =
+  let repr =
+    {
+      Compiler.default_options with
+      Compiler.target = Compiler.Hardware (Phoenix_topology.Topology.line 4);
+      Compiler.verify = true;
+    }
+  in
+  let table : (string * string, string list ref) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun (p : Pass.t) ->
+          let key = (p.Pass.name, p.Pass.description) in
+          match Hashtbl.find_opt table key with
+          | Some users -> if not (List.mem e.name !users) then users := e.name :: !users
+          | None ->
+            Hashtbl.add table key (ref [ e.name ]);
+            order := key :: !order)
+        (e.passes repr))
+    all;
+  List.rev_map
+    (fun ((name, description) as key) ->
+      {
+        pass_name = name;
+        pass_description = description;
+        pipelines = List.rev !(Hashtbl.find table key);
+      })
+    !order

@@ -1,0 +1,75 @@
+(** The pipeline registry: every compiler in this repo — PHOENIX and the
+    five baselines — as a named {!Phoenix.Pass} pipeline over the shared
+    compilation context, all returning the common
+    {!Phoenix.Compiler.report}.
+
+    The CLI dispatches [--compiler]/[--pipeline] through {!find}, the
+    experiment drivers compile through {!compile_blocks}, and
+    [phoenix passes] prints {!catalog} — so adding a pipeline here
+    surfaces it everywhere at once. *)
+
+type entry = {
+  name : string;  (** stable CLI identifier ("phoenix", "tket", ...) *)
+  description : string;  (** one line, shown by [phoenix passes] *)
+  passes : Phoenix.Compiler.options -> Phoenix.Pass.t list;
+      (** the pipeline for the given options; option-dependent stages
+          (routing, verification, exact-mode ordering) appear or
+          disappear accordingly *)
+  requires_topology : bool;  (** 2QAN: refuses logical targets *)
+  two_local_only : bool;  (** 2QAN: refuses weight > 2 gadgets *)
+  uses_blocks : bool;
+      (** adopt algorithm-level term blocks as IR groups when the
+          Hamiltonian records them (PHOENIX does; the baselines consume
+          the flat Trotter gadget program, as their references do) *)
+}
+
+val all : entry list
+(** Registry order is the CLI listing order. *)
+
+val find : string -> entry option
+
+val names : unit -> string list
+
+val compile :
+  ?options:Phoenix.Compiler.options ->
+  ?hooks:Phoenix.Pass.hook list ->
+  entry ->
+  Phoenix_ham.Hamiltonian.t ->
+  Phoenix.Compiler.report
+(** Compile a Hamiltonian through a registered pipeline.  Respects
+    [options.tau] for Trotterization and [entry.uses_blocks] for block
+    adoption; [hooks] fire at every pass boundary. *)
+
+val compile_gadgets :
+  ?options:Phoenix.Compiler.options ->
+  ?hooks:Phoenix.Pass.hook list ->
+  entry ->
+  int ->
+  (Phoenix_pauli.Pauli_string.t * float) list ->
+  Phoenix.Compiler.report
+(** Compile an explicit gadget program over [n] qubits. *)
+
+val compile_blocks :
+  ?options:Phoenix.Compiler.options ->
+  ?hooks:Phoenix.Pass.hook list ->
+  entry ->
+  int ->
+  (Phoenix_pauli.Pauli_string.t * float) list list ->
+  Phoenix.Compiler.report
+(** Compile with caller-supplied algorithm-level blocks.  Pipelines that
+    don't consume block structure (tket, 2qan, naive) see the flattened
+    program. *)
+
+(** {1 Pass catalog} *)
+
+type catalog_entry = {
+  pass_name : string;
+  pass_description : string;
+  pipelines : string list;  (** registry names of the pipelines using it *)
+}
+
+val catalog : unit -> catalog_entry list
+(** Every distinct pass across all registered pipelines (keyed by name
+    and description), in first-appearance order, with the pipelines that
+    use it.  Computed under representative options — hardware target,
+    verification on — so option-gated stages are included. *)

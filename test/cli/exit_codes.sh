@@ -28,10 +28,30 @@ expect 0 analyze --list
 # dangling wire is a warning, not an error: exit stays 0
 expect 0 analyze heisenberg:6 --inject-fault dangling
 
+# pipeline registry: --pipeline dispatch, the passes listing, tracing
+expect 0 compile "$W" --pipeline tket
+expect 0 compile "$W" --pipeline phoenix --trace -
+expect 0 passes
+expect 0 passes --pipeline phoenix
+expect 0 passes --pipeline 2qan
+
+# a --trace file lands on disk and carries the schema marker
+rm -f trace_probe.json
+"$BIN" compile "$W" --trace trace_probe.json >/dev/null 2>&1
+if grep -q '"phoenix-trace-v1"' trace_probe.json 2>/dev/null; then
+  echo "ok: --trace wrote phoenix-trace-v1 JSON"
+else
+  echo "FAIL: --trace did not write phoenix-trace-v1 JSON" >&2
+  fail=1
+fi
+rm -f trace_probe.json
+
 # usage / input errors
 expect 2 compile no-such-workload
 expect 2 analyze
 expect 2 compile "$W" --compiler no-such-compiler
+expect 2 compile "$W" --pipeline no-such-pipeline
+expect 2 passes --pipeline no-such-pipeline
 expect 2 compile "$W" --topology no-such-topology
 expect 2 compile heisenberg:6 --compiler 2qan
 
