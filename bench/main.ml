@@ -12,6 +12,7 @@
 
 module E = Phoenix_experiments
 module Clock = Phoenix_util.Clock
+module Cache = Phoenix_cache.Cache
 
 let fmt = Format.std_formatter
 
@@ -57,6 +58,10 @@ let perf_tests () =
   let groups = Phoenix.Group.of_blocks n blocks in
   let first_group = List.hd groups in
   let topo = E.Workloads.heavy_hex () in
+  (* Micro-benchmarks measure the compiler passes, not the synthesis
+     cache: a warm cache would answer every iteration after the first
+     from memory, so pin the tier off for every timed compile. *)
+  let cold = { Phoenix.Compiler.default_options with cache = Cache.Off } in
   let open Bechamel in
   Test.make_grouped ~name:"phoenix" ~fmt:"%s %s"
     [
@@ -67,23 +72,15 @@ let perf_tests () =
              ignore (Phoenix.Simplify.run n first_group.Phoenix.Group.terms)));
       Test.make ~name:"compile-logical-cnot"
         (Staged.stage (fun () ->
-             ignore (Phoenix.Compiler.compile_blocks n blocks)));
+             ignore (Phoenix.Compiler.compile_blocks ~options:cold n blocks)));
       Test.make ~name:"compile-logical-su4"
         (Staged.stage (fun () ->
-             let options =
-               {
-                 Phoenix.Compiler.default_options with
-                 isa = Phoenix.Compiler.Su4_isa;
-               }
-             in
+             let options = { cold with isa = Phoenix.Compiler.Su4_isa } in
              ignore (Phoenix.Compiler.compile_blocks ~options n blocks)));
       Test.make ~name:"compile-heavy-hex"
         (Staged.stage (fun () ->
              let options =
-               {
-                 Phoenix.Compiler.default_options with
-                 target = Phoenix.Compiler.Hardware topo;
-               }
+               { cold with target = Phoenix.Compiler.Hardware topo }
              in
              ignore (Phoenix.Compiler.compile_blocks ~options n blocks)));
       Test.make ~name:"baseline-tket"
@@ -92,12 +89,14 @@ let perf_tests () =
     ]
 
 (* End-to-end compile wall times: one timed run each, so the JSON records
-   the user-visible latency next to the per-pass OLS estimates. *)
+   the user-visible latency next to the per-pass OLS estimates.  Pinned
+   cold so the numbers track the compiler, not the synthesis cache. *)
 let end_to_end_compiles () =
   let case = List.hd (E.Workloads.uccsd_suite ~labels:[ "LiH_frz_JW" ] ()) in
   let n = case.E.Workloads.n in
   let blocks = case.E.Workloads.gadget_blocks in
   let topo = E.Workloads.heavy_hex () in
+  let cold = { Phoenix.Compiler.default_options with cache = Cache.Off } in
   let timed name f =
     let t0 = Clock.wall_s () in
     let r : Phoenix.Compiler.report = f () in
@@ -108,16 +107,37 @@ let end_to_end_compiles () =
   in
   [
     timed "compile-logical-cnot" (fun () ->
-        Phoenix.Compiler.compile_blocks n blocks);
+        Phoenix.Compiler.compile_blocks ~options:cold n blocks);
     timed "compile-heavy-hex" (fun () ->
-        let options =
-          {
-            Phoenix.Compiler.default_options with
-            target = Phoenix.Compiler.Hardware topo;
-          }
-        in
+        let options = { cold with target = Phoenix.Compiler.Hardware topo } in
         Phoenix.Compiler.compile_blocks ~options n blocks);
   ]
+
+(* Cold vs. warm synthesis-cache wall times: compile once against a fresh
+   memory tier to populate it, then again against the resident entries.
+   The reports' own per-run hit/miss deltas certify what each leg
+   measured (cold: all misses; warm: all hits). *)
+let cache_cold_warm () =
+  let case = List.hd (E.Workloads.uccsd_suite ~labels:[ "LiH_frz_JW" ] ()) in
+  let n = case.E.Workloads.n in
+  let blocks = case.E.Workloads.gadget_blocks in
+  let topo = E.Workloads.heavy_hex () in
+  let base = Phoenix.Compiler.default_options in
+  [
+    "compile-logical-cnot", base;
+    "compile-heavy-hex", { base with target = Phoenix.Compiler.Hardware topo };
+  ]
+  |> List.map (fun (name, options) ->
+         let options = { options with Phoenix.Compiler.cache = Cache.Mem } in
+         Cache.clear_memory ();
+         let timed () =
+           let t0 = Clock.wall_s () in
+           let r = Phoenix.Compiler.compile_blocks ~options n blocks in
+           Clock.wall_s () -. t0, r.Phoenix.Compiler.cache_stats
+         in
+         let cold_s, cold_stats = timed () in
+         let warm_s, warm_stats = timed () in
+         name, cold_s, warm_s, cold_stats, warm_stats)
 
 let json_escape s =
   let buf = Buffer.create (String.length s) in
@@ -135,12 +155,13 @@ let bench_json_path = "BENCH_phoenix.json"
 
 (* Machine-readable perf trajectory: per-pass ms/run from Bechamel plus
    end-to-end compile wall seconds (with the pipeline's own per-pass
-   split), appended-to by CI as a workflow artifact. *)
-let write_bench_json ~quick micro e2e =
+   split) and the synthesis-cache cold/warm comparison, appended-to by CI
+   as a workflow artifact. *)
+let write_bench_json ~quick micro e2e cache =
   let oc = open_out bench_json_path in
   let p fmt_str = Printf.fprintf oc fmt_str in
   p "{\n";
-  p "  \"schema\": \"phoenix-bench-v2\",\n";
+  p "  \"schema\": \"phoenix-bench-v3\",\n";
   p "  \"workload\": \"LiH_frz_JW\",\n";
   p "  \"quick\": %b,\n" quick;
   p "  \"micro_ms_per_run\": {";
@@ -165,6 +186,18 @@ let write_bench_json ~quick micro e2e =
         pass_times;
       p " } }")
     e2e;
+  p "\n  },\n";
+  p "  \"cache\": {";
+  List.iteri
+    (fun i (name, cold_s, warm_s, cold_stats, warm_stats) ->
+      let speedup = if warm_s > 0.0 then cold_s /. warm_s else 0.0 in
+      p "%s\n    \"%s\": { \"cold_wall_s\": %.6f, \"warm_wall_s\": %.6f,"
+        (if i = 0 then "" else ",")
+        (json_escape name) cold_s warm_s;
+      p "\n      \"speedup\": %.3f," speedup;
+      p "\n      \"cold\": %s," (Cache.stats_to_json cold_stats);
+      p "\n      \"warm\": %s }" (Cache.stats_to_json warm_stats))
+    cache;
   p "\n  }\n}\n";
   close_out oc;
   Format.fprintf fmt "wrote %s@." bench_json_path
@@ -207,6 +240,17 @@ let run_perf ~quick =
   Format.fprintf fmt
     "(paper: compiles thousands of Pauli strings in dozens of seconds on a laptop)@,";
   Format.fprintf fmt "@]@.";
+  let cache = cache_cold_warm () in
+  List.iter
+    (fun (name, cold_s, warm_s, cold_stats, warm_stats) ->
+      Format.fprintf fmt
+        "%-34s cache cold %8.3f s -> warm %8.3f s (%.1fx, warm %d hits / %d \
+         misses)@."
+        name cold_s warm_s
+        (if warm_s > 0.0 then cold_s /. warm_s else 0.0)
+        warm_stats.Cache.hits warm_stats.Cache.misses;
+      ignore cold_stats)
+    cache;
   if !json_mode then begin
     let e2e = end_to_end_compiles () in
     List.iter
@@ -218,7 +262,7 @@ let run_perf ~quick =
             Format.fprintf fmt "  %-32s %12.3f s@." pass s)
           pass_times)
       e2e;
-    write_bench_json ~quick micro e2e
+    write_bench_json ~quick micro e2e cache
   end
 
 let artifacts =

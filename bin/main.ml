@@ -31,6 +31,8 @@ module Determinism = Phoenix_analysis.Determinism
 module Pass = Phoenix.Pass
 module Pipelines = Phoenix_pipeline.Registry
 module Hooks = Phoenix_pipeline.Hooks
+module Cache = Phoenix_cache.Cache
+module Cache_audit = Phoenix_analysis.Cache_audit
 
 let read_hamiltonian path =
   let ic = open_in path in
@@ -112,7 +114,8 @@ let find_pipeline name =
     Printf.eprintf "unknown compiler %S\n" name;
     exit 2
 
-let compile_source ~source ~isa ~topology ~compiler ~exact ~verify ~lint () =
+let compile_source ?(cache = Cache.Mem) ~source ~isa ~topology ~compiler ~exact
+    ~verify ~lint () =
   let h = load source in
   let n = Hamiltonian.num_qubits h in
   let topo = topology_of_string n topology in
@@ -137,6 +140,7 @@ let compile_source ~source ~isa ~topology ~compiler ~exact ~verify ~lint () =
       isa;
       exact;
       verify;
+      cache;
       target =
         (match topo with
         | None -> Compiler.Logical
@@ -314,12 +318,46 @@ let fault_arg =
   in
   Arg.(value & opt (enum fault_enum) No_fault & info [ "inject-fault" ] ~doc)
 
+(* Validated by hand (not Arg.enum) so a bad tier is a usage error under
+   the CLI's 0/2/3/4 exit contract rather than cmdliner's 124. *)
+let cache_arg =
+  let doc =
+    "Synthesis cache tier: $(b,off), $(b,mem) (in-process LRU, the \
+     default) or $(b,disk) (adds the persistent tier under \
+     \\$PHOENIX_CACHE_DIR).  Cached and cold compilation are \
+     bit-identical."
+  in
+  Arg.(value & opt string "mem" & info [ "cache" ] ~docv:"TIER" ~doc)
+
+let cache_tier_of_string s =
+  match Cache.tier_of_string s with
+  | Some t -> t
+  | None ->
+    Printf.eprintf "unknown cache tier %S (off, mem, disk)\n" s;
+    exit 2
+
+let cache_stats_arg =
+  let doc =
+    "Print the synthesis-cache counters for this run (hits, misses, disk \
+     hits, disk errors, evictions, resident entries/bytes)."
+  in
+  Arg.(value & flag & info [ "cache-stats" ] ~doc)
+
+let print_cache_stats tier (s : Cache.stats) =
+  Printf.printf
+    "cache:     tier=%s hits=%d misses=%d disk_hits=%d disk_errors=%d \
+     evictions=%d entries=%d bytes=%d\n"
+    (Cache.tier_to_string tier) s.Cache.hits s.Cache.misses s.Cache.disk_hits
+    s.Cache.disk_errors s.Cache.evictions s.Cache.entries s.Cache.bytes
+
 let compile_cmd =
   let run source isa topology compiler pipeline dump exact verify lint timings
-      qasm_out draw fault trace_out =
+      qasm_out draw fault trace_out cache cache_stats =
     let compiler = Option.value pipeline ~default:compiler in
+    let tier = cache_tier_of_string cache in
     let compiled =
-      compile_source ~source ~isa ~topology ~compiler ~exact ~verify ~lint ()
+      compile_source ~cache:tier ~source ~isa ~topology ~compiler ~exact
+        ~verify ~lint ()
     in
     let circuit = inject_fault fault compiled.report.Compiler.circuit in
     let diagnostics =
@@ -352,6 +390,8 @@ let compile_cmd =
     Printf.printf "depth:     %d\n" (Circuit.depth circuit);
     Printf.printf "depth-2q:  %d\n" (Circuit.depth_2q circuit);
     Printf.printf "swaps:     %d\n" compiled.report.Compiler.num_swaps;
+    if cache_stats then
+      print_cache_stats tier compiled.report.Compiler.cache_stats;
     if verify then print_diagnostics diagnostics;
     if lint then begin
       print_findings findings;
@@ -377,6 +417,7 @@ let compile_cmd =
     | Some path ->
       let json =
         Pass.trace_to_json ~compiler ~workload:source
+          ~cache:compiled.report.Compiler.cache_stats
           compiled.report.Compiler.trace
       in
       if path = "-" then print_endline json
@@ -396,7 +437,7 @@ let compile_cmd =
   in
   let doc = "Compile a Hamiltonian-simulation program." in
   Cmd.v (Cmd.info "compile" ~doc)
-    Term.(const run $ source_arg $ isa_arg $ topology_arg $ baseline_arg $ pipeline_arg $ dump_arg $ exact_arg $ verify_arg $ lint_arg $ timings_arg $ qasm_arg $ draw_arg $ fault_arg $ trace_arg)
+    Term.(const run $ source_arg $ isa_arg $ topology_arg $ baseline_arg $ pipeline_arg $ dump_arg $ exact_arg $ verify_arg $ lint_arg $ timings_arg $ qasm_arg $ draw_arg $ fault_arg $ trace_arg $ cache_arg $ cache_stats_arg)
 
 let info_cmd =
   let run source =
@@ -689,10 +730,94 @@ let passes_cmd =
   in
   Cmd.v (Cmd.info "passes" ~doc) Term.(const run $ list_arg $ pipeline_arg)
 
+(* --- cache: the persistent synthesis cache ------------------------------- *)
+
+let cache_cmd =
+  let json_arg =
+    let doc = "Emit machine-readable JSON on stdout (nothing else)." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let stats_sub =
+    let run json =
+      let dir = Cache.dir () in
+      let files = Cache.Persist.list_files ~dir () in
+      let entries = List.length files in
+      let bytes = Cache.Persist.disk_bytes ~dir () in
+      if json then
+        Printf.printf
+          "{ \"schema\": \"phoenix-cache-stats-v1\", \"dir\": \"%s\", \
+           \"entries\": %d, \"bytes\": %d, \"memory_budget_bytes\": %d }\n"
+          (String.concat "\\\\" (String.split_on_char '\\' dir))
+          entries bytes (Cache.budget ())
+      else begin
+        Printf.printf "dir:       %s\n" dir;
+        Printf.printf "entries:   %d\n" entries;
+        Printf.printf "bytes:     %d\n" bytes;
+        Printf.printf "budget:    %d (memory tier)\n" (Cache.budget ())
+      end
+    in
+    let doc = "Show the persistent synthesis-cache directory, entry count and size." in
+    Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ json_arg)
+  in
+  let clear_sub =
+    let run () =
+      let removed = Cache.Persist.clear ~dir:(Cache.dir ()) () in
+      Printf.printf "removed %d cache entries from %s\n" removed (Cache.dir ())
+    in
+    let doc = "Remove every entry from the persistent synthesis cache." in
+    Cmd.v (Cmd.info "clear" ~doc) Term.(const run $ const ())
+  in
+  let warm_sub =
+    let run source isa topology compiler pipeline exact =
+      let compiler = Option.value pipeline ~default:compiler in
+      let compiled =
+        compile_source ~cache:Cache.Disk ~source ~isa ~topology ~compiler
+          ~exact ~verify:false ~lint:false ()
+      in
+      let s = compiled.report.Compiler.cache_stats in
+      Printf.printf
+        "warmed %s (%s): %d groups, %d new entries persisted, %d hits / %d \
+         misses\n"
+        source compiler compiled.report.Compiler.num_groups s.Cache.insertions
+        s.Cache.hits s.Cache.misses;
+      Printf.printf "cache dir: %s (%d entries, %d bytes)\n" (Cache.dir ())
+        (List.length (Cache.Persist.list_files ~dir:(Cache.dir ()) ()))
+        (Cache.Persist.disk_bytes ~dir:(Cache.dir ()) ())
+    in
+    let doc =
+      "Compile a workload with the disk tier enabled so later runs (and \
+       other processes) start from a warm synthesis cache."
+    in
+    Cmd.v (Cmd.info "warm" ~doc)
+      Term.(const run $ source_arg $ isa_arg $ topology_arg $ baseline_arg $ pipeline_arg $ exact_arg)
+  in
+  let audit_sub =
+    let run json =
+      let findings = Cache_audit.run ~dir:(Cache.dir ()) () in
+      if json then print_endline (Finding.list_to_json findings)
+      else begin
+        Printf.printf "dir:       %s\n" (Cache.dir ());
+        print_findings findings
+      end;
+      if Finding.has_errors findings then exit 4
+    in
+    let doc =
+      "Audit the persistent synthesis cache: parse every entry, verify \
+       checksums, re-derive content addresses from stored fingerprints and \
+       range-check stored gates.  Exits 4 on error findings."
+    in
+    Cmd.v (Cmd.info "audit" ~doc) Term.(const run $ json_arg)
+  in
+  let doc =
+    "Manage the content-addressed synthesis cache (persistent tier under \
+     \\$PHOENIX_CACHE_DIR)."
+  in
+  Cmd.group (Cmd.info "cache" ~doc) [ stats_sub; clear_sub; warm_sub; audit_sub ]
+
 let () =
   let doc = "PHOENIX: Pauli-based high-level optimization engine (DAC 2025 reproduction)." in
   let info = Cmd.info "phoenix" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; info_cmd; bench_cmd; simulate_cmd; analyze_cmd; passes_cmd ]))
+          [ compile_cmd; info_cmd; bench_cmd; simulate_cmd; analyze_cmd; passes_cmd; cache_cmd ]))

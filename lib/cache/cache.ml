@@ -1,0 +1,531 @@
+module Bsf = Phoenix_pauli.Bsf
+module Bitvec = Phoenix_util.Bitvec
+module Circuit = Phoenix_circuit.Circuit
+module Gate = Phoenix_circuit.Gate
+module Diag = Phoenix_verify.Diag
+
+type tier = Off | Mem | Disk
+
+let tier_of_string = function
+  | "off" -> Some Off
+  | "mem" | "memory" -> Some Mem
+  | "disk" -> Some Disk
+  | _ -> None
+
+let tier_to_string = function Off -> "off" | Mem -> "mem" | Disk -> "disk"
+
+(* ------------------------------------------------------------------ *)
+(* Keys                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type key = {
+  k_digest : string;
+  k_fingerprint : string;
+  k_support : int array;
+  k_relabel_safe : bool;
+}
+
+let key_of_tableau ~exact bsf =
+  let support = Array.of_list (Bsf.support_indices bsf) in
+  let relabel_safe =
+    (* [Pauli_string.compare] orders by word-wise bit-vector comparison,
+       which is stable under column projection only when every support
+       index lives in the first word — outside that, relabelled replay
+       could pick a different compressed core. *)
+    Array.length support = 0
+    || support.(Array.length support - 1) < Bitvec.bits_per_word
+  in
+  {
+    k_digest = Bsf.canonical_digest bsf;
+    k_fingerprint =
+      (if exact then "exact;" else "trot;") ^ Bsf.canonical_form bsf;
+    k_support = support;
+    k_relabel_safe = relabel_safe;
+  }
+
+let key_of_terms ~exact n terms = key_of_tableau ~exact (Bsf.of_terms n terms)
+let digest k = k.k_digest
+let relabel_safe k = k.k_relabel_safe
+
+(* An entry is hit-compatible when the ordered fingerprint (which folds in
+   the exact-mode flag) matches and the replay is provably bit-identical:
+   either the absolute support is the very same, or both sides are
+   single-word relabel-safe. *)
+let compatible ~fingerprint ~support ~safe key =
+  String.equal fingerprint key.k_fingerprint
+  && (support = key.k_support || (safe && key.k_relabel_safe))
+
+(* ------------------------------------------------------------------ *)
+(* Relabelling between absolute and canonical (rank) coordinates      *)
+(* ------------------------------------------------------------------ *)
+
+exception Unmappable
+
+let canonical_gates key circuit =
+  let ranks = Hashtbl.create 16 in
+  Array.iteri (fun i q -> Hashtbl.replace ranks q i) key.k_support;
+  let rank q =
+    match Hashtbl.find_opt ranks q with Some i -> i | None -> raise Unmappable
+  in
+  match Circuit.gates (Circuit.map_qubits rank circuit) with
+  | gates -> Some gates
+  | exception _ -> None
+
+let expand ~n key gates =
+  let support = key.k_support in
+  Circuit.map_qubits (fun i -> support.(i)) (Circuit.create n gates)
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  disk_hits : int;
+  disk_errors : int;
+  evictions : int;
+  insertions : int;
+  entries : int;
+  bytes : int;
+}
+
+let stats_zero =
+  {
+    hits = 0;
+    misses = 0;
+    disk_hits = 0;
+    disk_errors = 0;
+    evictions = 0;
+    insertions = 0;
+    entries = 0;
+    bytes = 0;
+  }
+
+let diff later earlier =
+  {
+    hits = later.hits - earlier.hits;
+    misses = later.misses - earlier.misses;
+    disk_hits = later.disk_hits - earlier.disk_hits;
+    disk_errors = later.disk_errors - earlier.disk_errors;
+    evictions = later.evictions - earlier.evictions;
+    insertions = later.insertions - earlier.insertions;
+    entries = later.entries;
+    bytes = later.bytes;
+  }
+
+let stats_to_json s =
+  Printf.sprintf
+    "{ \"hits\": %d, \"misses\": %d, \"disk_hits\": %d, \"disk_errors\": %d, \
+     \"evictions\": %d, \"insertions\": %d, \"entries\": %d, \"bytes\": %d }"
+    s.hits s.misses s.disk_hits s.disk_errors s.evictions s.insertions
+    s.entries s.bytes
+
+(* ------------------------------------------------------------------ *)
+(* In-memory LRU tier                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type entry = {
+  e_digest : string;
+  e_fingerprint : string;
+  e_support : int array;
+  e_relabel_safe : bool;
+  e_gates : Gate.t list;
+  e_bytes : int;
+  mutable prev : entry option;
+  mutable next : entry option;
+}
+
+let lock = Mutex.create ()
+let table : (string, entry list ref) Hashtbl.t = Hashtbl.create 256
+let lru_head : entry option ref = ref None
+let lru_tail : entry option ref = ref None
+let total_bytes = ref 0
+let total_entries = ref 0
+let c_hits = ref 0
+let c_misses = ref 0
+let c_disk_hits = ref 0
+let c_disk_errors = ref 0
+let c_evictions = ref 0
+let c_insertions = ref 0
+
+let default_budget = 64 * 1024 * 1024
+
+let budget_ref =
+  ref
+    (match Sys.getenv_opt "PHOENIX_CACHE_BUDGET" with
+    | Some s -> ( match int_of_string_opt s with Some b when b > 0 -> b | _ -> default_budget)
+    | None -> default_budget)
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let unlink e =
+  (match e.prev with Some p -> p.next <- e.next | None -> lru_head := e.next);
+  (match e.next with Some s -> s.prev <- e.prev | None -> lru_tail := e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front e =
+  e.prev <- None;
+  e.next <- !lru_head;
+  (match !lru_head with Some h -> h.prev <- Some e | None -> lru_tail := Some e);
+  lru_head := Some e
+
+let touch e =
+  unlink e;
+  push_front e
+
+let drop_from_table e =
+  match Hashtbl.find_opt table e.e_digest with
+  | None -> ()
+  | Some cell ->
+      cell := List.filter (fun x -> x != e) !cell;
+      if !cell = [] then Hashtbl.remove table e.e_digest
+
+let evict_to_budget () =
+  let continue = ref true in
+  while !continue do
+    match !lru_tail with
+    | Some e when !total_bytes > !budget_ref ->
+        unlink e;
+        drop_from_table e;
+        total_bytes := !total_bytes - e.e_bytes;
+        decr total_entries;
+        incr c_evictions
+    | _ -> continue := false
+  done
+
+let find_entry key =
+  match Hashtbl.find_opt table key.k_digest with
+  | None -> None
+  | Some cell ->
+      List.find_opt
+        (fun e ->
+          compatible ~fingerprint:e.e_fingerprint ~support:e.e_support
+            ~safe:e.e_relabel_safe key)
+        !cell
+
+(* Caller holds the lock. *)
+let insert_entry key gates bytes =
+  match find_entry key with
+  | Some _ -> false
+  | None ->
+      let e =
+        {
+          e_digest = key.k_digest;
+          e_fingerprint = key.k_fingerprint;
+          e_support = key.k_support;
+          e_relabel_safe = key.k_relabel_safe;
+          e_gates = gates;
+          e_bytes = bytes;
+          prev = None;
+          next = None;
+        }
+      in
+      let cell =
+        match Hashtbl.find_opt table key.k_digest with
+        | Some c -> c
+        | None ->
+            let c = ref [] in
+            Hashtbl.add table key.k_digest c;
+            c
+      in
+      cell := e :: !cell;
+      push_front e;
+      total_bytes := !total_bytes + bytes;
+      incr total_entries;
+      incr c_insertions;
+      evict_to_budget ();
+      true
+
+let stats () =
+  with_lock (fun () ->
+      {
+        hits = !c_hits;
+        misses = !c_misses;
+        disk_hits = !c_disk_hits;
+        disk_errors = !c_disk_errors;
+        evictions = !c_evictions;
+        insertions = !c_insertions;
+        entries = !total_entries;
+        bytes = !total_bytes;
+      })
+
+let reset_stats () =
+  with_lock (fun () ->
+      c_hits := 0;
+      c_misses := 0;
+      c_disk_hits := 0;
+      c_disk_errors := 0;
+      c_evictions := 0;
+      c_insertions := 0)
+
+let budget () = with_lock (fun () -> !budget_ref)
+
+let set_budget b =
+  with_lock (fun () ->
+      budget_ref := max 1 b;
+      evict_to_budget ())
+
+let clear_memory () =
+  with_lock (fun () ->
+      Hashtbl.reset table;
+      lru_head := None;
+      lru_tail := None;
+      total_bytes := 0;
+      total_entries := 0)
+
+(* ------------------------------------------------------------------ *)
+(* Persistent tier                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let dir () =
+  match Sys.getenv_opt "PHOENIX_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> (
+      match Sys.getenv_opt "XDG_CACHE_HOME" with
+      | Some d when d <> "" -> Filename.concat d "phoenix"
+      | _ -> (
+          match Sys.getenv_opt "HOME" with
+          | Some h when h <> "" ->
+              Filename.concat (Filename.concat h ".cache") "phoenix"
+          | _ -> "_phoenix_cache"))
+
+module Persist = struct
+  let format_version = "phoenix-cache-v1"
+  let suffix = ".pxc"
+
+  type entry_info = {
+    fingerprint : string;
+    support : int array;
+    relabel_safe : bool;
+    gates : Gate.t list;
+    bytes : int;
+  }
+
+  (* The marshalled payload.  Separate from [entry_info] so the on-disk
+     layout is pinned independently of the reporting record. *)
+  type payload = {
+    p_fingerprint : string;
+    p_support : int array;
+    p_relabel_safe : bool;
+    p_gates : Gate.t list;
+  }
+
+  let rec ensure_dir d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then (
+      ensure_dir (Filename.dirname d);
+      try Unix.mkdir d 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+
+  (* One file per (digest, variant): relabel-safe entries share a single
+     variant; support-pinned entries get one per absolute support, so a
+     requester's key always determines its file name. *)
+  let file_basename key =
+    let variant =
+      Digest.to_hex
+        (Digest.string
+           (key.k_fingerprint
+           ^
+           if key.k_relabel_safe then "|safe"
+           else
+             "|"
+             ^ String.concat ","
+                 (List.map string_of_int (Array.to_list key.k_support))))
+    in
+    key.k_digest ^ "-" ^ String.sub variant 0 16 ^ suffix
+
+  let path_of_key key = Filename.concat (dir ()) (file_basename key)
+
+  let digest_of_file path =
+    let base = Filename.basename path in
+    match String.index_opt base '-' with
+    | Some i when i = 32 -> Some (String.sub base 0 i)
+    | _ -> None
+
+  let list_files ?dir:(d = dir ()) () =
+    match Sys.readdir d with
+    | exception Sys_error _ -> []
+    | names ->
+        let files =
+          Array.to_list names
+          |> List.filter (fun f -> Filename.check_suffix f suffix)
+          |> List.map (Filename.concat d)
+        in
+        List.sort String.compare files
+
+  let read_file path =
+    match open_in_bin path with
+    | exception Sys_error msg -> Error ("unreadable: " ^ msg)
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            match input_line ic with
+            | exception End_of_file -> Error "truncated: missing version line"
+            | version when version <> format_version ->
+                Error
+                  (Printf.sprintf "version mismatch: %S (want %S)" version
+                     format_version)
+            | _ -> (
+                match input_line ic with
+                | exception End_of_file ->
+                    Error "truncated: missing checksum line"
+                | checksum -> (
+                    let len = in_channel_length ic - pos_in ic in
+                    match really_input_string ic len with
+                    | exception End_of_file -> Error "truncated: short payload"
+                    | payload ->
+                        if Digest.to_hex (Digest.string payload) <> checksum
+                        then Error "checksum mismatch"
+                        else (
+                          match (Marshal.from_string payload 0 : payload) with
+                          | exception _ -> Error "unreadable payload"
+                          | p ->
+                              Ok
+                                {
+                                  fingerprint = p.p_fingerprint;
+                                  support = p.p_support;
+                                  relabel_safe = p.p_relabel_safe;
+                                  gates = p.p_gates;
+                                  bytes = String.length payload;
+                                }))))
+
+  (* Single-writer commit: the payload is staged in a process-private temp
+     file and published with an atomic rename, so concurrent readers only
+     ever observe complete entries.  Racing writers of the same key stage
+     byte-identical payloads, so either rename wins harmlessly. *)
+  let write path payload =
+    ensure_dir (Filename.dirname path);
+    let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc format_version;
+        output_char oc '\n';
+        output_string oc (Digest.to_hex (Digest.string payload));
+        output_char oc '\n';
+        output_string oc payload);
+    Sys.rename tmp path
+
+  let disk_bytes ?dir () =
+    List.fold_left
+      (fun acc f ->
+        match (Unix.stat f).Unix.st_size with
+        | size -> acc + size
+        | exception Unix.Unix_error _ -> acc)
+      0
+      (list_files ?dir ())
+
+  let clear ?dir () =
+    List.fold_left
+      (fun acc f ->
+        match Sys.remove f with
+        | () -> acc + 1
+        | exception Sys_error _ -> acc)
+      0
+      (list_files ?dir ())
+end
+
+(* ------------------------------------------------------------------ *)
+(* Lookup / store                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let warn record fmt =
+  Printf.ksprintf
+    (fun msg ->
+      match record with
+      | Some f -> f (Diag.make ~pass:"cache" Diag.Warning msg)
+      | None -> ())
+    fmt
+
+let lookup ?record ~tier ~n key =
+  match tier with
+  | Off -> None
+  | Mem | Disk -> (
+      let mem_hit =
+        with_lock (fun () ->
+            match find_entry key with
+            | Some e ->
+                touch e;
+                incr c_hits;
+                Some e.e_gates
+            | None -> None)
+      in
+      match mem_hit with
+      | Some gates -> Some (expand ~n key gates)
+      | None when tier = Mem ->
+          with_lock (fun () -> incr c_misses);
+          None
+      | None -> (
+          let path = Persist.path_of_key key in
+          if not (Sys.file_exists path) then (
+            with_lock (fun () -> incr c_misses);
+            None)
+          else
+            match Persist.read_file path with
+            | Error msg ->
+                with_lock (fun () ->
+                    incr c_misses;
+                    incr c_disk_errors);
+                warn record "skipping corrupt cache entry %s: %s"
+                  (Filename.basename path) msg;
+                None
+            | Ok info
+              when not
+                     (compatible ~fingerprint:info.Persist.fingerprint
+                        ~support:info.Persist.support
+                        ~safe:info.Persist.relabel_safe key) ->
+                (* Address collision or an entry persisted for an
+                   incompatible support: valid file, but not replayable
+                   here.  Silent miss. *)
+                with_lock (fun () -> incr c_misses);
+                None
+            | Ok info -> (
+                match expand ~n key info.Persist.gates with
+                | circuit ->
+                    with_lock (fun () ->
+                        ignore
+                          (insert_entry key info.Persist.gates
+                             info.Persist.bytes);
+                        incr c_hits;
+                        incr c_disk_hits);
+                    Some circuit
+                | exception _ ->
+                    with_lock (fun () ->
+                        incr c_misses;
+                        incr c_disk_errors);
+                    warn record
+                      "skipping cache entry %s: gates do not fit the \
+                       requesting group"
+                      (Filename.basename path);
+                    None)))
+
+let store ?record ~tier key circuit =
+  match tier with
+  | Off -> ()
+  | Mem | Disk -> (
+      match canonical_gates key circuit with
+      | None -> ()
+      | Some gates ->
+          let payload =
+            Marshal.to_string
+              {
+                Persist.p_fingerprint = key.k_fingerprint;
+                p_support = key.k_support;
+                p_relabel_safe = key.k_relabel_safe;
+                p_gates = gates;
+              }
+              []
+          in
+          let fresh =
+            with_lock (fun () -> insert_entry key gates (String.length payload))
+          in
+          if fresh && tier = Disk then (
+            try Persist.write (Persist.path_of_key key) payload
+            with Sys_error msg | Unix.Unix_error (_, msg, _) ->
+              with_lock (fun () -> incr c_disk_errors);
+              warn record "could not persist cache entry: %s" msg))

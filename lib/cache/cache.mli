@@ -1,0 +1,147 @@
+(** Content-addressed synthesis cache.
+
+    Group-wise BSF simplification is the compiler's hot path, and the same
+    simplified tableaux recur constantly — across Trotter steps, across
+    symmetric excitation blocks, and across experiment-harness runs over
+    the same presets.  This cache memoizes the synthesized circuit of a
+    group keyed by a canonical digest of its tableau
+    ({!Phoenix_pauli.Bsf.canonical_digest}): the row-sorted binary
+    symplectic matrix with sign bits and phase angles, projected onto the
+    group's support so the address is invariant under the qubit
+    relabelling used at synthesis time.
+
+    {b Bit-identity.}  The digest is reorder- and relabel-invariant, but
+    synthesis is order-sensitive, so a digest match alone is not enough to
+    replay a stored circuit.  Every entry therefore also records the
+    {e ordered} fingerprint (program-order rows + exact-mode flag) and a
+    hit requires it to match exactly.  Relabelled replay (same fingerprint,
+    different absolute support) is additionally gated on both supports
+    fitting in a single {!Phoenix_util.Bitvec} word, because
+    [Pauli_string.compare] — used by synthesis when ranking compressed
+    cores — orders strings by word-wise comparison and is only stable
+    under column projection within one word.  Under these two conditions
+    synthesis is equivariant, so a cached replay is bit-identical to a
+    cold synthesis.
+
+    {b Tiers.}  [Mem] is an in-process LRU with a byte budget
+    ([PHOENIX_CACHE_BUDGET], default 64 MiB).  [Disk] adds a persistent
+    tier under {!dir} ([PHOENIX_CACHE_DIR]) with versioned, checksummed
+    entries; corrupt or mismatched entries are skipped with a [Warning]
+    diagnostic and recompilation proceeds — never a crash.
+
+    {b Concurrency.}  All mutable state sits behind one mutex, so lookups
+    and stores are safe from the [Parallel] domain pool; persisted writes
+    go through a temp file and an atomic rename (single-writer commit). *)
+
+type tier = Off | Mem | Disk
+
+val tier_of_string : string -> tier option
+val tier_to_string : tier -> string
+
+type key
+(** Content address of one group's tableau: canonical digest, ordered
+    fingerprint, absolute support, and exact-mode flag. *)
+
+val key_of_tableau : exact:bool -> Phoenix_pauli.Bsf.t -> key
+
+val key_of_terms :
+  exact:bool -> int -> (Phoenix_pauli.Pauli_string.t * float) list -> key
+(** [key_of_terms ~exact n terms] builds the tableau with
+    [Bsf.of_terms n terms] and addresses it. *)
+
+val digest : key -> string
+(** Hex content digest (the LRU bucket and the disk file prefix). *)
+
+val relabel_safe : key -> bool
+(** Whether entries for this key may be replayed onto a different absolute
+    support (all support indices fit in one bit vector word). *)
+
+val lookup :
+  ?record:(Phoenix_verify.Diag.t -> unit) ->
+  tier:tier ->
+  n:int ->
+  key ->
+  Phoenix_circuit.Circuit.t option
+(** Consult the cache before synthesis.  A hit returns the stored circuit
+    relabelled onto the key's absolute support, over [n] qubits.  Disk
+    faults (truncated, bit-flipped, or version-mismatched entries) are
+    reported through [record] as [Warning] diagnostics and counted in
+    {!stats}, and the lookup degrades to a miss. *)
+
+val store :
+  ?record:(Phoenix_verify.Diag.t -> unit) ->
+  tier:tier ->
+  key ->
+  Phoenix_circuit.Circuit.t ->
+  unit
+(** Commit a freshly synthesized circuit.  Idempotent: a key already
+    resident is left untouched.  With [tier = Disk] the entry is also
+    persisted (temp file + atomic rename); write failures are reported
+    through [record] and otherwise ignored. *)
+
+(** {1 Counters} *)
+
+type stats = {
+  hits : int;  (** lookups answered from memory or disk *)
+  misses : int;
+  disk_hits : int;  (** subset of [hits] that were faulted in from disk *)
+  disk_errors : int;  (** corrupt/mismatched/unwritable persistent entries *)
+  evictions : int;  (** LRU evictions forced by the byte budget *)
+  insertions : int;
+  entries : int;  (** resident in-memory entries (gauge, not a counter) *)
+  bytes : int;  (** resident in-memory payload bytes (gauge) *)
+}
+
+val stats : unit -> stats
+val stats_zero : stats
+
+val diff : stats -> stats -> stats
+(** [diff later earlier] subtracts the counters and keeps the gauges
+    ([entries], [bytes]) of [later] — the per-run delta used by reports. *)
+
+val stats_to_json : stats -> string
+(** One-line JSON object, keys matching the record fields. *)
+
+val reset_stats : unit -> unit
+
+(** {1 Memory tier control} *)
+
+val budget : unit -> int
+val set_budget : int -> unit
+(** Byte budget of the memory tier; shrinking evicts immediately. *)
+
+val clear_memory : unit -> unit
+
+(** {1 Persistent tier} *)
+
+val dir : unit -> string
+(** [PHOENIX_CACHE_DIR] if set, else [$XDG_CACHE_HOME/phoenix], else
+    [$HOME/.cache/phoenix].  Re-read on every use so tests can repoint it. *)
+
+module Persist : sig
+  val format_version : string
+  (** First line of every cache file; bumped on layout changes. *)
+
+  type entry_info = {
+    fingerprint : string;
+    support : int array;  (** absolute support at store time *)
+    relabel_safe : bool;
+    gates : Phoenix_circuit.Gate.t list;  (** canonical (rank) coordinates *)
+    bytes : int;  (** marshalled payload size *)
+  }
+
+  val list_files : ?dir:string -> unit -> string list
+  (** Absolute paths of every cache entry file, sorted. *)
+
+  val read_file : string -> (entry_info, string) result
+  (** Parse and validate one entry file: version line, checksum line
+      (verified {e before} unmarshalling), payload.  [Error] carries a
+      human-readable fault description. *)
+
+  val digest_of_file : string -> string option
+  (** The content digest encoded in an entry file's basename. *)
+
+  val disk_bytes : ?dir:string -> unit -> int
+  val clear : ?dir:string -> unit -> int
+  (** Remove every entry file; returns how many were removed. *)
+end

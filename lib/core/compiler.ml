@@ -9,6 +9,7 @@ module Clock = Phoenix_util.Clock
 module Diag = Phoenix_verify.Diag
 module Equiv = Phoenix_verify.Equiv
 module Structural = Phoenix_verify.Structural
+module Cache = Phoenix_cache.Cache
 
 (* The option records are defined by the pass-manager core and re-exported
    here so every pipeline — PHOENIX and baselines alike — shares them. *)
@@ -28,6 +29,7 @@ type options = Pass.options = {
   seed : int;
   verify : bool;
   domains : int;
+  cache : Cache.tier;
 }
 
 let default_options = Pass.default_options
@@ -44,6 +46,8 @@ type report = {
   pass_times : (string * float) list;
   diagnostics : Diag.t list;
   trace : Pass.trace;
+  cache_stats : Cache.stats;
+      (** synthesis-cache counter deltas attributable to this run *)
 }
 
 (* Verification thresholds: per-group dense checks stay cheap, the final
@@ -72,12 +76,22 @@ let check_group_circuit (options : options) n terms circuit =
    domain pool.  Each group's diagnostics are collected locally and
    joined in group order afterwards, so reports are byte-identical to a
    serial run whatever the scheduling.  A caller-supplied [synthesize]
-   closure is not assumed to be thread-safe and keeps the serial path. *)
+   closure is not assumed to be thread-safe and keeps the serial path.
+
+   The content-addressed synthesis cache wraps the synthesis closure:
+   consulted before simplification, populated after.  A hit replays a
+   previously synthesized circuit that is bit-identical to what a cold
+   synthesis would produce (see [Phoenix_cache.Cache]), so the pipeline
+   output does not depend on the hit pattern; cache I/O faults surface
+   as per-group [Warning] diagnostics, never as failures.  A custom
+   [synthesize] closure bypasses the cache — its results are not
+   content-addressed by the group tableau. *)
 let simplify_pass ?synthesize () =
   Pass.make ~name:"simplify"
     ~description:
       "group-wise BSF simplification (Clifford2Q conjugation search) with \
-       per-group translation validation and naive-ladder fallback"
+       content-addressed synthesis cache, per-group translation validation \
+       and naive-ladder fallback"
     (fun ctx ->
       let options = ctx.Pass.options in
       let n = ctx.Pass.n in
@@ -86,16 +100,34 @@ let simplify_pass ?synthesize () =
         | Some f -> f
         | None -> fun g -> Synthesis.group_circuit ~exact:options.exact g
       in
+      let tier =
+        match synthesize with Some _ -> Cache.Off | None -> options.cache
+      in
       let checked_group (idx, (g : Group.t)) =
         let local = ref [] in
         let record severity msg =
           local := Diag.make ~group:idx ~pass:"simplify" severity msg :: !local
         in
-        let c = synth g in
-        if not options.verify then ({ Order.group = g; circuit = c }, [], false)
+        let cache_record d = local := { d with Diag.group = Some idx } :: !local in
+        let c =
+          match tier with
+          | Cache.Off -> synth g
+          | Cache.Mem | Cache.Disk -> (
+            let key =
+              Cache.key_of_terms ~exact:options.exact n g.Group.terms
+            in
+            match Cache.lookup ~record:cache_record ~tier ~n key with
+            | Some cached -> cached
+            | None ->
+              let c = synth g in
+              Cache.store ~record:cache_record ~tier key c;
+              c)
+        in
+        if not options.verify then
+          ({ Order.group = g; circuit = c }, List.rev !local, false)
         else
           match check_group_circuit options n g.Group.terms c with
-          | Ok () -> ({ Order.group = g; circuit = c }, [], false)
+          | Ok () -> ({ Order.group = g; circuit = c }, List.rev !local, false)
           | Error msg ->
             record Diag.Warning
               (Printf.sprintf
@@ -311,7 +343,8 @@ let passes ?synthesize ?(with_grouping = true) (options : options) =
       (if options.verify then [ verify_pass ] else []);
     ]
 
-let report_of_ctx ~wall_time (ctx : Pass.ctx) trace =
+let report_of_ctx ?(cache_stats = Cache.stats_zero) ~wall_time (ctx : Pass.ctx)
+    trace =
   {
     circuit = ctx.Pass.circuit;
     two_q_count = Circuit.count_2q ctx.Pass.circuit;
@@ -325,14 +358,18 @@ let report_of_ctx ~wall_time (ctx : Pass.ctx) trace =
       List.map (fun (e : Pass.trace_entry) -> (e.Pass.pass, e.Pass.seconds)) trace;
     diagnostics = List.rev ctx.Pass.diagnostics;
     trace;
+    cache_stats;
   }
 
 let run_pipeline ?hooks ?synthesize ~with_grouping options ctx =
   let t0 = Clock.wall_s () in
+  let before = Cache.stats () in
   let ctx, trace =
     Pass.run ?hooks (passes ?synthesize ~with_grouping options) ctx
   in
-  report_of_ctx ~wall_time:(Clock.wall_s () -. t0) ctx trace
+  report_of_ctx
+    ~cache_stats:(Cache.diff (Cache.stats ()) before)
+    ~wall_time:(Clock.wall_s () -. t0) ctx trace
 
 let compile_groups ?(options = default_options) ?hooks ?synthesize n groups =
   run_pipeline ?hooks ?synthesize ~with_grouping:false options

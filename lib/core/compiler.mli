@@ -47,11 +47,17 @@ type options = Pass.options = {
           (the default) uses {!Phoenix_util.Parallel.num_domains}.  The
           output is identical whatever the value: groups are compiled
           independently and joined in group order. *)
+  cache : Phoenix_cache.Cache.tier;
+      (** content-addressed synthesis cache wrapped around group
+          simplification.  The output is identical whatever the tier or
+          hit pattern: a hit replays a circuit bit-identical to a cold
+          synthesis (see {!Phoenix_cache.Cache}). *)
 }
 
 val default_options : options
 (** CNOT ISA, logical target, [tau = 1], lookahead 10, peephole on,
-    verification off, automatic domain count. *)
+    verification off, automatic domain count, in-memory synthesis
+    cache. *)
 
 type report = {
   circuit : Phoenix_circuit.Circuit.t;  (** final lowered circuit *)
@@ -75,12 +81,23 @@ type report = {
   trace : Pass.trace;
       (** the full instrumented pass trace: per-pass seconds plus
           before/after circuit-metric snapshots *)
+  cache_stats : Phoenix_cache.Cache.stats;
+      (** synthesis-cache counter deltas (hits/misses/disk
+          hits/errors/evictions/insertions) attributable to this run,
+          plus the resident entry/byte gauges at completion *)
 }
 
-val report_of_ctx : wall_time:float -> Pass.ctx -> Pass.trace -> report
+val report_of_ctx :
+  ?cache_stats:Phoenix_cache.Cache.stats ->
+  wall_time:float ->
+  Pass.ctx ->
+  Pass.trace ->
+  report
 (** Fold a finished pipeline run into the common report — used by every
     registered pipeline (see [Phoenix_pipeline.Registry]) so PHOENIX and
-    the baselines report through one type. *)
+    the baselines report through one type.  [cache_stats] defaults to
+    {!Phoenix_cache.Cache.stats_zero}; pipeline runners pass the
+    per-run counter delta. *)
 
 val passes :
   ?synthesize:(Group.t -> Phoenix_circuit.Circuit.t) ->

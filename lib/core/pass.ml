@@ -18,6 +18,7 @@ type options = {
   seed : int;
   verify : bool;
   domains : int;
+  cache : Phoenix_cache.Cache.tier;
 }
 
 let default_options =
@@ -32,6 +33,7 @@ let default_options =
     seed = 2025;
     verify = false;
     domains = 0;
+    cache = Phoenix_cache.Cache.Mem;
   }
 
 (* --- metric snapshots --- *)
@@ -159,13 +161,16 @@ let metrics_json m =
     "{ \"gates\": %d, \"one_q\": %d, \"two_q\": %d, \"depth_2q\": %d }"
     m.gates m.one_q m.two_q m.depth_2q
 
-let trace_to_json ?(compiler = "") ?(workload = "") trace =
+let trace_to_json ?(compiler = "") ?(workload = "") ?cache trace =
   let buf = Buffer.create 1024 in
   let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   p "{\n";
   p "  \"schema\": \"phoenix-trace-v1\",\n";
   if compiler <> "" then p "  \"compiler\": \"%s\",\n" (json_escape compiler);
   if workload <> "" then p "  \"workload\": \"%s\",\n" (json_escape workload);
+  (match cache with
+  | Some s -> p "  \"cache\": %s,\n" (Phoenix_cache.Cache.stats_to_json s)
+  | None -> ());
   p "  \"total_seconds\": %.6f,\n"
     (List.fold_left (fun acc e -> acc +. e.seconds) 0.0 trace);
   p "  \"final\": %s,\n"

@@ -36,11 +36,16 @@ type options = {
   domains : int;
       (** domains for parallel group synthesis: [1] forces serial, [0]
           (the default) uses {!Phoenix_util.Parallel.num_domains} *)
+  cache : Phoenix_cache.Cache.tier;
+      (** content-addressed synthesis cache consulted around group
+          simplification: [Off], in-memory [Mem] (the default), or
+          persistent [Disk] *)
 }
 
 val default_options : options
 (** CNOT ISA, logical target, [tau = 1], lookahead 10, peephole on,
-    verification off, automatic domain count. *)
+    verification off, automatic domain count, in-memory synthesis
+    cache. *)
 
 (** {1 Metric snapshots} *)
 
@@ -129,6 +134,13 @@ val run : ?hooks:hook list -> t list -> ctx -> ctx * trace
 
 (** {1 Machine-readable trace} *)
 
-val trace_to_json : ?compiler:string -> ?workload:string -> trace -> string
+val trace_to_json :
+  ?compiler:string ->
+  ?workload:string ->
+  ?cache:Phoenix_cache.Cache.stats ->
+  trace ->
+  string
 (** Schema [phoenix-trace-v1]: per-pass seconds and before/after/delta
-    metric snapshots, plus the final metrics and total seconds. *)
+    metric snapshots, plus the final metrics and total seconds.  When
+    [cache] is given, the run's synthesis-cache counters are embedded
+    as a ["cache"] object. *)

@@ -104,10 +104,26 @@ let bk_ladder n j ~dagger =
   let sign = if dagger then Complex.neg half_i else half_i in
   Pauli_sum.add (Pauli_sum.of_term half x_part) (Pauli_sum.of_term sign y_part)
 
+(* One- and two-body term construction revisits the same modes over and
+   over (every excitation pair/quadruple re-derives its ladder operators),
+   so the encoded sums are memoized.  [Pauli_sum.t] is persistent, making
+   the shared values safe to hand out; the same pattern as [fenwick_cache]
+   above. *)
+let ladder_cache : (encoding * int * int * bool, Pauli_sum.t) Hashtbl.t =
+  Hashtbl.create 64
+
 let ladder enc n j ~dagger =
-  match enc with
-  | Jordan_wigner -> jw_ladder n j ~dagger
-  | Bravyi_kitaev -> bk_ladder n j ~dagger
+  let key = (enc, n, j, dagger) in
+  match Hashtbl.find_opt ladder_cache key with
+  | Some s -> s
+  | None ->
+    let s =
+      match enc with
+      | Jordan_wigner -> jw_ladder n j ~dagger
+      | Bravyi_kitaev -> bk_ladder n j ~dagger
+    in
+    Hashtbl.add ladder_cache key s;
+    s
 
 let creation enc n j = ladder enc n j ~dagger:true
 let annihilation enc n j = ladder enc n j ~dagger:false

@@ -660,6 +660,49 @@ let to_terms t =
       r.pauli, angle)
     (rows t)
 
+(* Canonical content addressing.  Rows are serialized projected onto the
+   tableau's support columns (ascending), so two tableaux that differ only
+   by which absolute qubits the group touches — or by trailing idle
+   qubits — serialize identically.  [canonical_form] keeps program order
+   (synthesis is order-sensitive); [canonical_digest] sorts the row
+   serializations first, so it is additionally invariant under gadget
+   reordering within the group. *)
+
+let canonical_row_strings t =
+  let support = Array.of_list (support_indices t) in
+  Array.map
+    (fun (r : mrow) ->
+      let buf = Buffer.create (Array.length support + 24) in
+      Array.iter
+        (fun q ->
+          let bits =
+            (if Bitvec.get r.x q then 1 else 0)
+            lor if Bitvec.get r.z q then 2 else 0
+          in
+          Buffer.add_char buf
+            (match bits with 0 -> 'I' | 1 -> 'X' | 2 -> 'Z' | _ -> 'Y'))
+        support;
+      Buffer.add_char buf (if r.neg then '-' else '+');
+      Buffer.add_string buf (Printf.sprintf "%Lx" (Int64.bits_of_float r.angle));
+      Buffer.contents buf)
+    t.mrows
+
+let canonical_form t =
+  let rows = canonical_row_strings t in
+  Printf.sprintf "k%d;r%d;%s" t.st.w_tot (Array.length rows)
+    (String.concat ";" (Array.to_list rows))
+
+let digest_of_canonical_form form =
+  let sorted_rows =
+    match String.split_on_char ';' form with
+    | k :: r :: rows -> k :: r :: List.sort String.compare rows
+    | short -> short
+  in
+  Digest.to_hex
+    (Digest.string ("phoenix-bsf-v1;" ^ String.concat ";" sorted_rows))
+
+let canonical_digest t = digest_of_canonical_form (canonical_form t)
+
 (* Deliberate cache corruption for fault-injection tests of [audit] and
    the analysis layer.  Only the redundant state is touched — never the
    bit vectors — so every corruption is exactly the class of bug the

@@ -147,4 +147,23 @@ val eval_clifford2q_delta : t -> Clifford2q.t -> float
 val to_terms : t -> (Pauli_string.t * float) list
 (** Rows with signs folded into the angles. *)
 
+val canonical_form : t -> string
+(** Content-addressing serialization of the tableau, projected onto its
+    support columns in ascending order: a [k<support>;r<rows>] preamble
+    followed by one string per row in program order (Pauli letters over the
+    support, a sign character, and the IEEE-754 bits of the angle).  Two
+    tableaux whose rows agree up to a monotone relabelling of their support
+    qubits (including trailing idle qubits) have equal canonical forms. *)
+
+val canonical_digest : t -> string
+(** MD5 hex digest of the {e row-sorted} canonical form — invariant under
+    both support relabelling and reordering of rows within the tableau,
+    and sensitive to sign flips and angle changes.  Used as the
+    content-address of the synthesis cache. *)
+
+val digest_of_canonical_form : string -> string
+(** Recompute {!canonical_digest} from a stored {!canonical_form} string
+    (sorts the row section, then hashes).  Lets the cache-integrity audit
+    re-derive a persisted entry's address without the original tableau. *)
+
 val pp : Format.formatter -> t -> unit

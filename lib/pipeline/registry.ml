@@ -114,8 +114,11 @@ let names () = List.map (fun e -> e.name) all
 
 let run ?hooks entry (options : Compiler.options) ctx =
   let t0 = Clock.wall_s () in
+  let before = Phoenix_cache.Cache.stats () in
   let ctx, trace = Pass.run ?hooks (entry.passes options) ctx in
-  Compiler.report_of_ctx ~wall_time:(Clock.wall_s () -. t0) ctx trace
+  Compiler.report_of_ctx
+    ~cache_stats:(Phoenix_cache.Cache.diff (Phoenix_cache.Cache.stats ()) before)
+    ~wall_time:(Clock.wall_s () -. t0) ctx trace
 
 let compile_gadgets ?(options = Compiler.default_options) ?hooks entry n gadgets
     =

@@ -46,6 +46,35 @@ else
 fi
 rm -f trace_probe.json
 
+# synthesis cache: disk round-trip in a private directory, warm output
+# byte-identical to cold, and the cache subcommand's contract
+CACHE_TMP="$(mktemp -d)"
+export PHOENIX_CACHE_DIR="$CACHE_TMP"
+expect 0 compile "$W" --cache off
+expect 0 compile "$W" --cache mem --cache-stats
+expect 0 compile "$W" --cache disk
+expect 0 compile "$W" --cache disk --verify --lint
+expect 0 cache stats
+expect 0 cache stats --json
+expect 0 cache audit
+expect 0 cache warm "$W"
+"$BIN" compile "$W" --cache off --dump > cache_cold.txt 2>/dev/null
+"$BIN" compile "$W" --cache disk --dump > cache_warm.txt 2>/dev/null
+if cmp -s cache_cold.txt cache_warm.txt; then
+  echo "ok: --cache disk dump identical to cold"
+else
+  echo "FAIL: --cache disk dump differs from cold" >&2
+  fail=1
+fi
+rm -f cache_cold.txt cache_warm.txt
+# the 3/4 contract is unchanged when compiling through the disk tier
+expect 3 compile "$W" --cache disk --verify --inject-fault out-of-isa
+expect 4 compile "$W" --cache disk --lint --inject-fault nan-angle
+expect 0 cache clear
+expect 2 compile "$W" --cache no-such-tier
+unset PHOENIX_CACHE_DIR
+rm -rf "$CACHE_TMP"
+
 # usage / input errors
 expect 2 compile no-such-workload
 expect 2 analyze

@@ -18,6 +18,8 @@ module Circuit_lint = Phoenix_analysis.Circuit_lint
 module Tableau_audit = Phoenix_analysis.Tableau_audit
 module Determinism = Phoenix_analysis.Determinism
 module Registry = Phoenix_analysis.Registry
+module Cache = Phoenix_cache.Cache
+module Cache_audit = Phoenix_analysis.Cache_audit
 
 (* Exercise the PHOENIX_BSF_AUDIT debug mode for the whole binary:
    every tableau mutation in these tests self-audits. *)
@@ -341,6 +343,101 @@ let test_determinism_audit_clean () =
     | [ f ] -> f.Finding.severity = Finding.Info
     | _ -> false)
 
+(* --- persistent cache audit ---------------------------------------------- *)
+
+let string_contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec at i = i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1)) in
+  at 0
+
+let audit_dir_counter = ref 0
+
+(* A private, freshly populated persistent cache per test: compile a small
+   Hamiltonian with the disk tier so real entries land in the directory. *)
+let with_populated_cache f =
+  incr audit_dir_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "phoenix-audit-%d-%d" (Unix.getpid ())
+         !audit_dir_counter)
+  in
+  Unix.mkdir d 0o755;
+  Unix.putenv "PHOENIX_CACHE_DIR" d;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Cache.Persist.clear ~dir:d ());
+      (try Unix.rmdir d with Sys_error _ | Unix.Unix_error _ -> ()))
+    (fun () ->
+      Cache.clear_memory ();
+      let options = { Compiler.default_options with cache = Cache.Disk } in
+      ignore (Compiler.compile ~options (heisenberg 6));
+      f d)
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_all path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let test_cache_audit_clean () =
+  with_populated_cache (fun d ->
+      let files = Cache.Persist.list_files ~dir:d () in
+      Alcotest.(check bool) "entries persisted" true (List.length files > 0);
+      let findings = Cache_audit.run ~dir:d () in
+      check_no_errors "clean cache" findings;
+      match findings with
+      | [ f ] -> Alcotest.(check bool)
+          "single info certification" true
+          (f.Finding.severity = Finding.Info)
+      | _ -> Alcotest.fail "expected exactly one finding")
+
+let test_cache_audit_catches_corruption () =
+  with_populated_cache (fun d ->
+      let file = List.hd (Cache.Persist.list_files ~dir:d ()) in
+      let bytes = read_all file in
+      let b = Bytes.of_string bytes in
+      let last = Bytes.length b - 1 in
+      Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 0x40));
+      write_all file (Bytes.to_string b);
+      let findings = Cache_audit.run ~dir:d () in
+      Alcotest.(check bool) "has errors" true (Finding.has_errors findings);
+      Alcotest.(check bool)
+        "names the corrupt entry" true
+        (List.exists
+           (fun (f : Finding.t) ->
+             f.Finding.severity = Finding.Error
+             && string_contains f.Finding.message "corrupt cache entry")
+           findings))
+
+let test_cache_audit_catches_address_mismatch () =
+  with_populated_cache (fun d ->
+      let file = List.hd (Cache.Persist.list_files ~dir:d ()) in
+      let base = Filename.basename file in
+      (* Re-address the entry under a digest it does not hash to. *)
+      let flipped =
+        String.mapi
+          (fun i c -> if i = 0 then (if c = '0' then '1' else '0') else c)
+          base
+      in
+      Sys.rename file (Filename.concat d flipped);
+      let findings = Cache_audit.run ~dir:d () in
+      Alcotest.(check bool) "has errors" true (Finding.has_errors findings);
+      Alcotest.(check bool)
+        "reports the digest mismatch" true
+        (List.exists
+           (fun (f : Finding.t) ->
+             f.Finding.severity = Finding.Error
+             && string_contains f.Finding.message
+                  "does not match fingerprint digest")
+           findings))
+
 (* --- finding rendering --------------------------------------------------- *)
 
 let test_finding_json () =
@@ -395,6 +492,15 @@ let () =
         [
           Alcotest.test_case "parallel replays identical" `Quick
             test_determinism_audit_clean;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "clean persistent cache" `Quick
+            test_cache_audit_clean;
+          Alcotest.test_case "corrupt entry" `Quick
+            test_cache_audit_catches_corruption;
+          Alcotest.test_case "address mismatch" `Quick
+            test_cache_audit_catches_address_mismatch;
         ] );
       ( "rendering",
         [ Alcotest.test_case "json + summary" `Quick test_finding_json ] );

@@ -1,0 +1,441 @@
+(* Differential harness for the content-addressed synthesis cache.
+
+   The headline guarantee under test: cached and cold compilation are
+   bit-identical — for the paper's preset workloads (pinned against the
+   golden digests of test_pipeline.ml), for every registered pipeline,
+   and for random gadget programs (qcheck).  Plus the addressing
+   properties (digest invariant under gadget reordering and monotone
+   relabelling, distinct for sign-flipped tableaux; synthesis
+   equivariance backing relabelled replay), disk-tier fault injection
+   (truncated / bit-flipped / version-mismatched entries are skipped
+   with a Warning diagnostic and self-heal), and LRU byte-budget
+   enforcement under a seeded random workload. *)
+
+module Pauli_string = Helpers.Pauli_string
+module Bsf = Helpers.Bsf
+module Gate = Helpers.Gate
+module Circuit = Helpers.Circuit
+module Cache = Phoenix_cache.Cache
+module Compiler = Phoenix.Compiler
+module Group = Phoenix.Group
+module Synthesis = Phoenix.Synthesis
+module Registry = Phoenix_pipeline.Registry
+module Diag = Phoenix_verify.Diag
+module Topology = Phoenix_topology.Topology
+
+(* Every disk-tier test in this process runs against a private cache
+   directory; the env var is set before any cache code reads it. *)
+let cache_dir =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "phoenix-cache-test-%d" (Unix.getpid ()))
+  in
+  Unix.putenv "PHOENIX_CACHE_DIR" d;
+  d
+
+let fresh_cache () =
+  ignore (Cache.Persist.clear ~dir:cache_dir ());
+  Cache.clear_memory ();
+  Cache.reset_stats ()
+
+let digest c =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\n" (List.map Gate.to_string (Circuit.gates c))))
+
+let uccsd =
+  lazy
+    (let b = Phoenix_ham.Molecules.find "LiH_frz_JW" in
+     Phoenix_ham.Uccsd.ansatz b.Phoenix_ham.Molecules.encoding
+       b.Phoenix_ham.Molecules.spec)
+
+let qaoa =
+  lazy
+    (Phoenix_ham.Qaoa.maxcut_cost
+       (List.assoc "Reg3-16" (Phoenix_ham.Qaoa.benchmark_suite ())))
+
+let entry name =
+  match Registry.find name with
+  | Some e -> e
+  | None -> Alcotest.failf "pipeline %S not registered" name
+
+let opts ?(cache = Cache.Off) ?(exact = false) ?(verify = false) ?target ?isa
+    () =
+  {
+    Compiler.default_options with
+    cache;
+    exact;
+    verify;
+    target = Option.value ~default:Compiler.Logical target;
+    isa = Option.value ~default:Compiler.Cnot_isa isa;
+  }
+
+let with_cache cache o = { o with Compiler.cache }
+
+(* --- cold vs. warm on the preset workloads (golden digests) ---------- *)
+
+let preset_cases () =
+  let hh = Topology.ibm_manhattan () in
+  [
+    "uccsd default", uccsd, opts (), "7d48fb3580566670e9c516844bd872e9";
+    "uccsd exact", uccsd, opts ~exact:true (), "2653091b6f8d67a9652b7659c13a114e";
+    "uccsd su4", uccsd, opts ~isa:Compiler.Su4_isa (), "a0d4a70295c4d7776227f594e5510949";
+    ( "uccsd heavyhex",
+      uccsd,
+      opts ~target:(Compiler.Hardware hh) (),
+      "57a7a78f231e6e15db126a62da89880c" );
+    "qaoa default", qaoa, opts (), "af92c9b8ba1d6b29d8f558db7be67665";
+    "qaoa exact", qaoa, opts ~exact:true (), "982c5d8dc8498f6d666ef2224fab3035";
+    ( "qaoa heavyhex",
+      qaoa,
+      opts ~target:(Compiler.Hardware hh) (),
+      "8c595a2b87bb915b30abf42915a52533" );
+  ]
+
+let test_warm_equals_cold_presets () =
+  let phoenix = entry "phoenix" in
+  List.iter
+    (fun (name, h, o, md5) ->
+      let h = Lazy.force h in
+      Cache.clear_memory ();
+      let cold = Registry.compile ~options:(with_cache Cache.Off o) phoenix h in
+      Alcotest.(check string) (name ^ " cold golden") md5
+        (digest cold.Compiler.circuit);
+      Alcotest.(check int)
+        (name ^ " off-tier counters silent")
+        0
+        (cold.Compiler.cache_stats.Cache.hits
+        + cold.Compiler.cache_stats.Cache.misses);
+      Cache.reset_stats ();
+      let first = Registry.compile ~options:(with_cache Cache.Mem o) phoenix h in
+      let warm = Registry.compile ~options:(with_cache Cache.Mem o) phoenix h in
+      Alcotest.(check string) (name ^ " populate = cold") md5
+        (digest first.Compiler.circuit);
+      Alcotest.(check string) (name ^ " warm = cold") md5
+        (digest warm.Compiler.circuit);
+      let s = warm.Compiler.cache_stats in
+      Alcotest.(check bool) (name ^ " warm hit") true (s.Cache.hits > 0);
+      Alcotest.(check int) (name ^ " warm misses") 0 s.Cache.misses)
+    (preset_cases ())
+
+(* Every registered pipeline: cold, disk-populating and disk-warm runs
+   (memory dropped in between, simulating a new process) agree bit for
+   bit.  For the baselines the cache never engages — the counters must
+   stay zero — and for phoenix the warm run must be served from disk. *)
+let test_all_pipelines_disk_identical () =
+  fresh_cache ();
+  List.iter
+    (fun (e : Registry.entry) ->
+      let h, o =
+        if e.Registry.name = "2qan" then
+          ( Lazy.force qaoa,
+            opts ~target:(Compiler.Hardware (Topology.line 16)) () )
+        else (Lazy.force uccsd, opts ())
+      in
+      Cache.clear_memory ();
+      let cold = Registry.compile ~options:(with_cache Cache.Off o) e h in
+      let populate = Registry.compile ~options:(with_cache Cache.Disk o) e h in
+      Cache.clear_memory ();
+      Cache.reset_stats ();
+      let warm = Registry.compile ~options:(with_cache Cache.Disk o) e h in
+      let name = e.Registry.name in
+      Alcotest.(check string) (name ^ " populate = cold")
+        (digest cold.Compiler.circuit)
+        (digest populate.Compiler.circuit);
+      Alcotest.(check string) (name ^ " disk-warm = cold")
+        (digest cold.Compiler.circuit)
+        (digest warm.Compiler.circuit);
+      let s = warm.Compiler.cache_stats in
+      if name = "phoenix" then begin
+        Alcotest.(check bool) (name ^ " disk hits") true (s.Cache.disk_hits > 0);
+        Alcotest.(check int) (name ^ " no misses") 0 s.Cache.misses
+      end
+      else
+        Alcotest.(check int) (name ^ " cache idle") 0
+          (s.Cache.hits + s.Cache.misses))
+    Registry.all
+
+(* --- qcheck: addressing properties ----------------------------------- *)
+
+let rotate l k =
+  let arr = Array.of_list l in
+  let len = Array.length arr in
+  List.init len (fun i -> arr.((i + k) mod len))
+
+let prop_digest_reorder_invariant =
+  Helpers.qtest ~count:300 "digest invariant under gadget reordering"
+    QCheck2.Gen.(pair (Helpers.terms_gen 5 8) (int_range 0 17))
+    (fun (terms, k) ->
+      let d1 = Bsf.canonical_digest (Bsf.of_terms 5 terms) in
+      let d2 =
+        Bsf.canonical_digest (Bsf.of_terms 5 (rotate (List.rev terms) k))
+      in
+      String.equal d1 d2)
+
+let prop_digest_sign_flip_distinct =
+  Helpers.qtest ~count:300 "digest distinct for sign-flipped tableaux"
+    (Helpers.terms_gen 5 8)
+    (fun terms ->
+      let t = Bsf.of_terms 5 terms in
+      let d1 = Bsf.canonical_digest t in
+      Bsf.Testing.corrupt_sign t 0;
+      not (String.equal d1 (Bsf.canonical_digest t)))
+
+(* Monotone injections of a 4-qubit register into 10 qubits: gaps keep
+   the image strictly increasing, the base shift moves the whole image. *)
+let monotone_gen =
+  let open QCheck2.Gen in
+  map
+    (fun (s, gaps) ->
+      let sel = Array.make 4 0 in
+      let pos = ref (s - 1) in
+      List.iteri
+        (fun i g ->
+          pos := !pos + 1 + g;
+          sel.(i) <- !pos)
+        gaps;
+      sel)
+    (pair (int_range 0 2) (list_size (return 4) (int_range 0 1)))
+
+let relabel sel p =
+  List.fold_left
+    (fun acc i -> Pauli_string.set acc sel.(i) (Pauli_string.get p i))
+    (Pauli_string.identity 10)
+    [ 0; 1; 2; 3 ]
+
+(* Relabelled replay is sound: the digest is relabel-invariant AND
+   synthesis itself is equivariant under monotone support relabelling
+   (within one bit-vector word), so replaying a cached circuit onto a
+   different absolute support reproduces the cold synthesis exactly. *)
+let prop_relabel_equivariance =
+  Helpers.qtest ~count:200
+    "digest relabel-invariant, synthesis relabel-equivariant"
+    QCheck2.Gen.(pair (Helpers.terms_gen 4 6) monotone_gen)
+    (fun (terms, sel) ->
+      let terms' = List.map (fun (p, a) -> (relabel sel p, a)) terms in
+      let d = Bsf.canonical_digest (Bsf.of_terms 4 terms) in
+      let d' = Bsf.canonical_digest (Bsf.of_terms 10 terms') in
+      let c = Synthesis.group_circuit (Group.of_terms 4 terms) in
+      let c' = Synthesis.group_circuit (Group.of_terms 10 terms') in
+      let mapped =
+        Circuit.map_qubits
+          (fun q -> if q < 4 then sel.(q) else q)
+          (Circuit.with_num_qubits 10 c)
+      in
+      String.equal d d' && Circuit.equal c' mapped)
+
+(* --- qcheck: cold = warm = re-warm on random gadget programs --------- *)
+
+let prop_warm_equals_cold_random =
+  Helpers.qtest ~count:60 "cold = populate = warm on random programs"
+    (Helpers.terms_gen 5 10)
+    (fun terms ->
+      Cache.clear_memory ();
+      let run tier =
+        digest
+          (Compiler.compile_gadgets
+             ~options:(opts ~cache:tier ()) 5 terms)
+            .Compiler.circuit
+      in
+      let cold = run Cache.Off in
+      let populate = run Cache.Mem in
+      let warm = run Cache.Mem in
+      String.equal cold populate && String.equal cold warm)
+
+(* --- disk-tier fault injection --------------------------------------- *)
+
+let read_all path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let write_all path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let corrupt_truncate path = write_all path (String.sub (read_all path) 0 (String.length (read_all path) / 2))
+
+let corrupt_bitflip path =
+  let s = Bytes.of_string (read_all path) in
+  let i = Bytes.length s - 1 in
+  Bytes.set s i (Char.chr (Char.code (Bytes.get s i) lxor 0x01));
+  write_all path (Bytes.to_string s)
+
+let corrupt_version path =
+  let s = read_all path in
+  let nl = String.index s '\n' in
+  write_all path ("phoenix-cache-v0" ^ String.sub s nl (String.length s - nl))
+
+let heisenberg = lazy (Phoenix_ham.Spin_models.heisenberg_chain 6)
+
+let cache_warnings (r : Compiler.report) =
+  List.filter
+    (fun (d : Diag.t) ->
+      d.Diag.pass = "cache" && d.Diag.severity = Diag.Warning)
+    r.Compiler.diagnostics
+
+let test_disk_fault_injection () =
+  let h = Lazy.force heisenberg in
+  let o = opts () in
+  List.iter
+    (fun (kind, corrupt) ->
+      fresh_cache ();
+      let cold = Registry.compile ~options:o (entry "phoenix") h in
+      let _populate =
+        Registry.compile ~options:(with_cache Cache.Disk o) (entry "phoenix") h
+      in
+      let files = Cache.Persist.list_files ~dir:cache_dir () in
+      Alcotest.(check bool) (kind ^ " entries persisted") true (files <> []);
+      corrupt (List.hd files);
+      Cache.clear_memory ();
+      Cache.reset_stats ();
+      let r =
+        Registry.compile ~options:(with_cache Cache.Disk o) (entry "phoenix") h
+      in
+      Alcotest.(check string) (kind ^ " recompilation = cold")
+        (digest cold.Compiler.circuit)
+        (digest r.Compiler.circuit);
+      let s = r.Compiler.cache_stats in
+      Alcotest.(check bool) (kind ^ " detected") true (s.Cache.disk_errors > 0);
+      Alcotest.(check bool)
+        (kind ^ " warning diagnostic")
+        true
+        (cache_warnings r <> []);
+      (* Self-healing: the recompilation re-persisted the entry, so the
+         next cold-memory run is served from disk without complaints. *)
+      Cache.clear_memory ();
+      Cache.reset_stats ();
+      let r2 =
+        Registry.compile ~options:(with_cache Cache.Disk o) (entry "phoenix") h
+      in
+      let s2 = r2.Compiler.cache_stats in
+      Alcotest.(check string) (kind ^ " healed = cold")
+        (digest cold.Compiler.circuit)
+        (digest r2.Compiler.circuit);
+      Alcotest.(check int) (kind ^ " healed: no errors") 0 s2.Cache.disk_errors;
+      Alcotest.(check bool) (kind ^ " healed: disk hits") true
+        (s2.Cache.disk_hits > 0);
+      Alcotest.(check bool)
+        (kind ^ " healed: no warnings")
+        true
+        (cache_warnings r2 = []))
+    [
+      "truncated", corrupt_truncate;
+      "bit-flipped", corrupt_bitflip;
+      "version-mismatched", corrupt_version;
+    ]
+
+(* --- LRU byte budget -------------------------------------------------- *)
+
+let test_lru_budget () =
+  Cache.clear_memory ();
+  Cache.reset_stats ();
+  let old_budget = Cache.budget () in
+  let budget = 4096 in
+  Cache.set_budget budget;
+  let rand = Random.State.make [| 20250806 |] in
+  let n = 6 in
+  let first_key = ref None in
+  for i = 0 to 63 do
+    let terms =
+      QCheck2.Gen.generate1 ~rand (Helpers.terms_gen n 3)
+      (* angle offset makes every group content-distinct even when the
+         generator repeats a string *)
+      |> List.map (fun (p, a) -> (p, a +. (0.001 *. float_of_int i)))
+    in
+    let key = Cache.key_of_terms ~exact:false n terms in
+    if !first_key = None then first_key := Some key;
+    Cache.store ~tier:Cache.Mem key
+      (Synthesis.group_circuit (Group.of_terms n terms));
+    Alcotest.(check bool)
+      (Printf.sprintf "bytes within budget after store %d" i)
+      true
+      ((Cache.stats ()).Cache.bytes <= budget)
+  done;
+  let s = Cache.stats () in
+  Alcotest.(check bool) "evictions happened" true (s.Cache.evictions > 0);
+  Alcotest.(check bool) "entries below insertions" true
+    (s.Cache.entries < s.Cache.insertions);
+  (match !first_key with
+  | Some key ->
+    Alcotest.(check bool) "oldest entry evicted" true
+      (Cache.lookup ~tier:Cache.Mem ~n key = None)
+  | None -> Alcotest.fail "no key stored");
+  Cache.set_budget old_budget;
+  Cache.clear_memory ()
+
+(* --- stats bookkeeping ------------------------------------------------ *)
+
+let test_stats_diff () =
+  let a =
+    {
+      Cache.hits = 10;
+      misses = 4;
+      disk_hits = 2;
+      disk_errors = 1;
+      evictions = 3;
+      insertions = 6;
+      entries = 5;
+      bytes = 777;
+    }
+  in
+  let b =
+    {
+      Cache.hits = 14;
+      misses = 6;
+      disk_hits = 2;
+      disk_errors = 1;
+      evictions = 4;
+      insertions = 8;
+      entries = 9;
+      bytes = 1234;
+    }
+  in
+  let d = Cache.diff b a in
+  Alcotest.(check int) "hits" 4 d.Cache.hits;
+  Alcotest.(check int) "misses" 2 d.Cache.misses;
+  Alcotest.(check int) "evictions" 1 d.Cache.evictions;
+  Alcotest.(check int) "insertions" 2 d.Cache.insertions;
+  (* gauges come from the later snapshot *)
+  Alcotest.(check int) "entries" 9 d.Cache.entries;
+  Alcotest.(check int) "bytes" 1234 d.Cache.bytes;
+  Alcotest.(check bool) "json has all counters" true
+    (List.for_all
+       (fun k ->
+         let json = Cache.stats_to_json d in
+         let rec contains i =
+           i + String.length k <= String.length json
+           && (String.sub json i (String.length k) = k || contains (i + 1))
+         in
+         contains 0)
+       [ "hits"; "misses"; "disk_hits"; "disk_errors"; "evictions"; "insertions"; "entries"; "bytes" ])
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "warm = cold on presets (golden)" `Slow
+            test_warm_equals_cold_presets;
+          Alcotest.test_case "all pipelines disk-identical" `Slow
+            test_all_pipelines_disk_identical;
+          prop_warm_equals_cold_random;
+        ] );
+      ( "addressing",
+        [
+          prop_digest_reorder_invariant;
+          prop_digest_sign_flip_distinct;
+          prop_relabel_equivariance;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "disk fault injection" `Slow
+            test_disk_fault_injection;
+          Alcotest.test_case "lru byte budget" `Quick test_lru_budget;
+        ] );
+      ("stats", [ Alcotest.test_case "diff and json" `Quick test_stats_diff ]);
+    ]

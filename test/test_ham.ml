@@ -130,6 +130,35 @@ let test_bk_sets_small () =
   check "P(3)" [ 1; 2 ] (Fermion.bk_parity_set 4 3);
   check "R(3)" [] (Fermion.bk_remainder_set 4 3)
 
+let test_ladder_memoized () =
+  (* [Fermion.ladder] is hashtbl-memoized per (encoding, n, mode, dagger):
+     repeated construction returns the same persistent value, and the
+     memo must be invisible in the encoded physics. *)
+  List.iter
+    (fun enc ->
+      let a1 = Fermion.creation enc 8 3 and a2 = Fermion.creation enc 8 3 in
+      Alcotest.(check bool) "creation shared" true (a1 == a2);
+      let b1 = Fermion.annihilation enc 8 3
+      and b2 = Fermion.annihilation enc 8 3 in
+      Alcotest.(check bool) "annihilation shared" true (b1 == b2);
+      Alcotest.(check bool) "dagger variants distinct" false (a1 == b1))
+    [ Fermion.Jordan_wigner; Fermion.Bravyi_kitaev ]
+
+let test_lih_term_counts_pinned () =
+  (* The memoized encodings must reproduce the LiH preset term counts of
+     Table I exactly — per excitation kind and in total. *)
+  List.iter
+    (fun (label, expected) ->
+      let b = Molecules.find label in
+      let h = Uccsd.ansatz b.Molecules.encoding b.Molecules.spec in
+      Alcotest.(check int) (label ^ " total #Pauli") expected
+        (Hamiltonian.num_terms h);
+      Alcotest.(check int)
+        (label ^ " predicted #Pauli")
+        expected
+        (Uccsd.num_pauli_terms b.Molecules.encoding b.Molecules.spec))
+    [ "LiH_frz_JW", 144; "LiH_frz_BK", 144 ]
+
 (* --- UCCSD: excitation structure and Table I parity --- *)
 
 let test_uccsd_excitation_counts () =
@@ -302,6 +331,9 @@ let () =
           Alcotest.test_case "JW double 8 strings" `Quick
             test_jw_double_has_8_strings;
           Alcotest.test_case "BK index sets (n=4)" `Quick test_bk_sets_small;
+          Alcotest.test_case "ladder memoized" `Quick test_ladder_memoized;
+          Alcotest.test_case "LiH term counts pinned" `Quick
+            test_lih_term_counts_pinned;
         ] );
       ( "uccsd",
         [
