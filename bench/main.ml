@@ -98,10 +98,10 @@ let end_to_end_compiles () =
   let topo = E.Workloads.heavy_hex () in
   let cold = { Phoenix.Compiler.default_options with cache = Cache.Off } in
   let timed name f =
-    let t0 = Clock.wall_s () in
+    let t0 = Clock.monotonic_s () in
     let r : Phoenix.Compiler.report = f () in
     ( name,
-      Clock.wall_s () -. t0,
+      Clock.monotonic_s () -. t0,
       r.Phoenix.Compiler.two_q_count,
       r.Phoenix.Compiler.pass_times )
   in
@@ -131,9 +131,9 @@ let cache_cold_warm () =
          let options = { options with Phoenix.Compiler.cache = Cache.Mem } in
          Cache.clear_memory ();
          let timed () =
-           let t0 = Clock.wall_s () in
+           let t0 = Clock.monotonic_s () in
            let r = Phoenix.Compiler.compile_blocks ~options n blocks in
-           Clock.wall_s () -. t0, r.Phoenix.Compiler.cache_stats
+           Clock.monotonic_s () -. t0, r.Phoenix.Compiler.cache_stats
          in
          let cold_s, cold_stats = timed () in
          let warm_s, warm_stats = timed () in
@@ -302,8 +302,8 @@ let () =
       Format.fprintf fmt "@.>>> %s@." name;
       (* Wall clock, not [Sys.time]: CPU seconds sum over domains and
          overstate elapsed time once compilation is parallel. *)
-      let t0 = Clock.wall_s () in
+      let t0 = Clock.monotonic_s () in
       f ~quick;
       Format.fprintf fmt "<<< %s done in %.1fs (wall)@." name
-        (Clock.wall_s () -. t0))
+        (Clock.monotonic_s () -. t0))
     to_run

@@ -8,6 +8,7 @@
      simulate  compile and state-vector-simulate a small workload
      analyze   run the static analyzer over a compiled workload
      passes    list the registered passes and which pipelines use them
+     chaos     seeded fault-injection soak over the registered pipelines
 
    Every compiler — PHOENIX and the baselines — dispatches through the
    pipeline registry (Phoenix_pipeline.Registry), so they all return the
@@ -15,7 +16,8 @@
    support --timings / --trace.
 
    Exit codes: 0 clean, 2 usage/input error, 3 verification errors
-   (--verify), 4 error-severity lint findings (--lint / analyze). *)
+   (--verify), 4 error-severity lint findings (--lint / analyze),
+   5 deadline exceeded with no fallback rung (--timeout). *)
 
 module Hamiltonian = Phoenix_ham.Hamiltonian
 module Compiler = Phoenix.Compiler
@@ -33,6 +35,10 @@ module Pipelines = Phoenix_pipeline.Registry
 module Hooks = Phoenix_pipeline.Hooks
 module Cache = Phoenix_cache.Cache
 module Cache_audit = Phoenix_analysis.Cache_audit
+module Budget = Phoenix_util.Budget
+module Chaos = Phoenix_util.Chaos
+module Resilience = Phoenix.Resilience
+module Resilience_lint = Phoenix_analysis.Resilience_lint
 
 let read_hamiltonian path =
   let ic = open_in path in
@@ -114,8 +120,8 @@ let find_pipeline name =
     Printf.eprintf "unknown compiler %S\n" name;
     exit 2
 
-let compile_source ?(cache = Cache.Mem) ~source ~isa ~topology ~compiler ~exact
-    ~verify ~lint () =
+let compile_source ?(cache = Cache.Mem) ?(budget = Budget.none) ~source ~isa
+    ~topology ~compiler ~exact ~verify ~lint () =
   let h = load source in
   let n = Hamiltonian.num_qubits h in
   let topo = topology_of_string n topology in
@@ -141,6 +147,7 @@ let compile_source ?(cache = Cache.Mem) ~source ~isa ~topology ~compiler ~exact
       exact;
       verify;
       cache;
+      budget;
       target =
         (match topo with
         | None -> Compiler.Logical
@@ -152,7 +159,9 @@ let compile_source ?(cache = Cache.Mem) ~source ~isa ~topology ~compiler ~exact
     (if lint then [ Hooks.lint hook_findings ] else [])
     @ if verify then [ Hooks.translation_validate hook_diags ] else []
   in
-  let report = Pipelines.compile ~options ~hooks entry h in
+  (* fail closed: any exception escaping a pass re-raises as Pass.Failed
+     with the pass named, mapped to a structured exit at top level *)
+  let report = Pipelines.compile ~options ~protect:true ~hooks entry h in
   {
     report;
     topo;
@@ -336,6 +345,26 @@ let cache_tier_of_string s =
     Printf.eprintf "unknown cache tier %S (off, mem, disk)\n" s;
     exit 2
 
+let timeout_arg =
+  let doc =
+    "Give the compile a deadline of SECONDS on the monotonic clock.  On \
+     expiry, passes with a registered degradation ladder fall back to \
+     cheaper strategies (greedy synthesis to the naive ladder, dense \
+     equivalence checking to the Pauli-propagation certificate), each \
+     step reported as a Warning and recorded in the report and trace; a \
+     pass with no fallback rung stops the run with exit code 5."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let budget_of_timeout = function
+  | None -> Budget.none
+  | Some s when Float.is_finite s && s >= 0.0 -> Budget.of_timeout_s s
+  | Some s ->
+    Printf.eprintf
+      "invalid --timeout %g (needs a finite, non-negative number of seconds)\n"
+      s;
+    exit 2
+
 let cache_stats_arg =
   let doc =
     "Print the synthesis-cache counters for this run (hits, misses, disk \
@@ -352,12 +381,13 @@ let print_cache_stats tier (s : Cache.stats) =
 
 let compile_cmd =
   let run source isa topology compiler pipeline dump exact verify lint timings
-      qasm_out draw fault trace_out cache cache_stats =
+      qasm_out draw fault trace_out cache cache_stats timeout =
     let compiler = Option.value pipeline ~default:compiler in
     let tier = cache_tier_of_string cache in
+    let budget = budget_of_timeout timeout in
     let compiled =
-      compile_source ~cache:tier ~source ~isa ~topology ~compiler ~exact
-        ~verify ~lint ()
+      compile_source ~cache:tier ~budget ~source ~isa ~topology ~compiler
+        ~exact ~verify ~lint ()
     in
     let circuit = inject_fault fault compiled.report.Compiler.circuit in
     let diagnostics =
@@ -380,7 +410,10 @@ let compile_cmd =
       end
     in
     let findings =
-      if lint then Registry.run (lint_target compiled circuit) else []
+      if lint then
+        Registry.run (lint_target compiled circuit)
+        @ Resilience_lint.conformance compiled.report
+      else []
     in
     Printf.printf "qubits:    %d\n" (Circuit.num_qubits circuit);
     Printf.printf "gates:     %d\n" (Circuit.length circuit);
@@ -390,6 +423,9 @@ let compile_cmd =
     Printf.printf "depth:     %d\n" (Circuit.depth circuit);
     Printf.printf "depth-2q:  %d\n" (Circuit.depth_2q circuit);
     Printf.printf "swaps:     %d\n" compiled.report.Compiler.num_swaps;
+    if compiled.report.Compiler.degradations <> [] then
+      Printf.printf "degraded:  %s\n"
+        (Resilience.aggregate_to_string compiled.report.Compiler.degradations);
     if cache_stats then
       print_cache_stats tier compiled.report.Compiler.cache_stats;
     if verify then print_diagnostics diagnostics;
@@ -418,6 +454,7 @@ let compile_cmd =
       let json =
         Pass.trace_to_json ~compiler ~workload:source
           ~cache:compiled.report.Compiler.cache_stats
+          ~degradations:compiled.report.Compiler.degradations
           compiled.report.Compiler.trace
       in
       if path = "-" then print_endline json
@@ -437,7 +474,7 @@ let compile_cmd =
   in
   let doc = "Compile a Hamiltonian-simulation program." in
   Cmd.v (Cmd.info "compile" ~doc)
-    Term.(const run $ source_arg $ isa_arg $ topology_arg $ baseline_arg $ pipeline_arg $ dump_arg $ exact_arg $ verify_arg $ lint_arg $ timings_arg $ qasm_arg $ draw_arg $ fault_arg $ trace_arg $ cache_arg $ cache_stats_arg)
+    Term.(const run $ source_arg $ isa_arg $ topology_arg $ baseline_arg $ pipeline_arg $ dump_arg $ exact_arg $ verify_arg $ lint_arg $ timings_arg $ qasm_arg $ draw_arg $ fault_arg $ trace_arg $ cache_arg $ cache_stats_arg $ timeout_arg)
 
 let info_cmd =
   let run source =
@@ -814,10 +851,268 @@ let cache_cmd =
   in
   Cmd.group (Cmd.info "cache" ~doc) [ stats_sub; clear_sub; warm_sub; audit_sub ]
 
+(* --- chaos: the fault-injection soak ------------------------------------- *)
+
+(* Every seeded run must land in one of the first three classes; a
+   Violation — silent divergence from the clean baseline, a surviving
+   verification error, a non-conforming degradation, or a raw exception
+   escaping the pass manager — fails the soak. *)
+type chaos_class = Identical | Degraded | Failed_closed | Violation
+
+let chaos_class_name = function
+  | Identical -> "identical"
+  | Degraded -> "degraded"
+  | Failed_closed -> "failed-closed"
+  | Violation -> "violation"
+
+let chaos_cmd =
+  let runs_arg =
+    let doc = "Seeded chaos runs per pipeline." in
+    Arg.(value & opt int 50 & info [ "runs" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Base seed; the $(i,r)-th run injects faults under seed + r." in
+    Arg.(value & opt int 2025 & info [ "seed" ] ~doc)
+  in
+  let workload_arg =
+    let doc = "Workload to soak (Hamiltonian file or builtin)." in
+    Arg.(value & opt string "heisenberg:6" & info [ "workload" ] ~doc)
+  in
+  let pipelines_arg =
+    let doc = "Comma-separated pipeline names, or $(b,all)." in
+    Arg.(value & opt string "all" & info [ "pipelines" ] ~doc)
+  in
+  let plan_arg =
+    let doc =
+      "Fault plan in PHOENIX_CHAOS syntax (any seed field is overridden \
+       per run): per-site firing probabilities for $(b,timeout), \
+       $(b,worker), $(b,cache-flip), $(b,cache-truncate) and $(b,alloc)."
+    in
+    Arg.(
+      value
+      & opt string
+          "timeout=0.02,worker=0.05,cache-flip=0.15,cache-truncate=0.05,alloc=0.02"
+      & info [ "plan" ] ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Write the per-run soak records to FILE as JSON; $(b,-) for stdout."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let timeout_arg =
+    let doc =
+      "Per-run budget backstop in seconds: a wedged run must degrade or \
+       fail closed, never hang."
+    in
+    Arg.(value & opt float 10.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let run runs seed workload pipelines plan_str json_out timeout =
+    let plan =
+      match Chaos.parse plan_str with
+      | Ok p -> p
+      | Error msg ->
+        Printf.eprintf "chaos: %s\n" msg;
+        exit 2
+    in
+    if runs < 1 then begin
+      Printf.eprintf "chaos: --runs must be at least 1\n";
+      exit 2
+    end;
+    if not (Float.is_finite timeout) || timeout <= 0.0 then begin
+      Printf.eprintf "chaos: --timeout must be a positive number of seconds\n";
+      exit 2
+    end;
+    let entries =
+      if pipelines = "all" then Pipelines.all
+      else List.map find_pipeline (String.split_on_char ',' pipelines)
+    in
+    let h = load workload in
+    let n = Hamiltonian.num_qubits h in
+    let two_local =
+      not
+        (List.exists
+           (fun (p, _) -> Phoenix_pauli.Pauli_string.weight p > 2)
+           (Hamiltonian.trotter_gadgets h))
+    in
+    (* Isolated persistent-cache directory: the soak corrupts staged cache
+       entries on purpose and must never touch a user's cache.  Entries
+       survive between runs so later runs exercise the corrupt-read path. *)
+    let cache_dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "phoenix-chaos-%d" (Unix.getpid ()))
+    in
+    (try Unix.mkdir cache_dir 0o700
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    Unix.putenv "PHOENIX_CACHE_DIR" cache_dir;
+    let options_for entry budget =
+      {
+        Compiler.default_options with
+        verify = true;
+        cache = Cache.Disk;
+        budget;
+        target =
+          (if entry.Pipelines.requires_topology then
+             Compiler.Hardware (Topology.line (max n 2))
+           else Compiler.Logical);
+      }
+    in
+    let compile_once entry budget =
+      Cache.reset_health ();
+      Cache.clear_memory ();
+      Pipelines.compile ~options:(options_for entry budget) ~protect:true entry
+        h
+    in
+    let results = ref [] in
+    Fun.protect
+      ~finally:(fun () -> Chaos.set_plan None)
+      (fun () ->
+        List.iter
+          (fun entry ->
+            if entry.Pipelines.two_local_only && not two_local then
+              Printf.printf "%-12s skipped (workload is not 2-local)\n"
+                entry.Pipelines.name
+            else begin
+              Chaos.set_plan None;
+              let baseline = compile_once entry Budget.none in
+              if Diag.has_errors baseline.Compiler.diagnostics then begin
+                Printf.eprintf
+                  "chaos: the clean %s baseline fails verification; fix that \
+                   before soaking\n"
+                  entry.Pipelines.name;
+                exit 1
+              end;
+              let baseline_gates = Circuit.gates baseline.Compiler.circuit in
+              for r = 0 to runs - 1 do
+                let run_seed = seed + r in
+                Chaos.set_plan (Some { plan with Chaos.seed = run_seed });
+                let cls, detail =
+                  match compile_once entry (Budget.of_timeout_s timeout) with
+                  | report ->
+                    if Diag.has_errors report.Compiler.diagnostics then
+                      ( Violation,
+                        "verification errors survived: "
+                        ^ Diag.summary report.Compiler.diagnostics )
+                    else if report.Compiler.degradations <> [] then begin
+                      let lint = Resilience_lint.conformance report in
+                      if Finding.has_errors lint then
+                        (Violation, Finding.summary lint)
+                      else
+                        ( Degraded,
+                          Resilience.aggregate_to_string
+                            report.Compiler.degradations )
+                    end
+                    else if
+                      Circuit.gates report.Compiler.circuit = baseline_gates
+                    then (Identical, "")
+                    else
+                      ( Violation,
+                        "silent divergence from the clean baseline circuit" )
+                  | exception Pass.Interrupted { pass; reason } ->
+                    ( Failed_closed,
+                      Printf.sprintf "%s: %s" pass
+                        (Budget.reason_to_string reason) )
+                  | exception Pass.Failed { pass; error } ->
+                    (Failed_closed, Printf.sprintf "%s: %s" pass error)
+                  | exception e ->
+                    (Violation, "uncaught exception: " ^ Printexc.to_string e)
+                in
+                Chaos.set_plan None;
+                results := (entry.Pipelines.name, run_seed, cls, detail)
+                           :: !results
+              done
+            end)
+          entries);
+    let results = List.rev !results in
+    let count c = List.length (List.filter (fun (_, _, k, _) -> k = c) results) in
+    let identical = count Identical and degraded = count Degraded in
+    let failed = count Failed_closed and violations = count Violation in
+    Printf.printf "plan:      %s (base seed %d)\n"
+      (Chaos.plan_to_string { plan with Chaos.seed = seed })
+      seed;
+    Printf.printf "workload:  %s (%d qubits)\n" workload n;
+    Printf.printf "runs:      %d per pipeline, %d total\n" runs
+      (List.length results);
+    Printf.printf "identical: %d\n" identical;
+    Printf.printf "degraded:  %d\n" degraded;
+    Printf.printf "failed-closed: %d\n" failed;
+    Printf.printf "violations: %d\n" violations;
+    List.iter
+      (fun (pipe, s, cls, detail) ->
+        if cls = Violation then
+          Printf.printf "  VIOLATION %s seed=%d: %s\n" pipe s detail)
+      results;
+    (match json_out with
+    | None -> ()
+    | Some path ->
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{ \"schema\": \"phoenix-chaos-v1\", \"workload\": %S, \"plan\": \
+            %S, \"base_seed\": %d, \"runs_per_pipeline\": %d, \"results\": ["
+           workload plan_str seed runs);
+      List.iteri
+        (fun i (pipe, s, cls, detail) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{ \"pipeline\": %S, \"seed\": %d, \"class\": %S, \"detail\": \
+                %S }"
+               pipe s (chaos_class_name cls) detail))
+        results;
+      Buffer.add_string buf
+        (Printf.sprintf
+           " ], \"identical\": %d, \"degraded\": %d, \"failed_closed\": %d, \
+            \"violations\": %d }"
+           identical degraded failed violations);
+      if path = "-" then print_endline (Buffer.contents buf)
+      else begin
+        let oc = open_out path in
+        output_string oc (Buffer.contents buf);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+      end);
+    if violations > 0 then exit 1
+  in
+  let doc =
+    "Soak the compiler under seeded fault injection: N runs per pipeline, \
+     each under a per-run deadline with injected pass timeouts, worker \
+     faults, cache corruption and allocation pressure.  Every run must \
+     complete bit-identically to a clean baseline, degrade conformantly \
+     along the registered ladders, or fail closed with a structured \
+     diagnostic; anything else is a violation (exit 1)."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const run $ runs_arg $ seed_arg $ workload_arg $ pipelines_arg $ plan_arg $ json_arg $ timeout_arg)
+
 let () =
+  Chaos.install_from_env ();
   let doc = "PHOENIX: Pauli-based high-level optimization engine (DAC 2025 reproduction)." in
   let info = Cmd.info "phoenix" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ compile_cmd; info_cmd; bench_cmd; simulate_cmd; analyze_cmd; passes_cmd; cache_cmd ]))
+  let status =
+    try
+      Cmd.eval ~catch:false
+        (Cmd.group info
+           [ compile_cmd; info_cmd; bench_cmd; simulate_cmd; analyze_cmd; passes_cmd; cache_cmd; chaos_cmd ])
+    with
+    | Pass.Interrupted { pass; reason } ->
+      (* a budget expired in a pass with no fallback rung: fail closed
+         with the documented exit code (5 deadline, 1 cancellation) *)
+      Printf.eprintf "phoenix: %s\n"
+        (Diag.to_string
+           (Diag.make ~pass Diag.Error
+              (match reason with
+              | Budget.Deadline -> "deadline exceeded with no fallback available"
+              | Budget.Cancelled -> "job cancelled")));
+      (match reason with
+      | Budget.Deadline -> Resilience.exit_deadline
+      | Budget.Cancelled -> 1)
+    | Pass.Failed { pass; error } ->
+      Printf.eprintf "phoenix: %s\n"
+        (Diag.to_string
+           (Diag.make ~pass Diag.Error ("pass failed closed: " ^ error)));
+      1
+  in
+  exit status

@@ -39,6 +39,13 @@ let all =
         "no NaN/inf angles; zero or non-canonical rotations are flagged";
       run = Circuit_lint.angle_sanity;
     };
+    {
+      name = "resilience-conformance";
+      description =
+        "degradation-ladder registry audit: fallback rungs present, \
+         subjects and rungs unambiguous";
+      run = (fun _ -> Resilience_lint.registry_audit ());
+    };
   ]
 
 let names () = List.map (fun a -> a.name) all

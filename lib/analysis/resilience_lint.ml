@@ -1,0 +1,100 @@
+module Resilience = Phoenix.Resilience
+module Compiler = Phoenix.Compiler
+module Diag = Phoenix_verify.Diag
+
+let analysis = "resilience-conformance"
+
+(* Static audit of the degradation-ladder registry itself: every ladder
+   must end somewhere cheap (>= 2 rungs), subjects and rung names must
+   be unambiguous, and the owning pass must be named — the properties
+   the event validator and the docs both lean on. *)
+let registry_audit () =
+  let findings = ref [] in
+  let emit f = findings := f :: !findings in
+  let subjects =
+    List.map (fun (l : Resilience.ladder) -> l.subject) Resilience.ladders
+  in
+  List.iter
+    (fun s ->
+      if List.length (List.filter (String.equal s) subjects) > 1 then
+        emit
+          (Finding.makef ~analysis Finding.Error
+             "duplicate ladder subject %S" s))
+    (List.sort_uniq String.compare subjects);
+  List.iter
+    (fun (l : Resilience.ladder) ->
+      if List.length l.rungs < 2 then
+        emit
+          (Finding.makef ~analysis Finding.Error
+             "ladder %S has no fallback rung" l.subject);
+      if l.owner = "" then
+        emit
+          (Finding.makef ~analysis Finding.Error
+             "ladder %S names no owning pass" l.subject);
+      let names = List.map (fun r -> r.Resilience.rung) l.rungs in
+      List.iter
+        (fun r ->
+          if r = "" then
+            emit
+              (Finding.makef ~analysis Finding.Error
+                 "ladder %S has an unnamed rung" l.subject);
+          if List.length (List.filter (String.equal r) names) > 1 then
+            emit
+              (Finding.makef ~analysis Finding.Error
+                 "ladder %S repeats rung %S" l.subject r))
+        (List.sort_uniq String.compare names))
+    Resilience.ladders;
+  if !findings = [] then
+    [
+      Finding.makef ~analysis Finding.Info
+        "%d degradation ladders registered, every one with a terminal \
+         fallback rung"
+        (List.length Resilience.ladders);
+    ]
+  else List.rev !findings
+
+(* Dynamic audit of one run: every degradation the report records must
+   be a step a registered ladder permits, and a degraded run must have
+   said so in its diagnostics — silent degradation is the failure mode
+   this lint exists to catch. *)
+let conformance (report : Compiler.report) =
+  let findings = ref [] in
+  let emit f = findings := f :: !findings in
+  List.iter
+    (fun (e : Resilience.event) ->
+      match Resilience.find_ladder e.subject with
+      | None ->
+        emit
+          (Finding.makef ~analysis Finding.Error
+             "degradation event references unregistered ladder %S" e.subject)
+      | Some _ ->
+        if
+          not
+            (Resilience.valid_step ~subject:e.subject ~from_rung:e.from_rung
+               ~to_rung:e.to_rung)
+        then
+          emit
+            (Finding.makef ~analysis Finding.Error
+               "degradation %s is not an adjacent step of ladder %S"
+               (Resilience.event_to_string e)
+               e.subject))
+    report.Compiler.degradations;
+  (if report.Compiler.degradations <> [] then
+     let warned =
+       List.exists
+         (fun (d : Diag.t) -> d.Diag.severity <> Diag.Info)
+         report.Compiler.diagnostics
+     in
+     if not warned then
+       emit
+         (Finding.makef ~analysis Finding.Error
+            "run degraded %d time(s) but carries no Warning diagnostic"
+            (List.length report.Compiler.degradations)));
+  if !findings = [] && report.Compiler.degradations <> [] then
+    [
+      Finding.makef ~analysis Finding.Info
+        "%d degradation(s) all conform to registered ladders: %s"
+        (List.length report.Compiler.degradations)
+        (Resilience.aggregate_to_string report.Compiler.degradations);
+    ]
+  else List.rev !findings

@@ -1,0 +1,24 @@
+(** Resilience-conformance lint.
+
+    Two audits around {!Phoenix.Resilience}:
+
+    - {!registry_audit} checks the degradation-ladder registry itself —
+      every ladder has a fallback rung, an owning pass, and unambiguous
+      subject/rung names.  Registered as the ["resilience-conformance"]
+      analysis (it ignores the circuit target).
+    - {!conformance} checks one compile report: every recorded
+      degradation must be an adjacent step of a registered ladder, and a
+      degraded run must carry a non-[Info] diagnostic — silent
+      degradation is exactly what this lint exists to catch. *)
+
+val analysis : string
+(** Registry name: ["resilience-conformance"]. *)
+
+val registry_audit : unit -> Finding.t list
+(** [Error] findings for malformed ladders; a single positive [Info]
+    certification when the registry is clean. *)
+
+val conformance : Phoenix.Compiler.report -> Finding.t list
+(** [Error] findings for non-conforming or silent degradations; a
+    positive [Info] summary when the run degraded conformantly; empty
+    for an undisturbed run. *)

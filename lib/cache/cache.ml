@@ -1,10 +1,18 @@
 module Bsf = Phoenix_pauli.Bsf
 module Bitvec = Phoenix_util.Bitvec
+module Chaos = Phoenix_util.Chaos
 module Circuit = Phoenix_circuit.Circuit
 module Gate = Phoenix_circuit.Gate
 module Diag = Phoenix_verify.Diag
 
 type tier = Off | Mem | Disk
+
+type health = Full | Mem_only | No_cache
+
+let health_to_string = function
+  | Full -> "full"
+  | Mem_only -> "mem-only"
+  | No_cache -> "off"
 
 let tier_of_string = function
   | "off" -> Some Off
@@ -149,6 +157,32 @@ let c_disk_errors = ref 0
 let c_evictions = ref 0
 let c_insertions = ref 0
 
+(* The cache's own degradation ladder (disk -> mem -> off): a burst of
+   consecutive disk faults parks the persistent tier rather than paying
+   a failing I/O round-trip per group.  One success resets the streak;
+   [reset_health] re-arms the tier (a new job may have a new cache dir).
+   All transitions happen under the lock. *)
+let health_ref = ref Full
+let consec_disk_errors = ref 0
+let disk_error_threshold = 3
+
+(* Caller holds the lock. *)
+let note_disk_error_locked () =
+  incr c_disk_errors;
+  incr consec_disk_errors;
+  if !health_ref = Full && !consec_disk_errors >= disk_error_threshold then
+    health_ref := Mem_only
+
+(* Caller holds the lock. *)
+let note_disk_ok_locked () = consec_disk_errors := 0
+
+let effective_tier tier h =
+  match (tier, h) with
+  | Off, _ -> Off
+  | _, No_cache -> Off
+  | Disk, Mem_only -> Mem
+  | t, (Full | Mem_only) -> t
+
 let default_budget = 64 * 1024 * 1024
 
 let budget_ref =
@@ -261,6 +295,13 @@ let reset_stats () =
       c_disk_errors := 0;
       c_evictions := 0;
       c_insertions := 0)
+
+let health () = with_lock (fun () -> !health_ref)
+
+let reset_health () =
+  with_lock (fun () ->
+      health_ref := Full;
+      consec_disk_errors := 0)
 
 let budget () = with_lock (fun () -> !budget_ref)
 
@@ -393,23 +434,84 @@ module Persist = struct
                                   bytes = String.length payload;
                                 }))))
 
+  (* Testing hook: take the cross-filesystem fallback path even when the
+     rename would have succeeded. *)
+  let force_exdev = ref false
+
+  (* Chaos corruption of the staged bytes, pre-publish: a truncation or a
+     flipped payload byte, both of which the checksum/version validation
+     in [read_file] must catch on the next read. *)
+  let chaos_corrupt tmp =
+    if Chaos.fire Chaos.Cache_truncate then
+      Unix.truncate tmp ((Unix.stat tmp).Unix.st_size / 2)
+    else if Chaos.fire Chaos.Cache_flip then begin
+      let fd = Unix.openfile tmp [ Unix.O_RDWR ] 0o644 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let len = (Unix.fstat fd).Unix.st_size in
+          if len > 0 then begin
+            ignore (Unix.lseek fd (len - 1) Unix.SEEK_SET);
+            let b = Bytes.create 1 in
+            ignore (Unix.read fd b 0 1);
+            Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x40));
+            ignore (Unix.lseek fd (len - 1) Unix.SEEK_SET);
+            ignore (Unix.write fd b 0 1)
+          end)
+    end
+
+  (* Fallback commit for when the staging file and the cache directory
+     sit on different filesystems (rename fails with EXDEV, e.g. tmpfs
+     TMPDIR vs a persistent PHOENIX_CACHE_DIR): copy into the
+     destination directory, fsync, and rename within that directory —
+     readers still only ever observe complete entries. *)
+  let copy_then_rename tmp path =
+    let local = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+    let ic = open_in_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let oc = open_out_bin local in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            let buf = Bytes.create 65536 in
+            let rec loop () =
+              let k = input ic buf 0 (Bytes.length buf) in
+              if k > 0 then begin
+                output oc buf 0 k;
+                loop ()
+              end
+            in
+            loop ();
+            flush oc;
+            Unix.fsync (Unix.descr_of_out_channel oc)));
+    Unix.rename local path
+
   (* Single-writer commit: the payload is staged in a process-private temp
      file and published with an atomic rename, so concurrent readers only
      ever observe complete entries.  Racing writers of the same key stage
      byte-identical payloads, so either rename wins harmlessly. *)
   let write path payload =
     ensure_dir (Filename.dirname path);
-    let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
-    let oc = open_out_bin tmp in
+    let tmp = Filename.temp_file "phoenix-cache" ".staging" in
     Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
+      ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
       (fun () ->
-        output_string oc format_version;
-        output_char oc '\n';
-        output_string oc (Digest.to_hex (Digest.string payload));
-        output_char oc '\n';
-        output_string oc payload);
-    Sys.rename tmp path
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc format_version;
+            output_char oc '\n';
+            output_string oc (Digest.to_hex (Digest.string payload));
+            output_char oc '\n';
+            output_string oc payload);
+        chaos_corrupt tmp;
+        if !force_exdev then copy_then_rename tmp path
+        else
+          try Unix.rename tmp path
+          with Unix.Unix_error (Unix.EXDEV, _, _) -> copy_then_rename tmp path)
 
   let disk_bytes ?dir () =
     List.fold_left
@@ -443,9 +545,9 @@ let warn record fmt =
     fmt
 
 let lookup ?record ~tier ~n key =
-  match tier with
+  match effective_tier tier (health ()) with
   | Off -> None
-  | Mem | Disk -> (
+  | (Mem | Disk) as tier -> (
       let mem_hit =
         with_lock (fun () ->
             match find_entry key with
@@ -470,7 +572,7 @@ let lookup ?record ~tier ~n key =
             | Error msg ->
                 with_lock (fun () ->
                     incr c_misses;
-                    incr c_disk_errors);
+                    note_disk_error_locked ());
                 warn record "skipping corrupt cache entry %s: %s"
                   (Filename.basename path) msg;
                 None
@@ -482,7 +584,9 @@ let lookup ?record ~tier ~n key =
                 (* Address collision or an entry persisted for an
                    incompatible support: valid file, but not replayable
                    here.  Silent miss. *)
-                with_lock (fun () -> incr c_misses);
+                with_lock (fun () ->
+                    incr c_misses;
+                    note_disk_ok_locked ());
                 None
             | Ok info -> (
                 match expand ~n key info.Persist.gates with
@@ -492,12 +596,13 @@ let lookup ?record ~tier ~n key =
                           (insert_entry key info.Persist.gates
                              info.Persist.bytes);
                         incr c_hits;
-                        incr c_disk_hits);
+                        incr c_disk_hits;
+                        note_disk_ok_locked ());
                     Some circuit
                 | exception _ ->
                     with_lock (fun () ->
                         incr c_misses;
-                        incr c_disk_errors);
+                        note_disk_error_locked ());
                     warn record
                       "skipping cache entry %s: gates do not fit the \
                        requesting group"
@@ -505,9 +610,9 @@ let lookup ?record ~tier ~n key =
                     None)))
 
 let store ?record ~tier key circuit =
-  match tier with
+  match effective_tier tier (health ()) with
   | Off -> ()
-  | Mem | Disk -> (
+  | (Mem | Disk) as tier -> (
       match canonical_gates key circuit with
       | None -> ()
       | Some gates ->
@@ -525,7 +630,24 @@ let store ?record ~tier key circuit =
             with_lock (fun () -> insert_entry key gates (String.length payload))
           in
           if fresh && tier = Disk then (
-            try Persist.write (Persist.path_of_key key) payload
-            with Sys_error msg | Unix.Unix_error (_, msg, _) ->
-              with_lock (fun () -> incr c_disk_errors);
+            match Persist.write (Persist.path_of_key key) payload with
+            | () -> with_lock note_disk_ok_locked
+            | exception (Sys_error msg | Unix.Unix_error (_, msg, _)) ->
+              with_lock (fun () -> note_disk_error_locked ());
               warn record "could not persist cache entry: %s" msg))
+
+module Testing = struct
+  let force_health h =
+    with_lock (fun () ->
+        health_ref := h;
+        consec_disk_errors := 0)
+
+  let trip_disk_errors k =
+    with_lock (fun () ->
+        for _ = 1 to k do
+          note_disk_error_locked ()
+        done)
+
+  let set_force_exdev b = Persist.force_exdev := b
+  let disk_error_threshold = disk_error_threshold
+end

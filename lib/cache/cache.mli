@@ -38,6 +38,23 @@ type tier = Off | Mem | Disk
 val tier_of_string : string -> tier option
 val tier_to_string : tier -> string
 
+type health = Full | Mem_only | No_cache
+(** The cache's own degradation ladder (disk → mem → off), global to the
+    process.  After {!Testing.disk_error_threshold} {e consecutive} disk
+    faults the persistent tier is parked and [Disk] requests behave as
+    [Mem] ([Mem_only]); [No_cache] turns every request into [Off].  One
+    successful disk operation resets the fault streak. *)
+
+val health_to_string : health -> string
+
+val health : unit -> health
+(** Current rung.  Pipelines compare before/after a pass to surface any
+    step the cache took as a degradation event. *)
+
+val reset_health : unit -> unit
+(** Re-arm the ladder at [Full] (e.g. at the start of a new job, whose
+    cache directory may be healthy again). *)
+
 type key
 (** Content address of one group's tableau: canonical digest, ordered
     fingerprint, absolute support, and exact-mode flag. *)
@@ -76,8 +93,10 @@ val store :
   unit
 (** Commit a freshly synthesized circuit.  Idempotent: a key already
     resident is left untouched.  With [tier = Disk] the entry is also
-    persisted (temp file + atomic rename); write failures are reported
-    through [record] and otherwise ignored. *)
+    persisted: staged in a temp file and published with an atomic
+    rename, falling back to copy+fsync+rename-within-directory when the
+    staging file lands on a different filesystem (EXDEV).  Write
+    failures are reported through [record] and otherwise ignored. *)
 
 (** {1 Counters} *)
 
@@ -144,4 +163,24 @@ module Persist : sig
   val disk_bytes : ?dir:string -> unit -> int
   val clear : ?dir:string -> unit -> int
   (** Remove every entry file; returns how many were removed. *)
+end
+
+(** {1 Testing hooks}
+
+    For the resilience tests and the chaos harness only. *)
+module Testing : sig
+  val force_health : health -> unit
+  (** Pin the ladder at a rung (resets the fault streak). *)
+
+  val trip_disk_errors : int -> unit
+  (** Register [k] consecutive disk faults, as a burst of real I/O
+      errors would. *)
+
+  val set_force_exdev : bool -> unit
+  (** Make every persist commit take the cross-filesystem
+      copy+fsync+rename fallback, as if the staging rename failed with
+      [EXDEV]. *)
+
+  val disk_error_threshold : int
+  (** Consecutive disk faults that park the persistent tier. *)
 end

@@ -30,6 +30,7 @@ type options = Pass.options = {
   verify : bool;
   domains : int;
   cache : Cache.tier;
+  budget : Phoenix_util.Budget.t;
 }
 
 let default_options = Pass.default_options
@@ -48,6 +49,8 @@ type report = {
   trace : Pass.trace;
   cache_stats : Cache.stats;
       (** synthesis-cache counter deltas attributable to this run *)
+  degradations : Resilience.event list;
+      (** budget-driven ladder steps taken during this run, in order *)
 }
 
 (* Verification thresholds: per-group dense checks stay cheap, the final
@@ -57,13 +60,26 @@ let final_unitary_max_qubits = 10
 
 (* Per-group translation validation: the scalable Pauli-propagation check
    always runs; for small registers the dense unitary comparison backs it
-   up. *)
+   up.  The dense comparison is the degradable rung: when the budget
+   expires inside it, the group keeps its propagation certificate and a
+   ladder event records the step.  The propagation check itself carries
+   no checkpoints — the terminal rung always completes. *)
 let check_group_circuit (options : options) n terms circuit =
   match Equiv.propagation_check ~exact:options.exact n terms circuit with
-  | Error _ as e -> e
+  | Error _ as e -> (e, [])
   | Ok () ->
-    if n <= group_unitary_max_qubits then Equiv.unitary_check n terms circuit
-    else Ok ()
+    if n > group_unitary_max_qubits then (Ok (), [])
+    else (
+      match
+        Resilience.attempt (fun () -> Equiv.unitary_check n terms circuit)
+      with
+      | Ok r -> (r, [])
+      | Error _ ->
+        ( Ok (),
+          [
+            Resilience.event ~subject:"equivalence-check"
+              ~from_rung:"dense-unitary" ~to_rung:"pauli-propagation" ();
+          ] ))
 
 (* --- PHOENIX-specific passes ------------------------------------------ *)
 
@@ -105,29 +121,64 @@ let simplify_pass ?synthesize () =
       in
       let checked_group (idx, (g : Group.t)) =
         let local = ref [] in
+        let events = ref [] in
         let record severity msg =
           local := Diag.make ~group:idx ~pass:"simplify" severity msg :: !local
         in
         let cache_record d = local := { d with Diag.group = Some idx } :: !local in
+        (* Greedy synthesis is the top rung; a budget expiry inside it
+           degrades this group to the naive ladder (trusted, bounded
+           time, no search).  Degraded results are never stored in the
+           cache: cached entries must stay bit-identical to what a cold
+           greedy synthesis would produce. *)
+        let degrade_synth () =
+          record Diag.Warning
+            "synthesis budget exhausted; degraded greedy -> naive-ladder";
+          events :=
+            Resilience.event ~group:idx ~subject:"synthesis"
+              ~from_rung:"greedy" ~to_rung:"naive-ladder" ()
+            :: !events;
+          Synthesis.naive_gadget_circuit n g.Group.terms
+        in
         let c =
           match tier with
-          | Cache.Off -> synth g
+          | Cache.Off -> (
+            match Resilience.attempt (fun () -> synth g) with
+            | Ok c -> c
+            | Error _ -> degrade_synth ())
           | Cache.Mem | Cache.Disk -> (
             let key =
               Cache.key_of_terms ~exact:options.exact n g.Group.terms
             in
             match Cache.lookup ~record:cache_record ~tier ~n key with
             | Some cached -> cached
-            | None ->
-              let c = synth g in
-              Cache.store ~record:cache_record ~tier key c;
-              c)
+            | None -> (
+              match Resilience.attempt (fun () -> synth g) with
+              | Ok c ->
+                Cache.store ~record:cache_record ~tier key c;
+                c
+              | Error _ -> degrade_synth ()))
+        in
+        let check terms circuit =
+          let r, evs = check_group_circuit options n terms circuit in
+          if evs <> [] then
+            record Diag.Warning
+              "equivalence-check budget exhausted; degraded dense-unitary -> \
+               pauli-propagation (certificate passed)";
+          events :=
+            List.rev_append
+              (List.map (fun e -> { e with Resilience.group = Some idx }) evs)
+              !events;
+          r
         in
         if not options.verify then
-          ({ Order.group = g; circuit = c }, List.rev !local, false)
+          ({ Order.group = g; circuit = c }, List.rev !local, false,
+           List.rev !events)
         else
-          match check_group_circuit options n g.Group.terms c with
-          | Ok () -> ({ Order.group = g; circuit = c }, List.rev !local, false)
+          match check g.Group.terms c with
+          | Ok () ->
+            ({ Order.group = g; circuit = c }, List.rev !local, false,
+             List.rev !events)
           | Error msg ->
             record Diag.Warning
               (Printf.sprintf
@@ -135,13 +186,14 @@ let simplify_pass ?synthesize () =
                   naive ladder"
                  msg);
             let fb = Synthesis.naive_gadget_circuit n g.Group.terms in
-            (match check_group_circuit options n g.Group.terms fb with
+            (match check g.Group.terms fb with
             | Ok () -> ()
             | Error msg2 ->
               record Diag.Error
                 (Printf.sprintf "naive fallback also failed verification (%s)"
                    msg2));
-            ({ Order.group = g; circuit = fb }, List.rev !local, true)
+            ({ Order.group = g; circuit = fb }, List.rev !local, true,
+             List.rev !events)
       in
       let domains =
         match synthesize with
@@ -150,20 +202,50 @@ let simplify_pass ?synthesize () =
           if options.domains >= 1 then options.domains
           else Parallel.num_domains ()
       in
+      let health_before = Cache.health () in
       let checked =
         Parallel.map ~domains checked_group
           (List.mapi (fun i g -> (i, g)) ctx.Pass.groups)
       in
-      let blocks = List.map (fun (b, _, _) -> b) checked in
+      let blocks = List.map (fun (b, _, _, _) -> b) checked in
       let recovered = ref 0 in
       let ctx =
         List.fold_left
-          (fun ctx (_, group_diags, rec_) ->
+          (fun ctx (_, group_diags, rec_, group_events) ->
             if rec_ then incr recovered;
-            List.fold_left Pass.add_diag ctx group_diags)
+            let ctx = List.fold_left Pass.add_diag ctx group_diags in
+            List.fold_left Pass.add_degradation ctx group_events)
           ctx checked
       in
       let ctx = { ctx with Pass.blocks; Pass.recovered = !recovered } in
+      (* The cache's own ladder (disk -> mem -> off) is global health
+         state; surface any step it took during this pass. *)
+      let ctx =
+        let rung = function
+          | Cache.Full -> "disk"
+          | Cache.Mem_only -> "mem"
+          | Cache.No_cache -> "off"
+        in
+        let pos = function
+          | Cache.Full -> 0
+          | Cache.Mem_only -> 1
+          | Cache.No_cache -> 2
+        in
+        let before = pos health_before
+        and after = pos (Cache.health ()) in
+        let rungs = [| Cache.Full; Cache.Mem_only; Cache.No_cache |] in
+        let ctx = ref ctx in
+        for p = before to after - 1 do
+          ctx :=
+            Pass.add_degradation
+              (Pass.diagf ~pass:"simplify" Diag.Warning !ctx
+                 "synthesis cache degraded %s -> %s" (rung rungs.(p))
+                 (rung rungs.(p + 1)))
+              (Resilience.event ~subject:"cache-tier" ~from_rung:(rung rungs.(p))
+                 ~to_rung:(rung rungs.(p + 1)) ())
+        done;
+        !ctx
+      in
       if options.verify && !recovered = 0 then
         Pass.diagf ~pass:"simplify" Diag.Info ctx "verified %d group circuits"
           (List.length ctx.Pass.groups)
@@ -313,17 +395,36 @@ let verify_pass =
          pipeline may exercise Trotter freedom (exact mode, no routing
          permutation) and the register is small. *)
       match options.target with
-      | Logical when options.exact && n <= final_unitary_max_qubits ->
+      | Logical when options.exact && n <= final_unitary_max_qubits -> (
         let program =
           List.concat_map (fun g -> g.Group.terms) ctx.Pass.groups
         in
-        (match Equiv.unitary_check n program ctx.Pass.circuit with
-        | Ok () ->
+        match
+          Resilience.attempt (fun () ->
+              Equiv.unitary_check n program ctx.Pass.circuit)
+        with
+        | Ok (Ok ()) ->
           Pass.diagf ~pass:"verify" Diag.Info ctx
             "end-to-end unitary equivalence verified (n = %d)" n
-        | Error msg ->
+        | Ok (Error msg) ->
           Pass.diagf ~pass:"verify" Diag.Error ctx
-            "end-to-end check failed: %s" msg)
+            "end-to-end check failed: %s" msg
+        | Error _ -> (
+          (* Budget ran out inside the dense comparison: keep the
+             scalable propagation certificate instead of giving up. *)
+          let ctx =
+            Pass.add_degradation ctx
+              (Resilience.event ~subject:"equivalence-check"
+                 ~from_rung:"dense-unitary" ~to_rung:"pauli-propagation" ())
+          in
+          match Equiv.propagation_check ~exact:true n program ctx.Pass.circuit with
+          | Ok () ->
+            Pass.diagf ~pass:"verify" Diag.Warning ctx
+              "budget exhausted during dense check; degraded to the \
+               Pauli-propagation certificate (passed)"
+          | Error msg ->
+            Pass.diagf ~pass:"verify" Diag.Error ctx
+              "end-to-end check failed (propagation fallback): %s" msg))
       | Logical | Hardware _ -> ctx)
 
 (* --- the canonical pipeline ------------------------------------------- *)
@@ -359,31 +460,35 @@ let report_of_ctx ?(cache_stats = Cache.stats_zero) ~wall_time (ctx : Pass.ctx)
     diagnostics = List.rev ctx.Pass.diagnostics;
     trace;
     cache_stats;
+    degradations = List.rev ctx.Pass.degradations;
   }
 
-let run_pipeline ?hooks ?synthesize ~with_grouping options ctx =
-  let t0 = Clock.wall_s () in
+let run_pipeline ?protect ?hooks ?synthesize ~with_grouping options ctx =
+  let t0 = Clock.monotonic_s () in
   let before = Cache.stats () in
   let ctx, trace =
-    Pass.run ?hooks (passes ?synthesize ~with_grouping options) ctx
+    Pass.run ?protect ?hooks (passes ?synthesize ~with_grouping options) ctx
   in
   report_of_ctx
     ~cache_stats:(Cache.diff (Cache.stats ()) before)
-    ~wall_time:(Clock.wall_s () -. t0) ctx trace
+    ~wall_time:(Clock.monotonic_s () -. t0) ctx trace
 
-let compile_groups ?(options = default_options) ?hooks ?synthesize n groups =
-  run_pipeline ?hooks ?synthesize ~with_grouping:false options
+let compile_groups ?(options = default_options) ?protect ?hooks ?synthesize n
+    groups =
+  run_pipeline ?protect ?hooks ?synthesize ~with_grouping:false options
     (Pass.init ~groups options n)
 
-let compile_gadgets ?(options = default_options) ?hooks ?synthesize n gadgets =
-  run_pipeline ?hooks ?synthesize ~with_grouping:true options
+let compile_gadgets ?(options = default_options) ?protect ?hooks ?synthesize n
+    gadgets =
+  run_pipeline ?protect ?hooks ?synthesize ~with_grouping:true options
     (Pass.init ~gadgets options n)
 
-let compile_blocks ?(options = default_options) ?hooks ?synthesize n blocks =
-  run_pipeline ?hooks ?synthesize ~with_grouping:true options
+let compile_blocks ?(options = default_options) ?protect ?hooks ?synthesize n
+    blocks =
+  run_pipeline ?protect ?hooks ?synthesize ~with_grouping:true options
     (Pass.init ~gadgets:(List.concat blocks) ~term_blocks:blocks options n)
 
-let compile ?(options = default_options) ?hooks h =
+let compile ?(options = default_options) ?protect ?hooks h =
   let n = Hamiltonian.num_qubits h in
   match Hamiltonian.term_blocks h with
   | Some blocks ->
@@ -391,7 +496,8 @@ let compile ?(options = default_options) ?hooks h =
       ( t.Phoenix_pauli.Pauli_term.pauli,
         2.0 *. t.Phoenix_pauli.Pauli_term.coeff *. options.tau )
     in
-    compile_blocks ~options ?hooks n (List.map (List.map to_gadget) blocks)
+    compile_blocks ~options ?protect ?hooks n
+      (List.map (List.map to_gadget) blocks)
   | None ->
-    compile_gadgets ~options ?hooks n
+    compile_gadgets ~options ?protect ?hooks n
       (Hamiltonian.trotter_gadgets ~tau:options.tau h)

@@ -52,6 +52,13 @@ type options = Pass.options = {
           simplification.  The output is identical whatever the tier or
           hit pattern: a hit replays a circuit bit-identical to a cold
           synthesis (see {!Phoenix_cache.Cache}). *)
+  budget : Phoenix_util.Budget.t;
+      (** per-job compile budget (default {!Phoenix_util.Budget.none}).
+          On expiry, passes with a registered {!Resilience} ladder
+          degrade (greedy synthesis → naive ladder, dense equivalence
+          check → propagation-only) with [Warning] diagnostics and
+          recorded {!Resilience.event}s; passes without one raise
+          {!Pass.Interrupted}. *)
 }
 
 val default_options : options
@@ -85,6 +92,9 @@ type report = {
       (** synthesis-cache counter deltas (hits/misses/disk
           hits/errors/evictions/insertions) attributable to this run,
           plus the resident entry/byte gauges at completion *)
+  degradations : Resilience.event list;
+      (** chronological ladder steps taken because the budget ran out;
+          empty on an undisturbed run *)
 }
 
 val report_of_ctx :
@@ -111,13 +121,20 @@ val passes :
     verification (when [options.verify]). *)
 
 val compile :
-  ?options:options -> ?hooks:Pass.hook list -> Phoenix_ham.Hamiltonian.t ->
+  ?options:options ->
+  ?protect:bool ->
+  ?hooks:Pass.hook list ->
+  Phoenix_ham.Hamiltonian.t ->
   report
 (** [hooks] (here and below) are {!Pass.hook} pass-boundary
-    instrumentation, fired after every pass. *)
+    instrumentation, fired after every pass.  [protect] (here and below,
+    default [false]) is {!Pass.run}'s fail-closed mode: unexpected
+    exceptions escaping a pass re-raise as {!Pass.Failed} with the pass
+    named. *)
 
 val compile_gadgets :
   ?options:options ->
+  ?protect:bool ->
   ?hooks:Pass.hook list ->
   ?synthesize:(Group.t -> Phoenix_circuit.Circuit.t) ->
   int ->
@@ -128,6 +145,7 @@ val compile_gadgets :
 
 val compile_blocks :
   ?options:options ->
+  ?protect:bool ->
   ?hooks:Pass.hook list ->
   ?synthesize:(Group.t -> Phoenix_circuit.Circuit.t) ->
   int ->
@@ -139,6 +157,7 @@ val compile_blocks :
 
 val compile_groups :
   ?options:options ->
+  ?protect:bool ->
   ?hooks:Pass.hook list ->
   ?synthesize:(Group.t -> Phoenix_circuit.Circuit.t) ->
   int ->

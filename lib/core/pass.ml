@@ -2,6 +2,7 @@ module Circuit = Phoenix_circuit.Circuit
 module Topology = Phoenix_topology.Topology
 module Diag = Phoenix_verify.Diag
 module Clock = Phoenix_util.Clock
+module Budget = Phoenix_util.Budget
 
 type isa = Cnot_isa | Su4_isa
 
@@ -19,6 +20,7 @@ type options = {
   verify : bool;
   domains : int;
   cache : Phoenix_cache.Cache.tier;
+  budget : Budget.t;
 }
 
 let default_options =
@@ -34,6 +36,7 @@ let default_options =
     verify = false;
     domains = 0;
     cache = Phoenix_cache.Cache.Mem;
+    budget = Budget.none;
   }
 
 (* --- metric snapshots --- *)
@@ -81,6 +84,7 @@ type ctx = {
   recovered : int;
   layout : Phoenix_router.Layout.t option;
   diagnostics : Diag.t list;
+  degradations : Resilience.event list;
 }
 
 let init ?(gadgets = []) ?term_blocks ?(groups = []) options n =
@@ -97,9 +101,12 @@ let init ?(gadgets = []) ?term_blocks ?(groups = []) options n =
     recovered = 0;
     layout = None;
     diagnostics = [];
+    degradations = [];
   }
 
 let add_diag ctx d = { ctx with diagnostics = d :: ctx.diagnostics }
+
+let add_degradation ctx e = { ctx with degradations = e :: ctx.degradations }
 
 let diagf ?group ~pass severity ctx fmt =
   Printf.ksprintf
@@ -125,14 +132,35 @@ let entry_delta e = metrics_delta ~before:e.before ~after:e.after
 
 type hook = pass:t -> before:ctx -> after:ctx -> seconds:float -> unit
 
-let run ?(hooks = []) passes ctx =
+exception Interrupted of { pass : string; reason : Budget.reason }
+
+exception Failed of { pass : string; error : string }
+
+let run ?(protect = false) ?(hooks = []) passes ctx =
+  (* The job budget rides in the options; it is installed ambiently
+     around each pass so checkpoints deep in the router or the dense
+     verifier see it without any signature threading.  A budget expiry
+     that no degradation ladder absorbed surfaces here, tagged with the
+     pass it interrupted. *)
+  let budget = ctx.options.budget in
+  let exec pass ctx =
+    try Budget.with_ambient budget (fun () -> pass.run ctx) with
+    | Budget.Interrupted reason ->
+      raise (Interrupted { pass = pass.name; reason })
+    | (Interrupted _ | Failed _) as e -> raise e
+    | e when protect ->
+      (* Fail closed with the pass named, for callers (CLI, the chaos
+         soak, eventually the serve daemon) that must never leak a raw
+         exception across the job boundary. *)
+      raise (Failed { pass = pass.name; error = Printexc.to_string e })
+  in
   let final, rev_trace =
     List.fold_left
       (fun (ctx, acc) pass ->
         let before = metrics_of ctx.circuit in
-        let t0 = Clock.wall_s () in
-        let ctx' = pass.run ctx in
-        let seconds = Clock.wall_s () -. t0 in
+        let t0 = Clock.monotonic_s () in
+        let ctx' = exec pass ctx in
+        let seconds = Clock.monotonic_s () -. t0 in
         let after = metrics_of ctx'.circuit in
         List.iter
           (fun h -> h ~pass ~before:ctx ~after:ctx' ~seconds)
@@ -161,7 +189,8 @@ let metrics_json m =
     "{ \"gates\": %d, \"one_q\": %d, \"two_q\": %d, \"depth_2q\": %d }"
     m.gates m.one_q m.two_q m.depth_2q
 
-let trace_to_json ?(compiler = "") ?(workload = "") ?cache trace =
+let trace_to_json ?(compiler = "") ?(workload = "") ?cache
+    ?(degradations = []) trace =
   let buf = Buffer.create 1024 in
   let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   p "{\n";
@@ -171,6 +200,21 @@ let trace_to_json ?(compiler = "") ?(workload = "") ?cache trace =
   (match cache with
   | Some s -> p "  \"cache\": %s,\n" (Phoenix_cache.Cache.stats_to_json s)
   | None -> ());
+  (match Resilience.aggregate degradations with
+  | [] -> ()
+  | agg ->
+    p "  \"degradations\": [";
+    List.iteri
+      (fun i (e, count) ->
+        p "%s\n    { \"subject\": \"%s\", \"from\": \"%s\", \"to\": \"%s\", \
+           \"count\": %d }"
+          (if i = 0 then "" else ",")
+          (json_escape e.Resilience.subject)
+          (json_escape e.Resilience.from_rung)
+          (json_escape e.Resilience.to_rung)
+          count)
+      agg;
+    p "\n  ],\n");
   p "  \"total_seconds\": %.6f,\n"
     (List.fold_left (fun acc e -> acc +. e.seconds) 0.0 trace);
   p "  \"final\": %s,\n"

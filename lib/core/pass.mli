@@ -40,6 +40,10 @@ type options = {
       (** content-addressed synthesis cache consulted around group
           simplification: [Off], in-memory [Mem] (the default), or
           persistent [Disk] *)
+  budget : Phoenix_util.Budget.t;
+      (** per-job compile budget, installed ambiently around every pass
+          by {!run}; expiry degrades along {!Resilience.ladders} or, with
+          no ladder, surfaces as {!Interrupted} *)
 }
 
 val default_options : options
@@ -76,6 +80,9 @@ type ctx = {
   recovered : int;  (** groups re-synthesized by the verified fallback *)
   layout : Phoenix_router.Layout.t option;  (** placement, once chosen *)
   diagnostics : Phoenix_verify.Diag.t list;  (** reverse chronological *)
+  degradations : Resilience.event list;
+      (** ladder steps taken when the budget ran out; reverse
+          chronological, like [diagnostics] *)
 }
 
 val init :
@@ -88,6 +95,9 @@ val init :
 (** Fresh context over an [n]-qubit register with an empty circuit. *)
 
 val add_diag : ctx -> Phoenix_verify.Diag.t -> ctx
+
+val add_degradation : ctx -> Resilience.event -> ctx
+(** Record a degradation-ladder step taken during this compile. *)
 
 val diagf :
   ?group:int ->
@@ -127,10 +137,25 @@ type hook = pass:t -> before:ctx -> after:ctx -> seconds:float -> unit
     {!Phoenix_pipeline.Hooks} for ready-made lint and
     translation-validation hooks. *)
 
-val run : ?hooks:hook list -> t list -> ctx -> ctx * trace
-(** Execute a pipeline: fold the passes over the context, timing each,
-    snapshotting boundary metrics, and firing every hook at every
-    boundary. *)
+exception
+  Interrupted of { pass : string; reason : Phoenix_util.Budget.reason }
+(** A pass exhausted the job budget with no fallback rung available.
+    The CLI maps this to exit code 5 (deadline) — see
+    {!Resilience.exit_deadline} — or treats [Cancelled] as a closed
+    failure. *)
+
+exception Failed of { pass : string; error : string }
+(** With [~protect:true], any other exception escaping a pass, wrapped
+    with the pass name so job boundaries (CLI, chaos soak, a future
+    serve daemon) report structured failures instead of raw exceptions. *)
+
+val run : ?protect:bool -> ?hooks:hook list -> t list -> ctx -> ctx * trace
+(** Execute a pipeline: fold the passes over the context, timing each on
+    the monotonic clock, snapshotting boundary metrics, and firing every
+    hook at every boundary.  The options' [budget] is installed
+    ambiently around each pass; an unabsorbed {!Budget.Interrupted}
+    re-raises as {!Interrupted}.  With [protect] (default [false]),
+    every other exception re-raises as {!Failed} instead of leaking. *)
 
 (** {1 Machine-readable trace} *)
 
@@ -138,9 +163,11 @@ val trace_to_json :
   ?compiler:string ->
   ?workload:string ->
   ?cache:Phoenix_cache.Cache.stats ->
+  ?degradations:Resilience.event list ->
   trace ->
   string
 (** Schema [phoenix-trace-v1]: per-pass seconds and before/after/delta
     metric snapshots, plus the final metrics and total seconds.  When
     [cache] is given, the run's synthesis-cache counters are embedded
-    as a ["cache"] object. *)
+    as a ["cache"] object; when [degradations] is non-empty, the
+    aggregated ladder steps appear as a ["degradations"] array. *)

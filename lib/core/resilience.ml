@@ -1,0 +1,125 @@
+(* The degradation ladder: the declarative registry of every fallback
+   chain the compiler may walk when a budget expires, plus the event
+   record a walked step leaves behind in the ctx and the trace.  The
+   PR-1 verified naive fallback was the prototype; this generalizes it
+   so each expensive strategy names its cheaper successor, degradations
+   are observable (Diag warnings + trace events) rather than silent, and
+   the resilience-conformance lint can audit both the registry and any
+   run's events against it. *)
+
+module Budget = Phoenix_util.Budget
+
+type rung = { rung : string; detail : string }
+
+type ladder = { subject : string; owner : string; rungs : rung list }
+
+let ladders =
+  [
+    {
+      subject = "synthesis";
+      owner = "simplify";
+      rungs =
+        [
+          {
+            rung = "greedy";
+            detail = "cache-assisted greedy Clifford peeling (Simplify)";
+          };
+          {
+            rung = "naive-ladder";
+            detail = "per-gadget CNOT ladders in program order, no search";
+          };
+        ];
+    };
+    {
+      subject = "equivalence-check";
+      owner = "verify";
+      rungs =
+        [
+          {
+            rung = "dense-unitary";
+            detail = "exact dense unitary comparison (2^n state space)";
+          };
+          {
+            rung = "pauli-propagation";
+            detail = "scalable Pauli-propagation certificate only";
+          };
+        ];
+    };
+    {
+      subject = "cache-tier";
+      owner = "simplify";
+      rungs =
+        [
+          {
+            rung = "disk";
+            detail = "persistent checksummed tier under PHOENIX_CACHE_DIR";
+          };
+          { rung = "mem"; detail = "in-process LRU tier" };
+          { rung = "off"; detail = "no caching: synthesize every group" };
+        ];
+    };
+  ]
+
+let find_ladder subject = List.find_opt (fun l -> l.subject = subject) ladders
+
+let valid_step ~subject ~from_rung ~to_rung =
+  match find_ladder subject with
+  | None -> false
+  | Some l ->
+    let rec adjacent = function
+      | a :: (b :: _ as rest) ->
+        (a.rung = from_rung && b.rung = to_rung) || adjacent rest
+      | _ -> false
+    in
+    adjacent l.rungs
+
+(* --- events: one per degradation actually taken during a run --- *)
+
+type event = {
+  subject : string;
+  from_rung : string;
+  to_rung : string;
+  group : int option;  (* the IR group concerned, for per-group subjects *)
+}
+
+let event ?group ~subject ~from_rung ~to_rung () =
+  { subject; from_rung; to_rung; group }
+
+let event_to_string e =
+  Printf.sprintf "%s %s->%s%s" e.subject e.from_rung e.to_rung
+    (match e.group with
+    | Some g -> Printf.sprintf " (group %d)" g
+    | None -> "")
+
+(* Collapse per-group repeats for reports and traces: same
+   (subject, from, to) steps merge into one line with a count,
+   first-seen order preserved. *)
+let aggregate events =
+  List.fold_left
+    (fun acc e ->
+      let same x =
+        x.subject = e.subject && x.from_rung = e.from_rung
+        && x.to_rung = e.to_rung
+      in
+      if List.exists (fun (x, _) -> same x) acc then
+        List.map (fun (x, c) -> if same x then (x, c + 1) else (x, c)) acc
+      else acc @ [ ({ e with group = None }, 1) ])
+    [] events
+
+let aggregate_to_string events =
+  aggregate events
+  |> List.map (fun (e, c) ->
+         Printf.sprintf "%s %s->%s%s" e.subject e.from_rung e.to_rung
+           (if c > 1 then Printf.sprintf " (x%d)" c else ""))
+  |> String.concat "; "
+
+(* --- attempting a degradable strategy --- *)
+
+let attempt f =
+  match f () with
+  | v -> Ok v
+  | exception Budget.Interrupted Budget.Deadline -> Error Budget.Deadline
+(* [Cancelled] deliberately propagates: a cancelled job must fail
+   closed, never degrade into a cheaper answer nobody is waiting for. *)
+
+let exit_deadline = 5

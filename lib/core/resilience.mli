@@ -1,0 +1,66 @@
+(** The degradation ladder: registered fallback chains for when a
+    compile exceeds its {!Budget}.
+
+    Each {!ladder} names an ordered chain of strategies ({e rungs}) from
+    most capable to cheapest; when a budget expires inside a rung, the
+    pipeline retries the work on the next rung instead of failing, emits
+    a [Diag] warning, and records an {!event} in the ctx (surfaced in
+    the report and the [phoenix-trace-v1] trace).  A pass with no ladder
+    lets {!Budget.Interrupted} propagate; the CLI maps that to exit code
+    {!exit_deadline}.  Cancellation is never degraded: a cancelled job
+    fails closed.
+
+    Registered ladders: [synthesis] (greedy → naive-ladder),
+    [equivalence-check] (dense-unitary → pauli-propagation), and
+    [cache-tier] (disk → mem → off). *)
+
+module Budget = Phoenix_util.Budget
+
+type rung = { rung : string; detail : string }
+
+type ladder = {
+  subject : string;  (** what is being degraded, e.g. ["synthesis"] *)
+  owner : string;  (** the pass that owns the fallback decision *)
+  rungs : rung list;  (** most capable first, cheapest last *)
+}
+
+val ladders : ladder list
+(** The full registry, audited by the resilience-conformance lint. *)
+
+val find_ladder : string -> ladder option
+
+val valid_step : subject:string -> from_rung:string -> to_rung:string -> bool
+(** Whether (from, to) are adjacent rungs of the subject's ladder — the
+    only steps a conforming run may take. *)
+
+(** {1 Events} *)
+
+type event = {
+  subject : string;
+  from_rung : string;
+  to_rung : string;
+  group : int option;
+}
+
+val event :
+  ?group:int -> subject:string -> from_rung:string -> to_rung:string -> unit ->
+  event
+
+val event_to_string : event -> string
+
+val aggregate : event list -> (event * int) list
+(** Merge per-group repeats of the same step into (step, count) pairs,
+    first-seen order preserved; the merged event's [group] is [None]. *)
+
+val aggregate_to_string : event list -> string
+(** e.g. ["synthesis greedy->naive-ladder (x12); cache-tier disk->mem"]. *)
+
+(** {1 Attempting a degradable strategy} *)
+
+val attempt : (unit -> 'a) -> ('a, Budget.reason) result
+(** Run a strategy under the ambient budget.  [Error Deadline] when a
+    checkpoint expired mid-strategy — the caller falls to the next rung.
+    [Interrupted Cancelled] propagates: cancellation fails closed. *)
+
+val exit_deadline : int
+(** CLI exit code for a deadline with no fallback available: [5]. *)

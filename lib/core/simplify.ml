@@ -52,6 +52,10 @@ let best_greedy ?ws bsf =
   let best_cost = ref infinity and best_rank = ref max_int in
   let best_ki = ref (-1) and best_a = ref 0 and best_b = ref 0 in
   for pi = 0 to m - 1 do
+    (* Cooperative cancellation: one probe per support qubit keeps the
+       overhead off the innermost candidate loop while still bounding
+       the time to notice an expired budget. *)
+    Phoenix_util.Budget.checkpoint ();
     for pj = pi + 1 to m - 1 do
       let a = Array.unsafe_get support pi
       and b = Array.unsafe_get support pj in
@@ -139,6 +143,7 @@ let run ?(exact = false) ?(max_epochs = 100_000) n terms =
   let epoch_count = ref 0 in
   let finished_loop = ref false in
   while not !finished_loop do
+    Phoenix_util.Budget.checkpoint ();
     incr epoch_count;
     (* Past the epoch budget, abandon exact peeling: termination over
        exactness in (never observed) pathological cases. *)

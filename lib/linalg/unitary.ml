@@ -233,15 +233,26 @@ let apply_gate u n g =
   | _, [ a; b ] -> apply_2q_inplace u n a b (local_4x4 a b g)
   | _, _ -> assert false
 
+(* Dense accumulation is the degradable rung of the equivalence-check
+   ladder: per-gate / per-gadget budget checkpoints bound how long an
+   expired deadline goes unnoticed inside a 2^n-sized computation. *)
 let circuit_unitary circ =
   let n = Circuit.num_qubits circ in
   let u = Cmat.identity (1 lsl n) in
-  List.iter (apply_gate u n) (Circuit.gates circ);
+  List.iter
+    (fun g ->
+      Phoenix_util.Budget.checkpoint ();
+      apply_gate u n g)
+    (Circuit.gates circ);
   u
 
 let program_unitary n gadgets =
   let u = ref (Cmat.identity (1 lsl n)) in
-  List.iter (fun (p, theta) -> u := Cmat.mul (gadget_matrix p theta) !u) gadgets;
+  List.iter
+    (fun (p, theta) ->
+      Phoenix_util.Budget.checkpoint ();
+      u := Cmat.mul (gadget_matrix p theta) !u)
+    gadgets;
   !u
 
 let hamiltonian_matrix n terms =

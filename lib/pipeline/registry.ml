@@ -112,23 +112,24 @@ let names () = List.map (fun e -> e.name) all
 
 (* --- running a registered pipeline ------------------------------------ *)
 
-let run ?hooks entry (options : Compiler.options) ctx =
-  let t0 = Clock.wall_s () in
+let run ?protect ?hooks entry (options : Compiler.options) ctx =
+  let t0 = Clock.monotonic_s () in
   let before = Phoenix_cache.Cache.stats () in
-  let ctx, trace = Pass.run ?hooks (entry.passes options) ctx in
+  let ctx, trace = Pass.run ?protect ?hooks (entry.passes options) ctx in
   Compiler.report_of_ctx
     ~cache_stats:(Phoenix_cache.Cache.diff (Phoenix_cache.Cache.stats ()) before)
-    ~wall_time:(Clock.wall_s () -. t0) ctx trace
+    ~wall_time:(Clock.monotonic_s () -. t0) ctx trace
 
-let compile_gadgets ?(options = Compiler.default_options) ?hooks entry n gadgets
-    =
-  run ?hooks entry options (Pass.init ~gadgets options n)
+let compile_gadgets ?(options = Compiler.default_options) ?protect ?hooks entry
+    n gadgets =
+  run ?protect ?hooks entry options (Pass.init ~gadgets options n)
 
-let compile_blocks ?(options = Compiler.default_options) ?hooks entry n blocks =
-  run ?hooks entry options
+let compile_blocks ?(options = Compiler.default_options) ?protect ?hooks entry n
+    blocks =
+  run ?protect ?hooks entry options
     (Pass.init ~gadgets:(List.concat blocks) ~term_blocks:blocks options n)
 
-let compile ?(options = Compiler.default_options) ?hooks entry h =
+let compile ?(options = Compiler.default_options) ?protect ?hooks entry h =
   let n = Hamiltonian.num_qubits h in
   match (if entry.uses_blocks then Hamiltonian.term_blocks h else None) with
   | Some blocks ->
@@ -136,9 +137,10 @@ let compile ?(options = Compiler.default_options) ?hooks entry h =
       ( t.Phoenix_pauli.Pauli_term.pauli,
         2.0 *. t.Phoenix_pauli.Pauli_term.coeff *. options.Compiler.tau )
     in
-    compile_blocks ~options ?hooks entry n (List.map (List.map to_gadget) blocks)
+    compile_blocks ~options ?protect ?hooks entry n
+      (List.map (List.map to_gadget) blocks)
   | None ->
-    compile_gadgets ~options ?hooks entry n
+    compile_gadgets ~options ?protect ?hooks entry n
       (Hamiltonian.trotter_gadgets ~tau:options.Compiler.tau h)
 
 (* --- the pass catalog -------------------------------------------------- *)

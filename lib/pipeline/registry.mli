@@ -32,16 +32,20 @@ val names : unit -> string list
 
 val compile :
   ?options:Phoenix.Compiler.options ->
+  ?protect:bool ->
   ?hooks:Phoenix.Pass.hook list ->
   entry ->
   Phoenix_ham.Hamiltonian.t ->
   Phoenix.Compiler.report
 (** Compile a Hamiltonian through a registered pipeline.  Respects
     [options.tau] for Trotterization and [entry.uses_blocks] for block
-    adoption; [hooks] fire at every pass boundary. *)
+    adoption; [hooks] fire at every pass boundary.  [protect] (here and
+    below) is {!Phoenix.Pass.run}'s fail-closed mode: unexpected
+    exceptions re-raise as {!Phoenix.Pass.Failed} with the pass named. *)
 
 val compile_gadgets :
   ?options:Phoenix.Compiler.options ->
+  ?protect:bool ->
   ?hooks:Phoenix.Pass.hook list ->
   entry ->
   int ->
@@ -51,6 +55,7 @@ val compile_gadgets :
 
 val compile_blocks :
   ?options:Phoenix.Compiler.options ->
+  ?protect:bool ->
   ?hooks:Phoenix.Pass.hook list ->
   entry ->
   int ->

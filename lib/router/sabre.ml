@@ -215,6 +215,9 @@ let route ?initial ?(lookahead = 20) ?(decay = 0.001) ?(seed = 7)
   let rng = Prng.create seed in
   let stall = ref 0 in
   while st.remaining > 0 do
+    (* Cooperative cancellation point: routing has no cheaper fallback
+       rung, so an expired budget propagates out of the pass. *)
+    Phoenix_util.Budget.checkpoint ();
     drain st topo;
     if st.remaining > 0 then begin
       let front = front_layer st topo in
@@ -401,6 +404,7 @@ let route_commuting ?initial topo circ =
     List.fold_left (fun acc g -> acc + dist g) 0 !pending
   in
   while !pending <> [] do
+    Phoenix_util.Budget.checkpoint ();
     emit_executable ();
     if !pending <> [] then begin
       let frontier =

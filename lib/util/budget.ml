@@ -1,0 +1,123 @@
+(* Cooperative deadlines and cancellation.  A budget is a deadline on
+   the monotonic clock plus a cancellation flag; long-running loops call
+   [checkpoint] at their heads, which raises [Interrupted] once the
+   ambient budget is exhausted.  Budgets are installed ambiently (a
+   small global stack) rather than threaded through every signature, so
+   the router and the dense-linear-algebra layers pick them up without
+   depending on the core library. *)
+
+type reason = Deadline | Cancelled
+
+exception Interrupted of reason
+
+let reason_to_string = function
+  | Deadline -> "deadline"
+  | Cancelled -> "cancelled"
+
+type t = {
+  deadline : float;  (* absolute [Clock.monotonic_s]; [infinity] = none *)
+  cancel : bool Atomic.t;
+  fire_at_check : int;  (* test hook: force-fire at the nth check *)
+  fire_reason : reason;
+  checks : int Atomic.t;
+}
+
+let none =
+  {
+    deadline = infinity;
+    cancel = Atomic.make false;
+    fire_at_check = max_int;
+    fire_reason = Deadline;
+    checks = Atomic.make 0;
+  }
+
+let is_none t = t == none
+
+let of_timeout_s s =
+  if not (Float.is_finite s && s >= 0.0) then
+    invalid_arg "Budget.of_timeout_s: timeout must be finite and non-negative";
+  {
+    deadline = Clock.monotonic_s () +. s;
+    cancel = Atomic.make false;
+    fire_at_check = max_int;
+    fire_reason = Deadline;
+    checks = Atomic.make 0;
+  }
+
+let cancellable () =
+  {
+    deadline = infinity;
+    cancel = Atomic.make false;
+    fire_at_check = max_int;
+    fire_reason = Deadline;
+    checks = Atomic.make 0;
+  }
+
+let after_checks ?(reason = Deadline) k =
+  if k < 1 then invalid_arg "Budget.after_checks: k must be >= 1";
+  {
+    deadline = infinity;
+    cancel = Atomic.make false;
+    fire_at_check = k;
+    fire_reason = reason;
+    checks = Atomic.make 0;
+  }
+
+let cancel t =
+  if is_none t then invalid_arg "Budget.cancel: the shared none budget"
+  else Atomic.set t.cancel true
+
+let remaining_s t =
+  if t.deadline = infinity then infinity
+  else Float.max 0.0 (t.deadline -. Clock.monotonic_s ())
+
+let exhausted t =
+  if is_none t then None
+  else if Atomic.get t.cancel then Some Cancelled
+  else if Atomic.get t.checks >= t.fire_at_check then Some t.fire_reason
+  else if t.deadline < infinity && Clock.monotonic_s () > t.deadline then
+    Some Deadline
+  else None
+
+let check t =
+  if not (is_none t) then begin
+    if Atomic.get t.cancel then raise (Interrupted Cancelled);
+    let k = Atomic.fetch_and_add t.checks 1 in
+    if k + 1 >= t.fire_at_check then raise (Interrupted t.fire_reason);
+    if t.deadline < infinity && Clock.monotonic_s () > t.deadline then
+      raise (Interrupted Deadline)
+  end
+
+(* The ambient budget stack.  Pushed/popped by the orchestrating domain
+   (nested scopes: job budget, then a per-pass slice); worker domains
+   only read it, so a plain atomic list is race-free for our use. *)
+let ambient : t list Atomic.t = Atomic.make []
+
+let with_ambient t f =
+  if is_none t then f ()
+  else begin
+    Atomic.set ambient (t :: Atomic.get ambient);
+    Fun.protect
+      ~finally:(fun () ->
+        match Atomic.get ambient with
+        | b :: rest when b == t -> Atomic.set ambient rest
+        | stack ->
+          (* Unwinding out of order would silently drop budgets; scrub
+             this one wherever it sits instead. *)
+          Atomic.set ambient (List.filter (fun b -> b != t) stack))
+      f
+  end
+
+let ambient_budgets () = Atomic.get ambient
+
+let checkpoint () =
+  (match Atomic.get ambient with
+  | [] -> ()
+  | stack -> List.iter check stack);
+  if Chaos.enabled () then begin
+    if Chaos.fire Chaos.Alloc then
+      (* GC pressure: a burst of short-lived boxes the collector must
+         sweep before the loop continues. *)
+      Sys.opaque_identity (ignore (Array.init 4096 (fun i -> [ i; i + 1 ])));
+    if Chaos.fire Chaos.Timeout then raise (Interrupted Deadline)
+  end

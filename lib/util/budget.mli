@@ -1,0 +1,75 @@
+(** Cooperative deadlines and cancellation.
+
+    A budget combines an absolute deadline on the monotonic clock
+    ({!Clock.monotonic_s}) with a cancellation flag.  Long-running loops
+    call {!checkpoint} at their heads; once the ambient budget is
+    exhausted the checkpoint raises {!Interrupted}, which either a
+    degradation ladder catches (falling back to a cheaper strategy) or
+    the pass manager converts into a structured failure (CLI exit 5).
+
+    Budgets are installed {e ambiently} with {!with_ambient} rather than
+    threaded through every function signature, so leaf libraries (the
+    router, dense linear algebra) honour them without depending on the
+    core library.  Checkpoints are cheap when no budget is installed:
+    one atomic load. *)
+
+type reason = Deadline | Cancelled
+
+exception Interrupted of reason
+(** Raised by {!check}/{!checkpoint} when a budget is exhausted.
+    [Cancelled] always propagates (a cancelled job must fail closed,
+    never degrade); [Deadline] may be caught by a degradation ladder. *)
+
+val reason_to_string : reason -> string
+
+type t
+
+val none : t
+(** The inert budget: never fires, and {!with_ambient} skips the push.
+    Shared — do not {!cancel} it (that raises [Invalid_argument]). *)
+
+val is_none : t -> bool
+
+val of_timeout_s : float -> t
+(** A budget expiring [s] monotonic seconds from now.  Raises
+    [Invalid_argument] on negative or non-finite [s]. *)
+
+val cancellable : unit -> t
+(** A budget with no deadline that fires only when {!cancel}led. *)
+
+val after_checks : ?reason:reason -> int -> t
+(** Deterministic test budget: fires (with [reason], default [Deadline])
+    at the [k]-th {!check} and every check after it, independent of real
+    time.  Raises [Invalid_argument] when [k < 1]. *)
+
+val cancel : t -> unit
+(** Flag the budget as cancelled; the next {!check} from any domain
+    raises [Interrupted Cancelled]. *)
+
+val remaining_s : t -> float
+(** Monotonic seconds until the deadline ([infinity] if none; clamped at
+    [0.0] once expired). *)
+
+val exhausted : t -> reason option
+(** Non-raising probe of the budget's state (does not count as a check). *)
+
+val check : t -> unit
+(** Raise {!Interrupted} if [t] is cancelled or past its deadline. *)
+
+val with_ambient : t -> (unit -> 'a) -> 'a
+(** [with_ambient t f] runs [f] with [t] pushed on the ambient stack
+    consulted by {!checkpoint}, popping it on exit (including by
+    exception).  Scopes nest (job budget, then a per-pass slice).  Push
+    and pop happen on the orchestrating domain; worker domains only
+    observe the stack. *)
+
+val ambient_budgets : unit -> t list
+(** The ambient stack, innermost first (for workers that want to probe
+    without raising). *)
+
+val checkpoint : unit -> unit
+(** The cooperative cancellation point for hot loops: checks every
+    ambient budget (innermost first) and then consults the chaos plan —
+    an injected [Timeout] fault raises [Interrupted Deadline] exactly as
+    a real expiry would, and an [Alloc] fault applies GC pressure.  Cost
+    with no ambient budget and chaos disabled: two atomic loads. *)

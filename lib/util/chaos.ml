@@ -1,0 +1,144 @@
+(* Seeded fault injection for the chaos harness.  A plan names per-site
+   firing probabilities; whether a given [fire] call actually fires is a
+   pure function of (plan seed, site, per-site call counter), so a soak
+   run is reproducible from its seed alone.  When no plan is installed
+   every probe collapses to one load of an atomic — cheap enough to
+   leave the probes compiled into the hot paths unconditionally. *)
+
+type site = Timeout | Worker | Cache_flip | Cache_truncate | Alloc
+
+let num_sites = 5
+
+let site_index = function
+  | Timeout -> 0
+  | Worker -> 1
+  | Cache_flip -> 2
+  | Cache_truncate -> 3
+  | Alloc -> 4
+
+let site_name = function
+  | Timeout -> "timeout"
+  | Worker -> "worker"
+  | Cache_flip -> "cache-flip"
+  | Cache_truncate -> "cache-truncate"
+  | Alloc -> "alloc"
+
+type plan = { seed : int; probability : float array }
+
+let plan_to_string p =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Printf.sprintf "seed=%d" p.seed);
+  List.iter
+    (fun s ->
+      let pr = p.probability.(site_index s) in
+      if pr > 0.0 then
+        Buffer.add_string buf (Printf.sprintf ",%s=%g" (site_name s) pr))
+    [ Timeout; Worker; Cache_flip; Cache_truncate; Alloc ];
+  Buffer.contents buf
+
+let site_of_name = function
+  | "timeout" -> Some Timeout
+  | "worker" -> Some Worker
+  | "cache-flip" -> Some Cache_flip
+  | "cache-truncate" -> Some Cache_truncate
+  | "alloc" -> Some Alloc
+  | _ -> None
+
+let parse s =
+  let s = String.trim s in
+  if s = "" then Error "empty chaos plan"
+  else begin
+    let seed = ref 0 in
+    let probability = Array.make num_sites 0.0 in
+    let err = ref None in
+    let fields = String.split_on_char ',' s in
+    List.iter
+      (fun field ->
+        if !err = None then
+          match String.index_opt field '=' with
+          | None ->
+            err := Some (Printf.sprintf "malformed chaos field %S" field)
+          | Some i ->
+            let key = String.trim (String.sub field 0 i) in
+            let value =
+              String.trim
+                (String.sub field (i + 1) (String.length field - i - 1))
+            in
+            if key = "seed" then (
+              match int_of_string_opt value with
+              | Some v -> seed := v
+              | None ->
+                err := Some (Printf.sprintf "chaos seed %S is not an integer" value))
+            else (
+              match site_of_name key with
+              | None -> err := Some (Printf.sprintf "unknown chaos site %S" key)
+              | Some site -> (
+                match float_of_string_opt value with
+                | Some p when p >= 0.0 && p <= 1.0 ->
+                  probability.(site_index site) <- p
+                | Some _ | None ->
+                  err :=
+                    Some
+                      (Printf.sprintf
+                         "chaos probability %s=%S must be a float in [0,1]"
+                         key value))))
+      fields;
+    match !err with
+    | Some msg -> Error msg
+    | None -> Ok { seed = !seed; probability }
+  end
+
+(* The active plan and per-site call counters.  Counters are atomics so
+   worker domains can probe concurrently; [set_plan] resets them, which
+   makes firing decisions reproducible run-to-run for a fixed seed. *)
+let active : plan option Atomic.t = Atomic.make None
+let counters = Array.init num_sites (fun _ -> Atomic.make 0)
+
+let set_plan p =
+  Array.iter (fun c -> Atomic.set c 0) counters;
+  Atomic.set active p
+
+let plan () = Atomic.get active
+let enabled () = Atomic.get active <> None
+
+let warned_env = ref false
+
+let install_from_env () =
+  match Sys.getenv_opt "PHOENIX_CHAOS" with
+  | None | Some "" -> ()
+  | Some s -> (
+    match parse s with
+    | Ok p -> set_plan (Some p)
+    | Error msg ->
+      (* A malformed plan must never crash the tool it is stressing:
+         warn once on stderr and run clean. *)
+      if not !warned_env then begin
+        warned_env := true;
+        Printf.eprintf "phoenix: ignoring PHOENIX_CHAOS: %s\n%!" msg
+      end;
+      set_plan None)
+
+(* splitmix64: decorrelates (seed, site, counter) into a uniform draw. *)
+let sm64 z =
+  let open Int64 in
+  let z = add z 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let draw ~seed ~site ~count =
+  let h = sm64 (Int64.of_int seed) in
+  let h = sm64 (Int64.logxor h (Int64.of_int (site * 0x51ED27))) in
+  let h = sm64 (Int64.logxor h (Int64.of_int count)) in
+  Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
+
+let fire site =
+  match Atomic.get active with
+  | None -> false
+  | Some p ->
+    let i = site_index site in
+    let pr = p.probability.(i) in
+    if pr <= 0.0 then false
+    else
+      let count = Atomic.fetch_and_add counters.(i) 1 in
+      draw ~seed:p.seed ~site:i ~count < pr

@@ -1,0 +1,49 @@
+(** Seeded fault injection for the chaos harness.
+
+    A {e plan} assigns each injection site a firing probability; whether
+    a given {!fire} call fires is a pure function of the plan seed, the
+    site, and a per-site call counter, so a soak run replays exactly
+    from its seed.  With no plan installed, every probe is a single
+    atomic load returning [false] — the probes stay compiled into the
+    hot paths at negligible cost.
+
+    Plan syntax (also accepted from the [PHOENIX_CHAOS] environment
+    variable): comma-separated [key=value] fields, e.g.
+    [seed=42,timeout=0.001,worker=0.01,cache-flip=0.05]. *)
+
+type site =
+  | Timeout  (** a budget checkpoint reports the deadline as expired *)
+  | Worker  (** a {!Parallel.map} worker raises a transient fault *)
+  | Cache_flip  (** one byte of a staged disk-cache entry is flipped *)
+  | Cache_truncate  (** a staged disk-cache entry is truncated *)
+  | Alloc  (** a burst of short-lived allocation (GC pressure) *)
+
+type plan = { seed : int; probability : float array }
+(** [probability] is indexed by {!site_index}; entries are in [0, 1]. *)
+
+val site_index : site -> int
+val site_name : site -> string
+
+val parse : string -> (plan, string) result
+(** Parse a plan string.  Unknown sites, out-of-range probabilities and
+    malformed fields are reported as [Error]. *)
+
+val plan_to_string : plan -> string
+(** Round-trippable rendering of a plan (omits zero-probability sites). *)
+
+val set_plan : plan option -> unit
+(** Install or clear the active plan.  Resets every per-site counter, so
+    two runs under the same plan make identical firing decisions. *)
+
+val plan : unit -> plan option
+val enabled : unit -> bool
+
+val install_from_env : unit -> unit
+(** Install the plan from [PHOENIX_CHAOS] if set.  A malformed value is
+    reported once on stderr and ignored — chaos configuration must never
+    crash the tool it stresses. *)
+
+val fire : site -> bool
+(** Probe an injection site: [true] when the active plan says this call
+    should fault.  Deterministic in (seed, site, call count); always
+    [false] with no plan installed. *)

@@ -1,5 +1,32 @@
-(* Wall-clock timing.  [Sys.time] reports CPU seconds summed over every
+(* Time sources.  [Sys.time] reports CPU seconds summed over every
    running domain, which overstates elapsed time as soon as compilation
-   is parallel; all user-facing timings go through this module instead. *)
+   is parallel; all user-facing timings go through this module instead.
+
+   [wall_s] is the raw wall clock and may step backwards under NTP
+   adjustment — it is kept only for report timestamps.  All durations
+   (pass traces, bench deltas, deadlines) use [monotonic_s]: the stdlib
+   exposes no CLOCK_MONOTONIC without an external dependency, so we
+   clamp the wall clock to be non-decreasing across the whole process
+   with a CAS max over an atomically-stored reading.  A backwards step
+   therefore reads as a 0-length interval rather than a negative one. *)
 
 let wall_s = Unix.gettimeofday
+
+(* Float atomics box; store the bits as an int instead so the CAS is on
+   an immediate.  IEEE-754 ordering matches integer ordering for the
+   non-negative floats produced by [gettimeofday] — but the raw bit
+   pattern of an epoch-scale reading overflows OCaml's 63-bit int, so we
+   keep the bits shifted right by one (still order-preserving; costs at
+   most one ulp of resolution, far below the clock's own microsecond). *)
+let encode f = Int64.to_int (Int64.shift_right_logical (Int64.bits_of_float f) 1)
+let decode bits = Int64.float_of_bits (Int64.shift_left (Int64.of_int bits) 1)
+
+let last_bits = Atomic.make (encode 0.0)
+
+let rec clamp_max now_bits =
+  let prev = Atomic.get last_bits in
+  if now_bits <= prev then decode prev
+  else if Atomic.compare_and_set last_bits prev now_bits then decode now_bits
+  else clamp_max now_bits
+
+let monotonic_s () = clamp_max (encode (Unix.gettimeofday ()))

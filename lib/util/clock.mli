@@ -1,6 +1,19 @@
-(** Wall-clock time source for user-facing timings. *)
+(** Time sources for user-facing timings.
+
+    Use {!monotonic_s} for every duration (pass timings, bench deltas,
+    deadlines) and {!wall_s} only when an absolute timestamp is wanted
+    (report headers).  Neither sums CPU time across domains the way
+    [Sys.time] does, so durations stay meaningful under domain-parallel
+    compilation. *)
 
 val wall_s : unit -> float
-(** Seconds of wall-clock (elapsed real) time since the Unix epoch.
-    Unlike [Sys.time], this does not sum CPU time across domains, so
-    durations stay meaningful under domain-parallel compilation. *)
+(** Seconds of wall-clock (elapsed real) time since the Unix epoch.  May
+    jump or step backwards under NTP adjustment — timestamps only. *)
+
+val monotonic_s : unit -> float
+(** A non-decreasing reading of the wall clock, shared process-wide
+    across domains: each call returns [max] of the current wall clock
+    and every earlier [monotonic_s] reading.  Backwards clock steps thus
+    appear as zero-length intervals, never negative deltas.  The epoch
+    matches {!wall_s}, but only differences between two readings are
+    meaningful. *)

@@ -2,7 +2,19 @@
    dependency).  Work items are claimed from an atomic counter, but each
    result is written to its own slot, so the output order — and therefore
    everything downstream of it — is identical to the serial [List.map],
-   whatever the scheduling. *)
+   whatever the scheduling.
+
+   Failure handling is part of the contract: a raising worker records
+   its exception in its slot and every domain is still joined before
+   anything re-raises, so a failed [map] leaves no runaway domain behind
+   and the pool is immediately reusable.  [Transient] failures are
+   retried in place a bounded number of times; a cancellation
+   ([Budget.Interrupted]) additionally stops the remaining domains from
+   claiming new work, since promptness matters more than draining. *)
+
+exception Transient of string
+
+let default_retries = 2
 
 let hardware_domains = lazy (max 1 (Domain.recommended_domain_count ()))
 
@@ -33,41 +45,76 @@ let claim_order ~seed n =
     Prng.shuffle (Prng.create s) order;
     Some order
 
-let map ?domains ?seed f xs =
+let map ?domains ?seed ?(retries = default_retries) f xs =
   let items = Array.of_list xs in
   let n = Array.length items in
   let requested =
     match domains with Some d when d >= 1 -> d | Some _ | None -> num_domains ()
   in
   let k = min requested n in
-  if k <= 1 then List.map f xs
-  else begin
-    let results = Array.make n Empty in
-    let order = claim_order ~seed n in
-    let next = Atomic.make 0 in
-    let worker () =
-      let continue = ref true in
-      while !continue do
+  let results = Array.make n Empty in
+  let order = claim_order ~seed n in
+  let next = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let call i =
+    (* Chaos worker faults are injected as [Transient] so the bounded
+       retry gets to absorb them; the counter advances per probe, so a
+       retry redraws rather than refiring deterministically. *)
+    if Chaos.fire Chaos.Worker then
+      raise (Transient "chaos-injected worker fault");
+    f items.(i)
+  in
+  let run_item i =
+    let rec attempt tries =
+      match call i with
+      | v -> Ok_slot v
+      | exception Transient _ when tries < retries -> attempt (tries + 1)
+      | exception e ->
+        (* A cancelled worker stops the others from claiming more work;
+           other failures keep draining so the re-raised error (lowest
+           index) stays independent of domain scheduling. *)
+        (match e with
+        | Budget.Interrupted _ -> Atomic.set stop true
+        | _ -> ());
+        Exn_slot (e, Printexc.get_raw_backtrace ())
+    in
+    attempt 0
+  in
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      if Atomic.get stop then continue := false
+      else begin
         let j = Atomic.fetch_and_add next 1 in
         if j >= n then continue := false
         else begin
           let i = match order with Some o -> o.(j) | None -> j in
-          results.(i) <-
-            (try Ok_slot (f items.(i))
-             with e -> Exn_slot (e, Printexc.get_raw_backtrace ()))
+          results.(i) <- run_item i
         end
-      done
-    in
-    let spawned = Array.init (k - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join spawned;
-    (* Re-raise the lowest-index failure so error reporting does not
-       depend on domain scheduling. *)
-    Array.to_list
-      (Array.map
-         (function
-           | Ok_slot r -> r
-           | Exn_slot (e, bt) -> Printexc.raise_with_backtrace e bt
-           | Empty -> assert false)
-         results)
-  end
+      end
+    done
+  in
+  (* Spawn helpers best-effort: if the system refuses a new domain
+     (resource exhaustion), proceed with fewer — the map still completes
+     on the domains we did get, down to just the caller. *)
+  let spawned =
+    if k <= 1 then []
+    else
+      List.filter_map
+        (fun _ -> match Domain.spawn worker with d -> Some d | exception _ -> None)
+        (List.init (k - 1) Fun.id)
+  in
+  worker ();
+  List.iter Domain.join spawned;
+  (* Re-raise the lowest-index failure so error reporting does not
+     depend on domain scheduling.  (After a cancellation stop, unclaimed
+     slots are [Empty]; the raise below fires before they are read.) *)
+  Array.iter
+    (function Exn_slot (e, bt) -> Printexc.raise_with_backtrace e bt | _ -> ())
+    results;
+  Array.to_list
+    (Array.map
+       (function
+         | Ok_slot r -> r
+         | Empty | Exn_slot _ -> assert false)
+       results)

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Shell-level contract for the phoenix CLI's exit codes:
-#   0 clean, 2 usage/input errors, 3 verification errors, 4 lint errors.
+#   0 clean, 2 usage/input errors, 3 verification errors, 4 lint errors,
+#   5 deadline exceeded with no fallback rung.
 # Driven by dune (test/cli/dune); $1 is the phoenix executable.
 set -u
 BIN="$1"
@@ -92,5 +93,28 @@ expect 3 compile "$W" --verify --lint --inject-fault out-of-isa
 expect 4 compile "$W" --lint --inject-fault nan-angle
 expect 4 analyze "$W" --inject-fault out-of-isa
 expect 4 analyze heisenberg:6 --inject-fault nan-angle
+
+# deadlines: on a logical target every pass that can expire has a
+# fallback rung, so an immediate deadline degrades but still completes
+# (and the degraded circuit still verifies and lints clean); routing has
+# no fallback, so a hardware target under the same deadline exits 5
+expect 0 compile "$W" --timeout 0.000001
+expect 0 compile "$W" --timeout 0.000001 --verify --lint
+expect 5 compile "$W" --topology heavy-hex --timeout 0.000001
+expect 2 compile "$W" --timeout=-1
+# a degraded run advertises the ladder steps on stdout
+if "$BIN" compile "$W" --timeout 0.000001 2>/dev/null | grep -q '^degraded:'; then
+  echo "ok: degraded runs report their ladder steps"
+else
+  echo "FAIL: degraded run did not print a degraded: line" >&2
+  fail=1
+fi
+
+# chaos soak: a short seeded run must classify every outcome (exit 0),
+# and malformed plans or run counts are usage errors
+expect 0 chaos --runs 2 --pipelines phoenix --workload heisenberg:4
+expect 2 chaos --runs 1 --plan bogus
+expect 2 chaos --runs 0
+expect 2 chaos --runs 1 --pipelines no-such-pipeline
 
 exit "$fail"
