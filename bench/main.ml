@@ -139,6 +139,111 @@ let cache_cold_warm () =
          let warm_s, warm_stats = timed () in
          name, cold_s, warm_s, cold_stats, warm_stats)
 
+(* Parametric-compilation serving benchmark: the VQE-loop pattern the
+   template layer exists for.  The direct leg pays the full pipeline at
+   every parameter point (cache pinned off so the numbers measure
+   compilation, not memoization); the template leg compiles once with
+   symbolic slots and binds per iteration.  Every iteration's bound
+   circuit is certified bit-identical to the direct compile at the same
+   angles, and the bind trace is recorded so CI can assert no pipeline
+   pass runs per bind. *)
+type vqe_loop_result = {
+  vl_iterations : int;
+  vl_direct_wall_s : float;
+  vl_compile_template_s : float;
+  vl_bind_total_s : float;
+  vl_bind_us : float;  (* mean per-bind latency, microseconds *)
+  vl_speedup : float;  (* end-to-end: direct / (template compile + binds) *)
+  vl_per_iteration_speedup : float;  (* compile-per-theta / bind-per-theta *)
+  vl_bind_trace_passes : string list;
+  vl_bind_equals_compile : bool;
+}
+
+let vqe_loop ~quick () =
+  let case = List.hd (E.Workloads.uccsd_suite ~labels:[ "LiH_frz_JW" ] ()) in
+  let n = case.E.Workloads.n in
+  let blocks = case.E.Workloads.gadget_blocks in
+  let iterations = if quick then 8 else 128 in
+  let num_params = List.length blocks in
+  (* Deterministic generic angles (away from the zero-rotation
+     degeneracy) so the bit-identity certificate applies — see Angle. *)
+  let theta_at i =
+    Array.init num_params (fun k ->
+        0.11 +. Float.rem (0.327 +. (0.691 *. float_of_int (k + (7 * i)))) 2.9)
+  in
+  let cold = { Phoenix.Compiler.default_options with cache = Cache.Off } in
+  let concrete theta =
+    List.mapi
+      (fun k block -> List.map (fun (p, base) -> p, theta.(k) *. base) block)
+      blocks
+  in
+  let gate_bits g =
+    Phoenix_circuit.Gate.fold_angles
+      (fun acc t -> Printf.sprintf "%s %Lx" acc (Int64.bits_of_float t))
+      (Phoenix_circuit.Gate.to_string g)
+      g
+  in
+  let circuit_bits c =
+    String.concat "\n" (List.map gate_bits (Phoenix_circuit.Circuit.gates c))
+  in
+  let t0 = Clock.monotonic_s () in
+  let direct =
+    Array.init iterations (fun i ->
+        Phoenix.Compiler.compile_blocks ~options:cold n (concrete (theta_at i)))
+  in
+  let direct_wall_s = Clock.monotonic_s () -. t0 in
+  (* Keep only the bit renderings (unscanned strings): retaining 128
+     full reports across the bind loop would charge the binds with the
+     GC's marking of the direct leg's live heap. *)
+  let direct_bits =
+    Array.map
+      (fun (r : Phoenix.Compiler.report) -> circuit_bits r.Phoenix.Compiler.circuit)
+      direct
+  in
+  let symbolic =
+    List.mapi
+      (fun k block ->
+        List.map
+          (fun (p, base) ->
+            p, Phoenix_pauli.Angle.param ~index:k ~scale:base)
+          block)
+      blocks
+  in
+  let params = Array.init num_params (Printf.sprintf "theta%d") in
+  let t0 = Clock.monotonic_s () in
+  let tmpl =
+    Phoenix.Compiler.compile_template ~options:cold ~params n symbolic
+  in
+  let compile_template_s = Clock.monotonic_s () -. t0 in
+  let _, trace0 = Phoenix.Template.bind_with_trace tmpl (theta_at 0) in
+  let bind_trace_passes =
+    List.map (fun (e : Phoenix.Pass.trace_entry) -> e.Phoenix.Pass.pass) trace0
+  in
+  Gc.full_major ();
+  let t0 = Clock.monotonic_s () in
+  let bound =
+    Array.init iterations (fun i -> Phoenix.Template.bind tmpl (theta_at i))
+  in
+  let bind_total_s = Clock.monotonic_s () -. t0 in
+  let bind_equals_compile =
+    Array.for_all2
+      (fun bits c -> String.equal bits (circuit_bits c))
+      direct_bits bound
+  in
+  let iters = float_of_int iterations in
+  {
+    vl_iterations = iterations;
+    vl_direct_wall_s = direct_wall_s;
+    vl_compile_template_s = compile_template_s;
+    vl_bind_total_s = bind_total_s;
+    vl_bind_us = bind_total_s /. iters *. 1e6;
+    vl_speedup = direct_wall_s /. (compile_template_s +. bind_total_s);
+    vl_per_iteration_speedup =
+      (if bind_total_s > 0.0 then direct_wall_s /. bind_total_s else 0.0);
+    vl_bind_trace_passes = bind_trace_passes;
+    vl_bind_equals_compile = bind_equals_compile;
+  }
+
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -153,15 +258,21 @@ let json_escape s =
 
 let bench_json_path = "BENCH_phoenix.json"
 
+(* The single source of truth for the emitted schema.  [write_bench_json]
+   re-reads the file after writing and asserts this string is what landed
+   on disk, so the checked-in artifact can never drift from the writer
+   again (it had: v2 was checked in while the writer said v3). *)
+let schema_version = "phoenix-bench-v4"
+
 (* Machine-readable perf trajectory: per-pass ms/run from Bechamel plus
    end-to-end compile wall seconds (with the pipeline's own per-pass
-   split) and the synthesis-cache cold/warm comparison, appended-to by CI
-   as a workflow artifact. *)
-let write_bench_json ~quick micro e2e cache =
+   split), the synthesis-cache cold/warm comparison, and the parametric
+   VQE-loop serving numbers, appended-to by CI as a workflow artifact. *)
+let write_bench_json ~quick micro e2e cache vqe =
   let oc = open_out bench_json_path in
   let p fmt_str = Printf.fprintf oc fmt_str in
   p "{\n";
-  p "  \"schema\": \"phoenix-bench-v3\",\n";
+  p "  \"schema\": \"%s\",\n" schema_version;
   p "  \"workload\": \"LiH_frz_JW\",\n";
   p "  \"quick\": %b,\n" quick;
   p "  \"micro_ms_per_run\": {";
@@ -198,9 +309,41 @@ let write_bench_json ~quick micro e2e cache =
       p "\n      \"cold\": %s," (Cache.stats_to_json cold_stats);
       p "\n      \"warm\": %s }" (Cache.stats_to_json warm_stats))
     cache;
-  p "\n  }\n}\n";
+  p "\n  },\n";
+  p "  \"vqe_loop\": {\n";
+  p "    \"workload\": \"LiH_frz_JW\",\n";
+  p "    \"iterations\": %d,\n" vqe.vl_iterations;
+  p "    \"direct_wall_s\": %.6f,\n" vqe.vl_direct_wall_s;
+  p "    \"compile_template_s\": %.6f,\n" vqe.vl_compile_template_s;
+  p "    \"bind_total_s\": %.6f,\n" vqe.vl_bind_total_s;
+  p "    \"bind_us\": %.3f,\n" vqe.vl_bind_us;
+  p "    \"speedup\": %.1f,\n" vqe.vl_speedup;
+  p "    \"per_iteration_speedup\": %.1f,\n" vqe.vl_per_iteration_speedup;
+  p "    \"bind_trace_passes\": [%s],\n"
+    (String.concat ","
+       (List.map
+          (fun s -> Printf.sprintf " \"%s\"" (json_escape s))
+          vqe.vl_bind_trace_passes)
+    ^ " ");
+  p "    \"bind_equals_compile\": %b\n" vqe.vl_bind_equals_compile;
+  p "  }\n}\n";
   close_out oc;
-  Format.fprintf fmt "wrote %s@." bench_json_path
+  (* Self-check: the artifact on disk carries the writer's schema. *)
+  let ic = open_in bench_json_path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let expected = Printf.sprintf "\"schema\": \"%s\"" schema_version in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  if not (contains contents expected) then begin
+    Printf.eprintf "%s does not carry schema %s — writer drift\n"
+      bench_json_path schema_version;
+    exit 1
+  end;
+  Format.fprintf fmt "wrote %s (schema %s)@." bench_json_path schema_version
 
 let run_perf ~quick =
   let open Bechamel in
@@ -251,6 +394,14 @@ let run_perf ~quick =
         warm_stats.Cache.hits warm_stats.Cache.misses;
       ignore cold_stats)
     cache;
+  let vqe = vqe_loop ~quick () in
+  Format.fprintf fmt
+    "vqe-loop (%d iters)                direct %8.3f s -> template %8.3f s + \
+     %d binds at %.1f us (%.0fx end-to-end, %.0fx per iteration, \
+     bit-identical: %b)@."
+    vqe.vl_iterations vqe.vl_direct_wall_s vqe.vl_compile_template_s
+    vqe.vl_iterations vqe.vl_bind_us vqe.vl_speedup
+    vqe.vl_per_iteration_speedup vqe.vl_bind_equals_compile;
   if !json_mode then begin
     let e2e = end_to_end_compiles () in
     List.iter
@@ -262,7 +413,7 @@ let run_perf ~quick =
             Format.fprintf fmt "  %-32s %12.3f s@." pass s)
           pass_times)
       e2e;
-    write_bench_json ~quick micro e2e cache
+    write_bench_json ~quick micro e2e cache vqe
   end
 
 let artifacts =

@@ -39,6 +39,7 @@ module Budget = Phoenix_util.Budget
 module Chaos = Phoenix_util.Chaos
 module Resilience = Phoenix.Resilience
 module Resilience_lint = Phoenix_analysis.Resilience_lint
+module Template = Phoenix.Template
 
 let read_hamiltonian path =
   let ic = open_in path in
@@ -250,6 +251,202 @@ let print_hook_findings tagged =
       tagged
   end
 
+let print_cache_stats tier (s : Cache.stats) =
+  Printf.printf
+    "cache:     tier=%s hits=%d misses=%d disk_hits=%d disk_errors=%d \
+     evictions=%d entries=%d bytes=%d\n"
+    (Cache.tier_to_string tier) s.Cache.hits s.Cache.misses s.Cache.disk_hits
+    s.Cache.disk_errors s.Cache.evictions s.Cache.entries s.Cache.bytes
+
+(* --- parametric templates (--template / --bind) --------------------------
+
+   `compile W --template` compiles once with symbolic per-block angle
+   slots and prints the template; `--bind NAME=VAL,...` additionally
+   binds the parameters and reports the concrete circuit through the
+   same metric/dump surface as a direct compile — by construction,
+   `--template --bind '*=1.0' --dump` is byte-identical to a plain
+   `--dump` at the same options. *)
+
+let bind_error fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline (Diag.to_string (Diag.make ~pass:"bind" Diag.Error m));
+      exit 2)
+    fmt
+
+let parse_bindings ~(params : string array) spec =
+  let n = Array.length params in
+  let values = Array.make n 0.0 and set = Array.make n false in
+  let index_of name =
+    let rec find k =
+      if k >= n then
+        bind_error "unknown template parameter %S (the template binds %s)" name
+          (if n = 0 then "no parameters"
+           else if n = 1 then params.(0)
+           else Printf.sprintf "%s .. %s" params.(0) params.(n - 1))
+      else if String.equal params.(k) name then k
+      else find (k + 1)
+    in
+    find 0
+  in
+  List.iter
+    (fun pair ->
+      if pair <> "" then begin
+        match String.index_opt pair '=' with
+        | None ->
+          bind_error "malformed --bind entry %S (expected NAME=VALUE)" pair
+        | Some i ->
+          let name = String.sub pair 0 i in
+          let raw = String.sub pair (i + 1) (String.length pair - i - 1) in
+          (match float_of_string_opt raw with
+          | None -> bind_error "non-numeric value %S for parameter %S" raw name
+          | Some v ->
+            if String.equal name "*" then begin
+              Array.fill values 0 n v;
+              Array.fill set 0 n true
+            end
+            else begin
+              let k = index_of name in
+              values.(k) <- v;
+              set.(k) <- true
+            end)
+      end)
+    (String.split_on_char ',' spec);
+  Array.iteri
+    (fun k bound ->
+      if not bound then
+        bind_error
+          "parameter %s is unbound — its slot angles would stay symbolic \
+           (bind it explicitly or use '*=VALUE')"
+          params.(k))
+    set;
+  values
+
+let run_template_mode ~source ~isa ~topology ~compiler ~tier ~budget ~exact
+    ~verify ~lint ~timings ~dump ~draw ~qasm_out ~trace_out ~cache_stats
+    ~bind_spec () =
+  let h = load source in
+  let n = Hamiltonian.num_qubits h in
+  let topo = topology_of_string n topology in
+  let entry = find_pipeline compiler in
+  let options =
+    {
+      Compiler.default_options with
+      isa;
+      exact;
+      verify;
+      cache = tier;
+      budget;
+      target =
+        (match topo with
+        | None -> Compiler.Logical
+        | Some t -> Compiler.Hardware t);
+    }
+  in
+  let tmpl =
+    match Pipelines.compile_template ~options ~protect:true entry h with
+    | Ok t -> t
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  let report = Template.report tmpl in
+  let lint_isa =
+    match isa with
+    | Compiler.Cnot_isa -> Structural.Cnot_basis
+    | Compiler.Su4_isa -> Structural.Su4_basis
+  in
+  let print_timings extra =
+    if timings then
+      List.iter
+        (fun (pass, t) -> Printf.printf "time %-9s %.4fs\n" (pass ^ ":") t)
+        (report.Compiler.pass_times @ extra)
+  in
+  let write_trace bind_trace =
+    match trace_out with
+    | Some path ->
+      let json =
+        Pass.trace_to_json ~compiler ~workload:source
+          ~cache:report.Compiler.cache_stats
+          ~degradations:report.Compiler.degradations
+          (report.Compiler.trace @ bind_trace)
+      in
+      if path = "-" then print_endline json
+      else begin
+        let oc = open_out path in
+        output_string oc json;
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+      end
+    | None -> ()
+  in
+  match bind_spec with
+  | None ->
+    (* Unbound dump: the parameter table, slot expressions and slotted
+       prototype.  Linting the prototype demonstrates the unbound-slot
+       finding class (and exits 4): templates are certified by linting
+       their *bound* circuits. *)
+    print_string (Template.dump tmpl);
+    print_timings [];
+    write_trace [];
+    if lint then begin
+      let findings =
+        Registry.run
+          (Circuit_lint.target ~isa:lint_isa ?topology:topo
+             ~declared:(declared_of_report report) (Template.circuit tmpl))
+        @ Resilience_lint.conformance report
+      in
+      print_findings findings;
+      if Finding.has_errors findings then exit 4
+    end
+  | Some spec ->
+    let theta = parse_bindings ~params:(Template.params tmpl) spec in
+    let circuit, bind_trace = Template.bind_with_trace tmpl theta in
+    let diagnostics =
+      if not verify then []
+      else
+        report.Compiler.diagnostics @ structural_diags ~lint_isa ~topo circuit
+    in
+    let findings =
+      if lint then
+        Registry.run
+          (Circuit_lint.target ~isa:lint_isa ?topology:topo
+             ~declared:(declared_of_report report) circuit)
+        @ Resilience_lint.conformance report
+      else []
+    in
+    Printf.printf "qubits:    %d\n" (Circuit.num_qubits circuit);
+    Printf.printf "gates:     %d\n" (Circuit.length circuit);
+    Printf.printf "1q gates:  %d\n" (Circuit.count_1q circuit);
+    Printf.printf "2q gates:  %d\n" (Circuit.count_2q circuit);
+    Printf.printf "cnot cost: %d\n" (Circuit.count_cnot circuit);
+    Printf.printf "depth:     %d\n" (Circuit.depth circuit);
+    Printf.printf "depth-2q:  %d\n" (Circuit.depth_2q circuit);
+    Printf.printf "swaps:     %d\n" report.Compiler.num_swaps;
+    if cache_stats then print_cache_stats tier report.Compiler.cache_stats;
+    if verify then print_diagnostics diagnostics;
+    if lint then print_findings findings;
+    print_timings
+      (List.map
+         (fun (e : Pass.trace_entry) -> e.Pass.pass, e.Pass.seconds)
+         bind_trace);
+    if dump then
+      List.iter
+        (fun g -> print_endline (Gate.to_string g))
+        (Circuit.gates circuit);
+    if draw then print_string (Phoenix_circuit.Draw.to_string circuit);
+    (match qasm_out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Phoenix_circuit.Qasm.to_string circuit);
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    | None -> ());
+    write_trace bind_trace;
+    if verify && Diag.has_errors diagnostics then exit 3;
+    if lint && Finding.has_errors findings then exit 4
+
 open Cmdliner
 
 let source_arg =
@@ -365,6 +562,26 @@ let budget_of_timeout = function
       s;
     exit 2
 
+let template_arg =
+  let doc =
+    "Parametric compilation: run the pipeline once with symbolic per-block \
+     angle slots and print the template (parameter table, slot expressions, \
+     slotted circuit) instead of a concrete compile.  Combine with \
+     $(b,--bind) to bind the parameters and report the concrete circuit.  \
+     Only pipelines with block-structured IR (phoenix) support templates."
+  in
+  Arg.(value & flag & info [ "template" ] ~doc)
+
+let bind_arg =
+  let doc =
+    "Bind a compiled template's parameters (implies $(b,--template)): \
+     comma-separated NAME=VALUE pairs over the template's theta<k> \
+     parameters; $(b,*=VALUE) binds every parameter at once.  Unknown \
+     names and unbound parameters are usage errors (exit 2).  Binding \
+     every parameter to 1.0 reproduces the plain compile bit-identically."
+  in
+  Arg.(value & opt (some string) None & info [ "bind" ] ~docv:"BINDINGS" ~doc)
+
 let cache_stats_arg =
   let doc =
     "Print the synthesis-cache counters for this run (hits, misses, disk \
@@ -372,19 +589,18 @@ let cache_stats_arg =
   in
   Arg.(value & flag & info [ "cache-stats" ] ~doc)
 
-let print_cache_stats tier (s : Cache.stats) =
-  Printf.printf
-    "cache:     tier=%s hits=%d misses=%d disk_hits=%d disk_errors=%d \
-     evictions=%d entries=%d bytes=%d\n"
-    (Cache.tier_to_string tier) s.Cache.hits s.Cache.misses s.Cache.disk_hits
-    s.Cache.disk_errors s.Cache.evictions s.Cache.entries s.Cache.bytes
-
 let compile_cmd =
   let run source isa topology compiler pipeline dump exact verify lint timings
-      qasm_out draw fault trace_out cache cache_stats timeout =
+      qasm_out draw fault trace_out cache cache_stats timeout template
+      bind_spec =
     let compiler = Option.value pipeline ~default:compiler in
     let tier = cache_tier_of_string cache in
     let budget = budget_of_timeout timeout in
+    if template || bind_spec <> None then
+      run_template_mode ~source ~isa ~topology ~compiler ~tier ~budget ~exact
+        ~verify ~lint ~timings ~dump ~draw ~qasm_out ~trace_out ~cache_stats
+        ~bind_spec ()
+    else begin
     let compiled =
       compile_source ~cache:tier ~budget ~source ~isa ~topology ~compiler
         ~exact ~verify ~lint ()
@@ -471,10 +687,11 @@ let compile_cmd =
        && (Finding.has_errors findings
           || Finding.has_errors (List.map snd compiled.hook_findings))
     then exit 4
+    end
   in
   let doc = "Compile a Hamiltonian-simulation program." in
   Cmd.v (Cmd.info "compile" ~doc)
-    Term.(const run $ source_arg $ isa_arg $ topology_arg $ baseline_arg $ pipeline_arg $ dump_arg $ exact_arg $ verify_arg $ lint_arg $ timings_arg $ qasm_arg $ draw_arg $ fault_arg $ trace_arg $ cache_arg $ cache_stats_arg $ timeout_arg)
+    Term.(const run $ source_arg $ isa_arg $ topology_arg $ baseline_arg $ pipeline_arg $ dump_arg $ exact_arg $ verify_arg $ lint_arg $ timings_arg $ qasm_arg $ draw_arg $ fault_arg $ trace_arg $ cache_arg $ cache_stats_arg $ timeout_arg $ template_arg $ bind_arg)
 
 let info_cmd =
   let run source =

@@ -209,7 +209,16 @@ let angle_sanity t =
   let analysis = "angle-sanity" in
   let fs = ref [] in
   let check i what theta =
-    if not (Float.is_finite theta) then
+    if Phoenix_pauli.Angle.is_slot theta then
+      (* A slot reaching the lint means the circuit was never bound —
+         templates must go through [Template.bind] before certification. *)
+      fs :=
+        Finding.error ~location:(Finding.Gate i) ~analysis
+          "%s has unbound-slot angle %s (template parameter was never bound)"
+          what
+          (Phoenix_pauli.Angle.to_string theta)
+        :: !fs
+    else if not (Float.is_finite theta) then
       fs :=
         Finding.error ~location:(Finding.Gate i) ~analysis
           "%s has non-finite angle %h" what theta

@@ -38,7 +38,11 @@ let replay_audit ~n ~terms ~gates t =
               "sign bit %b disagrees with fresh conjugation (%b)" r.Bsf.neg
               e.Bsf.neg
             :: !fs;
-        if r.Bsf.angle <> e.Bsf.angle then
+        (* Bit compare: symbolic slot angles are NaNs, and NaN <> NaN
+           would report a spurious mismatch on every slotted row. *)
+        if
+          Int64.bits_of_float r.Bsf.angle <> Int64.bits_of_float e.Bsf.angle
+        then
           fs :=
             Finding.error ~location:(Finding.Row i) ~analysis:replay_analysis
               "angle %g disagrees with the program's %g" r.Bsf.angle

@@ -1,4 +1,5 @@
 module Bsf = Phoenix_pauli.Bsf
+module Angle = Phoenix_pauli.Angle
 module Bitvec = Phoenix_util.Bitvec
 module Chaos = Phoenix_util.Chaos
 module Circuit = Phoenix_circuit.Circuit
@@ -31,6 +32,12 @@ type key = {
   k_fingerprint : string;
   k_support : int array;
   k_relabel_safe : bool;
+  k_slots : float array;
+      (* The requester's slot angles in first-use row order — the same
+         order the fingerprint's local slot ranks refer to.  Entries are
+         stored with slot angles rewritten to those local ranks, and
+         [expand] rewrites them back through this array, so parametric
+         compiles hit across parameter values, sessions, and processes. *)
 }
 
 let key_of_tableau ~exact bsf =
@@ -49,6 +56,7 @@ let key_of_tableau ~exact bsf =
       (if exact then "exact;" else "trot;") ^ Bsf.canonical_form bsf;
     k_support = support;
     k_relabel_safe = relabel_safe;
+    k_slots = Bsf.slots bsf;
   }
 
 let key_of_terms ~exact n terms = key_of_tableau ~exact (Bsf.of_terms n terms)
@@ -69,19 +77,50 @@ let compatible ~fingerprint ~support ~safe key =
 
 exception Unmappable
 
+(* Stored entries are doubly canonical: qubits become support ranks, and
+   slot angles become their first-use rank in [k_slots] (each occurrence
+   keeping its own sign bit).  Synthesis only ever negates or passes row
+   angles through, and a fingerprint hit implies the requester's rows
+   carry the same occurrence signs as the storer's, so replaying the
+   stored sign bit onto the requester's slot id is exact. *)
+let canonical_angle key =
+  let ranks = Hashtbl.create 8 in
+  Array.iteri
+    (fun j a -> Hashtbl.replace ranks (Angle.slot_id a) j)
+    key.k_slots;
+  fun theta ->
+    match Angle.view theta with
+    | Angle.Const _ -> theta
+    | Angle.Slot { id; negated } -> (
+        match Hashtbl.find_opt ranks id with
+        | Some j -> Angle.with_id ~negated j
+        | None -> raise Unmappable)
+
+let expand_angle key theta =
+  match Angle.view theta with
+  | Angle.Const _ -> theta
+  | Angle.Slot { id = j; negated } ->
+      if j >= Array.length key.k_slots then raise Unmappable;
+      Angle.with_id ~negated (Angle.slot_id key.k_slots.(j))
+
 let canonical_gates key circuit =
   let ranks = Hashtbl.create 16 in
   Array.iteri (fun i q -> Hashtbl.replace ranks q i) key.k_support;
   let rank q =
     match Hashtbl.find_opt ranks q with Some i -> i | None -> raise Unmappable
   in
-  match Circuit.gates (Circuit.map_qubits rank circuit) with
+  match
+    Circuit.gates
+      (Circuit.map_angles (canonical_angle key)
+         (Circuit.map_qubits rank circuit))
+  with
   | gates -> Some gates
   | exception _ -> None
 
 let expand ~n key gates =
   let support = key.k_support in
-  Circuit.map_qubits (fun i -> support.(i)) (Circuit.create n gates)
+  Circuit.map_angles (expand_angle key)
+    (Circuit.map_qubits (fun i -> support.(i)) (Circuit.create n gates))
 
 (* ------------------------------------------------------------------ *)
 (* Counters                                                           *)

@@ -57,7 +57,12 @@ val reset_health : unit -> unit
 
 type key
 (** Content address of one group's tableau: canonical digest, ordered
-    fingerprint, absolute support, and exact-mode flag. *)
+    fingerprint, absolute support, and exact-mode flag.  Symbolic
+    {!Phoenix_pauli.Angle} slot angles address by their first-use rank
+    within the group (not their IEEE bits), so parametric compiles of the
+    same structure hit across parameter values and across processes;
+    stored entries carry rank-relative slots that are rewritten to the
+    requester's slots on replay. *)
 
 val key_of_tableau : exact:bool -> Phoenix_pauli.Bsf.t -> key
 

@@ -14,6 +14,10 @@ let create n gates =
   List.iter (check_gate n) gates;
   { n; gates }
 
+let of_validated n gates =
+  if n <= 0 then invalid_arg "Circuit.of_validated: need at least one qubit";
+  { n; gates }
+
 let empty n = create n []
 let num_qubits t = t.n
 let gates t = t.gates
@@ -32,6 +36,8 @@ let concat_list n cs =
   List.fold_left concat (empty n) cs
 
 let dagger t = { t with gates = List.rev_map Gate.dagger t.gates }
+
+let map_angles f t = { t with gates = List.map (Gate.map_angles f) t.gates }
 
 let map_qubits f t =
   let map_gate g =

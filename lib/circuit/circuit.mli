@@ -10,6 +10,11 @@ val create : int -> Gate.t list -> t
 (** Raises [Invalid_argument] if a gate touches a qubit outside
     [0 .. n-1]. *)
 
+val of_validated : int -> Gate.t list -> t
+(** Trusted constructor: skips the per-gate register check.  Only for
+    hot paths replaying gates that already passed {!create} — e.g. a
+    template rebind, where patching angles cannot move a gate's qubits. *)
+
 val empty : int -> t
 val num_qubits : t -> int
 val gates : t -> Gate.t list
@@ -25,6 +30,9 @@ val concat : t -> t -> t
 
 val concat_list : int -> t list -> t
 val dagger : t -> t
+
+val map_angles : (float -> float) -> t -> t
+(** {!Gate.map_angles} over every gate; structure and order untouched. *)
 
 val map_qubits : (int -> int) -> t -> t
 (** Relabel qubits; the function must be injective on the used range. *)

@@ -1,5 +1,6 @@
 module Pauli = Phoenix_pauli.Pauli
 module Clifford2q = Phoenix_pauli.Clifford2q
+module Angle = Phoenix_pauli.Angle
 
 type one_q =
   | H
@@ -48,18 +49,41 @@ let dagger_one_q = function
   | Z -> Z
   | T -> Tdg
   | Tdg -> T
-  | Rx t -> Rx (-.t)
-  | Ry t -> Ry (-.t)
-  | Rz t -> Rz (-.t)
+  | Rx t -> Rx (Angle.neg t)
+  | Ry t -> Ry (Angle.neg t)
+  | Rz t -> Rz (Angle.neg t)
 
 let rec dagger = function
   | G1 (g, q) -> G1 (dagger_one_q g, q)
   | Cnot _ as g -> g
   | Cliff2 _ as g -> g (* the six generators are Hermitian *)
-  | Rpp r -> Rpp { r with theta = -.r.theta }
+  | Rpp r -> Rpp { r with theta = Angle.neg r.theta }
   | Swap _ as g -> g
   | Su4 { a; b; parts } ->
     Su4 { a; b; parts = List.rev_map dagger parts }
+
+let map_one_q_angle f = function
+  | (H | S | Sdg | X | Y | Z | T | Tdg) as g -> g
+  | Rx t -> Rx (f t)
+  | Ry t -> Ry (f t)
+  | Rz t -> Rz (f t)
+
+let rec map_angles f = function
+  | G1 (g, q) -> G1 (map_one_q_angle f g, q)
+  | (Cnot _ | Cliff2 _ | Swap _) as g -> g
+  | Rpp r -> Rpp { r with theta = f r.theta }
+  | Su4 { a; b; parts } -> Su4 { a; b; parts = List.map (map_angles f) parts }
+
+let rec fold_angles f acc = function
+  | G1 ((Rx t | Ry t | Rz t), _) -> f acc t
+  | G1 ((H | S | Sdg | X | Y | Z | T | Tdg), _) | Cnot _ | Cliff2 _ | Swap _
+    ->
+    acc
+  | Rpp { theta; _ } -> f acc theta
+  | Su4 { parts; _ } -> List.fold_left (fold_angles f) acc parts
+
+let exists_angle pred g = fold_angles (fun acc t -> acc || pred t) false g
+let has_slot g = exists_angle Angle.is_slot g
 
 let rotation_of_pauli p q theta =
   match p with
@@ -96,6 +120,8 @@ let rec equal g h =
     && List.for_all2 equal a.parts b.parts
   | (G1 _ | Cnot _ | Cliff2 _ | Rpp _ | Swap _ | Su4 _), _ -> false
 
+(* [Angle.to_string] prints consts as %g and slots as "slot#id", so dumps
+   of parametric circuits stay readable without a separate printer. *)
 let one_q_to_string = function
   | H -> "H"
   | S -> "S"
@@ -105,17 +131,17 @@ let one_q_to_string = function
   | Z -> "Z"
   | T -> "T"
   | Tdg -> "Tdg"
-  | Rx t -> Printf.sprintf "Rx(%g)" t
-  | Ry t -> Printf.sprintf "Ry(%g)" t
-  | Rz t -> Printf.sprintf "Rz(%g)" t
+  | Rx t -> Printf.sprintf "Rx(%s)" (Angle.to_string t)
+  | Ry t -> Printf.sprintf "Ry(%s)" (Angle.to_string t)
+  | Rz t -> Printf.sprintf "Rz(%s)" (Angle.to_string t)
 
 let to_string = function
   | G1 (g, q) -> Printf.sprintf "%s q%d" (one_q_to_string g) q
   | Cnot (a, b) -> Printf.sprintf "CNOT q%d,q%d" a b
   | Cliff2 c -> Format.asprintf "%a" Clifford2q.pp c
   | Rpp { p0; p1; a; b; theta } ->
-    Printf.sprintf "R%c%c(%g) q%d,q%d" (Pauli.to_char p0) (Pauli.to_char p1)
-      theta a b
+    Printf.sprintf "R%c%c(%s) q%d,q%d" (Pauli.to_char p0) (Pauli.to_char p1)
+      (Angle.to_string theta) a b
   | Swap (a, b) -> Printf.sprintf "SWAP q%d,q%d" a b
   | Su4 { a; b; parts } -> Printf.sprintf "SU4[%d] q%d,q%d" (List.length parts) a b
 

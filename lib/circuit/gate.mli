@@ -55,7 +55,27 @@ val rotation_of_pauli : Phoenix_pauli.Pauli.t -> int -> float -> t
 
 val of_clifford_basis : Phoenix_pauli.Clifford2q.basis_gate -> t
 
+val map_angles : (float -> float) -> t -> t
+(** Apply a function to every rotation angle ([Rx]/[Ry]/[Rz]/[Rpp]),
+    recursing into [Su4] parts.  Gate structure is untouched; this is the
+    primitive behind template binding and cache slot remapping. *)
+
+val fold_angles : ('a -> float -> 'a) -> 'a -> t -> 'a
+(** Fold over every rotation angle in gate order ([Su4] parts in time
+    order). *)
+
+val exists_angle : (float -> bool) -> t -> bool
+
+val has_slot : t -> bool
+(** Whether any rotation angle is a symbolic {!Phoenix_pauli.Angle} slot. *)
+
 val one_q_equal : one_q -> one_q -> bool
+
 val equal : t -> t -> bool
+(** Structural equality.  Angles compare with [Float.equal], which treats
+    all NaNs as equal — so [equal] does not distinguish two different
+    {!Phoenix_pauli.Angle} slots.  Compare
+    [Int64.bits_of_float]-rendered angles where slot identity matters. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

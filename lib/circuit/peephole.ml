@@ -1,16 +1,18 @@
 module Pauli = Phoenix_pauli.Pauli
 module Clifford2q = Phoenix_pauli.Clifford2q
+module Angle = Phoenix_pauli.Angle
 
 let two_pi = 4.0 *. Float.atan 1.0 *. 2.0
-let four_pi = 2.0 *. two_pi
 let eps = 1e-10
 
-let normalize_angle t =
-  let r = Float.rem t four_pi in
-  let r = if r > two_pi then r -. four_pi else r in
-  if r <= -.two_pi then r +. four_pi else r
+(* Range reduction lives in [Angle.normalize_const] (bit-identical to the
+   historical local definition); symbolic slots pass through unchanged. *)
+let normalize_angle t = if Angle.is_slot t then t else Angle.normalize_const t
 
-let is_zero_angle t = Float.abs (normalize_angle t) < eps
+(* A slot is never a zero rotation: its value is unknown until bind, and
+   dropping it would change circuit structure per parameter value. *)
+let is_zero_angle t =
+  (not (Angle.is_slot t)) && Float.abs (normalize_angle t) < eps
 
 (* Axis decomposition of 1Q gates that are Pauli rotations up to global
    phase: S = e^{iπ/4}·Rz(π/2), Z = i·Rz(π), X = i·Rx(π), … *)
@@ -96,7 +98,7 @@ let try_merge_rotation st q p theta =
   | Some (i, Gate.G1 (k, q')) when q' = q ->
     (match as_rotation k with
     | Some (p', t') when Pauli.equal p' p ->
-      let merged = normalize_angle (theta +. t') in
+      let merged = Angle.merge_norm theta t' in
       delete st i;
       if not (is_zero_angle merged) then
         emit st (Gate.rotation_of_pauli p q merged);
@@ -165,7 +167,7 @@ let try_merge_rpp st (r : Gate.t) =
     | Some i ->
       (match st.out.(i) with
       | Some (Gate.Rpp r') ->
-        let merged = normalize_angle (theta +. r'.theta) in
+        let merged = Angle.merge_norm theta r'.theta in
         delete st i;
         if not (is_zero_angle merged) then
           emit st (Gate.Rpp { p0; p1; a; b; theta = merged });

@@ -2,6 +2,8 @@
    bit accounts for X gates.  Each folded phase class keeps one mutable
    output slot accumulating the angle. *)
 
+module Angle = Phoenix_pauli.Angle
+
 type item = Fixed of Gate.t | Phase of int * float ref (* qubit, angle *)
 
 let quarter angle_of =
@@ -43,7 +45,7 @@ let fold circuit =
   let add_phase q theta =
     let k = key q in
     match Hashtbl.find_opt slots k with
-    | Some cell -> cell := !cell +. theta
+    | Some cell -> cell := Angle.add !cell theta
     | None ->
       let cell = ref theta in
       Hashtbl.add slots k cell;
@@ -92,7 +94,9 @@ let fold circuit =
         match item with
         | Fixed g -> Some g
         | Phase (q, cell) ->
-          let theta = Peephole.normalize_angle !cell in
+          (* Slot cells defer the range reduction to bind time and are
+             never dropped (a slot is not a known-zero rotation). *)
+          let theta = Angle.normalize !cell in
           if Peephole.is_zero_angle theta then None
           else Some (Gate.G1 (Gate.Rz theta, q)))
       !out

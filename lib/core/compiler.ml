@@ -488,6 +488,151 @@ let compile_blocks ?(options = default_options) ?protect ?hooks ?synthesize n
   run_pipeline ?protect ?hooks ?synthesize ~with_grouping:true options
     (Pass.init ~gadgets:(List.concat blocks) ~term_blocks:blocks options n)
 
+(* --- parametric compilation ------------------------------------------- *)
+
+module Angle = Phoenix_pauli.Angle
+
+(* A compiled circuit whose parameter-derived rotation angles are still
+   symbolic [Angle] slots.  [Template.bind] patches the slots in O(slot
+   sites) — no re-synthesis, re-grouping, or re-routing — and is
+   bit-identical to a from-scratch compile at the bound angles (for
+   generic, i.e. non-degenerate, parameter values; see [Angle]). *)
+type template = {
+  t_n : int;
+  t_params : string array;
+  t_prototype : Gate.t array;
+      (* the slotted circuit's gates, in order; bind copies this *)
+  t_slot_positions : int array;
+      (* indices into [t_prototype] of gates carrying at least one slot *)
+  t_slot_count : int; (* distinct slot expressions across the circuit *)
+  t_report : report; (* the template compile's report (slotted circuit) *)
+}
+
+(* Terminal pass of a template compile: certify the slotted circuit.
+   Every slot must resolve to an in-arena expression over the declared
+   parameters — anything else means a slot leaked in from a foreign
+   process or the caller's parameter naming is out of sync, and binding
+   would fail (or silently read the wrong parameter) later. *)
+let parametrize_pass ~params ~verify_requested =
+  Pass.make ~name:"parametrize"
+    ~description:
+      "certify the slotted circuit: count slot sites, check every slot \
+       resolves over the declared parameters"
+    (fun ctx ->
+      let arity = Array.length params in
+      let ids = Hashtbl.create 32 in
+      let sites = ref 0 in
+      let fail fmt =
+        Printf.ksprintf
+          (fun error -> raise (Pass.Failed { pass = "parametrize"; error }))
+          fmt
+      in
+      List.iter
+        (fun g ->
+          Gate.fold_angles
+            (fun () theta ->
+              match Angle.view theta with
+              | Angle.Const _ -> ()
+              | Angle.Slot { id; _ } ->
+                incr sites;
+                Hashtbl.replace ids id ();
+                if not (Angle.known theta) then
+                  fail "slot #%d is not a known angle expression" id;
+                let k = Angle.max_param_index theta in
+                if k >= arity then
+                  fail
+                    "slot #%d references parameter %d but the template \
+                     declares only %d parameter%s"
+                    id k arity
+                    (if arity = 1 then "" else "s"))
+            () g)
+        (Circuit.gates ctx.Pass.circuit);
+      let ctx =
+        Pass.diagf ~pass:"parametrize" Diag.Info ctx
+          "template over %d parameter%s: %d slot site%s (%d distinct slots)"
+          arity
+          (if arity = 1 then "" else "s")
+          !sites
+          (if !sites = 1 then "" else "s")
+          (Hashtbl.length ids)
+      in
+      if verify_requested then
+        Pass.diagf ~pass:"parametrize" Diag.Info ctx
+          "verification deferred: slotted circuits cannot be checked \
+           densely; verify the bound circuits instead"
+      else ctx)
+
+let count_template_slots gates =
+  let ids = Hashtbl.create 32 in
+  Array.iter
+    (fun g ->
+      Gate.fold_angles
+        (fun () theta ->
+          match Angle.view theta with
+          | Angle.Const _ -> ()
+          | Angle.Slot { id; _ } -> Hashtbl.replace ids id ())
+        () g)
+    gates;
+  Hashtbl.length ids
+
+let compile_template ?(options = default_options) ?protect ?hooks ~params n
+    blocks =
+  (* Dense/propagation verification is meaningless on symbolic angles;
+     it is deferred to the bound circuits (and noted in the report). *)
+  let verify_requested = options.verify in
+  let options = { options with verify = false } in
+  let t0 = Clock.monotonic_s () in
+  let before = Cache.stats () in
+  let ctx =
+    Pass.init ~gadgets:(List.concat blocks) ~term_blocks:blocks options n
+  in
+  let ctx, trace =
+    Pass.run ?protect ?hooks
+      (passes ~with_grouping:true options
+      @ [ parametrize_pass ~params ~verify_requested ])
+      ctx
+  in
+  let report =
+    report_of_ctx
+      ~cache_stats:(Cache.diff (Cache.stats ()) before)
+      ~wall_time:(Clock.monotonic_s () -. t0) ctx trace
+  in
+  (* Degraded results are never templated: a template is replayed on
+     every future bind, so baking in a budget-driven fallback (naive
+     ladder, parked cache tier) would make the degradation permanent
+     instead of transient.  Callers should re-run with a fresh budget. *)
+  (match report.degradations with
+  | [] -> ()
+  | evs ->
+    raise
+      (Pass.Failed
+         {
+           pass = "parametrize";
+           error =
+             Printf.sprintf
+               "refusing to template a degraded compile (%s); templates \
+                must replay full-quality results"
+               (Resilience.aggregate_to_string evs);
+         }));
+  let prototype = Array.of_list (Circuit.gates report.circuit) in
+  let slot_positions =
+    let acc = ref [] in
+    Array.iteri
+      (fun i g -> if Gate.has_slot g then acc := i :: !acc)
+      prototype;
+    Array.of_list (List.rev !acc)
+  in
+  {
+    (* After hardware routing the circuit lives on the physical
+       register, which may be larger than the logical input [n]. *)
+    t_n = Circuit.num_qubits report.circuit;
+    t_params = Array.copy params;
+    t_prototype = prototype;
+    t_slot_positions = slot_positions;
+    t_slot_count = count_template_slots prototype;
+    t_report = report;
+  }
+
 let compile ?(options = default_options) ?protect ?hooks h =
   let n = Hamiltonian.num_qubits h in
   match Hamiltonian.term_blocks h with

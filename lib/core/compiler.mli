@@ -169,3 +169,40 @@ val compile_groups :
     synthesizer that produces a wrong circuit is caught per group and
     recovered via the naive ladder.  Supplying [synthesize] forces
     serial group compilation (the closure is not assumed thread-safe). *)
+
+(** {1 Parametric compilation} *)
+
+type template = {
+  t_n : int;  (** register size of the compiled circuit (physical, if routed) *)
+  t_params : string array;
+  t_prototype : Phoenix_circuit.Gate.t array;
+  t_slot_positions : int array;
+  t_slot_count : int;
+  t_report : report;
+}
+(** A compiled circuit whose parameter-derived rotation angles are still
+    symbolic {!Phoenix_pauli.Angle} slots.  Prefer the {!Template} module
+    for binding and inspection; the record is exposed so [Template] can
+    live outside this module without an extra indirection. *)
+
+val compile_template :
+  ?options:options ->
+  ?protect:bool ->
+  ?hooks:Pass.hook list ->
+  params:string array ->
+  int ->
+  (Phoenix_pauli.Pauli_string.t * float) list list ->
+  template
+(** Run the canonical pipeline over gadget blocks whose angles may be
+    {!Phoenix_pauli.Angle} slots (built with [Angle.param]), then certify
+    the result with a terminal [parametrize] pass (slot-site census +
+    parameter-arity check, visible in the trace).  [params] names the
+    template's parameters; every slot must resolve over them.
+
+    Verification is forced off for the template compile itself (symbolic
+    angles cannot be checked densely — verify bound circuits instead),
+    and a compile that took any degradation-ladder step raises
+    {!Pass.Failed} rather than producing a template: binds replay the
+    template forever, so a degraded result must stay transient.  Budget
+    expiry raises {!Pass.Interrupted} as usual and never yields a
+    partial template. *)

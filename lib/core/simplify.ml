@@ -11,7 +11,8 @@ type item =
 type t = item list
 
 let row_to_rotation (r : Bsf.row) =
-  r.Bsf.pauli, (if r.Bsf.neg then -.r.Bsf.angle else r.Bsf.angle)
+  ( r.Bsf.pauli,
+    if r.Bsf.neg then Phoenix_pauli.Angle.neg r.Bsf.angle else r.Bsf.angle )
 
 (* Synthesizable residue: union support on ≤ 2 qubits, or nothing but 1Q
    rotations left (the latter only arises in exact mode, where

@@ -161,7 +161,7 @@ let audit t =
       let w = Bitvec.or_popcount r.x r.z in
       if r.w <> w then
         add "row %d: cached weight %d, bit vectors say %d" i r.w w;
-      if not (Float.is_finite r.angle) then
+      if not (Float.is_finite r.angle) && not (Angle.is_slot r.angle) then
         add "row %d: non-finite angle %h" i r.angle)
     t.mrows;
   let fresh = fresh_stats t.n in
@@ -656,9 +656,24 @@ let eval_clifford2q_delta t gate =
 let to_terms t =
   List.map
     (fun r ->
-      let angle = if r.neg then -.r.angle else r.angle in
+      let angle = if r.neg then Angle.neg r.angle else r.angle in
       r.pauli, angle)
     (rows t)
+
+let slots t =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  Array.iter
+    (fun (r : mrow) ->
+      match Angle.view r.angle with
+      | Angle.Const _ -> ()
+      | Angle.Slot { id; _ } ->
+        if not (Hashtbl.mem seen id) then begin
+          Hashtbl.add seen id (Hashtbl.length seen);
+          acc := r.angle :: !acc
+        end)
+    t.mrows;
+  Array.of_list (List.rev !acc)
 
 (* Canonical content addressing.  Rows are serialized projected onto the
    tableau's support columns (ascending), so two tableaux that differ only
@@ -670,6 +685,20 @@ let to_terms t =
 
 let canonical_row_strings t =
   let support = Array.of_list (support_indices t) in
+  (* Slot angles serialize as their first-use rank within this tableau (plus
+     the occurrence's sign), not their process-local arena id: two slotted
+     tableaux with the same structure then share a canonical form across
+     parameter vectors, sessions, and processes.  The ['S'] prefix cannot
+     collide with the lowercase-hex IEEE bits of const angles. *)
+  let local = Hashtbl.create 8 in
+  Array.iter
+    (fun (r : mrow) ->
+      match Angle.view r.angle with
+      | Angle.Const _ -> ()
+      | Angle.Slot { id; _ } ->
+        if not (Hashtbl.mem local id) then
+          Hashtbl.add local id (Hashtbl.length local))
+    t.mrows;
   Array.map
     (fun (r : mrow) ->
       let buf = Buffer.create (Array.length support + 24) in
@@ -683,7 +712,14 @@ let canonical_row_strings t =
             (match bits with 0 -> 'I' | 1 -> 'X' | 2 -> 'Z' | _ -> 'Y'))
         support;
       Buffer.add_char buf (if r.neg then '-' else '+');
-      Buffer.add_string buf (Printf.sprintf "%Lx" (Int64.bits_of_float r.angle));
+      (match Angle.view r.angle with
+      | Angle.Const _ ->
+        Buffer.add_string buf
+          (Printf.sprintf "%Lx" (Int64.bits_of_float r.angle))
+      | Angle.Slot { id; negated } ->
+        Buffer.add_string buf
+          (Printf.sprintf "S%d%c" (Hashtbl.find local id)
+             (if negated then '-' else '+')));
       Buffer.contents buf)
     t.mrows
 

@@ -145,7 +145,14 @@ val eval_clifford2q_delta : t -> Clifford2q.t -> float
     convenience over {!Delta} (allocates a fresh workspace). *)
 
 val to_terms : t -> (Pauli_string.t * float) list
-(** Rows with signs folded into the angles. *)
+(** Rows with signs folded into the angles (symbolically, for slot
+    angles — see {!Angle}). *)
+
+val slots : t -> float array
+(** The distinct {!Angle} slot angles appearing in the rows, in first-use
+    program order (each entry keeps the sign of its first occurrence).
+    Empty for fully concrete tableaux.  This order matches the local slot
+    ranks used by {!canonical_form}. *)
 
 val canonical_form : t -> string
 (** Content-addressing serialization of the tableau, projected onto its
@@ -153,7 +160,12 @@ val canonical_form : t -> string
     followed by one string per row in program order (Pauli letters over the
     support, a sign character, and the IEEE-754 bits of the angle).  Two
     tableaux whose rows agree up to a monotone relabelling of their support
-    qubits (including trailing idle qubits) have equal canonical forms. *)
+    qubits (including trailing idle qubits) have equal canonical forms.
+
+    {!Angle} slot angles serialize as their first-use rank plus sign
+    (["S0+"], ["S1-"], …) instead of IEEE bits, so structurally identical
+    parametric tableaux share a canonical form across parameter values and
+    across processes. *)
 
 val canonical_digest : t -> string
 (** MD5 hex digest of the {e row-sorted} canonical form — invariant under

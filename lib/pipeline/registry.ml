@@ -143,6 +143,56 @@ let compile ?(options = Compiler.default_options) ?protect ?hooks entry h =
     compile_gadgets ~options ?protect ?hooks entry n
       (Hamiltonian.trotter_gadgets ~tau:options.Compiler.tau h)
 
+(* --- parametric compilation ------------------------------------------- *)
+
+(* Only PHOENIX owns the slot-aware pipeline ([Compiler.passes] +
+   [parametrize]); the baselines replay their references' concrete-angle
+   algorithms, so templating them would silently change what is being
+   benchmarked.  [uses_blocks] is the discriminator: it marks the one
+   entry whose pipeline is the canonical compiler. *)
+let compile_template ?(options = Compiler.default_options) ?protect ?hooks
+    entry h =
+  if not entry.uses_blocks then
+    Error
+      (Printf.sprintf
+         "pipeline '%s' has no parametric-template support (only the \
+          canonical phoenix pipeline compiles symbolic angles)"
+         entry.name)
+  else begin
+    let n = Hamiltonian.num_qubits h in
+    (* One parameter per algorithm-level block (or per Trotter gadget
+       when the Hamiltonian records no blocks), scaling the block's
+       tau-scaled base angles: binding every parameter to 1.0 replays
+       [compile] at the same options bit-identically. *)
+    let blocks =
+      match Hamiltonian.term_blocks h with
+      | Some blocks ->
+        List.map
+          (List.map (fun (t : Phoenix_pauli.Pauli_term.t) ->
+               ( t.Phoenix_pauli.Pauli_term.pauli,
+                 2.0 *. t.Phoenix_pauli.Pauli_term.coeff
+                 *. options.Compiler.tau )))
+          blocks
+      | None ->
+        List.map
+          (fun g -> [ g ])
+          (Hamiltonian.trotter_gadgets ~tau:options.Compiler.tau h)
+    in
+    let symbolic =
+      List.mapi
+        (fun k block ->
+          List.map
+            (fun (p, base) ->
+              (p, Phoenix_pauli.Angle.param ~index:k ~scale:base))
+            block)
+        blocks
+    in
+    let params =
+      Array.init (List.length blocks) (Printf.sprintf "theta%d")
+    in
+    Ok (Compiler.compile_template ~options ?protect ?hooks ~params n symbolic)
+  end
+
 (* --- the pass catalog -------------------------------------------------- *)
 
 type catalog_entry = {

@@ -65,6 +65,23 @@ val compile_blocks :
     don't consume block structure (tket, 2qan, naive) see the flattened
     program. *)
 
+val compile_template :
+  ?options:Phoenix.Compiler.options ->
+  ?protect:bool ->
+  ?hooks:Phoenix.Pass.hook list ->
+  entry ->
+  Phoenix_ham.Hamiltonian.t ->
+  (Phoenix.Compiler.template, string) result
+(** Parametric compile: one template parameter ["theta<k>"] per
+    algorithm-level block (or per Trotter gadget when the Hamiltonian
+    records none), scaling that block's tau-scaled base angles.  Binding
+    every parameter to [1.0] reproduces {!compile} at the same options
+    bit-identically.  [Error] for pipelines without block-structured IR
+    (every baseline — only the canonical phoenix pipeline compiles
+    symbolic angles).  Don't attach boundary-lint hooks here: the
+    intermediate circuits carry slot angles, which the angle-sanity lint
+    correctly reports as errors on {e bound} circuits. *)
+
 (** {1 Pass catalog} *)
 
 type catalog_entry = {

@@ -35,6 +35,25 @@ let circuit ?(options = Compiler.default_options) t theta =
   let report = Compiler.compile_blocks ~options t.n (gadgets t theta) in
   report.Compiler.circuit
 
+let param_names t = Array.init (num_parameters t) (Printf.sprintf "theta%d")
+
+(* Each block's slot records exactly the expression [gadgets] computes
+   — [theta.(k) *. base] — so binding the template at [theta] is
+   bit-identical to [circuit t theta] (for generic angles). *)
+let template ?(options = Compiler.default_options) t =
+  let blocks =
+    List.mapi
+      (fun k block ->
+        List.map
+          (fun (p, base) ->
+            p, Phoenix_pauli.Angle.param ~index:k ~scale:base)
+          block)
+      t.blocks
+  in
+  Compiler.compile_template ~options ~params:(param_names t) t.n blocks
+
+let bind = Phoenix.Template.bind
+
 let state t theta = Statevector.of_circuit (circuit t theta)
 
 let state_with_reference t ~occupied theta =

@@ -26,6 +26,20 @@ val circuit :
 (** Compile the parameterized program (default options: logical CNOT
     ISA). *)
 
+val param_names : t -> string array
+(** ["theta0"], ["theta1"], … — the template parameter names, in block
+    order. *)
+
+val template : ?options:Phoenix.Compiler.options -> t -> Phoenix.Template.t
+(** Compile the ansatz {e once} with symbolic angles
+    ({!Phoenix.Compiler.compile_template}): block [k]'s gadgets carry
+    slots evaluating to [theta.(k) *. base].  [bind template theta] is
+    bit-identical to [circuit t theta] for generic parameter values, at
+    microseconds per bind instead of a full pipeline run. *)
+
+val bind : Phoenix.Template.t -> float array -> Phoenix_circuit.Circuit.t
+(** Re-export of {!Phoenix.Template.bind} for loop call sites. *)
+
 val state : t -> float array -> Phoenix_linalg.Statevector.t
 (** Simulate the compiled circuit from [|0…0⟩]. *)
 

@@ -16,7 +16,12 @@ val uccsd_problem :
     ansatz and the Hartree–Fock reference occupation. *)
 
 val energy : problem -> float array -> float
-(** Objective value at a parameter point. *)
+(** Objective value at a parameter point (full compile per call; the
+    parametric loop in {!minimize} binds a template instead). *)
+
+val energy_of_circuit : problem -> Phoenix_circuit.Circuit.t -> float
+(** Objective value of an already-compiled (e.g. template-bound) ansatz
+    circuit: reference preparation, simulation, expectation. *)
 
 val exact_ground_energy : problem -> float
 (** Smallest eigenvalue of the Hamiltonian (dense diagonalization). *)
@@ -30,6 +35,11 @@ type outcome = {
 val minimize :
   ?optimizer:[ `Spsa | `Nelder_mead ] ->
   ?iterations:int ->
+  ?parametric:bool ->
   problem ->
   outcome
-(** Run the loop from the zero parameter vector (the reference state). *)
+(** Run the loop from the zero parameter vector (the reference state).
+    By default the ansatz is compiled once ({!Ansatz.template}) and each
+    objective evaluation is a microsecond-scale {!Ansatz.bind};
+    [~parametric:false] restores the historical full-compile-per-
+    evaluation objective (same energies — differential baseline). *)

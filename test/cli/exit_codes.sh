@@ -110,6 +110,29 @@ else
   fail=1
 fi
 
+# parametric templates: --template dumps cleanly; --bind must cover every
+# parameter ('*=V' wildcard) and reject unknown names; baselines have no
+# template support; linting an unbound template hits the unbound-slot
+# finding (exit 4) while a bound one certifies clean
+expect 0 compile "$W" --template
+expect 0 compile "$W" --template --bind '*=1.0' --dump
+expect 0 compile "$W" --bind '*=0.7' --verify --lint
+expect 2 compile "$W" --bind 'theta0=0.5'
+expect 2 compile "$W" --bind 'zeta=1.0,*=2.0'
+expect 2 compile "$W" --bind 'theta0=abc,*=1.0'
+expect 2 compile "$W" --template --pipeline tket
+expect 4 compile "$W" --template --lint
+# binding every parameter to 1.0 replays the plain compile byte-for-byte
+"$BIN" compile "$W" --dump > bind_plain.txt 2>/dev/null
+"$BIN" compile "$W" --template --bind '*=1.0' --dump > bind_bound.txt 2>/dev/null
+if cmp -s bind_plain.txt bind_bound.txt; then
+  echo "ok: --template --bind '*=1.0' --dump identical to plain --dump"
+else
+  echo "FAIL: bound-template dump differs from plain compile dump" >&2
+  fail=1
+fi
+rm -f bind_plain.txt bind_bound.txt
+
 # chaos soak: a short seeded run must classify every outcome (exit 0),
 # and malformed plans or run counts are usage errors
 expect 0 chaos --runs 2 --pipelines phoenix --workload heisenberg:4
