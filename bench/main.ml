@@ -244,6 +244,73 @@ let vqe_loop ~quick () =
     vl_bind_equals_compile = bind_equals_compile;
   }
 
+(* Symbolic-certification overhead: the same two compile presets, each
+   timed plain, under the certify hook, and under dense verification
+   ([options.verify]).  The logical preset runs in exact mode so its
+   verify leg actually performs the end-to-end dense unitary comparison
+   the certifier replaces (LiH sits exactly at the n = 10 dense cap);
+   heavy-hex measures against the scalable propagation certificates.
+   The headline ratio is checker-seconds over the dense-verify wall —
+   the CI gate holds it below 20% on the logical preset.  Overall
+   verdicts ride along so a regression to plausible/refuted fails
+   loudly rather than hiding behind timing. *)
+type certify_result = {
+  cf_name : string;
+  cf_plain_wall_s : float;
+  cf_certify_wall_s : float;
+  cf_check_s : float;  (* independent checker seconds, from the boundaries *)
+  cf_verify_wall_s : float;  (* dense --verify compile wall *)
+  cf_overhead_vs_verify : float;  (* check_s / verify_wall_s *)
+  cf_boundaries : int;
+  cf_overall : string;
+}
+
+let bench_certify () =
+  let case = List.hd (E.Workloads.uccsd_suite ~labels:[ "LiH_frz_JW" ] ()) in
+  let n = case.E.Workloads.n in
+  let blocks = case.E.Workloads.gadget_blocks in
+  let topo = E.Workloads.heavy_hex () in
+  let cold = { Phoenix.Compiler.default_options with cache = Cache.Off } in
+  [
+    "compile-logical-cnot", { cold with Phoenix.Compiler.exact = true };
+    "compile-heavy-hex", { cold with target = Phoenix.Compiler.Hardware topo };
+  ]
+  |> List.map (fun (name, options) ->
+         let wall f =
+           let t0 = Clock.monotonic_s () in
+           ignore (f () : Phoenix.Compiler.report);
+           Clock.monotonic_s () -. t0
+         in
+         let plain_s =
+           wall (fun () -> Phoenix.Compiler.compile_blocks ~options n blocks)
+         in
+         let acc = ref [] in
+         let certify_s =
+           wall (fun () ->
+               Phoenix.Compiler.compile_blocks ~options
+                 ~hooks:[ Phoenix_tv.Certify.hook acc ]
+                 n blocks)
+         in
+         let bs = Phoenix_tv.Certify.boundaries acc in
+         let check_s = Phoenix_tv.Certify.total_check_seconds bs in
+         let verify_s =
+           wall (fun () ->
+               Phoenix.Compiler.compile_blocks
+                 ~options:{ options with Phoenix.Compiler.verify = true }
+                 n blocks)
+         in
+         {
+           cf_name = name;
+           cf_plain_wall_s = plain_s;
+           cf_certify_wall_s = certify_s;
+           cf_check_s = check_s;
+           cf_verify_wall_s = verify_s;
+           cf_overhead_vs_verify =
+             (if verify_s > 0.0 then check_s /. verify_s else 0.0);
+           cf_boundaries = List.length bs;
+           cf_overall = Phoenix_tv.Certify.overall bs;
+         })
+
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -262,13 +329,13 @@ let bench_json_path = "BENCH_phoenix.json"
    re-reads the file after writing and asserts this string is what landed
    on disk, so the checked-in artifact can never drift from the writer
    again (it had: v2 was checked in while the writer said v3). *)
-let schema_version = "phoenix-bench-v4"
+let schema_version = "phoenix-bench-v5"
 
 (* Machine-readable perf trajectory: per-pass ms/run from Bechamel plus
    end-to-end compile wall seconds (with the pipeline's own per-pass
    split), the synthesis-cache cold/warm comparison, and the parametric
    VQE-loop serving numbers, appended-to by CI as a workflow artifact. *)
-let write_bench_json ~quick micro e2e cache vqe =
+let write_bench_json ~quick micro e2e cache vqe certify =
   let oc = open_out bench_json_path in
   let p fmt_str = Printf.fprintf oc fmt_str in
   p "{\n";
@@ -309,6 +376,19 @@ let write_bench_json ~quick micro e2e cache vqe =
       p "\n      \"cold\": %s," (Cache.stats_to_json cold_stats);
       p "\n      \"warm\": %s }" (Cache.stats_to_json warm_stats))
     cache;
+  p "\n  },\n";
+  p "  \"certify\": {";
+  List.iteri
+    (fun i c ->
+      p "%s\n    \"%s\": { \"plain_wall_s\": %.6f, \"certify_wall_s\": %.6f,"
+        (if i = 0 then "" else ",")
+        (json_escape c.cf_name) c.cf_plain_wall_s c.cf_certify_wall_s;
+      p "\n      \"check_s\": %.6f, \"verify_wall_s\": %.6f," c.cf_check_s
+        c.cf_verify_wall_s;
+      p "\n      \"overhead_vs_verify\": %.4f, \"boundaries\": %d, \
+         \"overall\": \"%s\" }"
+        c.cf_overhead_vs_verify c.cf_boundaries (json_escape c.cf_overall))
+    certify;
   p "\n  },\n";
   p "  \"vqe_loop\": {\n";
   p "    \"workload\": \"LiH_frz_JW\",\n";
@@ -394,6 +474,16 @@ let run_perf ~quick =
         warm_stats.Cache.hits warm_stats.Cache.misses;
       ignore cold_stats)
     cache;
+  let certify = bench_certify () in
+  List.iter
+    (fun c ->
+      Format.fprintf fmt
+        "%-34s certify %8.3f s (checker %.3f s over %d boundaries, %s) vs \
+         dense verify %8.3f s -> overhead %.1f%% of verify@."
+        c.cf_name c.cf_certify_wall_s c.cf_check_s c.cf_boundaries c.cf_overall
+        c.cf_verify_wall_s
+        (100.0 *. c.cf_overhead_vs_verify))
+    certify;
   let vqe = vqe_loop ~quick () in
   Format.fprintf fmt
     "vqe-loop (%d iters)                direct %8.3f s -> template %8.3f s + \
@@ -413,7 +503,7 @@ let run_perf ~quick =
             Format.fprintf fmt "  %-32s %12.3f s@." pass s)
           pass_times)
       e2e;
-    write_bench_json ~quick micro e2e cache vqe
+    write_bench_json ~quick micro e2e cache vqe certify
   end
 
 let artifacts =

@@ -7,6 +7,8 @@
      bench     run one of the paper's experiment artifacts
      simulate  compile and state-vector-simulate a small workload
      analyze   run the static analyzer over a compiled workload
+     certify   compile under the symbolic translation validator and
+               report the per-boundary certificate
      passes    list the registered passes and which pipelines use them
      chaos     seeded fault-injection soak over the registered pipelines
 
@@ -16,8 +18,9 @@
    support --timings / --trace.
 
    Exit codes: 0 clean, 2 usage/input error, 3 verification errors
-   (--verify), 4 error-severity lint findings (--lint / analyze),
-   5 deadline exceeded with no fallback rung (--timeout). *)
+   (--verify), 4 error-severity lint findings or a non-proved
+   certificate (--lint / --certify / analyze / certify), 5 deadline
+   exceeded with no fallback rung (--timeout). *)
 
 module Hamiltonian = Phoenix_ham.Hamiltonian
 module Compiler = Phoenix.Compiler
@@ -40,6 +43,7 @@ module Chaos = Phoenix_util.Chaos
 module Resilience = Phoenix.Resilience
 module Resilience_lint = Phoenix_analysis.Resilience_lint
 module Template = Phoenix.Template
+module Certify = Phoenix_tv.Certify
 
 let read_hamiltonian path =
   let ic = open_in path in
@@ -107,6 +111,10 @@ type compiled = {
   report : Compiler.report;
   topo : Topology.t option;
   lint_isa : Structural.isa;
+  exact : bool;
+  program : int * (Phoenix_pauli.Pauli_string.t * float) list;
+      (** the gadget program the pipeline consumed (register size and
+          tau-scaled angles), for end-to-end translation validation *)
   hook_findings : (string * Finding.t) list;
       (** per-pass lint-hook findings (with --lint) *)
   hook_diags : Diag.t list;
@@ -121,8 +129,26 @@ let find_pipeline name =
     Printf.eprintf "unknown compiler %S\n" name;
     exit 2
 
-let compile_source ?(cache = Cache.Mem) ?(budget = Budget.none) ~source ~isa
-    ~topology ~compiler ~exact ~verify ~lint () =
+(* The gadget program a registry compile consumes — mirrors the block /
+   Trotter dispatch in [Pipelines.compile] so the translation-validation
+   analysis checks the circuit against exactly what was compiled. *)
+let program_of_entry (entry : Pipelines.entry) (options : Compiler.options) h =
+  let tau = options.Compiler.tau in
+  let gadgets =
+    match (if entry.Pipelines.uses_blocks then Hamiltonian.term_blocks h else None)
+    with
+    | Some blocks ->
+      List.concat_map
+        (List.map (fun (t : Phoenix_pauli.Pauli_term.t) ->
+             ( t.Phoenix_pauli.Pauli_term.pauli,
+               2.0 *. t.Phoenix_pauli.Pauli_term.coeff *. tau )))
+        blocks
+    | None -> Hamiltonian.trotter_gadgets ~tau h
+  in
+  (Hamiltonian.num_qubits h, gadgets)
+
+let compile_source ?(cache = Cache.Mem) ?(budget = Budget.none) ?cert_acc
+    ~source ~isa ~topology ~compiler ~exact ~verify ~lint () =
   let h = load source in
   let n = Hamiltonian.num_qubits h in
   let topo = topology_of_string n topology in
@@ -158,7 +184,8 @@ let compile_source ?(cache = Cache.Mem) ?(budget = Budget.none) ~source ~isa
   let hook_findings = ref [] and hook_diags = ref [] in
   let hooks =
     (if lint then [ Hooks.lint hook_findings ] else [])
-    @ if verify then [ Hooks.translation_validate hook_diags ] else []
+    @ (if verify then [ Hooks.translation_validate hook_diags ] else [])
+    @ match cert_acc with Some acc -> [ Hooks.certify acc ] | None -> []
   in
   (* fail closed: any exception escaping a pass re-raises as Pass.Failed
      with the pass named, mapped to a structured exit at top level *)
@@ -170,6 +197,8 @@ let compile_source ?(cache = Cache.Mem) ?(budget = Budget.none) ~source ~isa
       (match isa with
       | Compiler.Cnot_isa -> Structural.Cnot_basis
       | Compiler.Su4_isa -> Structural.Su4_basis);
+    exact;
+    program = program_of_entry entry options h;
     hook_findings = List.rev !hook_findings;
     hook_diags = List.rev !hook_diags;
   }
@@ -231,7 +260,8 @@ let declared_of_report (r : Compiler.report) =
 
 let lint_target (c : compiled) circuit =
   Circuit_lint.target ~isa:c.lint_isa ?topology:c.topo
-    ~declared:(declared_of_report c.report) circuit
+    ~declared:(declared_of_report c.report) ~program:c.program ~exact:c.exact
+    ?layout:c.report.Compiler.layout circuit
 
 let print_diagnostics diags =
   Printf.printf "verify:    %s\n" (Diag.summary diags);
@@ -250,6 +280,30 @@ let print_hook_findings tagged =
         Printf.printf "  [after %s] %s\n" pass (Finding.to_string f))
       tagged
   end
+
+let print_certification boundaries =
+  let s = Certify.summarize boundaries in
+  Printf.printf
+    "certify:   %s (%d proved, %d plausible, %d refuted; %.3f ms checking)\n"
+    (Certify.overall boundaries)
+    s.Certify.proved s.Certify.plausible s.Certify.refuted
+    (Certify.total_check_seconds boundaries *. 1e3);
+  List.iter
+    (fun b -> Printf.printf "  %s\n" (Certify.boundary_to_string b))
+    boundaries
+
+let write_cert ~pipeline ~workload ~template out boundaries =
+  match out with
+  | None -> ()
+  | Some path ->
+    let json = Certify.to_json ~pipeline ~workload ~template boundaries in
+    if path = "-" then print_string json
+    else begin
+      let oc = open_out path in
+      output_string oc json;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    end
 
 let print_cache_stats tier (s : Cache.stats) =
   Printf.printf
@@ -323,8 +377,8 @@ let parse_bindings ~(params : string array) spec =
   values
 
 let run_template_mode ~source ~isa ~topology ~compiler ~tier ~budget ~exact
-    ~verify ~lint ~timings ~dump ~draw ~qasm_out ~trace_out ~cache_stats
-    ~bind_spec () =
+    ~verify ~lint ~certify ~cert_out ~timings ~dump ~draw ~qasm_out ~trace_out
+    ~cache_stats ~bind_spec () =
   let h = load source in
   let n = Hamiltonian.num_qubits h in
   let topo = topology_of_string n topology in
@@ -343,12 +397,27 @@ let run_template_mode ~source ~isa ~topology ~compiler ~tier ~budget ~exact
         | Some t -> Compiler.Hardware t);
     }
   in
+  let cert_acc = ref [] in
+  let hooks = if certify then [ Hooks.certify cert_acc ] else [] in
   let tmpl =
-    match Pipelines.compile_template ~options ~protect:true entry h with
+    match
+      Pipelines.compile_template ~options ~protect:true ~hooks
+        ~certified:certify entry h
+    with
     | Ok t -> t
     | Error msg ->
       Printf.eprintf "%s\n" msg;
       exit 2
+  in
+  (* Print (and persist) the certificate before any lint/verify exit so
+     a refuted boundary is always visible alongside the finding that
+     tripped the exit code. *)
+  let finish_certification () =
+    if certify then begin
+      let bs = Certify.boundaries cert_acc in
+      print_certification bs;
+      write_cert ~pipeline:compiler ~workload:source ~template:true cert_out bs
+    end
   in
   let report = Template.report tmpl in
   let lint_isa =
@@ -390,6 +459,7 @@ let run_template_mode ~source ~isa ~topology ~compiler ~tier ~budget ~exact
     print_string (Template.dump tmpl);
     print_timings [];
     write_trace [];
+    finish_certification ();
     if lint then begin
       let findings =
         Registry.run
@@ -399,7 +469,9 @@ let run_template_mode ~source ~isa ~topology ~compiler ~tier ~budget ~exact
       in
       print_findings findings;
       if Finding.has_errors findings then exit 4
-    end
+    end;
+    if certify && not (Certify.all_proved (Certify.boundaries cert_acc)) then
+      exit 4
   | Some spec ->
     let theta = parse_bindings ~params:(Template.params tmpl) spec in
     let circuit, bind_trace = Template.bind_with_trace tmpl theta in
@@ -427,6 +499,7 @@ let run_template_mode ~source ~isa ~topology ~compiler ~tier ~budget ~exact
     if cache_stats then print_cache_stats tier report.Compiler.cache_stats;
     if verify then print_diagnostics diagnostics;
     if lint then print_findings findings;
+    finish_certification ();
     print_timings
       (List.map
          (fun (e : Pass.trace_entry) -> e.Pass.pass, e.Pass.seconds)
@@ -445,7 +518,9 @@ let run_template_mode ~source ~isa ~topology ~compiler ~tier ~budget ~exact
     | None -> ());
     write_trace bind_trace;
     if verify && Diag.has_errors diagnostics then exit 3;
-    if lint && Finding.has_errors findings then exit 4
+    if lint && Finding.has_errors findings then exit 4;
+    if certify && not (Certify.all_proved (Certify.boundaries cert_acc)) then
+      exit 4
 
 open Cmdliner
 
@@ -582,6 +657,24 @@ let bind_arg =
   in
   Arg.(value & opt (some string) None & info [ "bind" ] ~docv:"BINDINGS" ~doc)
 
+let certify_arg =
+  let doc =
+    "Certify the compilation with the symbolic translation validator: every \
+     pass boundary is audited against the pass's claimed certificate in the \
+     Clifford-frame × phase-polynomial domain (no dense simulation; works \
+     on routed circuits and unbound templates alike).  Prints one verdict \
+     line per boundary and exits 4 unless every boundary is proved."
+  in
+  Arg.(value & flag & info [ "certify" ] ~doc)
+
+let cert_out_arg =
+  let doc =
+    "Write the certificate (schema phoenix-cert-v1: overall verdict, \
+     per-boundary claims, verdicts and checker timings) to FILE as JSON; \
+     $(b,-) for stdout.  Implies $(b,--certify)."
+  in
+  Arg.(value & opt (some string) None & info [ "cert" ] ~docv:"FILE" ~doc)
+
 let cache_stats_arg =
   let doc =
     "Print the synthesis-cache counters for this run (hits, misses, disk \
@@ -590,20 +683,23 @@ let cache_stats_arg =
   Arg.(value & flag & info [ "cache-stats" ] ~doc)
 
 let compile_cmd =
-  let run source isa topology compiler pipeline dump exact verify lint timings
-      qasm_out draw fault trace_out cache cache_stats timeout template
-      bind_spec =
+  let run source isa topology compiler pipeline dump exact verify lint certify
+      cert_out timings qasm_out draw fault trace_out cache cache_stats timeout
+      template bind_spec =
     let compiler = Option.value pipeline ~default:compiler in
     let tier = cache_tier_of_string cache in
     let budget = budget_of_timeout timeout in
+    let certify = certify || cert_out <> None in
     if template || bind_spec <> None then
       run_template_mode ~source ~isa ~topology ~compiler ~tier ~budget ~exact
-        ~verify ~lint ~timings ~dump ~draw ~qasm_out ~trace_out ~cache_stats
-        ~bind_spec ()
+        ~verify ~lint ~certify ~cert_out ~timings ~dump ~draw ~qasm_out
+        ~trace_out ~cache_stats ~bind_spec ()
     else begin
+    let cert_acc = ref [] in
     let compiled =
-      compile_source ~cache:tier ~budget ~source ~isa ~topology ~compiler
-        ~exact ~verify ~lint ()
+      compile_source ~cache:tier ~budget
+        ?cert_acc:(if certify then Some cert_acc else None)
+        ~source ~isa ~topology ~compiler ~exact ~verify ~lint ()
     in
     let circuit = inject_fault fault compiled.report.Compiler.circuit in
     let diagnostics =
@@ -649,6 +745,11 @@ let compile_cmd =
       print_findings findings;
       print_hook_findings compiled.hook_findings
     end;
+    if certify then begin
+      print_certification (Certify.boundaries cert_acc);
+      write_cert ~pipeline:compiler ~workload:source ~template:false cert_out
+        (Certify.boundaries cert_acc)
+    end;
     if timings then
       List.iter
         (fun (pass, t) -> Printf.printf "time %-9s %.4fs\n" (pass ^ ":") t)
@@ -686,12 +787,14 @@ let compile_cmd =
     if lint
        && (Finding.has_errors findings
           || Finding.has_errors (List.map snd compiled.hook_findings))
-    then exit 4
+    then exit 4;
+    if certify && not (Certify.all_proved (Certify.boundaries cert_acc)) then
+      exit 4
     end
   in
   let doc = "Compile a Hamiltonian-simulation program." in
   Cmd.v (Cmd.info "compile" ~doc)
-    Term.(const run $ source_arg $ isa_arg $ topology_arg $ baseline_arg $ pipeline_arg $ dump_arg $ exact_arg $ verify_arg $ lint_arg $ timings_arg $ qasm_arg $ draw_arg $ fault_arg $ trace_arg $ cache_arg $ cache_stats_arg $ timeout_arg $ template_arg $ bind_arg)
+    Term.(const run $ source_arg $ isa_arg $ topology_arg $ baseline_arg $ pipeline_arg $ dump_arg $ exact_arg $ verify_arg $ lint_arg $ certify_arg $ cert_out_arg $ timings_arg $ qasm_arg $ draw_arg $ fault_arg $ trace_arg $ cache_arg $ cache_stats_arg $ timeout_arg $ template_arg $ bind_arg)
 
 let info_cmd =
   let run source =
@@ -853,12 +956,26 @@ let analyze_cmd =
     let doc = "List the registered analyses and exit." in
     Arg.(value & flag & info [ "list" ] ~doc)
   in
+  let only_arg =
+    let doc =
+      "Run only the named analyses (comma-separated registry names; see \
+       $(b,--list)).  Unknown names are a usage error (exit 2)."
+    in
+    Arg.(value & opt string "" & info [ "only" ] ~docv:"NAMES" ~doc)
+  in
+  let skip_arg =
+    let doc =
+      "Skip the named analyses (comma-separated; composes with \
+       $(b,--only)).  Unknown names are a usage error (exit 2)."
+    in
+    Arg.(value & opt string "" & info [ "skip" ] ~docv:"NAMES" ~doc)
+  in
   let opt_source_arg =
     let doc = "Hamiltonian file or builtin workload." in
     Arg.(value & pos 0 (some string) None & info [] ~docv:"SOURCE" ~doc)
   in
   let run source isa topology compiler exact json stats determinism list_only
-      fault =
+      only_spec skip_spec fault =
     if list_only then begin
       List.iter
         (fun (a : Registry.analysis) ->
@@ -873,12 +990,28 @@ let analyze_cmd =
         Printf.eprintf "analyze: a SOURCE is required (or use --list)\n";
         exit 2
     in
+    let names_of spec =
+      match List.filter (fun s -> s <> "") (String.split_on_char ',' spec) with
+      | [] -> None
+      | l -> Some l
+    in
+    let only = names_of only_spec and skip = names_of skip_spec in
+    (match
+       Registry.unknown
+         (Option.value only ~default:[] @ Option.value skip ~default:[])
+     with
+    | [] -> ()
+    | missing ->
+      Printf.eprintf "analyze: unknown analyses: %s\navailable: %s\n"
+        (String.concat ", " missing)
+        (String.concat ", " (Registry.names ()));
+      exit 2);
     let compiled =
       compile_source ~source ~isa ~topology ~compiler ~exact ~verify:false
         ~lint:false ()
     in
     let circuit = inject_fault fault compiled.report.Compiler.circuit in
-    let findings = Registry.run (lint_target compiled circuit) in
+    let findings = Registry.run ?only ?skip (lint_target compiled circuit) in
     let findings =
       if determinism then begin
         if compiler <> "phoenix" then begin
@@ -921,7 +1054,14 @@ let analyze_cmd =
       Printf.printf "circuit:   %d qubits, %d gates (%d 2Q, depth-2q %d)\n"
         (Circuit.num_qubits circuit) (Circuit.length circuit)
         (Circuit.count_2q circuit) (Circuit.depth_2q circuit);
-      Printf.printf "analyses:  %s\n" (String.concat ", " (Registry.names ()));
+      let selected =
+        List.filter
+          (fun n ->
+            (match only with None -> true | Some l -> List.mem n l)
+            && match skip with None -> true | Some l -> not (List.mem n l))
+          (Registry.names ())
+      in
+      Printf.printf "analyses:  %s\n" (String.concat ", " selected);
       print_findings findings;
       if stats then print_ir_stats (load source)
     end;
@@ -930,11 +1070,78 @@ let analyze_cmd =
   let doc =
     "Run the static analyzer over a compiled workload: qubit liveness, ISA \
      and coupling conformance, metric certification, layer consistency, \
-     angle sanity — plus optional compiler-internal determinism audits.  \
-     Exits 4 on error-severity findings."
+     angle sanity, symbolic translation validation — plus optional \
+     compiler-internal determinism audits.  $(b,--only)/$(b,--skip) select \
+     subsets by registry name.  Exits 4 on error-severity findings."
   in
   Cmd.v (Cmd.info "analyze" ~doc)
-    Term.(const run $ opt_source_arg $ isa_arg $ topology_arg $ baseline_arg $ exact_arg $ json_arg $ stats_arg $ determinism_arg $ list_arg $ fault_arg)
+    Term.(const run $ opt_source_arg $ isa_arg $ topology_arg $ baseline_arg $ exact_arg $ json_arg $ stats_arg $ determinism_arg $ list_arg $ only_arg $ skip_arg $ fault_arg)
+
+(* --- certify: proof-carrying pass certificates ---------------------------- *)
+
+let certify_cmd =
+  let json_arg =
+    let doc =
+      "Write the certificate (schema phoenix-cert-v1) to FILE as JSON; \
+       $(b,-) for stdout."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let template_flag =
+    let doc =
+      "Certify a parametric template compile: the slotted circuit is checked \
+       symbolically over the angle arena, so one certificate covers every \
+       parameter binding (phoenix pipeline only)."
+    in
+    Arg.(value & flag & info [ "template" ] ~doc)
+  in
+  let run source isa topology compiler pipeline exact template json_out =
+    let compiler = Option.value pipeline ~default:compiler in
+    let cert_acc = ref [] in
+    if template then begin
+      let h = load source in
+      let n = Hamiltonian.num_qubits h in
+      let topo = topology_of_string n topology in
+      let entry = find_pipeline compiler in
+      let options =
+        {
+          Compiler.default_options with
+          isa;
+          exact;
+          target =
+            (match topo with
+            | None -> Compiler.Logical
+            | Some t -> Compiler.Hardware t);
+        }
+      in
+      match
+        Pipelines.compile_template ~options ~protect:true
+          ~hooks:[ Hooks.certify cert_acc ] ~certified:true entry h
+      with
+      | Ok _ -> ()
+      | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+    end
+    else
+      ignore
+        (compile_source ~cert_acc ~source ~isa ~topology ~compiler ~exact
+           ~verify:false ~lint:false ());
+    let bs = Certify.boundaries cert_acc in
+    print_certification bs;
+    write_cert ~pipeline:compiler ~workload:source ~template json_out bs;
+    if not (Certify.all_proved bs) then exit 4
+  in
+  let doc =
+    "Compile a workload under the symbolic translation validator and report \
+     the certificate: each pass claims a rewrite freedom (unchanged, \
+     order-preserving, reordering, routing) and an independent checker \
+     replays the claim in the Clifford-frame × phase-polynomial abstract \
+     domain — no dense simulation, sound on routed circuits and unbound \
+     templates.  Exits 4 unless every pass boundary is proved."
+  in
+  Cmd.v (Cmd.info "certify" ~doc)
+    Term.(const run $ source_arg $ isa_arg $ topology_arg $ baseline_arg $ pipeline_arg $ exact_arg $ template_flag $ json_arg)
 
 (* --- passes: the pipeline/pass registry ---------------------------------- *)
 
@@ -1312,7 +1519,7 @@ let () =
     try
       Cmd.eval ~catch:false
         (Cmd.group info
-           [ compile_cmd; info_cmd; bench_cmd; simulate_cmd; analyze_cmd; passes_cmd; cache_cmd; chaos_cmd ])
+           [ compile_cmd; info_cmd; bench_cmd; simulate_cmd; analyze_cmd; certify_cmd; passes_cmd; cache_cmd; chaos_cmd ])
     with
     | Pass.Interrupted { pass; reason } ->
       (* a budget expired in a pass with no fallback rung: fail closed

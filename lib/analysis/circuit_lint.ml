@@ -13,10 +13,14 @@ type target = {
   isa : isa;
   topology : Topology.t option;
   declared : declared option;
+  program : (int * (Phoenix_pauli.Pauli_string.t * float) list) option;
+  exact : bool;
+  layout : Phoenix_router.Layout.t option;
 }
 
-let target ?(isa = Any_basis) ?topology ?declared circuit =
-  { circuit; isa; topology; declared }
+let target ?(isa = Any_basis) ?topology ?declared ?program ?(exact = false)
+    ?layout circuit =
+  { circuit; isa; topology; declared; program; exact; layout }
 
 (* --- qubit liveness ----------------------------------------------------- *)
 
@@ -208,16 +212,30 @@ let layer_consistency t =
 let angle_sanity t =
   let analysis = "angle-sanity" in
   let fs = ref [] in
+  (* Unbound slots are named by first-use rank (S0, S1, ...) so a
+     finding reads stably across runs — arena ids depend on how many
+     templates were compiled before this one.  Each slot errors once at
+     its first use; a trailing summary counts the damage. *)
+  let slot_rank : (int, int * int) Hashtbl.t = Hashtbl.create 8 in
+  let slot_sites = ref 0 in
   let check i what theta =
-    if Phoenix_pauli.Angle.is_slot theta then
+    if Phoenix_pauli.Angle.is_slot theta then begin
       (* A slot reaching the lint means the circuit was never bound —
          templates must go through [Template.bind] before certification. *)
-      fs :=
-        Finding.error ~location:(Finding.Gate i) ~analysis
-          "%s has unbound-slot angle %s (template parameter was never bound)"
-          what
-          (Phoenix_pauli.Angle.to_string theta)
-        :: !fs
+      incr slot_sites;
+      let id = Phoenix_pauli.Angle.slot_id theta in
+      if not (Hashtbl.mem slot_rank id) then begin
+        let rank = Hashtbl.length slot_rank in
+        Hashtbl.add slot_rank id (rank, i);
+        fs :=
+          Finding.error ~location:(Finding.Gate i) ~analysis
+            "%s has unbound slot S%d (angle %s): template parameter was \
+             never bound"
+            what rank
+            (Phoenix_pauli.Angle.to_string theta)
+          :: !fs
+      end
+    end
     else if not (Float.is_finite theta) then
       fs :=
         Finding.error ~location:(Finding.Gate i) ~analysis
@@ -248,4 +266,61 @@ let angle_sanity t =
     | Gate.G1 _ | Gate.Cnot _ | Gate.Cliff2 _ | Gate.Swap _ -> ()
   in
   List.iteri walk (Circuit.gates t.circuit);
+  if Hashtbl.length slot_rank > 0 then begin
+    let first_uses =
+      Hashtbl.fold (fun _ (rank, gate) acc -> (rank, gate) :: acc) slot_rank []
+      |> List.sort compare
+      |> List.map (fun (rank, gate) -> Printf.sprintf "S%d@%d" rank gate)
+      |> String.concat ", "
+    in
+    fs :=
+      Finding.error ~analysis
+        "%d unbound slot%s across %d site%s (first uses: %s)"
+        (Hashtbl.length slot_rank)
+        (if Hashtbl.length slot_rank = 1 then "" else "s")
+        !slot_sites
+        (if !slot_sites = 1 then "" else "s")
+        first_uses
+      :: !fs
+  end;
   List.rev !fs
+
+(* --- symbolic translation validation -------------------------------------
+
+   End-to-end check that the compiled circuit implements the gadget
+   program it was compiled from, in the frame × phase-polynomial
+   abstract domain ([Phoenix_tv]).  Simulation-free like every other
+   registry analysis, and — unlike the dense verifier — sound on routed
+   circuits (via the recorded layout) and on slotted templates. *)
+
+let translation_validation t =
+  let analysis = "translation-validation" in
+  match t.program with
+  | None -> []
+  | Some (n, program) ->
+    let l2p =
+      Option.map
+        (fun l ->
+          Array.init
+            (Phoenix_router.Layout.n_logical l)
+            (Phoenix_router.Layout.physical_of l))
+        t.layout
+    in
+    let relation = if t.exact then "sequence" else "multiset" in
+    (match
+       Phoenix_tv.Checker.check_program ~exact:t.exact ?l2p n program
+         t.circuit
+     with
+    | Phoenix_tv.Checker.Proved ->
+      [
+        Finding.info ~analysis
+          "%d-gadget program certified against the circuit (%s relation%s)"
+          (List.length program) relation
+          (match l2p with
+          | Some _ -> ", relabeled through the routing layout"
+          | None -> "");
+      ]
+    | Phoenix_tv.Checker.Plausible r ->
+      [ Finding.warning ~analysis "not certified (checker out of domain): %s" r ]
+    | Phoenix_tv.Checker.Refuted r ->
+      [ Finding.error ~analysis "circuit does not implement the program: %s" r ])

@@ -19,15 +19,30 @@ type target = {
   topology : Phoenix_topology.Topology.t option;
       (** coupling map for routed circuits; [None] for logical ones *)
   declared : declared option;
+  program : (int * (Phoenix_pauli.Pauli_string.t * float) list) option;
+      (** the register size and gadget program the circuit was compiled
+          from, when the caller still has it — enables
+          {!translation_validation} *)
+  exact : bool;
+      (** the compile ran in exact (sequence-preserving) mode, so the
+          checker may demand the stronger sequence relation *)
+  layout : Phoenix_router.Layout.t option;
+      (** final logical→physical placement of a routed compile, used to
+          relabel the circuit back onto the program's register *)
 }
 
 val target :
   ?isa:isa ->
   ?topology:Phoenix_topology.Topology.t ->
   ?declared:declared ->
+  ?program:int * (Phoenix_pauli.Pauli_string.t * float) list ->
+  ?exact:bool ->
+  ?layout:Phoenix_router.Layout.t ->
   Phoenix_circuit.Circuit.t ->
   target
-(** [isa] defaults to [Any_basis]. *)
+(** [isa] defaults to [Any_basis], [exact] to [false]; the remaining
+    context is optional and analyses needing it return no findings when
+    it is absent. *)
 
 val liveness : target -> Finding.t list
 (** Dangling-wire detection: qubits declared by a logical circuit but
@@ -57,4 +72,18 @@ val layer_consistency : target -> Finding.t list
 val angle_sanity : target -> Finding.t list
 (** NaN/inf rotation angles ([Error]); zero-angle rotations and
     non-canonical angles the peephole should have folded ([Warning] —
-    the missed-optimization lint class).  Recurses into SU(4) blocks. *)
+    the missed-optimization lint class).  Recurses into SU(4) blocks.
+    Unbound template slots are hard errors, named by first-use rank
+    ([S0], [S1], ... — stable across runs, unlike arena ids) with one
+    finding per distinct slot plus a global summary giving the distinct
+    and site counts and each slot's first-use gate index. *)
+
+val translation_validation : target -> Finding.t list
+(** Symbolic end-to-end translation validation
+    ({!Phoenix_tv.Checker.check_program}): does the circuit implement
+    the target's [program] in the frame × phase-polynomial domain?
+    [Info] when proved, [Warning] when the checker is out of its domain
+    (never a silent accept), [Error] with a counterexample description
+    when refuted.  Routed circuits are relabeled through [layout];
+    [exact] selects the sequence relation.  Empty when the target
+    carries no program. *)

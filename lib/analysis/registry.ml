@@ -40,6 +40,14 @@ let all =
       run = Circuit_lint.angle_sanity;
     };
     {
+      name = "translation-validation";
+      description =
+        "symbolic proof that the circuit implements its gadget program \
+         (frame × phase-polynomial domain; routed and slotted circuits \
+         included)";
+      run = Circuit_lint.translation_validation;
+    };
+    {
       name = "resilience-conformance";
       description =
         "degradation-ladder registry audit: fallback rungs present, \
@@ -52,16 +60,22 @@ let names () = List.map (fun a -> a.name) all
 
 let find name = List.find_opt (fun a -> a.name = name) all
 
-let selected only =
-  match only with
-  | None -> Ok all
-  | Some names ->
-    let missing = List.filter (fun n -> find n = None) names in
-    if missing <> [] then Error missing
-    else Ok (List.filter (fun a -> List.mem a.name names) all)
+let unknown names = List.filter (fun n -> find n = None) names
 
-let run ?only target =
-  match selected only with
+let selected ?only ?skip () =
+  match unknown (Option.value only ~default:[] @ Option.value skip ~default:[])
+  with
+  | _ :: _ as missing -> Error missing
+  | [] ->
+    Ok
+      (List.filter
+         (fun a ->
+           (match only with None -> true | Some ns -> List.mem a.name ns)
+           && match skip with None -> true | Some ns -> not (List.mem a.name ns))
+         all)
+
+let run ?only ?skip target =
+  match selected ?only ?skip () with
   | Error missing ->
     invalid_arg
       ("Registry.run: unknown analyses: " ^ String.concat ", " missing)

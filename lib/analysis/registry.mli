@@ -25,7 +25,17 @@ val names : unit -> string list
 
 val find : string -> analysis option
 
-val run : ?only:string list -> Circuit_lint.target -> Finding.t list
-(** Run the whole registry (or the [only] subset) on a target,
-    concatenating findings in registry order.  Raises
-    [Invalid_argument] when [only] names an unknown analysis. *)
+val unknown : string list -> string list
+(** The subset of [names] that match no registered analysis — the CLI's
+    [--only]/[--skip] validation (unknown names are a usage error, exit
+    2, not an empty run). *)
+
+val run :
+  ?only:string list ->
+  ?skip:string list ->
+  Circuit_lint.target ->
+  Finding.t list
+(** Run the whole registry — or the [only] subset, minus the [skip]
+    set — on a target, concatenating findings in registry order.
+    Raises [Invalid_argument] when either list names an unknown
+    analysis (use {!unknown} to pre-validate). *)

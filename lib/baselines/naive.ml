@@ -1,7 +1,7 @@
 module Pass = Phoenix.Pass
 
 let synth_pass =
-  Pass.make ~name:"synth"
+  Pass.make ~certify:Phoenix.Passes.certify_preserving ~name:"synth"
     ~description:
       "per-gadget CNOT-ladder synthesis in program order (no grouping, no \
        cleanup)"

@@ -66,12 +66,16 @@ let block_circuit n (g : Group.t) =
   end
 
 let order_pass =
-  Pass.make ~name:"order"
+  Pass.make
+    ~certify:(fun ~before:_ ~after:_ -> Pass.Reordering)
+    ~name:"order"
     ~description:"chain IR blocks greedily by support overlap"
     (fun ctx -> { ctx with Pass.groups = order_blocks ctx.Pass.groups })
 
 let synth_pass =
-  Pass.make ~name:"synth"
+  Pass.make
+    ~certify:(fun ~before:_ ~after:_ -> Pass.Reordering)
+    ~name:"synth"
     ~description:
       "block-local synthesis: diagonalized ladders or shared Z-first \
        ladders, whichever peepholes to fewer CNOTs"

@@ -104,7 +104,7 @@ let topology_of_ctx ctx =
   | Pass.Logical -> invalid_arg "Qan2_like: needs a hardware target"
 
 let place_pass =
-  Pass.make ~name:"place"
+  Pass.make ~certify:Phoenix.Passes.certify_unchanged ~name:"place"
     ~description:"interaction-weighted greedy initial embedding"
     (fun ctx ->
       let topo = topology_of_ctx ctx in
@@ -118,7 +118,7 @@ let place_pass =
    reduces the remaining interaction distance.  Interactions commute, so
    the emission order is free. *)
 let route_pass =
-  Pass.make ~name:"route"
+  Pass.make ~certify:Phoenix.Passes.certify_routing ~name:"route"
     ~description:
       "greedy commuting-interaction scheduling: emit executable \
        interactions, insert distance-reducing SWAPs"
@@ -246,7 +246,7 @@ let route_pass =
       })
 
 let lower_pass =
-  Pass.make ~name:"lower"
+  Pass.make ~certify:Phoenix.Passes.certify_preserving ~name:"lower"
     ~description:"expand SWAPs and rebase to the CNOT basis"
     (fun ctx ->
       { ctx with Pass.circuit = Rebase.to_cnot_basis ctx.Pass.circuit })

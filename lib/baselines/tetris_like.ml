@@ -56,14 +56,18 @@ let order_blocks blocks =
     chain [ first ] first rest
 
 let order_pass =
-  Pass.make ~name:"order"
+  Pass.make
+    ~certify:(fun ~before:_ ~after:_ -> Pass.Reordering)
+    ~name:"order"
     ~description:
       "chain IR blocks by boundary cancellation compatibility (matching \
        Pauli bases on shared qubits)"
     (fun ctx -> { ctx with Pass.groups = order_blocks ctx.Pass.groups })
 
 let synth_pass =
-  Pass.make ~name:"synth"
+  Pass.make
+    ~certify:(fun ~before:_ ~after:_ -> Pass.Reordering)
+    ~name:"synth"
     ~description:
       "lower each block as sorted Z-first CNOT ladders (boundary legs \
        cancel across blocks)"

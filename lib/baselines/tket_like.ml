@@ -32,7 +32,9 @@ let synth_commuting_set n set =
   d.Phoenix_circuit.Diagonalize.clifford @ List.concat_map ladder_gates sorted @ undo
 
 let partition_pass =
-  Pass.make ~name:"partition"
+  Pass.make
+    ~certify:(fun ~before:_ ~after:_ -> Pass.Reordering)
+    ~name:"partition"
     ~description:
       "partition the gadget program into pairwise-commuting sets (greedy, \
        program order)"
@@ -45,7 +47,7 @@ let partition_pass =
       { ctx with Pass.groups = List.map (Group.of_terms ctx.Pass.n) sets })
 
 let synth_pass =
-  Pass.make ~name:"synth"
+  Pass.make ~certify:Phoenix.Passes.certify_preserving ~name:"synth"
     ~description:
       "simultaneously diagonalize each commuting set and emit its sorted \
        phase ladders under the Clifford conjugation"

@@ -51,6 +51,9 @@ type report = {
       (** synthesis-cache counter deltas attributable to this run *)
   degradations : Resilience.event list;
       (** budget-driven ladder steps taken during this run, in order *)
+  layout : Phoenix_router.Layout.t option;
+      (** final qubit placement for hardware compiles; [None] for
+          logical ones *)
 }
 
 (* Verification thresholds: per-group dense checks stay cheap, the final
@@ -103,7 +106,10 @@ let check_group_circuit (options : options) n terms circuit =
    [synthesize] closure bypasses the cache — its results are not
    content-addressed by the group tableau. *)
 let simplify_pass ?synthesize () =
-  Pass.make ~name:"simplify"
+  Pass.make
+    ~certify:(fun ~before ~after:_ ->
+      if before.Pass.options.exact then Pass.Preserving else Pass.Reordering)
+    ~name:"simplify"
     ~description:
       "group-wise BSF simplification (Clifford2Q conjugation search) with \
        content-addressed synthesis cache, per-group translation validation \
@@ -252,7 +258,9 @@ let simplify_pass ?synthesize () =
       else ctx)
 
 let order_pass =
-  Pass.make ~name:"order"
+  Pass.make
+    ~certify:(fun ~before:_ ~after:_ -> Pass.Reordering)
+    ~name:"order"
     ~description:
       "Tetris-like IR-group ordering (lookahead window, routing-aware on \
        hardware targets)"
@@ -270,7 +278,12 @@ let order_pass =
       })
 
 let lower_pass =
-  Pass.make ~name:"lower"
+  Pass.make
+    ~certify:(fun ~before ~after:_ ->
+      match before.Pass.options.target with
+      | Pass.Logical -> Pass.Preserving
+      | Pass.Hardware _ -> Pass.Unchanged)
+    ~name:"lower"
     ~description:
       "ISA lowering: CNOT rebase + phase folding, or SU(4) fusion; on \
        hardware targets only the pre-routing 2Q count is recorded"
@@ -297,7 +310,12 @@ let lower_pass =
         { ctx with Pass.logical_two_q = Rebase.count_su4 ctx.Pass.circuit })
 
 let route_pass =
-  Pass.make ~name:"route"
+  Pass.make
+    ~certify:(fun ~before ~after ->
+      match before.Pass.options.target with
+      | Pass.Logical -> Pass.Unchanged
+      | Pass.Hardware _ -> Passes.certify_routing ~before ~after)
+    ~name:"route"
     ~description:
       "hardware-aware routing (commuting-set multistart for Z-diagonal \
        programs, SABRE refinement otherwise) and physical ISA lowering"
@@ -360,7 +378,7 @@ let route_pass =
         })
 
 let verify_pass =
-  Pass.make ~name:"verify"
+  Pass.make ~certify:Passes.certify_unchanged ~name:"verify"
     ~description:
       "final translation validation: structural/ISA/coupling checks, plus \
        an end-to-end dense comparison in exact logical mode on small \
@@ -461,6 +479,7 @@ let report_of_ctx ?(cache_stats = Cache.stats_zero) ~wall_time (ctx : Pass.ctx)
     trace;
     cache_stats;
     degradations = List.rev ctx.Pass.degradations;
+    layout = ctx.Pass.layout;
   }
 
 let run_pipeline ?protect ?hooks ?synthesize ~with_grouping options ctx =
@@ -513,8 +532,8 @@ type template = {
    parameters — anything else means a slot leaked in from a foreign
    process or the caller's parameter naming is out of sync, and binding
    would fail (or silently read the wrong parameter) later. *)
-let parametrize_pass ~params ~verify_requested =
-  Pass.make ~name:"parametrize"
+let parametrize_pass ~params ~verify_requested ~certified =
+  Pass.make ~certify:Passes.certify_unchanged ~name:"parametrize"
     ~description:
       "certify the slotted circuit: count slot sites, check every slot \
        resolves over the declared parameters"
@@ -556,7 +575,11 @@ let parametrize_pass ~params ~verify_requested =
           (if !sites = 1 then "" else "s")
           (Hashtbl.length ids)
       in
-      if verify_requested then
+      if certified then
+        Pass.diagf ~pass:"parametrize" Diag.Info ctx
+          "symbolic certification: every pass boundary checked over the \
+           angle arena, valid for all parameter bindings"
+      else if verify_requested then
         Pass.diagf ~pass:"parametrize" Diag.Info ctx
           "verification deferred: slotted circuits cannot be checked \
            densely; verify the bound circuits instead"
@@ -575,10 +598,13 @@ let count_template_slots gates =
     gates;
   Hashtbl.length ids
 
-let compile_template ?(options = default_options) ?protect ?hooks ~params n
-    blocks =
+let compile_template ?(options = default_options) ?protect ?hooks
+    ?(certified = false) ~params n blocks =
   (* Dense/propagation verification is meaningless on symbolic angles;
-     it is deferred to the bound circuits (and noted in the report). *)
+     it is deferred to the bound circuits (and noted in the report) —
+     unless the caller runs the symbolic certifier hook ([certified]),
+     which subsumes the deferral: the certificate holds for every
+     binding at once. *)
   let verify_requested = options.verify in
   let options = { options with verify = false } in
   let t0 = Clock.monotonic_s () in
@@ -589,7 +615,7 @@ let compile_template ?(options = default_options) ?protect ?hooks ~params n
   let ctx, trace =
     Pass.run ?protect ?hooks
       (passes ~with_grouping:true options
-      @ [ parametrize_pass ~params ~verify_requested ])
+      @ [ parametrize_pass ~params ~verify_requested ~certified ])
       ctx
   in
   let report =

@@ -95,6 +95,11 @@ type report = {
   degradations : Resilience.event list;
       (** chronological ladder steps taken because the budget ran out;
           empty on an undisturbed run *)
+  layout : Phoenix_router.Layout.t option;
+      (** final logical→physical placement for hardware compiles ([Some]
+          whenever routing ran); [None] for logical compiles.  Consumed
+          by the translation-validation analysis to relabel routed
+          circuits back onto the logical register. *)
 }
 
 val report_of_ctx :
@@ -189,6 +194,7 @@ val compile_template :
   ?options:options ->
   ?protect:bool ->
   ?hooks:Pass.hook list ->
+  ?certified:bool ->
   params:string array ->
   int ->
   (Phoenix_pauli.Pauli_string.t * float) list list ->
@@ -199,10 +205,14 @@ val compile_template :
     parameter-arity check, visible in the trace).  [params] names the
     template's parameters; every slot must resolve over them.
 
-    Verification is forced off for the template compile itself (symbolic
-    angles cannot be checked densely — verify bound circuits instead),
-    and a compile that took any degradation-ladder step raises
-    {!Pass.Failed} rather than producing a template: binds replay the
-    template forever, so a degraded result must stay transient.  Budget
-    expiry raises {!Pass.Interrupted} as usual and never yields a
+    Dense verification is forced off for the template compile itself
+    (symbolic angles cannot be checked densely).  Pass [certified = true]
+    when a symbolic translation-validation hook (Phoenix_tv's certify
+    hook) runs alongside the compile: the deferral diagnostic is replaced
+    by a note that every pass boundary was checked symbolically — valid
+    for all parameter bindings at once — instead of deferring to the
+    bound circuits.  A compile that took any degradation-ladder step
+    raises {!Pass.Failed} rather than producing a template: binds replay
+    the template forever, so a degraded result must stay transient.
+    Budget expiry raises {!Pass.Interrupted} as usual and never yields a
     partial template. *)

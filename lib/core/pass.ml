@@ -113,11 +113,33 @@ let diagf ?group ~pass severity ctx fmt =
     (fun m -> add_diag ctx (Diag.make ?group ~pass severity m))
     fmt
 
+(* --- pass certificates --- *)
+
+type certificate =
+  | Unchanged
+  | Preserving
+  | Reordering
+  | Routing of { l2p : int array; n_physical : int }
+
+let certificate_label = function
+  | Unchanged -> "unchanged"
+  | Preserving -> "preserving"
+  | Reordering -> "reordering"
+  | Routing _ -> "routing"
+
 (* --- passes --- *)
 
-type t = { name : string; description : string; run : ctx -> ctx }
+type t = {
+  name : string;
+  description : string;
+  run : ctx -> ctx;
+  certify : before:ctx -> after:ctx -> certificate;
+}
 
-let make ~name ~description run = { name; description; run }
+let default_certify ~before:_ ~after:_ = Reordering
+
+let make ?(certify = default_certify) ~name ~description run =
+  { name; description; run; certify }
 
 type trace_entry = {
   pass : string;

@@ -108,12 +108,62 @@ val diagf :
   'a
 (** Record a formatted diagnostic against the context. *)
 
+(** {1 Pass certificates}
+
+    Every pass carries a {e certificate}: a machine-checkable claim
+    about the semantic relation between its input and output contexts,
+    emitted by the pass itself and audited by the independent symbolic
+    checker in [Phoenix_tv] (which shares no code with the passes).  The
+    claims form a small lattice of rewrite freedoms over the Pauli IR's
+    (signed Clifford frame × phase polynomial) abstraction:
+
+    - {!Unchanged}: the abstraction is structurally identical on both
+      sides (e.g. assembly, counting, verification passes).
+    - {!Preserving}: the rotation sequence is preserved up to commuting
+      exchanges, same-axis merges, and zero-rotation drops — no Trotter
+      reordering (peephole, phase folding, CNOT/SU(4) lowering).
+    - {!Reordering}: the phase polynomial is preserved only as per-axis
+      angle sums — the Trotter-order freedom PHOENIX exploits when
+      grouping and scheduling.
+    - {!Routing}: a layout was chosen; the output acts on a physical
+      register and must equal the input modulo the claimed qubit
+      permutation (plus the freedoms above). *)
+
+type certificate =
+  | Unchanged
+  | Preserving
+  | Reordering
+  | Routing of { l2p : int array; n_physical : int }
+      (** [l2p.(logical) = physical] initial placement the pass claims
+          it applied; [n_physical] is the physical register width. *)
+
+val certificate_label : certificate -> string
+(** Short stable name: ["unchanged"], ["preserving"], ["reordering"],
+    ["routing"]. *)
+
 (** {1 Passes and pipelines} *)
 
-type t = { name : string; description : string; run : ctx -> ctx }
+type t = {
+  name : string;
+  description : string;
+  run : ctx -> ctx;
+  certify : before:ctx -> after:ctx -> certificate;
+      (** The pass's certificate for one executed boundary.  It may read
+          both contexts (e.g. to report the layout it installed), but it
+          is a {e claim}, not a proof — [Phoenix_tv.Checker] replays it
+          in the abstract domain and returns a verdict. *)
+}
 (** A named transformation over the context.  A pipeline is a [t list]. *)
 
-val make : name:string -> description:string -> (ctx -> ctx) -> t
+val make :
+  ?certify:(before:ctx -> after:ctx -> certificate) ->
+  name:string ->
+  description:string ->
+  (ctx -> ctx) ->
+  t
+(** [certify] defaults to claiming {!Reordering} — the weakest
+    non-routing claim, sound for any pass that neither routes nor
+    changes the program's phase polynomial. *)
 
 type trace_entry = {
   pass : string;

@@ -8,6 +8,24 @@ module Diag = Phoenix_verify.Diag
 let maybe_peephole (options : Pass.options) c =
   if options.peephole then Peephole.optimize c else c
 
+(* Certificate helpers shared with the baseline pipelines.  A pass that
+   installed a layout claims the routing permutation it chose; a routing
+   pass that (unexpectedly) recorded no layout falls back to the plain
+   reordering claim, which the checker then refutes on the register
+   mismatch instead of silently accepting. *)
+let certify_unchanged ~before:_ ~after:_ = Pass.Unchanged
+let certify_preserving ~before:_ ~after:_ = Pass.Preserving
+
+let certify_routing ~before:_ ~(after : Pass.ctx) =
+  match after.Pass.layout with
+  | Some l ->
+    Pass.Routing
+      {
+        l2p = Array.init after.Pass.n (Phoenix_router.Layout.physical_of l);
+        n_physical = Circuit.num_qubits after.Pass.circuit;
+      }
+  | None -> Pass.Reordering
+
 let lower_cnot options c =
   let lowered = Rebase.to_cnot_basis (maybe_peephole options c) in
   if options.peephole then
@@ -15,7 +33,16 @@ let lower_cnot options c =
   else lowered
 
 let group =
-  Pass.make ~name:"group"
+  Pass.make
+    ~certify:(fun ~before ~after:_ ->
+      (* Algorithm blocks and exact-mode grouping keep the program
+         order (commuting exchanges only); support-keyed grouping
+         exploits the Trotter-order freedom. *)
+      match before.Pass.term_blocks with
+      | Some _ -> Pass.Preserving
+      | None ->
+        if before.Pass.options.exact then Pass.Preserving else Pass.Reordering)
+    ~name:"group"
     ~description:
       "partition the gadget program into IR groups (algorithm blocks when \
        known, support-keyed otherwise)"
@@ -31,7 +58,7 @@ let group =
         })
 
 let assemble =
-  Pass.make ~name:"assemble"
+  Pass.make ~certify:certify_unchanged ~name:"assemble"
     ~description:"concatenate the per-group circuits in their final order"
     (fun ctx ->
       {
@@ -42,7 +69,7 @@ let assemble =
       })
 
 let peephole =
-  Pass.make ~name:"peephole"
+  Pass.make ~certify:certify_preserving ~name:"peephole"
     ~description:"Qiskit-O3-style peephole cleanup (fusion, cancellation)"
     (fun ctx ->
       { ctx with Pass.circuit = maybe_peephole ctx.Pass.options ctx.Pass.circuit })
@@ -55,7 +82,12 @@ let logical_isa_count (options : Pass.options) c =
   | Pass.Su4_isa -> Rebase.count_su4 c
 
 let rebase =
-  Pass.make ~name:"rebase"
+  Pass.make
+    ~certify:(fun ~before ~after:_ ->
+      match before.Pass.options.isa with
+      | Pass.Cnot_isa -> Pass.Unchanged
+      | Pass.Su4_isa -> Pass.Preserving)
+    ~name:"rebase"
     ~description:"rebase the logical circuit to the target ISA"
     (fun ctx ->
       match ctx.Pass.options.isa with
@@ -66,7 +98,12 @@ let rebase =
         { ctx with Pass.circuit = c; Pass.logical_two_q = Circuit.count_2q c })
 
 let route_sabre =
-  Pass.make ~name:"route"
+  Pass.make
+    ~certify:(fun ~before ~after ->
+      match before.Pass.options.target with
+      | Pass.Logical -> Pass.Unchanged
+      | Pass.Hardware _ -> certify_routing ~before ~after)
+    ~name:"route"
     ~description:"SABRE swap insertion with bidirectional layout refinement"
     (fun ctx ->
       match ctx.Pass.options.target with
@@ -86,7 +123,7 @@ let route_sabre =
         })
 
 let lower_routed =
-  Pass.make ~name:"lower"
+  Pass.make ~certify:certify_preserving ~name:"lower"
     ~description:"expand SWAPs and rebase the routed circuit to the target ISA"
     (fun ctx ->
       match ctx.Pass.options.isa with
@@ -101,7 +138,7 @@ let lower_routed =
         })
 
 let verify_structural =
-  Pass.make ~name:"verify"
+  Pass.make ~certify:certify_unchanged ~name:"verify"
     ~description:
       "structural validation: ISA alphabet, qubit range, coupling compliance"
     (fun ctx ->

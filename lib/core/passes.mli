@@ -16,6 +16,20 @@ val logical_isa_count : Pass.options -> Phoenix_circuit.Circuit.t -> int
 (** 2Q count of a logical circuit under the target ISA (CNOTs, or fused
     SU(4) blocks). *)
 
+(** {1 Certificate helpers}
+
+    Shared [?certify] callbacks for {!Pass.make} (see
+    {!Pass.certificate}); also used by the baseline pipelines. *)
+
+val certify_unchanged : before:Pass.ctx -> after:Pass.ctx -> Pass.certificate
+val certify_preserving : before:Pass.ctx -> after:Pass.ctx -> Pass.certificate
+
+val certify_routing : before:Pass.ctx -> after:Pass.ctx -> Pass.certificate
+(** Claims {!Pass.Routing} with the layout the pass installed in
+    [after.layout]; degrades to {!Pass.Reordering} (which the checker
+    then refutes on the register mismatch) when no layout was
+    recorded. *)
+
 val group : Pass.t
 (** Partition [ctx.gadgets] (or adopt [ctx.term_blocks]) into IR groups.
     Honors [options.exact] for flat gadget programs. *)

@@ -215,3 +215,115 @@ let to_string f =
   | Const c -> Printf.sprintf "%g" c
   | Slot { id; negated } ->
       Printf.sprintf "%sslot#%d" (if negated then "-" else "") id
+
+(* Structural linearization.  Every arena expression is affine in the
+   parameter vector: Param contributes scale to one coefficient, Sum
+   distributes, and Norm is dropped because range reduction subtracts a
+   multiple of 4π and exp(-i(x - 4πk)/2 σ) = exp(-ix/2 σ) exactly for
+   any Pauli σ — so as a rotation generator, norm(x) ≡ x for every
+   binding.  The resulting canonical form supports the structural
+   equality the translation validator needs: θ/2 + θ/2 and θ linearize
+   identically, independent of any sampled value. *)
+
+type linear = { coeffs : (int * float) list; const : float }
+
+let linear_zero = { coeffs = []; const = 0.0 }
+
+let linearize f =
+  match view f with
+  | Const c -> { coeffs = []; const = c }
+  | Slot { id = root; negated } ->
+      let store, count = with_lock (fun () -> (!store, !count)) in
+      let node id =
+        if id < 0 || id >= count then
+          invalid_arg
+            (Printf.sprintf "Angle: unknown slot id %d (arena holds %d)" id
+               count);
+        store.(id)
+      in
+      let tbl = Hashtbl.create 8 in
+      let const = ref 0.0 in
+      let rec go_id s id =
+        match node id with
+        | Param { index; scale } ->
+            let prev =
+              match Hashtbl.find_opt tbl index with Some c -> c | None -> 0.0
+            in
+            Hashtbl.replace tbl index (prev +. (s *. scale))
+        | Sum (l, r) ->
+            go_arg s l;
+            go_arg s r
+        | Norm a -> go_arg s a
+      and go_arg s = function
+        | Lit c -> const := !const +. (s *. c)
+        | Ref { id; negated } -> go_id (if negated then -.s else s) id
+      in
+      go_id (if negated then -1.0 else 1.0) root;
+      let coeffs =
+        Hashtbl.fold (fun i c acc -> if c = 0.0 then acc else (i, c) :: acc) tbl []
+        |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+      in
+      { coeffs; const = !const }
+
+let linear_neg l =
+  {
+    coeffs = List.map (fun (i, c) -> (i, -.c)) l.coeffs;
+    const = -.l.const;
+  }
+
+let linear_add a b =
+  let rec merge xs ys =
+    match (xs, ys) with
+    | [], rest | rest, [] -> rest
+    | (i, c) :: xs', (j, d) :: ys' ->
+        if i < j then (i, c) :: merge xs' ys
+        else if j < i then (j, d) :: merge xs ys'
+        else
+          let s = c +. d in
+          if s = 0.0 then merge xs' ys' else (i, s) :: merge xs' ys'
+  in
+  { coeffs = merge a.coeffs b.coeffs; const = a.const +. b.const }
+
+(* Distance of [d] from the nearest multiple of [modulo]; NaN stays NaN
+   so comparisons against a tolerance fail (never silently equal). *)
+let mod_dist ~modulo d =
+  let r = Float.abs (Float.rem d modulo) in
+  Float.min r (modulo -. r)
+
+let coeffs_close ~tol a b =
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], [] -> true
+    | (_, c) :: xs', [] -> Float.abs c <= tol && go xs' []
+    | [], (_, d) :: ys' -> Float.abs d <= tol && go [] ys'
+    | (i, c) :: xs', (j, d) :: ys' ->
+        if i < j then Float.abs c <= tol && go xs' ys
+        else if j < i then Float.abs d <= tol && go xs ys'
+        else
+          let scale = Float.max 1.0 (Float.max (Float.abs c) (Float.abs d)) in
+          Float.abs (c -. d) <= tol *. scale && go xs' ys'
+  in
+  go a b
+
+let linear_equal ?(tol = 1e-9) ?modulo a b =
+  coeffs_close ~tol a.coeffs b.coeffs
+  &&
+  let d = a.const -. b.const in
+  match modulo with
+  | None -> Float.abs d <= tol
+  | Some m -> mod_dist ~modulo:m d <= tol
+
+let linear_is_zero ?tol ?modulo l = linear_equal ?tol ?modulo l linear_zero
+
+let linear_to_string l =
+  let buf = Buffer.create 32 in
+  List.iter
+    (fun (i, c) ->
+      if Buffer.length buf > 0 then Buffer.add_string buf " + ";
+      if c = 1.0 then Buffer.add_string buf (Printf.sprintf "\xce\xb8[%d]" i)
+      else Buffer.add_string buf (Printf.sprintf "%g*\xce\xb8[%d]" c i))
+    l.coeffs;
+  if Buffer.length buf = 0 then Buffer.add_string buf (Printf.sprintf "%g" l.const)
+  else if l.const <> 0.0 then
+    Buffer.add_string buf (Printf.sprintf " + %g" l.const);
+  Buffer.contents buf

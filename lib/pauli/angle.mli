@@ -104,3 +104,44 @@ val to_string : float -> string
 
 val arena_size : unit -> int
 (** Number of live arena expressions (monotonic; for tests/metrics). *)
+
+(** {1 Structural linearization}
+
+    Every arena expression is affine in the parameter vector, so each
+    angle has a canonical linear form [Σ coeffs·θ + const] computed
+    {e structurally} — without sampling any binding.  [Norm] nodes are
+    dropped: range reduction subtracts a multiple of 4π, and
+    [exp(-i(x - 4πk)/2 σ) = exp(-ix/2 σ)] exactly for every Pauli [σ],
+    so as a rotation generator [norm(x) ≡ x] for all bindings.  This is
+    the angle-equality backbone of the translation validator
+    ([Phoenix_tv]): [θ/2 + θ/2] and [θ] linearize identically. *)
+
+type linear = { coeffs : (int * float) list; const : float }
+(** Canonical affine form: [coeffs] maps parameter index to coefficient,
+    sorted by index with exact-zero entries dropped; [const] is the
+    parameter-free part.  A const angle has empty [coeffs]. *)
+
+val linear_zero : linear
+(** The zero form (empty coefficients, const [0.0]). *)
+
+val linearize : float -> linear
+(** Canonical linear form of an angle.  Consts map to a pure-const form;
+    slots are resolved against one arena snapshot (a single mutex
+    acquisition).  Raises [Invalid_argument] on unknown slot ids. *)
+
+val linear_neg : linear -> linear
+val linear_add : linear -> linear -> linear
+
+val linear_equal : ?tol:float -> ?modulo:float -> linear -> linear -> bool
+(** Structural equality of linear forms: coefficients compared pairwise
+    within relative tolerance [tol] (default [1e-9], missing entries
+    read as [0.0]); consts compared within [tol], or — with [?modulo]
+    (typically 2π: rotations equal up to global phase) — modulo the
+    given period.  NaN anywhere compares unequal. *)
+
+val linear_is_zero : ?tol:float -> ?modulo:float -> linear -> bool
+(** [linear_equal l linear_zero] — true when the angle vanishes for
+    every binding (modulo the optional period). *)
+
+val linear_to_string : linear -> string
+(** Display form, e.g. ["0.5*θ[0] + 1.5708"]. *)

@@ -151,7 +151,7 @@ let compile ?(options = Compiler.default_options) ?protect ?hooks entry h =
    benchmarked.  [uses_blocks] is the discriminator: it marks the one
    entry whose pipeline is the canonical compiler. *)
 let compile_template ?(options = Compiler.default_options) ?protect ?hooks
-    entry h =
+    ?certified entry h =
   if not entry.uses_blocks then
     Error
       (Printf.sprintf
@@ -190,7 +190,9 @@ let compile_template ?(options = Compiler.default_options) ?protect ?hooks
     let params =
       Array.init (List.length blocks) (Printf.sprintf "theta%d")
     in
-    Ok (Compiler.compile_template ~options ?protect ?hooks ~params n symbolic)
+    Ok
+      (Compiler.compile_template ~options ?protect ?hooks ?certified ~params n
+         symbolic)
   end
 
 (* --- the pass catalog -------------------------------------------------- *)

@@ -69,6 +69,7 @@ val compile_template :
   ?options:Phoenix.Compiler.options ->
   ?protect:bool ->
   ?hooks:Phoenix.Pass.hook list ->
+  ?certified:bool ->
   entry ->
   Phoenix_ham.Hamiltonian.t ->
   (Phoenix.Compiler.template, string) result
@@ -80,7 +81,10 @@ val compile_template :
     (every baseline — only the canonical phoenix pipeline compiles
     symbolic angles).  Don't attach boundary-lint hooks here: the
     intermediate circuits carry slot angles, which the angle-sanity lint
-    correctly reports as errors on {e bound} circuits. *)
+    correctly reports as errors on {e bound} circuits.  [certified]
+    (default [false]) declares that a symbolic certify hook
+    ({!Hooks.certify}) rides along, replacing the dense-verification
+    deferral diagnostic — see {!Phoenix.Compiler.compile_template}. *)
 
 (** {1 Pass catalog} *)
 

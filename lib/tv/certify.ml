@@ -1,0 +1,105 @@
+module Pass = Phoenix.Pass
+module Clock = Phoenix_util.Clock
+
+type boundary = {
+  pass : string;
+  claim : string;
+  verdict : Checker.verdict;
+  pass_seconds : float;
+  check_seconds : float;
+}
+
+let schema_version = "phoenix-cert-v1"
+
+let hook acc : Pass.hook =
+ fun ~pass ~before ~after ~seconds ->
+  let claim = pass.Pass.certify ~before ~after in
+  let t0 = Clock.monotonic_s () in
+  let verdict = Checker.check_boundary ~claim ~before ~after in
+  let check_seconds = Clock.monotonic_s () -. t0 in
+  acc :=
+    {
+      pass = pass.Pass.name;
+      claim = Pass.certificate_label claim;
+      verdict;
+      pass_seconds = seconds;
+      check_seconds;
+    }
+    :: !acc
+
+let boundaries acc = List.rev !acc
+
+type summary = { proved : int; plausible : int; refuted : int }
+
+let summarize bs =
+  List.fold_left
+    (fun s b ->
+      match b.verdict with
+      | Checker.Proved -> { s with proved = s.proved + 1 }
+      | Checker.Plausible _ -> { s with plausible = s.plausible + 1 }
+      | Checker.Refuted _ -> { s with refuted = s.refuted + 1 })
+    { proved = 0; plausible = 0; refuted = 0 }
+    bs
+
+(* A pipeline is certified end-to-end only when every boundary is
+   proved: the per-boundary relations compose, so one plausible link
+   breaks the chain exactly like a refuted one (it is just not a
+   counterexample). *)
+let overall bs =
+  let s = summarize bs in
+  if s.refuted > 0 then "refuted"
+  else if s.plausible > 0 then "plausible"
+  else "proved"
+
+let all_proved bs = overall bs = "proved"
+
+let total_check_seconds bs =
+  List.fold_left (fun acc b -> acc +. b.check_seconds) 0.0 bs
+
+let boundary_to_string b =
+  Printf.sprintf "%-12s %-11s %-9s %7.3f ms%s" b.pass b.claim
+    (Checker.verdict_label b.verdict)
+    (b.check_seconds *. 1e3)
+    (match Checker.verdict_reason b.verdict with
+    | None -> ""
+    | Some r -> "  " ^ r)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json ?(pipeline = "") ?(workload = "") ?(template = false) bs =
+  let buf = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "{\n";
+  p "  \"schema\": \"%s\",\n" schema_version;
+  if pipeline <> "" then p "  \"pipeline\": \"%s\",\n" (json_escape pipeline);
+  if workload <> "" then p "  \"workload\": \"%s\",\n" (json_escape workload);
+  p "  \"template\": %b,\n" template;
+  let s = summarize bs in
+  p "  \"summary\": { \"overall\": \"%s\", \"proved\": %d, \"plausible\": %d, \
+     \"refuted\": %d, \"check_seconds\": %.6f },\n"
+    (overall bs) s.proved s.plausible s.refuted (total_check_seconds bs);
+  p "  \"boundaries\": [";
+  List.iteri
+    (fun i b ->
+      p "%s\n    { \"pass\": \"%s\", \"claim\": \"%s\", \"verdict\": \"%s\",\n"
+        (if i = 0 then "" else ",")
+        (json_escape b.pass) (json_escape b.claim)
+        (Checker.verdict_label b.verdict);
+      (match Checker.verdict_reason b.verdict with
+      | Some r -> p "      \"reason\": \"%s\",\n" (json_escape r)
+      | None -> ());
+      p "      \"pass_seconds\": %.6f, \"check_seconds\": %.6f }" b.pass_seconds
+        b.check_seconds)
+    bs;
+  p "\n  ]\n}\n";
+  Buffer.contents buf

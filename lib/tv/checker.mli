@@ -1,0 +1,77 @@
+(** The independent certificate checker.
+
+    Each {!Phoenix.Pass.certificate} claims a rewrite freedom; the
+    checker replays the claim in the abstract domain ({!Domain}) and
+    decides whether the pass's output provably implements its input:
+
+    - {!Phoenix.Pass.Unchanged} — the two abstractions must be
+      structurally identical (same terms in the same order, equal
+      frames).
+    - {!Phoenix.Pass.Preserving} — the rotation sequences must have the
+      same trace-monoid normal form: equal up to commuting exchanges,
+      merges of simultaneously available same-axis rotations, and drops
+      of rotations that vanish modulo 2π (global phase).
+    - {!Phoenix.Pass.Reordering} — the per-axis angle sums (the phase
+      polynomial as a multiset collapsed along the Trotter freedom) must
+      agree.
+    - {!Phoenix.Pass.Routing} — the output must act on the claimed
+      physical register, its residual frame must be the placed image of
+      the input's frame modulo a wire permutation (the SWAP residue),
+      and — relabeled through the claimed initial layout — its rotations
+      must match the input under the sequence (exact mode) or multiset
+      relation.
+
+    Every relation is tried twice: first on the raw abstractions
+    (exact, robust to reordering), then on {!canonicalize}d ones
+    (reconciles gate-vs-rotation spellings of Clifford phases, e.g.
+    [S] vs a folded [Rz (π/2)]).  Each prover is individually sound, so
+    the disjunction is.  Angle equality is structural over the
+    {!Phoenix_pauli.Angle} arena (canonical linear forms, consts modulo
+    2π), so a certified template is certified for {e all} parameter
+    bindings at once.  Anything the checker cannot decide is
+    {!Plausible}, never a silent accept. *)
+
+type verdict = Proved | Plausible of string | Refuted of string
+
+val verdict_label : verdict -> string
+(** ["proved"], ["plausible"] or ["refuted"]. *)
+
+val verdict_reason : verdict -> string option
+
+val check_boundary :
+  claim:Phoenix.Pass.certificate ->
+  before:Phoenix.Pass.ctx ->
+  after:Phoenix.Pass.ctx ->
+  verdict
+(** Audit one executed pass boundary against the pass's claim. *)
+
+val check_program :
+  ?exact:bool ->
+  ?l2p:int array ->
+  int ->
+  (Phoenix_pauli.Pauli_string.t * float) list ->
+  Phoenix_circuit.Circuit.t ->
+  verdict
+(** End-to-end check: does [circuit] implement the [n]-qubit gadget
+    [program]?  With [l2p] (a routed compile's initial placement) the
+    routing relation is used; otherwise the circuit may extend the
+    register with dangling wires but must leave an identity frame.
+    [exact] selects the sequence relation instead of the multiset one. *)
+
+(** {1 Exposed for tests} *)
+
+val normal_form : Domain.term list -> Domain.term list
+(** The canonical sequence behind the [Preserving] relation: zero-drops,
+    greedy-lexicographic commuting exchanges, same-axis merges. *)
+
+val canonicalize : Domain.t -> Domain.t
+(** Exact refactoring of an abstraction: normal-form the terms, then
+    sweep left to right peeling quarter-turn constants
+    ({!Domain.split_quarter_turns}) into an accumulated Clifford that is
+    finally composed into the residual frame.  Both sides of a relation
+    are canonicalized together, so a pass that respelled a Clifford
+    phase as a rotation (or fused it into a neighbouring cell) compares
+    equal to one that kept the gate. *)
+
+val compare_multiset : Domain.term list -> Domain.term list -> verdict
+val compare_sequence : Domain.term list -> Domain.term list -> verdict

@@ -103,6 +103,58 @@ let rec apply_gate t g =
       (Printf.sprintf "Frame.apply_gate: non-Clifford gate %s"
          (Gate.to_string g))
 
+(* Fold exp(-i k π/4 σ) — k quarter-turns about the wire-level Pauli
+   axis σ — into the frame.  For a generator P anticommuting with σ,
+   conjugation gives e^{ikπ/4 σ} P e^{-ikπ/4 σ} = P cos(kπ/2) +
+   i σP sin(kπ/2), i.e. iσP / -P / -iσP for k = 1 / 2 / 3; commuting
+   generators are fixed.  [k = 1] on a single-qubit Z axis reproduces
+   the [S] case of {!apply_gate} exactly (Z·X = iY, so iσP = -Y).
+   All new images are computed against the old frame before any
+   assignment, since the pullback of σP reads other generators. *)
+let apply_pauli_rotation t sigma k =
+  let k = (k mod 4 + 4) mod 4 in
+  if k <> 0 then begin
+    let conj q gen_p stored =
+      let anticommutes =
+        match Pauli_string.get sigma q with
+        | Pauli.I -> false
+        | s -> s <> gen_p
+      in
+      if not anticommutes then stored
+      else if k = 2 then negate stored
+      else
+        let s, prod = Pauli_string.mul sigma (Pauli_string.single t.n q gen_p) in
+        let neg, img = image t prod in
+        (* i^{±1} σ·gen = i^{±1+s}·prod, then the frame's own sign. *)
+        let ipow = ((if k = 1 then 1 else 3) + s + if neg then 2 else 0) mod 4 in
+        (match ipow with
+        | 0 -> (false, img)
+        | 2 -> (true, img)
+        | _ -> assert false (* conjugated Hermitian Pauli stays Hermitian *))
+    in
+    let new_xs = Array.init t.n (fun q -> conj q Pauli.X t.xs.(q)) in
+    let new_zs = Array.init t.n (fun q -> conj q Pauli.Z t.zs.(q)) in
+    Array.blit new_xs 0 t.xs 0 t.n;
+    Array.blit new_zs 0 t.zs 0 t.n
+  end
+
+(* Frame of the concatenated scan "a's gates, then b's gates": with
+   F = F_b·F_a as unitaries, (F† σ F) = M_a(M_b(σ)), so each generator
+   image of [a ⋅ then b] is b's stored image pushed through a. *)
+let compose a b =
+  if a.n <> b.n then
+    invalid_arg
+      (Printf.sprintf "Frame.compose: %d vs %d qubits" a.n b.n);
+  let through (neg, s) =
+    let neg', s' = image a s in
+    (neg <> neg', s')
+  in
+  {
+    n = a.n;
+    xs = Array.map through b.xs;
+    zs = Array.map through b.zs;
+  }
+
 let rec is_clifford_gate = function
   | Gate.G1 ((Gate.H | Gate.S | Gate.Sdg | Gate.X | Gate.Y | Gate.Z), _)
   | Gate.Cnot _ | Gate.Swap _ | Gate.Cliff2 _ ->

@@ -29,6 +29,23 @@ val apply_gate : t -> Phoenix_circuit.Gate.t -> unit
     [Invalid_argument] on non-Clifford gates ([Rx]/[Ry]/[Rz]/[T]/[Tdg]
     and [Rpp]) — classify with {!is_clifford_gate} first. *)
 
+val apply_pauli_rotation : t -> Phoenix_pauli.Pauli_string.t -> int -> unit
+(** [apply_pauli_rotation f σ k] folds the Clifford rotation
+    [exp(-i k π/4 σ)] — [k] quarter-turns about the wire-level Pauli
+    axis [σ] — into the frame, exactly as if the equivalent Clifford
+    gate sequence had been passed to {!apply_gate}.  [k] is taken mod
+    4; [k = 0] is a no-op.  On a single-qubit Z axis, [k = 1/2/3]
+    match [S]/[Z]/[Sdg] up to global phase.  This lets a scanner
+    canonicalize rotations whose constant angle is a multiple of π/2
+    into the frame regardless of how a pass spelled them (e.g.
+    [S] vs [Rz (π/2)] after phase folding). *)
+
+val compose : t -> t -> t
+(** [compose a b] is the frame of the concatenated scan: the circuit
+    whose gates are [a]'s followed (later in time) by [b]'s.  Its
+    pullback map is [σ ↦ a(b(σ))].  Raises [Invalid_argument] on a
+    qubit-count mismatch. *)
+
 val image : t -> Phoenix_pauli.Pauli_string.t -> bool * Phoenix_pauli.Pauli_string.t
 (** [image f σ] is the signed pullback [F† σ F] as [(negated, string)]. *)
 

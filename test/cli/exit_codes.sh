@@ -133,6 +133,34 @@ else
 fi
 rm -f bind_plain.txt bind_bound.txt
 
+# symbolic certification: certify (and compile --certify) prove every
+# boundary on clean runs, the unbound template certifies statically, and
+# the --cert artifact carries the phoenix-cert-v1 schema marker
+expect 0 certify "$W"
+expect 0 certify "$W" --topology heavy-hex
+expect 0 certify "$W" --template
+expect 0 compile "$W" --certify
+expect 0 compile "$W" --template --certify
+expect 2 certify no-such-workload
+rm -f cert_probe.json
+"$BIN" certify "$W" --json cert_probe.json >/dev/null 2>&1
+if grep -q '"phoenix-cert-v1"' cert_probe.json 2>/dev/null \
+  && grep -q '"overall": *"proved"' cert_probe.json 2>/dev/null; then
+  echo "ok: --cert wrote a proved phoenix-cert-v1 JSON"
+else
+  echo "FAIL: --cert did not write a proved phoenix-cert-v1 JSON" >&2
+  fail=1
+fi
+rm -f cert_probe.json
+
+# analysis selection: --only/--skip filter by name, unknown names are
+# usage errors listing the registry
+expect 0 analyze "$W" --only translation-validation
+expect 0 analyze "$W" --only liveness,angle-sanity
+expect 0 analyze "$W" --skip translation-validation
+expect 2 analyze "$W" --only no-such-analysis
+expect 2 analyze "$W" --skip no-such-analysis
+
 # chaos soak: a short seeded run must classify every outcome (exit 0),
 # and malformed plans or run counts are usage errors
 expect 0 chaos --runs 2 --pipelines phoenix --workload heisenberg:4
