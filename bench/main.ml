@@ -311,6 +311,154 @@ let bench_certify () =
            cf_overall = Phoenix_tv.Certify.overall bs;
          })
 
+(* --- scaling curves and the streaming memory contract ----------------- *)
+
+(* One whole-program compile per (family, size): wall seconds, 2Q count
+   and the live heap with the finished report still held — the memory a
+   caller actually pays to keep the compiled circuit around.  [Gc.compact]
+   before each case resets [heap_words] to the live set so cases don't
+   inherit each other's garbage. *)
+type scaling_case = {
+  sc_family : string;
+  sc_label : string;
+  sc_qubits : int;
+  sc_gadgets : int;
+  sc_wall_s : float;
+  sc_two_q : int;
+  sc_heap_words : int;
+}
+
+type sweep_row = {
+  sw_steps : int;
+  sw_gadgets : int;
+  sw_wall_s : float;
+  sw_stream_peak_words : int;  (* keep_circuit:false *)
+  sw_kept_peak_words : int;  (* keep_circuit:true *)
+}
+
+type scaling_result = {
+  sr_cases : scaling_case list;
+  sr_sweep_workload : string;
+  sr_sweep : sweep_row list;
+  sr_sublinear : bool;
+}
+
+let phoenix_entry () =
+  match Phoenix_pipeline.Registry.find "phoenix" with
+  | Some e -> e
+  | None -> failwith "phoenix pipeline not registered"
+
+let run_scaling ~quick () =
+  let entry = phoenix_entry () in
+  let options = { Phoenix.Compiler.default_options with cache = Cache.Off } in
+  let gadget_count h =
+    List.length
+      (Phoenix_ham.Hamiltonian.trotter_gadgets
+         ~tau:options.Phoenix.Compiler.tau h)
+  in
+  let case sc_family sc_label h =
+    Gc.compact ();
+    let t0 = Clock.monotonic_s () in
+    let r = Phoenix_pipeline.Registry.compile ~options entry h in
+    let sc_wall_s = Clock.monotonic_s () -. t0 in
+    let sc_heap_words = (Gc.quick_stat ()).Gc.heap_words in
+    ignore (Sys.opaque_identity r.Phoenix.Compiler.circuit);
+    {
+      sc_family;
+      sc_label;
+      sc_qubits = Phoenix_ham.Hamiltonian.num_qubits h;
+      sc_gadgets = gadget_count h;
+      sc_wall_s;
+      sc_two_q = r.Phoenix.Compiler.two_q_count;
+      sc_heap_words;
+    }
+  in
+  let hubbard_sizes =
+    [ (2, 2); (2, 3); (3, 3) ] @ if quick then [] else [ (3, 4) ]
+  in
+  let qaoa_labels =
+    [ "Reg3-100"; "Reg3-250"; "Reg3-500" ]
+    @ if quick then [] else [ "Reg3-1000" ]
+  in
+  let sr_cases =
+    List.map
+      (fun (rows, cols) ->
+        case "fermi-hubbard"
+          (Printf.sprintf "%dx%d" rows cols)
+          (Phoenix_ham.Fermi_hubbard.lattice ~rows ~cols ()))
+      hubbard_sizes
+    @ List.map
+        (fun label ->
+          case "qaoa" label
+            (Phoenix_ham.Qaoa.maxcut_cost
+               (List.assoc label (Phoenix_ham.Qaoa.scaling_suite ()))))
+        qaoa_labels
+  in
+  (* The streaming contract: sweep Trotter steps over one sizeable
+     workload and sample the per-chunk heap high-water mark.  With
+     [keep_circuit:false] the peak must stay essentially flat while the
+     gadget count (and the kept-circuit peak) grows linearly — allow 2x
+     over the whole sweep for GC noise. *)
+  let sr_sweep_workload = "Reg3-1000" in
+  let sweep_h =
+    Phoenix_ham.Qaoa.maxcut_cost
+      (List.assoc sr_sweep_workload (Phoenix_ham.Qaoa.scaling_suite ()))
+  in
+  let per_step = gadget_count sweep_h in
+  let steps_list = if quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
+  let sr_sweep =
+    List.map
+      (fun steps ->
+        Gc.compact ();
+        let t0 = Clock.monotonic_s () in
+        let s =
+          Phoenix_pipeline.Registry.compile_stream ~options ~steps
+            ~keep_circuit:false entry sweep_h
+        in
+        let sw_wall_s = Clock.monotonic_s () -. t0 in
+        Gc.compact ();
+        let k =
+          Phoenix_pipeline.Registry.compile_stream ~options ~steps
+            ~keep_circuit:true entry sweep_h
+        in
+        {
+          sw_steps = steps;
+          sw_gadgets = steps * per_step;
+          sw_wall_s;
+          sw_stream_peak_words = s.Phoenix.Compiler.s_peak_heap_words;
+          sw_kept_peak_words = k.Phoenix.Compiler.s_peak_heap_words;
+        })
+      steps_list
+  in
+  let sr_sublinear =
+    match (sr_sweep, List.rev sr_sweep) with
+    | first :: _, last :: _ ->
+      last.sw_stream_peak_words < 2 * first.sw_stream_peak_words
+    | _ -> false
+  in
+  { sr_cases; sr_sweep_workload; sr_sweep; sr_sublinear }
+
+let print_scaling sc =
+  Format.fprintf fmt "@[<v>== Scaling (phoenix, cache off) ==@,";
+  List.iter
+    (fun c ->
+      Format.fprintf fmt
+        "%-14s %-10s n=%-5d gadgets=%-6d wall %8.3f s  2Q %-6d live heap %d w@,"
+        c.sc_family c.sc_label c.sc_qubits c.sc_gadgets c.sc_wall_s c.sc_two_q
+        c.sc_heap_words)
+    sc.sr_cases;
+  List.iter
+    (fun r ->
+      Format.fprintf fmt
+        "stream %-10s steps=%d gadgets=%-6d wall %8.3f s  peak %d w \
+         (kept-circuit peak %d w)@,"
+        sc.sr_sweep_workload r.sw_steps r.sw_gadgets r.sw_wall_s
+        r.sw_stream_peak_words r.sw_kept_peak_words)
+    sc.sr_sweep;
+  Format.fprintf fmt "streaming peak sublinear in gadget count: %b@,"
+    sc.sr_sublinear;
+  Format.fprintf fmt "@]@."
+
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -329,13 +477,13 @@ let bench_json_path = "BENCH_phoenix.json"
    re-reads the file after writing and asserts this string is what landed
    on disk, so the checked-in artifact can never drift from the writer
    again (it had: v2 was checked in while the writer said v3). *)
-let schema_version = "phoenix-bench-v5"
+let schema_version = "phoenix-bench-v6"
 
 (* Machine-readable perf trajectory: per-pass ms/run from Bechamel plus
    end-to-end compile wall seconds (with the pipeline's own per-pass
    split), the synthesis-cache cold/warm comparison, and the parametric
    VQE-loop serving numbers, appended-to by CI as a workflow artifact. *)
-let write_bench_json ~quick micro e2e cache vqe certify =
+let write_bench_json ~quick micro e2e cache vqe certify scaling =
   let oc = open_out bench_json_path in
   let p fmt_str = Printf.fprintf oc fmt_str in
   p "{\n";
@@ -390,6 +538,36 @@ let write_bench_json ~quick micro e2e cache vqe certify =
         c.cf_overhead_vs_verify c.cf_boundaries (json_escape c.cf_overall))
     certify;
   p "\n  },\n";
+  p "  \"scaling\": {\n";
+  p "    \"cases\": [";
+  List.iteri
+    (fun i c ->
+      p
+        "%s\n      { \"family\": \"%s\", \"label\": \"%s\", \"qubits\": %d, \
+         \"gadgets\": %d,\n\
+        \        \"wall_s\": %.6f, \"two_q_count\": %d, \"live_heap_words\": \
+         %d }"
+        (if i = 0 then "" else ",")
+        (json_escape c.sc_family) (json_escape c.sc_label) c.sc_qubits
+        c.sc_gadgets c.sc_wall_s c.sc_two_q c.sc_heap_words)
+    scaling.sr_cases;
+  p "\n    ],\n";
+  p "    \"steps_sweep\": {\n";
+  p "      \"workload\": \"%s\",\n" (json_escape scaling.sr_sweep_workload);
+  p "      \"rows\": [";
+  List.iteri
+    (fun i r ->
+      p
+        "%s\n        { \"steps\": %d, \"gadgets\": %d, \"wall_s\": %.6f,\n\
+        \          \"stream_peak_words\": %d, \"kept_peak_words\": %d }"
+        (if i = 0 then "" else ",")
+        r.sw_steps r.sw_gadgets r.sw_wall_s r.sw_stream_peak_words
+        r.sw_kept_peak_words)
+    scaling.sr_sweep;
+  p "\n      ],\n";
+  p "      \"streaming_sublinear\": %b\n" scaling.sr_sublinear;
+  p "    }\n";
+  p "  },\n";
   p "  \"vqe_loop\": {\n";
   p "    \"workload\": \"LiH_frz_JW\",\n";
   p "    \"iterations\": %d,\n" vqe.vl_iterations;
@@ -492,6 +670,8 @@ let run_perf ~quick =
     vqe.vl_iterations vqe.vl_direct_wall_s vqe.vl_compile_template_s
     vqe.vl_iterations vqe.vl_bind_us vqe.vl_speedup
     vqe.vl_per_iteration_speedup vqe.vl_bind_equals_compile;
+  let scaling = run_scaling ~quick () in
+  print_scaling scaling;
   if !json_mode then begin
     let e2e = end_to_end_compiles () in
     List.iter
@@ -503,7 +683,7 @@ let run_perf ~quick =
             Format.fprintf fmt "  %-32s %12.3f s@." pass s)
           pass_times)
       e2e;
-    write_bench_json ~quick micro e2e cache vqe certify
+    write_bench_json ~quick micro e2e cache vqe certify scaling
   end
 
 let artifacts =

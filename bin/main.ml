@@ -57,7 +57,7 @@ let read_hamiltonian path =
   Hamiltonian.of_lines (go [])
 
 (* Builtin workload specifiers: uccsd:<label>, qaoa:<label>,
-   heisenberg:<n>, tfim:<n>. *)
+   heisenberg:<n>, tfim:<n>, fermi-hubbard:<rows>x<cols>. *)
 let builtin_workload name =
   match String.split_on_char ':' name with
   | [ "uccsd"; label ] ->
@@ -66,12 +66,23 @@ let builtin_workload name =
       (Phoenix_ham.Uccsd.ansatz b.Phoenix_ham.Molecules.encoding
          b.Phoenix_ham.Molecules.spec)
   | [ "qaoa"; label ] ->
-    let suite = Phoenix_ham.Qaoa.benchmark_suite () in
+    let suite =
+      Phoenix_ham.Qaoa.benchmark_suite () @ Phoenix_ham.Qaoa.scaling_suite ()
+    in
     Option.map
       (fun g -> Phoenix_ham.Qaoa.maxcut_cost g)
       (List.assoc_opt label suite)
   | [ "heisenberg"; n ] -> Some (Phoenix_ham.Spin_models.heisenberg_chain (int_of_string n))
   | [ "tfim"; n ] -> Some (Phoenix_ham.Spin_models.tfim_chain (int_of_string n))
+  | [ "fermi-hubbard"; shape ] ->
+    (* <rows>x<cols> lattice, or a single <l> for the 1D chain *)
+    (match String.split_on_char 'x' shape with
+    | [ l ] -> Some (Phoenix_ham.Fermi_hubbard.chain (int_of_string l))
+    | [ r; c ] ->
+      Some
+        (Phoenix_ham.Fermi_hubbard.lattice ~rows:(int_of_string r)
+           ~cols:(int_of_string c) ())
+    | _ -> None)
   | _ -> None
 
 let load source =
@@ -82,8 +93,9 @@ let load source =
     | None ->
       Printf.eprintf
         "no such file or builtin workload: %s\n\
-         builtins: uccsd:<Table-I label>, qaoa:<Table-IV label>, \
-         heisenberg:<n>, tfim:<n>\n"
+         builtins: uccsd:<Table-I label>, qaoa:<Table-IV label or \
+         Reg3-100/250/500/1000>, heisenberg:<n>, tfim:<n>, \
+         fermi-hubbard:<rows>x<cols>\n"
         source;
       exit 2
   end
@@ -305,6 +317,17 @@ let write_cert ~pipeline ~workload ~template out boundaries =
       Printf.printf "wrote %s\n" path
     end
 
+(* One line per executed pass: wall seconds plus the GC counters the
+   trace now carries — words allocated inside the pass and the process
+   heap high-water mark at pass exit. *)
+let print_timing_entries (entries : Pass.trace) =
+  List.iter
+    (fun (e : Pass.trace_entry) ->
+      Printf.printf "time %-9s %.4fs  alloc %.0fw  top-heap %dw\n"
+        (e.Pass.pass ^ ":") e.Pass.seconds e.Pass.alloc_words
+        e.Pass.top_heap_words)
+    entries
+
 let print_cache_stats tier (s : Cache.stats) =
   Printf.printf
     "cache:     tier=%s hits=%d misses=%d disk_hits=%d disk_errors=%d \
@@ -426,10 +449,7 @@ let run_template_mode ~source ~isa ~topology ~compiler ~tier ~budget ~exact
     | Compiler.Su4_isa -> Structural.Su4_basis
   in
   let print_timings extra =
-    if timings then
-      List.iter
-        (fun (pass, t) -> Printf.printf "time %-9s %.4fs\n" (pass ^ ":") t)
-        (report.Compiler.pass_times @ extra)
+    if timings then print_timing_entries (report.Compiler.trace @ extra)
   in
   let write_trace bind_trace =
     match trace_out with
@@ -500,10 +520,7 @@ let run_template_mode ~source ~isa ~topology ~compiler ~tier ~budget ~exact
     if verify then print_diagnostics diagnostics;
     if lint then print_findings findings;
     finish_certification ();
-    print_timings
-      (List.map
-         (fun (e : Pass.trace_entry) -> e.Pass.pass, e.Pass.seconds)
-         bind_trace);
+    print_timings bind_trace;
     if dump then
       List.iter
         (fun g -> print_endline (Gate.to_string g))
@@ -521,6 +538,178 @@ let run_template_mode ~source ~isa ~topology ~compiler ~tier ~budget ~exact
     if lint && Finding.has_errors findings then exit 4;
     if certify && not (Certify.all_proved (Certify.boundaries cert_acc)) then
       exit 4
+
+(* --- streaming compilation (--stream) ------------------------------------
+
+   `compile W --stream N` feeds N first-order Trotter steps of the
+   workload through the pipeline one chunk per step: each chunk is
+   grouped, simplified, synthesized and (with --dump) emitted before the
+   next one starts, so peak working memory is bounded by the chunk, not
+   the whole program.  Lint/verify/certify hooks fire at every pass
+   boundary of every chunk; the summary block, timings and trace are
+   aggregated over the stream.  Logical targets only — chunks route
+   independently, so concatenating per-chunk placements would be
+   unsound. *)
+
+let run_stream_mode ~source ~isa ~topology ~compiler ~tier ~budget ~exact
+    ~verify ~lint ~certify ~cert_out ~timings ~dump ~draw ~qasm_out ~trace_out
+    ~cache_stats ~fault ~steps () =
+  if steps < 1 then begin
+    Printf.eprintf "--stream needs a positive number of Trotter steps\n";
+    exit 2
+  end;
+  let h = load source in
+  let n = Hamiltonian.num_qubits h in
+  if topology_of_string n topology <> None then begin
+    Printf.eprintf
+      "--stream is a logical-target mode (chunks route independently); drop \
+       --topology and route the concatenated circuit separately\n";
+    exit 2
+  end;
+  let entry = find_pipeline compiler in
+  if
+    entry.Pipelines.two_local_only
+    && List.exists
+         (fun (p, _) -> Phoenix_pauli.Pauli_string.weight p > 2)
+         (Hamiltonian.trotter_gadgets h)
+  then begin
+    Printf.eprintf "the %s compiler only handles 2-local workloads\n"
+      entry.Pipelines.name;
+    exit 2
+  end;
+  if entry.Pipelines.requires_topology then begin
+    Printf.eprintf "the %s compiler needs a --topology, which --stream \
+                    does not support\n"
+      entry.Pipelines.name;
+    exit 2
+  end;
+  let options =
+    {
+      Compiler.default_options with
+      isa;
+      exact;
+      verify;
+      cache = tier;
+      budget;
+      target = Compiler.Logical;
+    }
+  in
+  let cert_acc = ref [] in
+  let hook_findings = ref [] and hook_diags = ref [] in
+  let hooks =
+    (if lint then [ Hooks.lint hook_findings ] else [])
+    @ (if verify then [ Hooks.translation_validate hook_diags ] else [])
+    @ if certify then [ Hooks.certify cert_acc ] else []
+  in
+  (* Keep the concatenated circuit only when something downstream needs
+     it; otherwise every chunk's circuit is dropped after emission and
+     the run's footprint stays bounded by the chunk size. *)
+  let keep_circuit =
+    qasm_out <> None || draw || lint || verify || fault <> No_fault
+  in
+  let emit =
+    if dump then
+      Some
+        (fun c ->
+          List.iter (fun g -> print_endline (Gate.to_string g)) (Circuit.gates c))
+    else None
+  in
+  let sr =
+    Pipelines.compile_stream ~options ~protect:true ~hooks ~keep_circuit ?emit
+      ~steps entry h
+  in
+  let report = sr.Compiler.s_report in
+  let circuit = inject_fault fault report.Compiler.circuit in
+  let lint_isa =
+    match isa with
+    | Compiler.Cnot_isa -> Structural.Cnot_basis
+    | Compiler.Su4_isa -> Structural.Su4_basis
+  in
+  let diagnostics =
+    if not verify then []
+    else begin
+      let from_report =
+        report.Compiler.diagnostics @ List.rev !hook_diags
+      in
+      if fault = No_fault then from_report
+      else
+        from_report @ Structural.validate ~isa:lint_isa circuit
+    end
+  in
+  let findings =
+    if lint then
+      let step_program = snd (program_of_entry entry options h) in
+      let program =
+        (n, List.concat (List.init steps (fun _ -> step_program)))
+      in
+      Registry.run
+        (Circuit_lint.target ~isa:lint_isa
+           ~declared:(declared_of_report report) ~program ~exact circuit)
+      @ Resilience_lint.conformance report
+    else []
+  in
+  (* metrics from the aggregated trace's final snapshot: gate counts are
+     additive under concatenation, so these are exact whether or not the
+     circuit was kept. *)
+  let final =
+    match List.rev report.Compiler.trace with
+    | e :: _ -> e.Pass.after
+    | [] -> Pass.metrics_zero
+  in
+  Printf.printf "qubits:    %d\n" n;
+  Printf.printf "chunks:    %d\n" sr.Compiler.s_chunks;
+  Printf.printf "gadgets:   %d\n" sr.Compiler.s_gadgets;
+  Printf.printf "gates:     %d\n" final.Pass.gates;
+  Printf.printf "1q gates:  %d\n" final.Pass.one_q;
+  Printf.printf "2q gates:  %d\n" final.Pass.two_q;
+  Printf.printf "depth-2q:  %d\n" report.Compiler.depth_2q;
+  Printf.printf "peak heap: %dw\n" sr.Compiler.s_peak_heap_words;
+  if report.Compiler.degradations <> [] then
+    Printf.printf "degraded:  %s\n"
+      (Resilience.aggregate_to_string report.Compiler.degradations);
+  if cache_stats then print_cache_stats tier report.Compiler.cache_stats;
+  if verify then print_diagnostics diagnostics;
+  if lint then begin
+    print_findings findings;
+    print_hook_findings (List.rev !hook_findings)
+  end;
+  if certify then begin
+    print_certification (Certify.boundaries cert_acc);
+    write_cert ~pipeline:compiler ~workload:source ~template:false cert_out
+      (Certify.boundaries cert_acc)
+  end;
+  if timings then print_timing_entries report.Compiler.trace;
+  if draw then print_string (Phoenix_circuit.Draw.to_string circuit);
+  (match qasm_out with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Phoenix_circuit.Qasm.to_string circuit);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  | None -> ());
+  (match trace_out with
+  | Some path ->
+    let json =
+      Pass.trace_to_json ~compiler ~workload:source
+        ~cache:report.Compiler.cache_stats
+        ~degradations:report.Compiler.degradations report.Compiler.trace
+    in
+    if path = "-" then print_endline json
+    else begin
+      let oc = open_out path in
+      output_string oc json;
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    end
+  | None -> ());
+  if verify && Diag.has_errors diagnostics then exit 3;
+  if lint
+     && (Finding.has_errors findings
+        || Finding.has_errors (List.map snd (List.rev !hook_findings)))
+  then exit 4;
+  if certify && not (Certify.all_proved (Certify.boundaries cert_acc)) then
+    exit 4
 
 open Cmdliner
 
@@ -657,6 +846,17 @@ let bind_arg =
   in
   Arg.(value & opt (some string) None & info [ "bind" ] ~docv:"BINDINGS" ~doc)
 
+let stream_arg =
+  let doc =
+    "Streaming compilation: compile STEPS first-order Trotter steps of the \
+     workload one chunk per step, bounding peak memory by the chunk rather \
+     than the whole program.  With $(b,--dump) each chunk's gates stream out \
+     as the chunk finishes; the summary, timings and trace aggregate over \
+     the stream.  Logical targets only (chunks route independently), and \
+     incompatible with $(b,--template)/$(b,--bind)."
+  in
+  Arg.(value & opt (some int) None & info [ "stream" ] ~docv:"STEPS" ~doc)
+
 let certify_arg =
   let doc =
     "Certify the compilation with the symbolic translation validator: every \
@@ -685,11 +885,23 @@ let cache_stats_arg =
 let compile_cmd =
   let run source isa topology compiler pipeline dump exact verify lint certify
       cert_out timings qasm_out draw fault trace_out cache cache_stats timeout
-      template bind_spec =
+      template bind_spec stream =
     let compiler = Option.value pipeline ~default:compiler in
     let tier = cache_tier_of_string cache in
     let budget = budget_of_timeout timeout in
     let certify = certify || cert_out <> None in
+    if stream <> None && (template || bind_spec <> None) then begin
+      Printf.eprintf
+        "--stream cannot be combined with --template/--bind (bind the \
+         template, then stream the bound program)\n";
+      exit 2
+    end;
+    match stream with
+    | Some steps ->
+      run_stream_mode ~source ~isa ~topology ~compiler ~tier ~budget ~exact
+        ~verify ~lint ~certify ~cert_out ~timings ~dump ~draw ~qasm_out
+        ~trace_out ~cache_stats ~fault ~steps ()
+    | None ->
     if template || bind_spec <> None then
       run_template_mode ~source ~isa ~topology ~compiler ~tier ~budget ~exact
         ~verify ~lint ~certify ~cert_out ~timings ~dump ~draw ~qasm_out
@@ -750,10 +962,7 @@ let compile_cmd =
       write_cert ~pipeline:compiler ~workload:source ~template:false cert_out
         (Certify.boundaries cert_acc)
     end;
-    if timings then
-      List.iter
-        (fun (pass, t) -> Printf.printf "time %-9s %.4fs\n" (pass ^ ":") t)
-        compiled.report.Compiler.pass_times;
+    if timings then print_timing_entries compiled.report.Compiler.trace;
     if dump then
       List.iter
         (fun g -> print_endline (Gate.to_string g))
@@ -794,7 +1003,7 @@ let compile_cmd =
   in
   let doc = "Compile a Hamiltonian-simulation program." in
   Cmd.v (Cmd.info "compile" ~doc)
-    Term.(const run $ source_arg $ isa_arg $ topology_arg $ baseline_arg $ pipeline_arg $ dump_arg $ exact_arg $ verify_arg $ lint_arg $ certify_arg $ cert_out_arg $ timings_arg $ qasm_arg $ draw_arg $ fault_arg $ trace_arg $ cache_arg $ cache_stats_arg $ timeout_arg $ template_arg $ bind_arg)
+    Term.(const run $ source_arg $ isa_arg $ topology_arg $ baseline_arg $ pipeline_arg $ dump_arg $ exact_arg $ verify_arg $ lint_arg $ certify_arg $ cert_out_arg $ timings_arg $ qasm_arg $ draw_arg $ fault_arg $ trace_arg $ cache_arg $ cache_stats_arg $ timeout_arg $ template_arg $ bind_arg $ stream_arg)
 
 let info_cmd =
   let run source =

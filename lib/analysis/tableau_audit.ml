@@ -9,45 +9,57 @@ let cache_audit t =
     (fun m -> Finding.error ~analysis:cache_analysis "%s" m)
     (Bsf.audit t)
 
+(* Word-level comparison through borrowing row views: the common (clean)
+   path walks both tableaux without materializing a single Pauli string;
+   rows are only rendered to text on an actual mismatch. *)
+let rows_differ a i b =
+  let wpr = Bsf.row_words a in
+  let va = Bsf.view a i and vb = Bsf.view b i in
+  let rec go k =
+    k < wpr
+    && (Bsf.view_x_word va k <> Bsf.view_x_word vb k
+        || Bsf.view_z_word va k <> Bsf.view_z_word vb k
+        || go (k + 1))
+  in
+  go 0
+
 let replay_audit ~n ~terms ~gates t =
   let fresh = Bsf.of_terms n terms in
   List.iter (Bsf.apply_clifford2q fresh) gates;
-  let audited = Array.of_list (Bsf.rows t) in
-  let expected = Array.of_list (Bsf.rows fresh) in
-  if Array.length audited <> Array.length expected then
+  if Bsf.num_rows t <> Bsf.num_rows fresh then
     [
       Finding.error ~analysis:replay_analysis
-        "tableau has %d rows, replay from the program has %d"
-        (Array.length audited) (Array.length expected);
+        "tableau has %d rows, replay from the program has %d" (Bsf.num_rows t)
+        (Bsf.num_rows fresh);
     ]
   else begin
     let fs = ref [] in
-    Array.iteri
-      (fun i (r : Bsf.row) ->
-        let e = expected.(i) in
-        if not (Pauli_string.equal r.Bsf.pauli e.Bsf.pauli) then
+    Bsf.iter_views t (fun v ->
+        let i = Bsf.view_index v in
+        if rows_differ t i fresh then
           fs :=
             Finding.error ~location:(Finding.Row i) ~analysis:replay_analysis
               "Pauli %s disagrees with fresh conjugation %s"
-              (Pauli_string.to_string r.Bsf.pauli)
-              (Pauli_string.to_string e.Bsf.pauli)
+              (Pauli_string.to_string (Bsf.row_pauli t i))
+              (Pauli_string.to_string (Bsf.row_pauli fresh i))
             :: !fs;
-        if r.Bsf.neg <> e.Bsf.neg then
+        let fv = Bsf.view fresh i in
+        if Bsf.view_neg v <> Bsf.view_neg fv then
           fs :=
             Finding.error ~location:(Finding.Row i) ~analysis:replay_analysis
-              "sign bit %b disagrees with fresh conjugation (%b)" r.Bsf.neg
-              e.Bsf.neg
+              "sign bit %b disagrees with fresh conjugation (%b)"
+              (Bsf.view_neg v) (Bsf.view_neg fv)
             :: !fs;
         (* Bit compare: symbolic slot angles are NaNs, and NaN <> NaN
            would report a spurious mismatch on every slotted row. *)
         if
-          Int64.bits_of_float r.Bsf.angle <> Int64.bits_of_float e.Bsf.angle
+          Int64.bits_of_float (Bsf.view_angle v)
+          <> Int64.bits_of_float (Bsf.view_angle fv)
         then
           fs :=
             Finding.error ~location:(Finding.Row i) ~analysis:replay_analysis
-              "angle %g disagrees with the program's %g" r.Bsf.angle
-              e.Bsf.angle
-            :: !fs)
-      audited;
+              "angle %g disagrees with the program's %g" (Bsf.view_angle v)
+              (Bsf.view_angle fv)
+            :: !fs);
     List.rev !fs
   end

@@ -507,6 +507,159 @@ let compile_blocks ?(options = default_options) ?protect ?hooks ?synthesize n
   run_pipeline ?protect ?hooks ?synthesize ~with_grouping:true options
     (Pass.init ~gadgets:(List.concat blocks) ~term_blocks:blocks options n)
 
+(* --- streaming compilation -------------------------------------------- *)
+
+(* One unit of streaming work: a gadget program plus (optionally) its
+   algorithm-level block structure, mirroring the [compile_gadgets] /
+   [compile_blocks] split — grouping semantics differ between the two,
+   so the distinction must survive chunking. *)
+type chunk = {
+  chunk_gadgets : (Phoenix_pauli.Pauli_string.t * float) list;
+  chunk_blocks : (Phoenix_pauli.Pauli_string.t * float) list list option;
+}
+
+let chunk_of_gadgets gadgets = { chunk_gadgets = gadgets; chunk_blocks = None }
+
+let chunk_of_blocks blocks =
+  { chunk_gadgets = List.concat blocks; chunk_blocks = Some blocks }
+
+type stream_report = {
+  s_report : report;
+  s_chunks : int;
+  s_gadgets : int;
+  s_peak_heap_words : int;
+  s_chunk_two_q : int list;
+}
+
+(* Merge per-chunk traces into one pipeline-shaped trace: one entry per
+   pass name in first-appearance order, summing seconds, allocation and
+   metric deltas and maxing the heap high-water mark.  The before/after
+   snapshots are re-telescoped from the summed deltas so the trace keeps
+   the telescoping invariant documented on [Pass.trace]. *)
+let aggregate_traces traces =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (List.iter (fun (e : Pass.trace_entry) ->
+         let d = Pass.entry_delta e in
+         match Hashtbl.find_opt tbl e.Pass.pass with
+         | None ->
+           order := e.Pass.pass :: !order;
+           Hashtbl.add tbl e.Pass.pass
+             (e.Pass.seconds, e.Pass.alloc_words, e.Pass.top_heap_words, d)
+         | Some (s, a, th, acc) ->
+           Hashtbl.replace tbl e.Pass.pass
+             ( s +. e.Pass.seconds,
+               a +. e.Pass.alloc_words,
+               max th e.Pass.top_heap_words,
+               Pass.metrics_add acc d )))
+    traces;
+  let running = ref Pass.metrics_zero in
+  (* first-seen pass order; the fold must run in that order too, so the
+     re-telescoped snapshots accumulate left to right *)
+  List.map
+    (fun name ->
+      let seconds, alloc_words, top_heap_words, d = Hashtbl.find tbl name in
+      let before = !running in
+      let after = Pass.metrics_add before d in
+      running := after;
+      { Pass.pass = name; seconds; alloc_words; top_heap_words; before; after })
+    (List.rev !order)
+
+let compile_stream ?(options = default_options) ?protect ?hooks
+    ?(keep_circuit = true) ?emit ?pipeline n chunks =
+  (match options.target with
+  | Logical -> ()
+  | Hardware _ ->
+    invalid_arg
+      "Compiler.compile_stream: streaming requires a logical target (chunks \
+       route independently, and concatenating per-chunk placements is \
+       unsound)");
+  let pipeline =
+    match pipeline with
+    | Some mk -> mk
+    | None -> fun options -> passes ~with_grouping:true options
+  in
+  let t0 = Clock.monotonic_s () in
+  let cache_before = Cache.stats () in
+  let circuits = ref [] in
+  let traces = ref [] in
+  let chunks_n = ref 0 in
+  let gadgets_n = ref 0 in
+  let peak = ref 0 in
+  let two_q_rev = ref [] in
+  let rev_diags = ref [] in
+  let rev_degr = ref [] in
+  let groups_n = ref 0 in
+  let logical2q = ref 0 in
+  let agg = ref Pass.metrics_zero in
+  Seq.iter
+    (fun chunk ->
+      incr chunks_n;
+      gadgets_n := !gadgets_n + List.length chunk.chunk_gadgets;
+      let ctx =
+        match chunk.chunk_blocks with
+        | Some blocks ->
+          Pass.init ~gadgets:chunk.chunk_gadgets ~term_blocks:blocks options n
+        | None -> Pass.init ~gadgets:chunk.chunk_gadgets options n
+      in
+      let ctx, trace = Pass.run ?protect ?hooks (pipeline options) ctx in
+      traces := trace :: !traces;
+      let c = ctx.Pass.circuit in
+      two_q_rev := Circuit.count_2q c :: !two_q_rev;
+      agg := Pass.metrics_add !agg (Pass.metrics_of c);
+      (* Both context lists are reverse chronological; stacking each
+         chunk's list on top keeps the whole accumulation reverse
+         chronological, so one final [List.rev] restores run order. *)
+      rev_diags := ctx.Pass.diagnostics @ !rev_diags;
+      rev_degr := ctx.Pass.degradations @ !rev_degr;
+      groups_n := !groups_n + List.length ctx.Pass.groups;
+      logical2q := !logical2q + ctx.Pass.logical_two_q;
+      (match emit with Some f -> f c | None -> ());
+      if keep_circuit then circuits := c :: !circuits;
+      (* Peak working set: the major heap size at every chunk boundary.
+         With [keep_circuit = false] all per-chunk state is dead here,
+         so this tracks the streaming mode's bounded footprint. *)
+      let st = Gc.quick_stat () in
+      if st.Gc.heap_words > !peak then peak := st.Gc.heap_words)
+    chunks;
+  let circuit =
+    if keep_circuit then Circuit.concat_list n (List.rev !circuits)
+    else Circuit.empty n
+  in
+  let trace = aggregate_traces (List.rev !traces) in
+  (* Gate counts are additive under concatenation, so the aggregated
+     metrics match the concatenated circuit exactly; 2Q depth is not
+     additive, so report it from the real circuit when we kept one and
+     as the per-chunk sum (an upper bound) otherwise. *)
+  let final = if keep_circuit then Pass.metrics_of circuit else !agg in
+  let report =
+    {
+      circuit;
+      two_q_count = final.Pass.two_q;
+      depth_2q = final.Pass.depth_2q;
+      one_q_count = final.Pass.one_q;
+      num_swaps = 0;
+      logical_two_q = !logical2q;
+      num_groups = !groups_n;
+      wall_time = Clock.monotonic_s () -. t0;
+      pass_times =
+        List.map (fun (e : Pass.trace_entry) -> (e.Pass.pass, e.Pass.seconds)) trace;
+      diagnostics = List.rev !rev_diags;
+      trace;
+      cache_stats = Cache.diff (Cache.stats ()) cache_before;
+      degradations = List.rev !rev_degr;
+      layout = None;
+    }
+  in
+  {
+    s_report = report;
+    s_chunks = !chunks_n;
+    s_gadgets = !gadgets_n;
+    s_peak_heap_words = !peak;
+    s_chunk_two_q = List.rev !two_q_rev;
+  }
+
 (* --- parametric compilation ------------------------------------------- *)
 
 module Angle = Phoenix_pauli.Angle
@@ -672,3 +825,21 @@ let compile ?(options = default_options) ?protect ?hooks h =
   | None ->
     compile_gadgets ~options ?protect ?hooks n
       (Hamiltonian.trotter_gadgets ~tau:options.tau h)
+
+let chunk_of_hamiltonian options h =
+  match Hamiltonian.term_blocks h with
+  | Some blocks ->
+    let to_gadget (t : Phoenix_pauli.Pauli_term.t) =
+      ( t.Phoenix_pauli.Pauli_term.pauli,
+        2.0 *. t.Phoenix_pauli.Pauli_term.coeff *. options.tau )
+    in
+    chunk_of_blocks (List.map (List.map to_gadget) blocks)
+  | None -> chunk_of_gadgets (Hamiltonian.trotter_gadgets ~tau:options.tau h)
+
+let stream_of_hamiltonian ?(steps = 1) options h =
+  if steps < 1 then
+    invalid_arg "Compiler.stream_of_hamiltonian: steps must be positive";
+  (* Build the per-step chunk once; every Trotter step conjugates the
+     same gadget program, so the stream repeats it lazily. *)
+  let chunk = chunk_of_hamiltonian options h in
+  Seq.init steps (fun _ -> chunk)

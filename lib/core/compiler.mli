@@ -175,6 +175,88 @@ val compile_groups :
     recovered via the naive ladder.  Supplying [synthesize] forces
     serial group compilation (the closure is not assumed thread-safe). *)
 
+(** {1 Streaming compilation}
+
+    Whole-program compilation materializes every gadget, group and block
+    at once — for a deep Trotter circuit the working set grows linearly
+    with the step count even though every step compiles identically.
+    Streaming mode instead feeds the pipeline one {!chunk} at a time
+    (typically one Trotter step), runs the full pass list per chunk —
+    so tracing, lint/certify hooks, the synthesis cache and resilience
+    budgets all keep working at chunk granularity — and either
+    concatenates the per-chunk circuits or hands each to [emit] and
+    drops it, bounding peak memory by the chunk size.
+
+    Contract: a single-chunk stream is bit-identical to the matching
+    whole-program entry point ([compile_blocks] when the chunk carries
+    blocks, [compile_gadgets] otherwise), and a multi-chunk stream is
+    bit-identical to the concatenation of the chunks' independent
+    compiles.  A whole-program compile of the {e concatenated} gadget
+    list is a different program — grouping would merge rotations across
+    chunk boundaries — so that equality is intentionally not promised. *)
+
+type chunk = {
+  chunk_gadgets : (Phoenix_pauli.Pauli_string.t * float) list;
+      (** the chunk's gadget program, in order *)
+  chunk_blocks : (Phoenix_pauli.Pauli_string.t * float) list list option;
+      (** algorithm-level block structure when known; its presence
+          selects [compile_blocks]-style grouping for the chunk *)
+}
+
+val chunk_of_gadgets : (Phoenix_pauli.Pauli_string.t * float) list -> chunk
+
+val chunk_of_blocks :
+  (Phoenix_pauli.Pauli_string.t * float) list list -> chunk
+
+type stream_report = {
+  s_report : report;
+      (** aggregated over the whole stream: the concatenated circuit
+          (empty when [keep_circuit = false]; gate counts then come
+          from per-chunk sums and [depth_2q] is the per-chunk sum, an
+          upper bound), merged trace, summed cache stats, chronological
+          diagnostics and degradations, [layout = None] *)
+  s_chunks : int;  (** chunks consumed *)
+  s_gadgets : int;  (** total gadgets consumed across all chunks *)
+  s_peak_heap_words : int;
+      (** max [Gc.quick_stat].heap_words observed at chunk boundaries —
+          the bounded-footprint signal the scaling bench asserts on *)
+  s_chunk_two_q : int list;  (** per-chunk 2Q counts, in stream order *)
+}
+
+val compile_stream :
+  ?options:options ->
+  ?protect:bool ->
+  ?hooks:Pass.hook list ->
+  ?keep_circuit:bool ->
+  ?emit:(Phoenix_circuit.Circuit.t -> unit) ->
+  ?pipeline:(options -> Pass.t list) ->
+  int ->
+  chunk Seq.t ->
+  stream_report
+(** Compile a lazy chunk stream over [n] qubits.  Each chunk runs the
+    canonical pipeline via {!Pass.run} with the given [hooks], exactly
+    as [compile_gadgets]/[compile_blocks] would; [pipeline] overrides
+    the pass list per chunk (the registry streams baselines with it).  [emit] is called with
+    each chunk's finished circuit in stream order; with [keep_circuit =
+    false] (default [true]) the circuit is dropped after [emit] and the
+    aggregate report carries an empty circuit, keeping peak memory
+    bounded by the largest chunk rather than the whole program.  The
+    merged trace has one entry per pass name (seconds, allocation and
+    metric deltas summed across chunks; heap high-water maxed).
+
+    Raises [Invalid_argument] for hardware targets: chunks route
+    independently, and concatenating per-chunk placements is unsound.
+    Streaming is a logical-target mode; route the concatenated circuit
+    separately if needed. *)
+
+val stream_of_hamiltonian :
+  ?steps:int -> options -> Phoenix_ham.Hamiltonian.t -> chunk Seq.t
+(** [steps] (default 1) first-order Trotter steps of [h]: a lazy stream
+    repeating the Hamiltonian's per-step chunk — term blocks (with the
+    same angle convention as {!compile}) when [h] records them, the
+    flat [trotter_gadgets] program otherwise.  Raises
+    [Invalid_argument] if [steps < 1]. *)
+
 (** {1 Parametric compilation} *)
 
 type template = {

@@ -144,6 +144,8 @@ let make ?(certify = default_certify) ~name ~description run =
 type trace_entry = {
   pass : string;
   seconds : float;
+  alloc_words : float;
+  top_heap_words : int;
   before : metrics;
   after : metrics;
 }
@@ -180,14 +182,40 @@ let run ?(protect = false) ?(hooks = []) passes ctx =
     List.fold_left
       (fun (ctx, acc) pass ->
         let before = metrics_of ctx.circuit in
+        let m0 = Gc.minor_words () in
+        let g0 = Gc.quick_stat () in
         let t0 = Clock.monotonic_s () in
         let ctx' = exec pass ctx in
         let seconds = Clock.monotonic_s () -. t0 in
+        let m1 = Gc.minor_words () in
+        let g1 = Gc.quick_stat () in
+        (* Words allocated by the pass: minor (via [Gc.minor_words],
+           which reads the young pointer and so is exact even when no
+           minor collection ran inside the pass — [quick_stat]'s
+           minor counter only flushes at collection boundaries on
+           OCaml 5) plus major − promoted, counting every word exactly
+           once.  [top_heap_words] is the process high-water mark at
+           pass exit — the peak-memory signal the streaming mode's
+           bounded-footprint claim is checked against. *)
+        let alloc_words =
+          m1 -. m0
+          +. (g1.Gc.major_words -. g1.Gc.promoted_words)
+          -. (g0.Gc.major_words -. g0.Gc.promoted_words)
+        in
         let after = metrics_of ctx'.circuit in
         List.iter
           (fun h -> h ~pass ~before:ctx ~after:ctx' ~seconds)
           hooks;
-        ctx', { pass = pass.name; seconds; before; after } :: acc)
+        ( ctx',
+          {
+            pass = pass.name;
+            seconds;
+            alloc_words;
+            top_heap_words = g1.Gc.top_heap_words;
+            before;
+            after;
+          }
+          :: acc ))
       (ctx, []) passes
   in
   final, List.rev rev_trace
@@ -245,9 +273,12 @@ let trace_to_json ?(compiler = "") ?(workload = "") ?cache
   p "  \"passes\": [";
   List.iteri
     (fun i e ->
-      p "%s\n    { \"pass\": \"%s\", \"seconds\": %.6f,\n"
+      p
+        "%s\n\
+        \    { \"pass\": \"%s\", \"seconds\": %.6f, \"alloc_words\": %.0f, \
+         \"top_heap_words\": %d,\n"
         (if i = 0 then "" else ",")
-        (json_escape e.pass) e.seconds;
+        (json_escape e.pass) e.seconds e.alloc_words e.top_heap_words;
       p "      \"before\": %s,\n" (metrics_json e.before);
       p "      \"after\": %s,\n" (metrics_json e.after);
       p "      \"delta\": %s }" (metrics_json (entry_delta e)))

@@ -168,6 +168,13 @@ val make :
 type trace_entry = {
   pass : string;
   seconds : float;  (** wall-clock time spent in the pass *)
+  alloc_words : float;
+      (** words allocated during the pass ([Gc.minor_words] delta plus
+          major − promoted counter deltas) — the checkable form of any
+          "allocation-free" claim about a pass's inner loops *)
+  top_heap_words : int;
+      (** [Gc.top_heap_words] at pass exit: the process-wide major-heap
+          high-water mark, monotone across a run *)
   before : metrics;  (** circuit metrics entering the pass *)
   after : metrics;  (** circuit metrics leaving the pass *)
 }

@@ -36,10 +36,31 @@ let bind (t : t) theta =
 
 let bind_with_trace (t : t) theta =
   let before = Pass.metrics_of (circuit t) in
+  let m0 = Gc.minor_words () in
+  let g0 = Gc.quick_stat () in
   let t0 = Clock.monotonic_s () in
   let c = bind t theta in
   let seconds = Clock.monotonic_s () -. t0 in
-  (c, [ { Pass.pass = "bind"; seconds; before; after = Pass.metrics_of c } ])
+  let m1 = Gc.minor_words () in
+  let g1 = Gc.quick_stat () in
+  (* [Gc.minor_words] reads the young pointer, so the minor component
+     is exact even when the bind triggers no collection. *)
+  let alloc_words =
+    m1 -. m0
+    +. (g1.Gc.major_words -. g1.Gc.promoted_words)
+    -. (g0.Gc.major_words -. g0.Gc.promoted_words)
+  in
+  ( c,
+    [
+      {
+        Pass.pass = "bind";
+        seconds;
+        alloc_words;
+        top_heap_words = g1.Gc.top_heap_words;
+        before;
+        after = Pass.metrics_of c;
+      };
+    ] )
 
 let dump (t : t) =
   let buf = Buffer.create 1024 in

@@ -1,0 +1,64 @@
+module Pauli_term = Phoenix_pauli.Pauli_term
+
+(* Spin-orbital layout: site s = r·cols + c, modes 2s (up) and 2s+1
+   (down).  Interleaving the spins keeps the onsite n↑n↓ term acting on
+   adjacent JW modes (weight 2 after encoding) and keeps the JW parity
+   strings of a horizontal hopping bond short. *)
+
+let complex re = { Complex.re; im = 0.0 }
+
+let lattice ?(encoding = Fermion.Jordan_wigner) ?(t = 1.0) ?(u = 4.0) ~rows
+    ~cols () =
+  if rows < 1 || cols < 1 then
+    invalid_arg "Fermi_hubbard.lattice: rows and cols must be positive";
+  let sites = rows * cols in
+  let n = 2 * sites in
+  let site r c = (r * cols) + c in
+  let orb s spin = (2 * s) + spin in
+  (* −t (a†_p a_q + a†_q a_p): Hermitian by construction, so the real
+     term extraction below cannot fail. *)
+  let hop p q =
+    let hop =
+      Pauli_sum.add
+        (Pauli_sum.mul
+           (Fermion.creation encoding n p)
+           (Fermion.annihilation encoding n q))
+        (Pauli_sum.mul
+           (Fermion.creation encoding n q)
+           (Fermion.annihilation encoding n p))
+    in
+    Pauli_sum.to_hermitian_terms (Pauli_sum.scale (complex (-.t)) hop)
+  in
+  (* U n↑ n↓ with the constant shift (identity term) dropped. *)
+  let onsite s =
+    let n_up = Fermion.number_operator encoding n (orb s 0) in
+    let n_dn = Fermion.number_operator encoding n (orb s 1) in
+    Pauli_sum.to_hermitian_terms
+      (Pauli_sum.scale (complex u) (Pauli_sum.mul n_up n_dn))
+  in
+  (* One algorithm-level block per physical interaction, in a fixed
+     raster order so the gadget program is deterministic. *)
+  let blocks = ref [] in
+  let push b = if b <> [] then blocks := b :: !blocks in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let s = site r c in
+      if t <> 0.0 && c + 1 < cols then begin
+        let s' = site r (c + 1) in
+        push (hop (orb s 0) (orb s' 0));
+        push (hop (orb s 1) (orb s' 1))
+      end;
+      if t <> 0.0 && r + 1 < rows then begin
+        let s' = site (r + 1) c in
+        push (hop (orb s 0) (orb s' 0));
+        push (hop (orb s 1) (orb s' 1))
+      end;
+      if u <> 0.0 then push (onsite s)
+    done
+  done;
+  if !blocks = [] then
+    invalid_arg "Fermi_hubbard.lattice: no interactions (t = 0 and u = 0)";
+  let to_term (p, c) = Pauli_term.make p c in
+  Hamiltonian.make_blocks n (List.rev_map (List.map to_term) !blocks)
+
+let chain ?encoding ?t ?u l = lattice ?encoding ?t ?u ~rows:1 ~cols:l ()

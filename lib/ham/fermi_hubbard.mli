@@ -1,0 +1,33 @@
+(** The Fermi–Hubbard model on an open rectangular lattice, encoded to
+    qubits — the large-scale block-structured workload for the streaming
+    compiler and the scaling benchmarks.
+
+    [H = −t Σ_{⟨i,j⟩,σ} (a†_{iσ} a_{jσ} + a†_{jσ} a_{iσ})
+         + U Σ_s n_{s↑} n_{s↓}]
+
+    over [rows × cols] sites with two spin species: [2·rows·cols]
+    spin-orbitals, interleaved so site [s]'s spin-up mode is [2s] and
+    its spin-down mode is [2s+1] (adjacent under Jordan–Wigner, keeping
+    the onsite term 2-local).  Constant energy shifts (identity terms
+    from the number-operator products) are dropped. *)
+
+val lattice :
+  ?encoding:Fermion.encoding ->
+  ?t:float ->
+  ?u:float ->
+  rows:int ->
+  cols:int ->
+  unit ->
+  Hamiltonian.t
+(** [lattice ~rows ~cols ()] over [2·rows·cols] qubits.  [t] (hopping,
+    default 1) and [u] (onsite repulsion, default 4) follow the standard
+    Hubbard conventions; [encoding] defaults to Jordan–Wigner.  The
+    Hamiltonian records one algorithm-level block per physical
+    interaction — each hopping bond per spin species and each onsite
+    repulsion — so block-structured compilers group by interaction,
+    mirroring how UCCSD records one block per excitation.  Raises
+    [Invalid_argument] when [rows < 1], [cols < 1], or no interaction
+    survives (a single site with [u = 0], or [t = 0] and [u = 0]). *)
+
+val chain : ?encoding:Fermion.encoding -> ?t:float -> ?u:float -> int -> Hamiltonian.t
+(** [chain l]: the 1D Hubbard chain, [lattice ~rows:1 ~cols:l ()]. *)

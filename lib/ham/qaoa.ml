@@ -39,3 +39,13 @@ let benchmark_suite () =
     "Reg3-20", reg3 20;
     "Reg3-24", reg3 24;
   ]
+
+let scaling_suite () =
+  (* same seeding convention as [benchmark_suite], continued upward *)
+  let reg3 n = Graphs.random_regular ~seed:(3000 + n) ~degree:3 n in
+  [
+    "Reg3-100", reg3 100;
+    "Reg3-250", reg3 250;
+    "Reg3-500", reg3 500;
+    "Reg3-1000", reg3 1000;
+  ]

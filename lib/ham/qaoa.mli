@@ -17,3 +17,8 @@ val benchmark_suite :
   unit -> (string * Graphs.t) list
 (** The six graphs of the paper's Table IV: Rand-16/20/24 (4-regular
     random) and Reg3-16/20/24 (3-regular random), seeded. *)
+
+val scaling_suite : unit -> (string * Graphs.t) list
+(** Large seeded 3-regular graphs — Reg3-100/250/500/1000 — for the
+    streaming-compiler scaling benchmarks; same seeding convention as
+    {!benchmark_suite}. *)

@@ -1,12 +1,7 @@
 module Bitvec = Phoenix_util.Bitvec
+module Arena = Phoenix_util.Arena
 
-type mrow = {
-  x : Bitvec.t;
-  z : Bitvec.t;
-  mutable neg : bool;
-  mutable w : int; (* cached |x ∨ z|, kept current by every mutation *)
-  angle : float;
-}
+let bpw = Bitvec.bits_per_word
 
 (* Column statistics: the pairwise terms of Eq. 6 collapse to closed forms
    over per-column counts,
@@ -33,7 +28,21 @@ type stats = {
   mutable n_nl : int; (* rows of weight > 1 *)
 }
 
-type t = { n : int; mutable mrows : mrow array; st : stats }
+(* The tableau proper is one flat word arena: row [i]'s x words occupy
+   [[i·stride, i·stride + wpr)] and its z words the following [wpr]
+   words, so the row-major sweeps of the mutators and the delta engine
+   walk one contiguous buffer with stride [2·wpr] and never allocate.
+   Signs, cached weights and angles ride in parallel side arrays kept
+   in lockstep by every structural change. *)
+type t = {
+  n : int;
+  wpr : int; (* words per x (or z) half-row *)
+  ar : Arena.t; (* stride = 2·wpr *)
+  mutable neg : Bytes.t; (* '\001' = negative sign *)
+  mutable wts : int array; (* cached |x ∨ z| per row *)
+  mutable angles : float array;
+  st : stats;
+}
 
 type row = { pauli : Pauli_string.t; neg : bool; angle : float }
 
@@ -80,34 +89,123 @@ let set_cz st q v =
     st.tri_cz <- st.tri_cz - tri old + tri v
   end
 
-(* Account one row into (dir = 1) or out of (dir = -1) the statistics. *)
-let account st dir r =
-  if r.w > 1 then st.n_nl <- st.n_nl + dir;
-  Bitvec.iter_set (fun q -> set_cx st q (st.col_cx.(q) + dir)) r.x;
-  Bitvec.iter_set (fun q -> set_cz st q (st.col_cz.(q) + dir)) r.z;
-  Bitvec.iter_set (fun q -> set_c st q (st.col_c.(q) + dir)) (Bitvec.logor r.x r.z)
+(* --- flat-layout primitives -------------------------------------------- *)
+
+let[@inline] stride t = 2 * t.wpr
+let num_qubits t = t.n
+let num_rows t = Arena.rows t.ar
+let[@inline] x_base t i = i * stride t
+let[@inline] z_base t i = (i * stride t) + t.wpr
+
+let[@inline] get_bit buf off q =
+  (Array.unsafe_get buf (off + (q / bpw)) lsr (q mod bpw)) land 1 <> 0
+
+let[@inline] is_neg (t : t) i = Bytes.unsafe_get t.neg i <> '\000'
+
+let[@inline] set_neg (t : t) i b =
+  Bytes.unsafe_set t.neg i (if b then '\001' else '\000')
+
+(* Apply [f] to the absolute index of every set bit in the [nw]-word
+   slice at [off] — the arena-slice analogue of [Bitvec.iter_set]. *)
+let iter_slice_bits f buf off nw =
+  for k = 0 to nw - 1 do
+    let w = ref (Array.unsafe_get buf (off + k)) in
+    let b = k * bpw in
+    while !w <> 0 do
+      f (b + Bitvec.ctz_word !w);
+      w := !w land (!w - 1)
+    done
+  done
+
+let slice_or_popcount buf o1 o2 nw =
+  let acc = ref 0 in
+  for k = 0 to nw - 1 do
+    acc :=
+      !acc
+      + Bitvec.popcount_word
+          (Array.unsafe_get buf (o1 + k) lor Array.unsafe_get buf (o2 + k))
+  done;
+  !acc
+
+(* Account row [i] of the buffer (x at [xo], z at [zo], cached weight
+   [w]) into (dir = 1) or out of (dir = -1) the statistics. *)
+let account_slice st dir buf xo zo nw w =
+  if w > 1 then st.n_nl <- st.n_nl + dir;
+  iter_slice_bits (fun q -> set_cx st q (st.col_cx.(q) + dir)) buf xo nw;
+  iter_slice_bits (fun q -> set_cz st q (st.col_cz.(q) + dir)) buf zo nw;
+  for k = 0 to nw - 1 do
+    let w = Array.unsafe_get buf (xo + k) lor Array.unsafe_get buf (zo + k) in
+    let w = ref w in
+    let b = k * bpw in
+    while !w <> 0 do
+      let q = b + Bitvec.ctz_word !w in
+      set_c st q (st.col_c.(q) + dir);
+      w := !w land (!w - 1)
+    done
+  done
+
+let account t dir i =
+  account_slice t.st dir (Arena.buffer t.ar) (x_base t i) (z_base t i) t.wpr
+    t.wts.(i)
+
+(* Grow the side arrays to at least [rows] slots (arena growth is
+   handled by [Arena.push_n]). *)
+let ensure_side t rows =
+  let cap = Array.length t.wts in
+  if rows > cap then begin
+    let cap' = max rows (max 4 (2 * cap)) in
+    let wts = Array.make cap' 0 in
+    Array.blit t.wts 0 wts 0 cap;
+    let angles = Array.make cap' 0.0 in
+    Array.blit t.angles 0 angles 0 cap;
+    let neg = Bytes.make cap' '\000' in
+    Bytes.blit t.neg 0 neg 0 cap;
+    t.wts <- wts;
+    t.angles <- angles;
+    t.neg <- neg
+  end
 
 let create n =
   if n <= 0 then invalid_arg "Bsf.create: need at least one qubit";
-  { n; mrows = [||]; st = fresh_stats n }
+  let wpr = Bitvec.word_count n in
+  {
+    n;
+    wpr;
+    ar = Arena.create ~stride:(2 * wpr) ();
+    neg = Bytes.create 0;
+    wts = [||];
+    angles = [||];
+    st = fresh_stats n;
+  }
 
 let of_terms n terms =
-  let to_row (p, angle) =
-    if Pauli_string.num_qubits p <> n then
-      invalid_arg "Bsf.of_terms: qubit-count mismatch";
-    let x = Pauli_string.x_bits p and z = Pauli_string.z_bits p in
-    { x; z; neg = false; w = Bitvec.or_popcount x z; angle }
-  in
-  let t = { n; mrows = Array.of_list (List.map to_row terms); st = fresh_stats n } in
-  Array.iter (account t.st 1) t.mrows;
+  let t = create n in
+  let rows = List.length terms in
+  Arena.push_n t.ar rows;
+  ensure_side t rows;
+  let buf = Arena.buffer t.ar in
+  List.iteri
+    (fun i (p, angle) ->
+      if Pauli_string.num_qubits p <> n then
+        invalid_arg "Bsf.of_terms: qubit-count mismatch";
+      let xo = x_base t i and zo = z_base t i in
+      Pauli_string.blit_bits_to p ~x_dst:buf ~x_off:xo ~z_dst:buf ~z_off:zo;
+      t.wts.(i) <- slice_or_popcount buf xo zo t.wpr;
+      t.angles.(i) <- angle;
+      set_neg t i false;
+      account t 1 i)
+    terms;
   t
 
 let copy t =
-  let copy_row r = { r with x = Bitvec.copy r.x; z = Bitvec.copy r.z } in
+  let rows = num_rows t in
   let st = t.st in
   {
     t with
-    mrows = Array.map copy_row t.mrows;
+    ar = Arena.copy t.ar;
+    neg = Bytes.sub t.neg 0 rows;
+    wts = Array.sub t.wts 0 rows;
+    angles = Array.sub t.angles 0 rows;
     st =
       {
         st with
@@ -117,17 +215,24 @@ let copy t =
       };
   }
 
-let num_qubits t = t.n
-let num_rows t = Array.length t.mrows
-
-let snapshot r =
-  { pauli = Pauli_string.of_bits ~x:r.x ~z:r.z; neg = r.neg; angle = r.angle }
-
-let rows t = Array.to_list (Array.map snapshot t.mrows)
-let row_weight t i = t.mrows.(i).w
+let check_row t i =
+  if i < 0 || i >= num_rows t then invalid_arg "Bsf: row index out of range"
 
 let row_pauli t i =
-  Pauli_string.of_bits ~x:t.mrows.(i).x ~z:t.mrows.(i).z
+  check_row t i;
+  let buf = Arena.buffer t.ar in
+  Pauli_string.of_bits_owned
+    ~x:(Bitvec.of_words t.n buf (x_base t i))
+    ~z:(Bitvec.of_words t.n buf (z_base t i))
+
+let snapshot t i =
+  { pauli = row_pauli t i; neg = is_neg t i; angle = t.angles.(i) }
+
+let rows t = List.init (num_rows t) (snapshot t)
+
+let row_weight t i =
+  check_row t i;
+  t.wts.(i)
 
 let support t =
   let acc = Bitvec.create t.n in
@@ -145,29 +250,77 @@ let support_indices t =
 
 let nonlocal_count t = t.st.n_nl
 
+(* --- Borrowing row views -------------------------------------------------
+
+   Read-only traversal without materializing a [Pauli_string] (two bit
+   vectors and a record) per row: one reusable cursor borrows the
+   arena.  The audit below, the analysis-layer replay lint and
+   [to_terms] all walk the tableau through this window. *)
+
+type rview = { rt : t; mutable ri : int }
+
+let view t i =
+  check_row t i;
+  { rt = t; ri = i }
+
+let iter_views t f =
+  let rows = num_rows t in
+  if rows > 0 then begin
+    let v = { rt = t; ri = 0 } in
+    for i = 0 to rows - 1 do
+      v.ri <- i;
+      f v
+    done
+  end
+
+let view_index v = v.ri
+let view_neg v = is_neg v.rt v.ri
+let view_angle v = v.rt.angles.(v.ri)
+let view_weight v = v.rt.wts.(v.ri)
+
+let view_x v q =
+  if q < 0 || q >= v.rt.n then invalid_arg "Bsf.view_x: qubit out of range";
+  get_bit (Arena.buffer v.rt.ar) (x_base v.rt v.ri) q
+
+let view_z v q =
+  if q < 0 || q >= v.rt.n then invalid_arg "Bsf.view_z: qubit out of range";
+  get_bit (Arena.buffer v.rt.ar) (z_base v.rt v.ri) q
+
+let row_words t = t.wpr
+
+let view_x_word v k =
+  if k < 0 || k >= v.rt.wpr then invalid_arg "Bsf.view_x_word: out of range";
+  (Arena.buffer v.rt.ar).(x_base v.rt v.ri + k)
+
+let view_z_word v k =
+  if k < 0 || k >= v.rt.wpr then invalid_arg "Bsf.view_z_word: out of range";
+  (Arena.buffer v.rt.ar).(z_base v.rt v.ri + k)
+
+let view_pauli v = row_pauli v.rt v.ri
+
 (* --- Cache auditing ------------------------------------------------------
 
    The column-statistics layer is redundant state: every counter is a
-   function of the row bit vectors.  [audit] recomputes that function from
+   function of the row bit words.  [audit] recomputes that function from
    scratch and reports every discrepancy, giving the static-analysis layer
    (and the [PHOENIX_BSF_AUDIT] debug mode) a simulation-free oracle for
-   the incremental bookkeeping of the mutators above. *)
+   the incremental bookkeeping of the mutators below. *)
 
 let audit t =
   let issues = ref [] in
   let add fmt = Printf.ksprintf (fun m -> issues := m :: !issues) fmt in
-  Array.iteri
-    (fun i r ->
-      let w = Bitvec.or_popcount r.x r.z in
-      if r.w <> w then
-        add "row %d: cached weight %d, bit vectors say %d" i r.w w;
-      if not (Float.is_finite r.angle) && not (Angle.is_slot r.angle) then
-        add "row %d: non-finite angle %h" i r.angle)
-    t.mrows;
+  let buf = Arena.buffer t.ar in
   let fresh = fresh_stats t.n in
-  Array.iter
-    (fun r -> account fresh 1 { r with w = Bitvec.or_popcount r.x r.z })
-    t.mrows;
+  iter_views t (fun v ->
+      let i = view_index v in
+      let xo = x_base t i and zo = z_base t i in
+      let w = slice_or_popcount buf xo zo t.wpr in
+      if view_weight v <> w then
+        add "row %d: cached weight %d, bit vectors say %d" i (view_weight v) w;
+      let angle = view_angle v in
+      if not (Float.is_finite angle) && not (Angle.is_slot angle) then
+        add "row %d: non-finite angle %h" i angle;
+      account_slice fresh 1 buf xo zo t.wpr w);
   let st = t.st in
   for q = 0 to t.n - 1 do
     if st.col_c.(q) <> fresh.col_c.(q) then
@@ -214,16 +367,29 @@ let debug_audit t =
    - S:  X ↦ Y, Y ↦ -X, Z ↦ Z.
    - S†: X ↦ -Y ... i.e. the sign flips on x ∧ ¬z before z ^= x.
    - CNOT a→b: x_b ^= x_a, z_a ^= z_b, sign flips on x_a ∧ z_b ∧ (x_b = z_a)
-     evaluated on the pre-update bits. *)
+     evaluated on the pre-update bits.
+
+   Every mutator is one row-major sweep over the arena: per row it
+   touches the one or two words holding the operand columns, updating
+   the column deltas as it goes — cache-linear and allocation-free. *)
 
 let apply_h t q =
-  Array.iter
-    (fun r ->
-      let xq = Bitvec.get r.x q and zq = Bitvec.get r.z q in
-      if xq && zq then r.neg <- not r.neg;
-      Bitvec.set r.x q zq;
-      Bitvec.set r.z q xq)
-    t.mrows;
+  if q < 0 || q >= t.n then invalid_arg "Bsf.apply_h: qubit out of range";
+  let buf = Arena.buffer t.ar in
+  let rows = num_rows t in
+  let wq = q / bpw and m = 1 lsl (q mod bpw) in
+  let s = stride t in
+  for i = 0 to rows - 1 do
+    let xk = (i * s) + wq in
+    let zk = xk + t.wpr in
+    let xw = Array.unsafe_get buf xk and zw = Array.unsafe_get buf zk in
+    let xb = xw land m and zb = zw land m in
+    if xb <> 0 && zb <> 0 then set_neg t i (not (is_neg t i));
+    if xb <> zb then begin
+      Array.unsafe_set buf xk (xw lxor m);
+      Array.unsafe_set buf zk (zw lxor m)
+    end
+  done;
   (* columns swap roles at q; support, weights and n_nl are untouched *)
   let st = t.st in
   let cx = st.col_cx.(q) and cz = st.col_cz.(q) in
@@ -234,17 +400,25 @@ let apply_h t q =
 (* S and S† share the bit action z_q ^= x_q: only cz_q changes, by the
    balance of X rows gaining z against Y rows losing it. *)
 let apply_s_like ~sign_on_z t q =
+  if q < 0 || q >= t.n then invalid_arg "Bsf.apply_s: qubit out of range";
+  let buf = Arena.buffer t.ar in
+  let rows = num_rows t in
+  let wq = q / bpw and m = 1 lsl (q mod bpw) in
+  let s = stride t in
   let st = t.st in
   let dcz = ref 0 in
-  Array.iter
-    (fun r ->
-      let xq = Bitvec.get r.x q and zq = Bitvec.get r.z q in
-      if xq && zq = sign_on_z then r.neg <- not r.neg;
-      if xq then begin
-        Bitvec.flip r.z q;
-        dcz := !dcz + (if zq then -1 else 1)
-      end)
-    t.mrows;
+  for i = 0 to rows - 1 do
+    let xk = (i * s) + wq in
+    let xw = Array.unsafe_get buf xk in
+    if xw land m <> 0 then begin
+      let zk = xk + t.wpr in
+      let zw = Array.unsafe_get buf zk in
+      let zq = zw land m <> 0 in
+      if zq = sign_on_z then set_neg t i (not (is_neg t i));
+      Array.unsafe_set buf zk (zw lxor m);
+      dcz := !dcz + (if zq then -1 else 1)
+    end
+  done;
   set_cz st q (st.col_cz.(q) + !dcz);
   debug_audit t
 
@@ -253,37 +427,52 @@ let apply_sdg t q = apply_s_like ~sign_on_z:false t q
 
 let apply_cnot t a b =
   if a = b then invalid_arg "Bsf.apply_cnot: qubits must differ";
+  if a < 0 || a >= t.n || b < 0 || b >= t.n then
+    invalid_arg "Bsf.apply_cnot: qubit out of range";
+  let buf = Arena.buffer t.ar in
+  let rows = num_rows t in
+  let wa = a / bpw and ma = 1 lsl (a mod bpw) in
+  let wb = b / bpw and mb = 1 lsl (b mod bpw) in
+  let s = stride t in
   let st = t.st in
   let dcxb = ref 0 and dcza = ref 0 and dca = ref 0 and dcb = ref 0 in
-  Array.iter
-    (fun r ->
-      let xa = Bitvec.get r.x a
-      and za = Bitvec.get r.z a
-      and xb = Bitvec.get r.x b
-      and zb = Bitvec.get r.z b in
-      if xa && zb && xb = za then r.neg <- not r.neg;
-      let xb' = xb <> xa and za' = za <> zb in
-      Bitvec.set r.x b xb';
-      Bitvec.set r.z a za';
-      if xb' <> xb then dcxb := !dcxb + (if xb' then 1 else -1);
-      if za' <> za then dcza := !dcza + (if za' then 1 else -1);
-      let sa = xa || za and sa' = xa || za' in
-      let sb = xb || zb and sb' = xb' || zb in
-      let dw =
-        (if sa' then 1 else 0) - (if sa then 1 else 0)
-        + (if sb' then 1 else 0)
-        - (if sb then 1 else 0)
-      in
-      if sa' <> sa then dca := !dca + (if sa' then 1 else -1);
-      if sb' <> sb then dcb := !dcb + (if sb' then 1 else -1);
-      if dw <> 0 then begin
-        let w = r.w in
-        let w' = w + dw in
-        r.w <- w';
-        if w > 1 && w' <= 1 then st.n_nl <- st.n_nl - 1
-        else if w <= 1 && w' > 1 then st.n_nl <- st.n_nl + 1
-      end)
-    t.mrows;
+  for i = 0 to rows - 1 do
+    let base = i * s in
+    let xak = base + wa
+    and zak = base + t.wpr + wa
+    and xbk = base + wb
+    and zbk = base + t.wpr + wb in
+    let xa = Array.unsafe_get buf xak land ma <> 0
+    and za = Array.unsafe_get buf zak land ma <> 0
+    and xb = Array.unsafe_get buf xbk land mb <> 0
+    and zb = Array.unsafe_get buf zbk land mb <> 0 in
+    if xa && zb && xb = za then set_neg t i (not (is_neg t i));
+    let xb' = xb <> xa and za' = za <> zb in
+    if xb' <> xb then begin
+      Array.unsafe_set buf xbk (Array.unsafe_get buf xbk lxor mb);
+      dcxb := !dcxb + (if xb' then 1 else -1)
+    end;
+    if za' <> za then begin
+      Array.unsafe_set buf zak (Array.unsafe_get buf zak lxor ma);
+      dcza := !dcza + (if za' then 1 else -1)
+    end;
+    let sa = xa || za and sa' = xa || za' in
+    let sb = xb || zb and sb' = xb' || zb in
+    let dw =
+      (if sa' then 1 else 0) - (if sa then 1 else 0)
+      + (if sb' then 1 else 0)
+      - (if sb then 1 else 0)
+    in
+    if sa' <> sa then dca := !dca + (if sa' then 1 else -1);
+    if sb' <> sb then dcb := !dcb + (if sb' then 1 else -1);
+    if dw <> 0 then begin
+      let w = Array.unsafe_get t.wts i in
+      let w' = w + dw in
+      Array.unsafe_set t.wts i w';
+      if w > 1 && w' <= 1 then st.n_nl <- st.n_nl - 1
+      else if w <= 1 && w' > 1 then st.n_nl <- st.n_nl + 1
+    end
+  done;
   set_cx st b (st.col_cx.(b) + !dcxb);
   set_cz st a (st.col_cz.(a) + !dcza);
   set_c st a (st.col_c.(a) + !dca);
@@ -302,12 +491,26 @@ let apply_basis_gate t = function
 let apply_clifford2q t gate =
   List.iter (apply_basis_gate t) (Clifford2q.decompose gate)
 
-let mrow_commutes a b =
-  (Bitvec.and_popcount a.x b.z + Bitvec.and_popcount a.z b.x) mod 2 = 0
+let rows_commute t i j =
+  let buf = Arena.buffer t.ar in
+  let xi = x_base t i
+  and zi = z_base t i
+  and xj = x_base t j
+  and zj = z_base t j in
+  let acc = ref 0 in
+  for k = 0 to t.wpr - 1 do
+    acc :=
+      !acc
+      + Bitvec.popcount_word
+          (Array.unsafe_get buf (xi + k) land Array.unsafe_get buf (zj + k))
+      + Bitvec.popcount_word
+          (Array.unsafe_get buf (zi + k) land Array.unsafe_get buf (xj + k))
+  done;
+  !acc mod 2 = 0
 
 let pop_local_rows ?(commuting_only = false) t =
-  let n_rows = Array.length t.mrows in
-  let local = Array.map (fun r -> r.w <= 1) t.mrows in
+  let n_rows = num_rows t in
+  let local = Array.init n_rows (fun i -> t.wts.(i) <= 1) in
   if commuting_only then begin
     (* A local row may only leave its program position when it commutes
        with every row that stays behind — including locals that
@@ -320,8 +523,7 @@ let pop_local_rows ?(commuting_only = false) t =
       for i = 0 to n_rows - 1 do
         if local.(i) then
           for j = 0 to n_rows - 1 do
-            if (not local.(j)) && not (mrow_commutes t.mrows.(i) t.mrows.(j))
-            then begin
+            if (not local.(j)) && not (rows_commute t i j) then begin
               local.(i) <- false;
               changed := true
             end
@@ -329,16 +531,23 @@ let pop_local_rows ?(commuting_only = false) t =
       done
     done
   end;
-  let peeled = ref [] and kept = ref [] in
+  let peeled = ref [] in
   for i = n_rows - 1 downto 0 do
     if local.(i) then begin
       (* peeled rows have weight ≤ 1: at most one column to release *)
-      account t.st (-1) t.mrows.(i);
-      peeled := snapshot t.mrows.(i) :: !peeled
+      account t (-1) i;
+      peeled := snapshot t i :: !peeled
     end
-    else kept := t.mrows.(i) :: !kept
   done;
-  t.mrows <- Array.of_list !kept;
+  ignore
+    (Arena.compact t.ar
+       ~keep:(fun i -> not local.(i))
+       (fun old_i new_i ->
+         if old_i <> new_i then begin
+           t.wts.(new_i) <- t.wts.(old_i);
+           t.angles.(new_i) <- t.angles.(old_i);
+           Bytes.unsafe_set t.neg new_i (Bytes.unsafe_get t.neg old_i)
+         end));
   debug_audit t;
   !peeled
 
@@ -356,34 +565,46 @@ let cost_of_counters ~rows ~w_tot ~n_nl ~sum_c ~tri_c ~sum_cx ~tri_cx ~sum_cz
 
 let cost t =
   let st = t.st in
-  cost_of_counters ~rows:(Array.length t.mrows) ~w_tot:st.w_tot ~n_nl:st.n_nl
+  cost_of_counters ~rows:(num_rows t) ~w_tot:st.w_tot ~n_nl:st.n_nl
     ~sum_c:st.sum_c ~tri_c:st.tri_c ~sum_cx:st.sum_cx ~tri_cx:st.tri_cx
     ~sum_cz:st.sum_cz ~tri_cz:st.tri_cz
 
-(* Independent O(R²·words) evaluation of Eq. 6 straight from the bits;
-   the property suite pins [cost] against this. *)
+(* Independent O(R²·words) evaluation of Eq. 6 straight from the bits,
+   bypassing the incremental counters; the property suite pins [cost]
+   against this. *)
 let cost_reference t =
-  let n_rows = Array.length t.mrows in
-  let sup_acc = Bitvec.create t.n in
+  let n_rows = num_rows t in
+  let buf = Arena.buffer t.ar in
+  let nw = t.wpr in
+  let sup_acc = Array.make nw 0 in
   let n_nl = ref 0 in
-  Array.iter
-    (fun r ->
-      Bitvec.or_into sup_acc r.x;
-      Bitvec.or_into sup_acc r.z;
-      if Bitvec.or_popcount r.x r.z > 1 then incr n_nl)
-    t.mrows;
-  let w_tot = float_of_int (Bitvec.popcount sup_acc) in
+  for i = 0 to n_rows - 1 do
+    let xo = x_base t i and zo = z_base t i in
+    for k = 0 to nw - 1 do
+      sup_acc.(k) <- sup_acc.(k) lor buf.(xo + k) lor buf.(zo + k)
+    done;
+    if slice_or_popcount buf xo zo nw > 1 then incr n_nl
+  done;
+  let w_tot =
+    float_of_int
+      (Array.fold_left (fun acc w -> acc + Bitvec.popcount_word w) 0 sup_acc)
+  in
   let n_nl = float_of_int !n_nl in
   let pair_sup = ref 0 and pair_x = ref 0 and pair_z = ref 0 in
   for i = 0 to n_rows - 1 do
-    let ri = t.mrows.(i) in
-    let sup_i = Bitvec.logor ri.x ri.z in
+    let xi = x_base t i and zi = z_base t i in
     for j = i + 1 to n_rows - 1 do
-      let rj = t.mrows.(j) in
-      let sup_j = Bitvec.logor rj.x rj.z in
-      pair_sup := !pair_sup + Bitvec.or_popcount sup_i sup_j;
-      pair_x := !pair_x + Bitvec.or_popcount ri.x rj.x;
-      pair_z := !pair_z + Bitvec.or_popcount ri.z rj.z
+      let xj = x_base t j and zj = z_base t j in
+      for k = 0 to nw - 1 do
+        let xiw = buf.(xi + k)
+        and ziw = buf.(zi + k)
+        and xjw = buf.(xj + k)
+        and zjw = buf.(zj + k) in
+        pair_sup :=
+          !pair_sup + Bitvec.popcount_word (xiw lor ziw lor xjw lor zjw);
+        pair_x := !pair_x + Bitvec.popcount_word (xiw lor xjw);
+        pair_z := !pair_z + Bitvec.popcount_word (ziw lor zjw)
+      done
     done
   done;
   (w_tot *. n_nl *. n_nl)
@@ -531,16 +752,27 @@ module Delta = struct
     if a = b then invalid_arg "Bsf.Delta.load: qubits must differ";
     if a < 0 || a >= t.n || b < 0 || b >= t.n then
       invalid_arg "Bsf.Delta.load: qubit out of range";
-    let rows = Array.length t.mrows in
+    let rows = num_rows t in
     let nw = (rows + bpw - 1) / bpw in
     ensure_capacity ws (max nw 1);
     ws.nwords <- nw;
     ws.qa <- a;
     ws.qb <- b;
+    let buf = Arena.buffer t.ar in
+    let s = stride t in
+    let wpr = t.wpr in
+    let wa = a / bpw and sha = a mod bpw in
+    let wb = b / bpw and shb = b mod bpw in
     for i = 0 to rows - 1 do
-      let r = Array.unsafe_get t.mrows i in
-      let xbits = Bitvec.get2_unsafe r.x a b in
-      let zbits = Bitvec.get2_unsafe r.z a b in
+      let base = i * s in
+      let xbits =
+        ((Array.unsafe_get buf (base + wa) lsr sha) land 1)
+        lor (((Array.unsafe_get buf (base + wb) lsr shb) land 1) lsl 1)
+      in
+      let zbits =
+        ((Array.unsafe_get buf (base + wpr + wa) lsr sha) land 1)
+        lor (((Array.unsafe_get buf (base + wpr + wb) lsr shb) land 1) lsl 1)
+      in
       let wi = i / bpw in
       let bit = 1 lsl (i mod bpw) in
       if xbits land 1 <> 0 then ws.xa.(wi) <- ws.xa.(wi) lor bit;
@@ -548,7 +780,9 @@ module Delta = struct
       if zbits land 1 <> 0 then ws.za.(wi) <- ws.za.(wi) lor bit;
       if zbits land 2 <> 0 then ws.zb.(wi) <- ws.zb.(wi) lor bit;
       let sup = xbits lor zbits in
-      let w_out = r.w - (sup land 1) - ((sup lsr 1) land 1) in
+      let w_out =
+        Array.unsafe_get t.wts i - (sup land 1) - ((sup lsr 1) land 1)
+      in
       if w_out = 0 then ws.m0.(wi) <- ws.m0.(wi) lor bit
       else if w_out = 1 then ws.m1.(wi) <- ws.m1.(wi) lor bit
     done;
@@ -654,25 +888,24 @@ let eval_clifford2q_delta t gate =
   Delta.eval ws gate -. cost t
 
 let to_terms t =
-  List.map
-    (fun r ->
-      let angle = if r.neg then Angle.neg r.angle else r.angle in
-      r.pauli, angle)
-    (rows t)
+  List.init (num_rows t) (fun i ->
+      let angle = t.angles.(i) in
+      let angle = if is_neg t i then Angle.neg angle else angle in
+      row_pauli t i, angle)
 
 let slots t =
   let seen = Hashtbl.create 8 in
   let acc = ref [] in
-  Array.iter
-    (fun (r : mrow) ->
-      match Angle.view r.angle with
-      | Angle.Const _ -> ()
-      | Angle.Slot { id; _ } ->
-        if not (Hashtbl.mem seen id) then begin
-          Hashtbl.add seen id (Hashtbl.length seen);
-          acc := r.angle :: !acc
-        end)
-    t.mrows;
+  for i = 0 to num_rows t - 1 do
+    let angle = t.angles.(i) in
+    match Angle.view angle with
+    | Angle.Const _ -> ()
+    | Angle.Slot { id; _ } ->
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.add seen id (Hashtbl.length seen);
+        acc := angle :: !acc
+      end
+  done;
   Array.of_list (List.rev !acc)
 
 (* Canonical content addressing.  Rows are serialized projected onto the
@@ -685,43 +918,42 @@ let slots t =
 
 let canonical_row_strings t =
   let support = Array.of_list (support_indices t) in
+  let buf = Arena.buffer t.ar in
   (* Slot angles serialize as their first-use rank within this tableau (plus
      the occurrence's sign), not their process-local arena id: two slotted
      tableaux with the same structure then share a canonical form across
      parameter vectors, sessions, and processes.  The ['S'] prefix cannot
      collide with the lowercase-hex IEEE bits of const angles. *)
   let local = Hashtbl.create 8 in
-  Array.iter
-    (fun (r : mrow) ->
-      match Angle.view r.angle with
-      | Angle.Const _ -> ()
-      | Angle.Slot { id; _ } ->
-        if not (Hashtbl.mem local id) then
-          Hashtbl.add local id (Hashtbl.length local))
-    t.mrows;
-  Array.map
-    (fun (r : mrow) ->
-      let buf = Buffer.create (Array.length support + 24) in
+  for i = 0 to num_rows t - 1 do
+    match Angle.view t.angles.(i) with
+    | Angle.Const _ -> ()
+    | Angle.Slot { id; _ } ->
+      if not (Hashtbl.mem local id) then
+        Hashtbl.add local id (Hashtbl.length local)
+  done;
+  Array.init (num_rows t) (fun i ->
+      let xo = x_base t i and zo = z_base t i in
+      let sb = Buffer.create (Array.length support + 24) in
       Array.iter
         (fun q ->
           let bits =
-            (if Bitvec.get r.x q then 1 else 0)
-            lor if Bitvec.get r.z q then 2 else 0
+            (if get_bit buf xo q then 1 else 0)
+            lor if get_bit buf zo q then 2 else 0
           in
-          Buffer.add_char buf
+          Buffer.add_char sb
             (match bits with 0 -> 'I' | 1 -> 'X' | 2 -> 'Z' | _ -> 'Y'))
         support;
-      Buffer.add_char buf (if r.neg then '-' else '+');
-      (match Angle.view r.angle with
+      Buffer.add_char sb (if is_neg t i then '-' else '+');
+      (match Angle.view t.angles.(i) with
       | Angle.Const _ ->
-        Buffer.add_string buf
-          (Printf.sprintf "%Lx" (Int64.bits_of_float r.angle))
+        Buffer.add_string sb
+          (Printf.sprintf "%Lx" (Int64.bits_of_float t.angles.(i)))
       | Angle.Slot { id; negated } ->
-        Buffer.add_string buf
+        Buffer.add_string sb
           (Printf.sprintf "S%d%c" (Hashtbl.find local id)
              (if negated then '-' else '+')));
-      Buffer.contents buf)
-    t.mrows
+      Buffer.contents sb)
 
 let canonical_form t =
   let rows = canonical_row_strings t in
@@ -741,7 +973,7 @@ let canonical_digest t = digest_of_canonical_form (canonical_form t)
 
 (* Deliberate cache corruption for fault-injection tests of [audit] and
    the analysis layer.  Only the redundant state is touched — never the
-   bit vectors — so every corruption is exactly the class of bug the
+   bit words — so every corruption is exactly the class of bug the
    incremental bookkeeping could introduce. *)
 module Testing = struct
   let corrupt_column_count t q =
@@ -749,25 +981,21 @@ module Testing = struct
     t.st.col_c.(q) <- t.st.col_c.(q) + 1
 
   let corrupt_row_weight t i =
-    if i < 0 || i >= Array.length t.mrows then
+    if i < 0 || i >= num_rows t then
       invalid_arg "Bsf.Testing.corrupt_row_weight";
-    t.mrows.(i).w <- t.mrows.(i).w + 1
+    t.wts.(i) <- t.wts.(i) + 1
 
   let corrupt_nonlocal_count t = t.st.n_nl <- t.st.n_nl + 1
 
   let corrupt_sign t i =
-    if i < 0 || i >= Array.length t.mrows then
-      invalid_arg "Bsf.Testing.corrupt_sign";
-    t.mrows.(i).neg <- not t.mrows.(i).neg
+    if i < 0 || i >= num_rows t then invalid_arg "Bsf.Testing.corrupt_sign";
+    set_neg t i (not (is_neg t i))
 end
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>";
-  Array.iter
-    (fun r ->
-      let s = snapshot r in
+  iter_views t (fun v ->
       Format.fprintf fmt "%c%a (θ=%g)@,"
-        (if s.neg then '-' else '+')
-        Pauli_string.pp s.pauli s.angle)
-    t.mrows;
+        (if view_neg v then '-' else '+')
+        Pauli_string.pp (view_pauli v) (view_angle v));
   Format.fprintf fmt "@]"

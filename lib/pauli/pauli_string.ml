@@ -37,6 +37,15 @@ let of_bits ~x ~z =
 let x_bits t = Bitvec.copy t.x
 let z_bits t = Bitvec.copy t.z
 
+let of_bits_owned ~x ~z =
+  if Bitvec.length x <> Bitvec.length z then
+    invalid_arg "Pauli_string.of_bits_owned: length mismatch";
+  { x; z }
+
+let blit_bits_to t ~x_dst ~x_off ~z_dst ~z_off =
+  Bitvec.blit_words_to t.x x_dst x_off;
+  Bitvec.blit_words_to t.z z_dst z_off
+
 let set t q p =
   let x, z = Pauli.to_bits p in
   let t' = { x = Bitvec.copy t.x; z = Bitvec.copy t.z } in

@@ -143,6 +143,29 @@ let compile ?(options = Compiler.default_options) ?protect ?hooks entry h =
     compile_gadgets ~options ?protect ?hooks entry n
       (Hamiltonian.trotter_gadgets ~tau:options.Compiler.tau h)
 
+(* --- streaming compilation -------------------------------------------- *)
+
+let compile_stream ?(options = Compiler.default_options) ?protect ?hooks
+    ?keep_circuit ?emit ~steps entry h =
+  let n = Hamiltonian.num_qubits h in
+  let chunk =
+    match (if entry.uses_blocks then Hamiltonian.term_blocks h else None) with
+    | Some blocks ->
+      let to_gadget (t : Phoenix_pauli.Pauli_term.t) =
+        ( t.Phoenix_pauli.Pauli_term.pauli,
+          2.0 *. t.Phoenix_pauli.Pauli_term.coeff *. options.Compiler.tau )
+      in
+      Compiler.chunk_of_blocks (List.map (List.map to_gadget) blocks)
+    | None ->
+      Compiler.chunk_of_gadgets
+        (Hamiltonian.trotter_gadgets ~tau:options.Compiler.tau h)
+  in
+  if steps < 1 then
+    invalid_arg "Registry.compile_stream: steps must be positive";
+  Compiler.compile_stream ~options ?protect ?hooks ?keep_circuit ?emit
+    ~pipeline:entry.passes n
+    (Seq.init steps (fun _ -> chunk))
+
 (* --- parametric compilation ------------------------------------------- *)
 
 (* Only PHOENIX owns the slot-aware pipeline ([Compiler.passes] +

@@ -65,6 +65,24 @@ val compile_blocks :
     don't consume block structure (tket, 2qan, naive) see the flattened
     program. *)
 
+val compile_stream :
+  ?options:Phoenix.Compiler.options ->
+  ?protect:bool ->
+  ?hooks:Phoenix.Pass.hook list ->
+  ?keep_circuit:bool ->
+  ?emit:(Phoenix_circuit.Circuit.t -> unit) ->
+  steps:int ->
+  entry ->
+  Phoenix_ham.Hamiltonian.t ->
+  Phoenix.Compiler.stream_report
+(** Streaming compile: [steps] first-order Trotter steps of the
+    Hamiltonian fed to {!Phoenix.Compiler.compile_stream} one chunk per
+    step, through this entry's pass list — so baselines stream too.
+    Respects [entry.uses_blocks] exactly like {!compile}; a one-step
+    stream is bit-identical to {!compile} at the same options (logical
+    targets only — streaming raises [Invalid_argument] on hardware
+    targets, see {!Phoenix.Compiler.compile_stream}). *)
+
 val compile_template :
   ?options:Phoenix.Compiler.options ->
   ?protect:bool ->

@@ -5,11 +5,11 @@ let bits_per_word = 62
 
 type t = { len : int; words : int array }
 
-let word_count len = (len + bits_per_word - 1) / bits_per_word
+let word_count len = max 1 ((len + bits_per_word - 1) / bits_per_word)
 
 let create len =
   if len < 0 then invalid_arg "Bitvec.create: negative length";
-  { len; words = Array.make (max 1 (word_count len)) 0 }
+  { len; words = Array.make (word_count len) 0 }
 
 let length v = v.len
 let copy v = { len = v.len; words = Array.copy v.words }
@@ -17,6 +17,19 @@ let copy v = { len = v.len; words = Array.copy v.words }
 let num_words v = Array.length v.words
 
 let word v i = v.words.(i)
+
+let blit_words_to v arr off =
+  let nw = Array.length v.words in
+  if off < 0 || off + nw > Array.length arr then
+    invalid_arg "Bitvec.blit_words_to: destination too small";
+  Array.blit v.words 0 arr off nw
+
+let of_words len arr off =
+  if len < 0 then invalid_arg "Bitvec.of_words: negative length";
+  let nw = word_count len in
+  if off < 0 || off + nw > Array.length arr then
+    invalid_arg "Bitvec.of_words: source too small";
+  { len; words = Array.sub arr off nw }
 
 let blit ~src ~dst =
   if src.len <> dst.len then invalid_arg "Bitvec.blit: length mismatch";

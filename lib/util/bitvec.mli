@@ -32,6 +32,21 @@ val word : t -> int -> int
 val bits_per_word : int
 (** Payload bits per backing word (62). *)
 
+val word_count : int -> int
+(** [word_count n] is the number of backing words a length-[n] vector
+    uses — [⌈n / bits_per_word⌉], at least 1. *)
+
+val blit_words_to : t -> int array -> int -> unit
+(** [blit_words_to v arr off] copies the backing words of [v] into
+    [arr] starting at [off].  [arr] must have room for [num_words v]
+    words from [off]; raises [Invalid_argument] otherwise.  Interop
+    with flat word arenas ({!Arena}). *)
+
+val of_words : int -> int array -> int -> t
+(** [of_words n arr off] is a fresh length-[n] vector whose backing
+    words are copied from [arr.(off) ..].  Bits beyond [n] in the last
+    word must be zero (unchecked — callers own the invariant). *)
+
 val popcount_word : int -> int
 (** Branch-free population count of one backing word ([0 ≤ w < 2^62]). *)
 
