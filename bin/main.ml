@@ -56,47 +56,16 @@ let read_hamiltonian path =
   in
   Hamiltonian.of_lines (go [])
 
-(* Builtin workload specifiers: uccsd:<label>, qaoa:<label>,
-   heisenberg:<n>, tfim:<n>, fermi-hubbard:<rows>x<cols>. *)
-let builtin_workload name =
-  match String.split_on_char ':' name with
-  | [ "uccsd"; label ] ->
-    let b = Phoenix_ham.Molecules.find label in
-    Some
-      (Phoenix_ham.Uccsd.ansatz b.Phoenix_ham.Molecules.encoding
-         b.Phoenix_ham.Molecules.spec)
-  | [ "qaoa"; label ] ->
-    let suite =
-      Phoenix_ham.Qaoa.benchmark_suite () @ Phoenix_ham.Qaoa.scaling_suite ()
-    in
-    Option.map
-      (fun g -> Phoenix_ham.Qaoa.maxcut_cost g)
-      (List.assoc_opt label suite)
-  | [ "heisenberg"; n ] -> Some (Phoenix_ham.Spin_models.heisenberg_chain (int_of_string n))
-  | [ "tfim"; n ] -> Some (Phoenix_ham.Spin_models.tfim_chain (int_of_string n))
-  | [ "fermi-hubbard"; shape ] ->
-    (* <rows>x<cols> lattice, or a single <l> for the 1D chain *)
-    (match String.split_on_char 'x' shape with
-    | [ l ] -> Some (Phoenix_ham.Fermi_hubbard.chain (int_of_string l))
-    | [ r; c ] ->
-      Some
-        (Phoenix_ham.Fermi_hubbard.lattice ~rows:(int_of_string r)
-           ~cols:(int_of_string c) ())
-    | _ -> None)
-  | _ -> None
-
+(* Builtin workload specifiers now live in Phoenix_serve.Workload so the
+   CLI and the serve daemon accept exactly the same grammar. *)
 let load source =
   if Sys.file_exists source then read_hamiltonian source
   else begin
-    match builtin_workload source with
-    | Some h -> h
-    | None ->
-      Printf.eprintf
-        "no such file or builtin workload: %s\n\
-         builtins: uccsd:<Table-I label>, qaoa:<Table-IV label or \
-         Reg3-100/250/500/1000>, heisenberg:<n>, tfim:<n>, \
-         fermi-hubbard:<rows>x<cols>\n"
-        source;
+    match Phoenix_serve.Workload.of_spec source with
+    | Ok h -> h
+    | Error _ ->
+      Printf.eprintf "no such file or builtin workload: %s\nbuiltins: %s\n"
+        source Phoenix_serve.Workload.grammar;
       exit 2
   end
 
@@ -1720,6 +1689,184 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(const run $ runs_arg $ seed_arg $ workload_arg $ pipelines_arg $ plan_arg $ json_arg $ timeout_arg)
 
+(* --- serve: the concurrent compilation daemon --------------------------- *)
+
+let serve_cmd =
+  let module Serve = Phoenix_serve.Serve in
+  let module Json = Phoenix_serve.Json in
+  let run socket port host workers max_queue timeout max_request_kb self_test
+      connect =
+    if workers < 1 then begin
+      Printf.eprintf "--workers must be >= 1\n";
+      exit 2
+    end;
+    if max_queue < 1 then begin
+      Printf.eprintf "--max-queue must be >= 1\n";
+      exit 2
+    end;
+    if max_request_kb < 1 then begin
+      Printf.eprintf "--max-request-kb must be >= 1\n";
+      exit 2
+    end;
+    (match timeout with
+    | Some s when (not (Float.is_finite s)) || s < 0.0 ->
+      Printf.eprintf "--timeout must be a non-negative number of seconds\n";
+      exit 2
+    | _ -> ());
+    match connect with
+    | Some spec -> begin
+      (* client mode: pump NDJSON requests from stdin, responses to
+         stdout (completion order; match on "id") *)
+      match Serve.addr_of_string spec with
+      | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+      | Ok addr -> (
+        match Serve.Client.connect addr with
+        | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "cannot connect to %s: %s\n"
+            (Serve.addr_to_string addr) (Unix.error_message e);
+          exit 2
+        | conn ->
+          let pump =
+            Thread.create
+              (fun () ->
+                let rec loop () =
+                  match Serve.Client.recv conn with
+                  | Some resp ->
+                    print_endline (Json.to_string resp);
+                    loop ()
+                  | None -> ()
+                in
+                loop ())
+              ()
+          in
+          (try
+             while true do
+               Serve.Client.send_line conn (input_line stdin)
+             done
+           with End_of_file -> ());
+          Serve.Client.shutdown_send conn;
+          Thread.join pump;
+          Serve.Client.close conn)
+    end
+    | None ->
+      if self_test then begin
+        if Serve.self_test ~workers () then
+          print_endline "phoenix serve: self-test ok"
+        else begin
+          Printf.eprintf "phoenix serve: self-test FAILED\n";
+          exit 1
+        end
+      end
+      else begin
+        let addr =
+          match (socket, port) with
+          | Some _, Some _ ->
+            Printf.eprintf "--socket and --port are mutually exclusive\n";
+            exit 2
+          | Some path, None -> Serve.Unix_socket path
+          | None, Some p when p >= 0 && p <= 65535 -> Serve.Tcp (host, p)
+          | None, Some p ->
+            Printf.eprintf "port %d out of range (0-65535)\n" p;
+            exit 2
+          | None, None ->
+            Printf.eprintf
+              "phoenix serve needs --socket PATH or --port N (or \
+               --self-test/--connect)\n";
+            exit 2
+        in
+        let config =
+          {
+            (Serve.default_config addr) with
+            Serve.workers;
+            max_queue;
+            default_timeout_s = timeout;
+            max_request_bytes = max_request_kb * 1024;
+          }
+        in
+        match Serve.run config with
+        | () -> ()
+        | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "cannot serve on %s: %s\n"
+            (Serve.addr_to_string addr) (Unix.error_message e);
+          exit 2
+        | exception Failure msg ->
+          (* e.g. a hostname inet_addr_of_string cannot parse *)
+          Printf.eprintf "cannot serve on %s: %s\n"
+            (Serve.addr_to_string addr) msg;
+          exit 2
+      end
+  in
+  let socket_arg =
+    let doc = "Listen on a Unix-domain socket at $(docv)." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let port_arg =
+    let doc = "Listen on TCP port $(docv) (0 binds an ephemeral port)." in
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let host_arg =
+    let doc = "Bind address for $(b,--port)." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+  in
+  let workers_arg =
+    let doc = "Worker domains compiling jobs in parallel." in
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let max_queue_arg =
+    let doc =
+      "Job-queue capacity; compile requests beyond it are refused with \
+       status 6 (overloaded) instead of buffering without bound."
+    in
+    Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  let timeout_arg =
+    let doc =
+      "Default per-job compile budget in seconds for jobs that carry no \
+       $(i,timeout)/$(i,budget_checks) of their own; expiry degrades along \
+       the resilience ladders or answers status 5 (deadline)."
+    in
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_request_arg =
+    let doc =
+      "Longest accepted request line, in KiB; longer lines get a \
+       structured status-2 response and the connection is closed."
+    in
+    Arg.(value & opt int 8192 & info [ "max-request-kb" ] ~docv:"KIB" ~doc)
+  in
+  let self_test_arg =
+    let doc =
+      "One-shot smoke mode: boot on an ephemeral socket, exercise \
+       ping/compile/template/stats/malformed round trips through a real \
+       connection, drain, exit 0 on success (CI's liveness check)."
+    in
+    Arg.(value & flag & info [ "self-test" ] ~doc)
+  in
+  let connect_arg =
+    let doc =
+      "Client mode: connect to a running daemon at $(docv) \
+       (unix:PATH or tcp:HOST:PORT), send request lines from stdin, print \
+       response lines (completion order) to stdout."
+    in
+    Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"ADDR" ~doc)
+  in
+  let doc =
+    "Run the concurrent compilation daemon: newline-delimited JSON compile \
+     jobs in (builtin workloads, inline Hamiltonians, or OpenQASM), circuit \
+     + report JSON out, over a Unix or TCP socket.  Jobs compile in \
+     parallel on a pool of worker domains sharing one synthesis cache; \
+     responses arrive in completion order and carry the CLI's exit-code \
+     contract as a per-response status.  SIGTERM drains: every accepted \
+     job is answered before exit."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ port_arg $ host_arg $ workers_arg
+      $ max_queue_arg $ timeout_arg $ max_request_arg $ self_test_arg
+      $ connect_arg)
+
 let () =
   Chaos.install_from_env ();
   let doc = "PHOENIX: Pauli-based high-level optimization engine (DAC 2025 reproduction)." in
@@ -1728,7 +1875,7 @@ let () =
     try
       Cmd.eval ~catch:false
         (Cmd.group info
-           [ compile_cmd; info_cmd; bench_cmd; simulate_cmd; analyze_cmd; certify_cmd; passes_cmd; cache_cmd; chaos_cmd ])
+           [ compile_cmd; info_cmd; bench_cmd; simulate_cmd; analyze_cmd; certify_cmd; passes_cmd; cache_cmd; chaos_cmd; serve_cmd ])
     with
     | Pass.Interrupted { pass; reason } ->
       (* a budget expired in a pass with no fallback rung: fail closed

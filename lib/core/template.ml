@@ -15,24 +15,35 @@ let report (t : t) = t.Compiler.t_report
 let circuit (t : t) =
   Circuit.create t.Compiler.t_n (Array.to_list t.Compiler.t_prototype)
 
-let bind (t : t) theta =
+let check_arity ~op (t : t) theta =
   let arity = Array.length t.Compiler.t_params in
   if Array.length theta <> arity then
     invalid_arg
-      (Printf.sprintf "Template.bind: %d value%s for %d parameter%s"
+      (Printf.sprintf "Template.%s: %d value%s for %d parameter%s" op
          (Array.length theta)
          (if Array.length theta = 1 then "" else "s")
          arity
-         (if arity = 1 then "" else "s"));
-  let eval = Angle.evaluator theta in
+         (if arity = 1 then "" else "s"))
+
+let bind_with_eval (t : t) eval =
   let gates = Array.copy t.Compiler.t_prototype in
   Array.iter
     (fun i -> gates.(i) <- Gate.map_angles eval gates.(i))
     t.Compiler.t_slot_positions;
-  (* [of_validated]: the prototype passed [Circuit.create]'s register
-     check when the template was built, and patching angles cannot move
-     a gate's qubits — re-validating every bind would dominate its cost. *)
   Circuit.of_validated t.Compiler.t_n (Array.to_list gates)
+
+let bind (t : t) theta =
+  check_arity ~op:"bind" t theta;
+  (* [of_validated] inside [bind_with_eval]: the prototype passed
+     [Circuit.create]'s register check when the template was built, and
+     patching angles cannot move a gate's qubits — re-validating every
+     bind would dominate its cost. *)
+  bind_with_eval t (Angle.evaluator theta)
+
+let bind_batch (t : t) thetas =
+  List.iter (check_arity ~op:"bind_batch" t) thetas;
+  let evals = Angle.evaluators (Array.of_list thetas) in
+  List.mapi (fun k _ -> bind_with_eval t evals.(k)) thetas
 
 let bind_with_trace (t : t) theta =
   let before = Pass.metrics_of (circuit t) in

@@ -45,6 +45,15 @@ val bind : t -> float array -> Phoenix_circuit.Circuit.t
     {!num_parameters}, and {!Phoenix_pauli.Angle.Unbound_parameter}
     cannot escape a certified template. *)
 
+val bind_batch : t -> float array list -> Phoenix_circuit.Circuit.t list
+(** Gradient-style multi-point bind: one circuit per parameter vector,
+    all evaluated against a {e single} {!Phoenix_pauli.Angle} arena
+    snapshot ({!Phoenix_pauli.Angle.evaluators}), so a k-point batch
+    takes one mutex acquisition instead of k.  Element [i] is
+    bit-identical to [bind t (List.nth thetas i)].  Raises
+    [Invalid_argument] when any vector's length differs from
+    {!num_parameters}. *)
+
 val bind_with_trace :
   t -> float array -> Phoenix_circuit.Circuit.t * Pass.trace
 (** {!bind} plus a single-entry pass trace (["bind"]) with before/after

@@ -140,8 +140,7 @@ exception Unbound_parameter of int
    array, leaving the snapshot's prefix intact).  A bind patches
    hundreds of slot sites; taking the mutex once instead of per node
    keeps the per-site cost in nanoseconds. *)
-let evaluator theta =
-  let store, count = with_lock (fun () -> (!store, !count)) in
+let evaluator_of_snapshot (store, count) theta =
   let node id =
     if id < 0 || id >= count then
       invalid_arg
@@ -167,6 +166,13 @@ let evaluator theta =
     | Slot { id; negated } ->
         let v = eval_id id in
         if negated then -.v else v
+
+let evaluator theta =
+  evaluator_of_snapshot (with_lock (fun () -> (!store, !count))) theta
+
+let evaluators thetas =
+  let snapshot = with_lock (fun () -> (!store, !count)) in
+  Array.map (evaluator_of_snapshot snapshot) thetas
 
 let eval theta f = evaluator theta f
 

@@ -86,6 +86,12 @@ val evaluator : float array -> float -> float
     when evaluating many slots against one parameter vector — a template
     bind — so the per-site cost stays lock-free. *)
 
+val evaluators : float array array -> (float -> float) array
+(** One {!evaluator} per parameter vector, all sharing a single arena
+    snapshot (one mutex acquisition for the whole batch).  The backbone
+    of gradient-style multi-point binds: evaluating a slot through
+    [(evaluators [| t |]).(0)] is bit-identical to [evaluator t]. *)
+
 val max_param_index : float -> int
 (** Largest parameter index the expression references, [-1] for consts.
     Raises [Invalid_argument] on unknown slot ids. *)

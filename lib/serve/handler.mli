@@ -1,0 +1,22 @@
+(** Execution of one compile job, socket-free.
+
+    The daemon's worker domains call {!execute}; tests call it directly
+    to get the serial reference behaviour the soak battery compares
+    against — same code path, no transport. *)
+
+type outcome = {
+  status : Protocol.status;
+  fields : (string * Json.t) list;  (** response payload fields *)
+  error : string option;
+  trace : Phoenix.Pass.trace;  (** for the daemon's per-pass stats *)
+}
+
+val execute : ?default_timeout_s:float -> Protocol.compile_spec -> outcome
+(** Run the job to completion.  Never raises: pass failures, deadline
+    expiries, bad workloads/pipelines/topologies, and injected chaos
+    faults all come back as structured outcomes ([Sfailed],
+    [Sdeadline], [Sbad_request], …).  [default_timeout_s] applies only
+    when the spec carries neither [budget_checks] nor [timeout]. *)
+
+val response : id:Json.t -> outcome -> Json.t
+(** The response frame for an outcome ({!Protocol.ok_response}). *)

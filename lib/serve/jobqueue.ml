@@ -1,0 +1,51 @@
+type 'a t = {
+  q : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+  m : Mutex.t;
+  nonempty : Condition.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Jobqueue.create: capacity must be >= 1";
+  {
+    q = Queue.create ();
+    capacity;
+    closed = false;
+    m = Mutex.create ();
+    nonempty = Condition.create ();
+  }
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let push t x =
+  with_lock t (fun () ->
+      if t.closed then `Closed
+      else if Queue.length t.q >= t.capacity then `Full
+      else begin
+        Queue.add x t.q;
+        Condition.signal t.nonempty;
+        `Ok
+      end)
+
+let pop t =
+  with_lock t (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.q) then Some (Queue.pop t.q)
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.m;
+          wait ()
+        end
+      in
+      wait ())
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let length t = with_lock t (fun () -> Queue.length t.q)
+let capacity t = t.capacity

@@ -1,0 +1,33 @@
+(** Bounded multi-producer / multi-consumer job queue.
+
+    The daemon's backpressure point: connection readers {!push} jobs
+    (non-blocking — a full or closed queue refuses immediately so the
+    client gets a structured rejection instead of an ever-growing
+    buffer), worker domains {!pop} them (blocking).  {!close} starts the
+    drain: pushes are refused from that point, pops keep draining until
+    the queue is empty and then return [None], so every accepted job is
+    still served exactly once.
+
+    Safe across domains and threads (stdlib [Mutex]/[Condition], which
+    are domain-aware in OCaml 5). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+(** Non-blocking enqueue. *)
+
+val pop : 'a t -> 'a option
+(** Dequeue, blocking while the queue is empty and open.  [None] once
+    the queue is closed {e and} drained — the consumer's signal to
+    exit. *)
+
+val close : 'a t -> unit
+(** Refuse further pushes and wake all blocked consumers.  Idempotent. *)
+
+val length : 'a t -> int
+(** Current depth (a racy snapshot, for stats/backpressure reporting). *)
+
+val capacity : 'a t -> int

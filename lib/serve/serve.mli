@@ -1,0 +1,93 @@
+(** [phoenix serve] — the concurrent compilation daemon.
+
+    Topology: one accept thread; one reader thread per connection; a
+    bounded {!Jobqueue} as the backpressure point; a pool of worker
+    {e domains} (OCaml 5 [Domain.spawn], so jobs compile in parallel)
+    popping jobs and writing responses in completion order.  All jobs
+    share the process-wide synthesis cache and template store, which is
+    exactly what the soak battery stresses.
+
+    Protocol: newline-delimited JSON, {!Protocol} (phoenix-serve-v1).
+
+    Drain: {!drain} (and SIGTERM/SIGINT under {!run}) stops accepting
+    connections, closes the queue — readers answer further compile
+    requests with status 6 — and joins the workers once every accepted
+    job has been served. *)
+
+type addr =
+  | Unix_socket of string  (** filesystem path (beware the ~100-byte cap) *)
+  | Tcp of string * int  (** host, port; port [0] binds an ephemeral port *)
+
+type config = {
+  addr : addr;
+  workers : int;  (** worker domains (>= 1) *)
+  max_queue : int;  (** job-queue capacity; pushes beyond it get status 6 *)
+  default_timeout_s : float option;
+      (** budget for jobs that carry neither ["timeout"] nor
+          ["budget_checks"] *)
+  max_request_bytes : int;
+      (** longest accepted request line; longer ones get a structured
+          status-2 response and the connection is closed *)
+}
+
+val default_config : addr -> config
+(** 4 workers, queue capacity 64, no default timeout, 8 MiB lines. *)
+
+val addr_of_string : string -> (addr, string) result
+(** ["unix:PATH"] or ["tcp:HOST:PORT"] — the CLI's [--connect] syntax. *)
+
+val addr_to_string : addr -> string
+
+type t
+
+val start : config -> t
+(** Bind, listen, spawn the worker pool and accept thread; returns
+    immediately.  Raises [Invalid_argument] on a nonsensical config and
+    [Unix.Unix_error] when the address cannot be bound. *)
+
+val port : t -> int option
+(** The actual TCP port (useful after binding port 0); [None] for Unix
+    sockets. *)
+
+val drain : t -> unit
+(** Graceful shutdown: stop accepting, close the queue, serve every
+    already-accepted job, join the workers.  Idempotent. *)
+
+val run : config -> unit
+(** {!start}, print one [listening on ...] line to stdout, then block
+    until SIGTERM/SIGINT and {!drain}.  The daemon entry point. *)
+
+val self_test : ?workers:int -> unit -> bool
+(** One-shot smoke mode for CI: boot on an ephemeral Unix socket,
+    exercise ping / compile / template-bind / stats / malformed-input
+    round trips through a real client connection, drain, and report
+    overall success (diagnostics on stderr on failure). *)
+
+(** Minimal NDJSON client — used by the CLI's [--connect] mode, the
+    self-test, and the test battery. *)
+module Client : sig
+  type conn
+
+  val connect : addr -> conn
+  (** Raises [Unix.Unix_error] when the daemon is unreachable. *)
+
+  val send : conn -> Json.t -> unit
+  (** Write one request line. *)
+
+  val send_line : conn -> string -> unit
+  (** Write a raw line (for protocol fault-injection tests). *)
+
+  val send_raw : conn -> string -> unit
+  (** Write raw bytes with no newline (truncated-frame tests). *)
+
+  val shutdown_send : conn -> unit
+  (** Half-close: signal end-of-requests while still reading responses
+      (the daemon serves every queued job, then closes its side). *)
+
+  val recv : conn -> Json.t option
+  (** Read and parse one response line; [None] on EOF.  Raises
+      [Failure] if the daemon emits unparseable JSON (a protocol bug —
+      the fault-injection battery asserts this never fires). *)
+
+  val close : conn -> unit
+end

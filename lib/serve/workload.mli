@@ -1,0 +1,19 @@
+(** Builtin workload specifiers, shared by the CLI and the daemon.
+
+    One grammar everywhere: [uccsd:<Table-I label>],
+    [qaoa:<Table-IV label or Reg3-100/250/500/1000>], [heisenberg:<n>],
+    [tfim:<n>], [fermi-hubbard:<l> or <rows>x<cols>].  The CLI layers
+    file loading on top; the daemon accepts inline Hamiltonian text
+    instead (a socket server never dereferences client-supplied
+    paths). *)
+
+val of_spec : string -> (Phoenix_ham.Hamiltonian.t, string) result
+(** Resolve a builtin specifier.  [Error] carries a one-line description
+    including the accepted grammar. *)
+
+val of_inline : string -> (Phoenix_ham.Hamiltonian.t, string) result
+(** Parse inline Hamiltonian text (the same [coeff pauli-string] line
+    format the CLI reads from files). *)
+
+val grammar : string
+(** Human-readable summary of the accepted builtin specifiers. *)

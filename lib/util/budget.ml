@@ -88,30 +88,39 @@ let check t =
       raise (Interrupted Deadline)
   end
 
-(* The ambient budget stack.  Pushed/popped by the orchestrating domain
-   (nested scopes: job budget, then a per-pass slice); worker domains
-   only read it, so a plain atomic list is race-free for our use. *)
-let ambient : t list Atomic.t = Atomic.make []
+(* The ambient budget stack, domain-local: independent jobs running on
+   separate domains (the serve daemon's worker pool) must never see each
+   other's budgets — a process-global stack would let one job's
+   [after_checks] interrupt a neighbour's synthesis.  Budgets still flow
+   into nested worker pools explicitly: [Parallel.map] snapshots the
+   caller's stack ({!ambient_budgets}) and installs it in each helper
+   domain ({!with_ambient_stack}). *)
+let ambient : t list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
 
 let with_ambient t f =
   if is_none t then f ()
   else begin
-    Atomic.set ambient (t :: Atomic.get ambient);
+    Domain.DLS.set ambient (t :: Domain.DLS.get ambient);
     Fun.protect
       ~finally:(fun () ->
-        match Atomic.get ambient with
-        | b :: rest when b == t -> Atomic.set ambient rest
+        match Domain.DLS.get ambient with
+        | b :: rest when b == t -> Domain.DLS.set ambient rest
         | stack ->
           (* Unwinding out of order would silently drop budgets; scrub
              this one wherever it sits instead. *)
-          Atomic.set ambient (List.filter (fun b -> b != t) stack))
+          Domain.DLS.set ambient (List.filter (fun b -> b != t) stack))
       f
   end
 
-let ambient_budgets () = Atomic.get ambient
+let ambient_budgets () = Domain.DLS.get ambient
+
+let with_ambient_stack stack f =
+  let saved = Domain.DLS.get ambient in
+  Domain.DLS.set ambient stack;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient saved) f
 
 let checkpoint () =
-  (match Atomic.get ambient with
+  (match Domain.DLS.get ambient with
   | [] -> ()
   | stack -> List.iter check stack);
   if Chaos.enabled () then begin

@@ -59,13 +59,22 @@ val check : t -> unit
 val with_ambient : t -> (unit -> 'a) -> 'a
 (** [with_ambient t f] runs [f] with [t] pushed on the ambient stack
     consulted by {!checkpoint}, popping it on exit (including by
-    exception).  Scopes nest (job budget, then a per-pass slice).  Push
-    and pop happen on the orchestrating domain; worker domains only
-    observe the stack. *)
+    exception).  Scopes nest (job budget, then a per-pass slice).  The
+    stack is {e domain-local}: budgets installed on one domain are
+    invisible to jobs running on other domains (concurrent daemon jobs
+    must not interrupt each other), so nested worker pools inherit the
+    caller's stack explicitly via {!with_ambient_stack}. *)
 
 val ambient_budgets : unit -> t list
-(** The ambient stack, innermost first (for workers that want to probe
-    without raising). *)
+(** This domain's ambient stack, innermost first (for workers that want
+    to probe without raising, and for pools snapshotting the stack to
+    hand to helper domains). *)
+
+val with_ambient_stack : t list -> (unit -> 'a) -> 'a
+(** [with_ambient_stack stack f] runs [f] with this domain's ambient
+    stack replaced by [stack] (restored on exit, including by
+    exception).  Used by [Parallel.map] to install the submitting
+    domain's budgets in its helper domains. *)
 
 val checkpoint : unit -> unit
 (** The cooperative cancellation point for hot loops: checks every

@@ -96,12 +96,20 @@ let map ?domains ?seed ?(retries = default_retries) f xs =
   in
   (* Spawn helpers best-effort: if the system refuses a new domain
      (resource exhaustion), proceed with fewer — the map still completes
-     on the domains we did get, down to just the caller. *)
+     on the domains we did get, down to just the caller.  Each helper
+     inherits the caller's ambient budget stack (domain-local, so it
+     must be handed over explicitly) — and only the caller's: budgets
+     of unrelated jobs on other domains stay invisible. *)
+  let ambient = Budget.ambient_budgets () in
   let spawned =
     if k <= 1 then []
     else
       List.filter_map
-        (fun _ -> match Domain.spawn worker with d -> Some d | exception _ -> None)
+        (fun _ ->
+          match Domain.spawn (fun () -> Budget.with_ambient_stack ambient worker)
+          with
+          | d -> Some d
+          | exception _ -> None)
         (List.init (k - 1) Fun.id)
   in
   worker ();

@@ -53,6 +53,7 @@ let template ?(options = Compiler.default_options) t =
   Compiler.compile_template ~options ~params:(param_names t) t.n blocks
 
 let bind = Phoenix.Template.bind
+let bind_batch = Phoenix.Template.bind_batch
 
 let state t theta = Statevector.of_circuit (circuit t theta)
 

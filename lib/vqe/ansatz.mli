@@ -40,6 +40,12 @@ val template : ?options:Phoenix.Compiler.options -> t -> Phoenix.Template.t
 val bind : Phoenix.Template.t -> float array -> Phoenix_circuit.Circuit.t
 (** Re-export of {!Phoenix.Template.bind} for loop call sites. *)
 
+val bind_batch :
+  Phoenix.Template.t -> float array list -> Phoenix_circuit.Circuit.t list
+(** Re-export of {!Phoenix.Template.bind_batch}: gradient-style
+    multi-point binds (e.g. a parameter-shift stencil) sharing one
+    angle-arena snapshot.  Bit-identical to mapping {!bind}. *)
+
 val state : t -> float array -> Phoenix_linalg.Statevector.t
 (** Simulate the compiled circuit from [|0…0⟩]. *)
 

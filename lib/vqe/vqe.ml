@@ -39,6 +39,9 @@ let energy problem theta =
   in
   Statevector.expectation v problem.hamiltonian
 
+let energies problem tmpl thetas =
+  List.map (energy_of_circuit problem) (Ansatz.bind_batch tmpl thetas)
+
 let exact_ground_energy problem =
   let n = Hamiltonian.num_qubits problem.hamiltonian in
   let matrix =

@@ -23,6 +23,15 @@ val energy_of_circuit : problem -> Phoenix_circuit.Circuit.t -> float
 (** Objective value of an already-compiled (e.g. template-bound) ansatz
     circuit: reference preparation, simulation, expectation. *)
 
+val energies :
+  problem -> Phoenix.Template.t -> float array list -> float list
+(** Batch objective evaluation for gradient-style loops: bind the whole
+    stencil of parameter vectors through one
+    {!Ansatz.bind_batch} (single angle-arena snapshot), then evaluate
+    each bound circuit.  Element [i] equals
+    [energy_of_circuit problem (Ansatz.bind tmpl (List.nth thetas i))]
+    bit-for-bit. *)
+
 val exact_ground_energy : problem -> float
 (** Smallest eigenvalue of the Hamiltonian (dense diagonalization). *)
 

@@ -200,4 +200,21 @@ expect 2 chaos --runs 1 --plan bogus
 expect 2 chaos --runs 0
 expect 2 chaos --runs 1 --pipelines no-such-pipeline
 
+# serve: the daemon flag contract — exactly one of --socket/--port,
+# bounds on ports and pool/queue/limit sizes, unreachable addresses —
+# all exit 2; the self-test boots a real daemon on an ephemeral unix
+# socket, round-trips ping/compile/template/stats/malformed through a
+# client connection, and drains (exit 0)
+expect 0 serve --self-test
+expect 2 serve
+expect 2 serve --port 99999
+expect 2 serve --socket /no/such/dir/phx.sock
+expect 2 serve --socket /tmp/phx_contract.sock --port 7777
+expect 2 serve --port 7777 --workers 0
+expect 2 serve --port 7777 --max-queue 0
+expect 2 serve --port 7777 --max-request-kb 0
+expect 2 serve --port 7777 --timeout=-1
+expect 2 serve --connect bad-address
+expect 2 serve --connect tcp:localhost:1
+
 exit "$fail"

@@ -135,6 +135,39 @@ let test_ambient_stack () =
   Alcotest.(check int) "popped on exception" 0
     (List.length (Budget.ambient_budgets ()))
 
+(* The ambient stack is domain-local: a budget installed by one job must
+   be invisible to a job on another domain (the serve daemon runs
+   independent jobs concurrently), while [Parallel.map] helper domains
+   explicitly inherit their caller's stack. *)
+let test_ambient_domain_isolation () =
+  let b = Budget.after_checks 1 in
+  Budget.with_ambient b (fun () ->
+      let other =
+        Domain.spawn (fun () ->
+            (* No budget here: the checkpoint must not fire. *)
+            Budget.checkpoint ();
+            List.length (Budget.ambient_budgets ()))
+      in
+      Alcotest.(check int) "other domain sees an empty stack" 0
+        (Domain.join other);
+      Alcotest.(check bool) "this domain still holds the budget" true
+        (List.memq b (Budget.ambient_budgets ())))
+
+let test_ambient_inherited_by_pool () =
+  let b = Budget.after_checks 1 in
+  Budget.with_ambient b (fun () ->
+      (* Force real helper domains; every worker checkpoint must see the
+         caller's budget and fire. *)
+      match
+        Parallel.map ~domains:4
+          (fun _ ->
+            Budget.checkpoint ();
+            0)
+          (List.init 16 Fun.id)
+      with
+      | _ -> Alcotest.fail "pool workers did not inherit the budget"
+      | exception Budget.Interrupted Budget.Deadline -> ())
+
 (* --- parallel hardening ------------------------------------------------ *)
 
 let test_transient_retried () =
@@ -427,6 +460,10 @@ let () =
             test_budget_after_checks;
           Alcotest.test_case "cancellation" `Quick test_budget_cancel;
           Alcotest.test_case "ambient stack" `Quick test_ambient_stack;
+          Alcotest.test_case "ambient stack is domain-local" `Quick
+            test_ambient_domain_isolation;
+          Alcotest.test_case "pool workers inherit the caller's budget"
+            `Quick test_ambient_inherited_by_pool;
         ] );
       ( "parallel",
         [

@@ -406,6 +406,34 @@ let test_arity_violation_fails () =
     | _ -> false
     | exception Pass.Failed { pass = "parametrize"; _ } -> true)
 
+(* Batch binds share one Angle arena snapshot; each element must still
+   be gate-for-gate, bit-for-bit identical to a standalone bind. *)
+let test_bind_batch_equals_sequential () =
+  fresh_cache ();
+  let case = Lazy.force lih in
+  let base = case.Workloads.gadget_blocks in
+  let arity = List.length base in
+  let tmpl =
+    Compiler.compile_template ~params:(param_names base) case.Workloads.n
+      (symbolic_blocks base)
+  in
+  let thetas = List.init 7 (fun seed -> generic_theta ~seed arity) in
+  let batch = Template.bind_batch tmpl thetas in
+  Alcotest.(check int) "batch length" (List.length thetas) (List.length batch);
+  List.iteri
+    (fun k (theta, bound) ->
+      check_bit_identical
+        (Printf.sprintf "batch element %d == bind" k)
+        (Template.bind tmpl theta) bound)
+    (List.combine thetas batch);
+  Alcotest.(check (list (list string))) "empty batch" []
+    (List.map circuit_bits (Template.bind_batch tmpl []));
+  Alcotest.check_raises "batch arity checked up front"
+    (Invalid_argument
+       (Printf.sprintf "Template.bind_batch: 1 value for %d parameters" arity))
+    (fun () ->
+      ignore (Template.bind_batch tmpl [ generic_theta arity; [| 0.5 |] ]))
+
 let test_vqe_template_energy () =
   fresh_cache ();
   let spec =
@@ -467,6 +495,11 @@ let () =
         [
           Alcotest.test_case "budget interrupt yields no partial template"
             `Quick test_budget_interrupt;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "bind_batch == sequential binds" `Quick
+            test_bind_batch_equals_sequential;
         ] );
       ( "vqe",
         [

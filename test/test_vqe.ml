@@ -139,6 +139,33 @@ let test_sampled_estimate_converges () =
     true
     (Float.abs (exact -. sampled) < 0.08)
 
+(* --- batch evaluation --- *)
+
+(* [Vqe.energies] routes through [Ansatz.bind_batch] (one Angle arena
+   snapshot for the whole batch); the energies must be bit-for-bit equal
+   to evaluating each point sequentially. *)
+let test_energies_batch_equals_sequential () =
+  let problem = Vqe.uccsd_problem Fermion.Jordan_wigner h2_spec in
+  let arity = Ansatz.num_parameters problem.Vqe.ansatz in
+  let tmpl = Ansatz.template problem.Vqe.ansatz in
+  let thetas =
+    List.init 5 (fun s ->
+        Array.init arity (fun k -> 0.17 +. (0.31 *. float ((s * arity) + k))))
+  in
+  let batch = Vqe.energies problem tmpl thetas in
+  let sequential =
+    List.map
+      (fun theta -> Vqe.energy_of_circuit problem (Ansatz.bind tmpl theta))
+      thetas
+  in
+  Alcotest.(check int) "batch length" (List.length thetas) (List.length batch);
+  List.iteri
+    (fun k (want, got) ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "energy %d bit-identical" k)
+        want got)
+    (List.combine sequential batch)
+
 (* --- the full loop --- *)
 
 let test_vqe_recovers_correlation () =
@@ -187,6 +214,11 @@ let () =
             test_grouping_reduces_settings;
           Alcotest.test_case "sampled estimate" `Quick
             test_sampled_estimate_converges;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "energies == sequential" `Quick
+            test_energies_batch_equals_sequential;
         ] );
       ( "loop",
         [
